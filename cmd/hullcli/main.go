@@ -1,0 +1,110 @@
+// Command hullcli summarizes a point stream read from stdin (one "x,y"
+// pair per line, '#' comments allowed) and answers extremal queries from
+// the summary.
+//
+// Usage:
+//
+//	generate-points | hullcli -algo adaptive -r 32 -query diameter,width
+//	hullcli -algo uniform -r 64 -hull < points.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "adaptive", "summary: adaptive, uniform, or exact")
+		r       = flag.Int("r", 32, "sample parameter")
+		queries = flag.String("query", "diameter,width", "comma-separated: diameter,width,extent,area,circle")
+		theta   = flag.Float64("theta", 0, "direction (radians) for the extent query")
+		hull    = flag.Bool("hull", false, "print hull vertices")
+	)
+	flag.Parse()
+
+	var sum streamhull.Summary
+	switch *algo {
+	case "adaptive":
+		sum = streamhull.NewAdaptive(*r)
+	case "uniform":
+		sum = streamhull.NewUniform(*r)
+	case "exact":
+		sum = streamhull.NewExact()
+	default:
+		log.Fatalf("unknown algo %q", *algo)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		p, err := parsePoint(text)
+		if err != nil {
+			log.Fatalf("line %d: %v", line, err)
+		}
+		if err := sum.Insert(p); err != nil {
+			log.Fatalf("line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading stdin: %v", err)
+	}
+
+	h := sum.Hull()
+	fmt.Printf("points=%d stored=%d hull-vertices=%d\n", sum.N(), sum.SampleSize(), h.Len())
+	for _, q := range strings.Split(*queries, ",") {
+		switch strings.TrimSpace(q) {
+		case "":
+		case "diameter":
+			d, pair := h.Diameter()
+			fmt.Printf("diameter=%g between %v and %v\n", d, pair[0], pair[1])
+		case "width":
+			w, ang := h.Width()
+			fmt.Printf("width=%g at angle %g\n", w, ang)
+		case "extent":
+			fmt.Printf("extent(theta=%g)=%g\n", *theta, h.Extent(*theta))
+		case "area":
+			fmt.Printf("area=%g perimeter=%g\n", h.Area(), h.Perimeter())
+		case "circle":
+			c, rad := h.EnclosingCircle()
+			fmt.Printf("enclosing-circle center=%v radius=%g\n", c, rad)
+		default:
+			log.Fatalf("unknown query %q", q)
+		}
+	}
+	if *hull {
+		for _, v := range h.Vertices() {
+			fmt.Printf("%g,%g\n", v.X, v.Y)
+		}
+	}
+}
+
+func parsePoint(s string) (geom.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return geom.Point{}, fmt.Errorf("want \"x,y\", got %q", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("bad x: %v", err)
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("bad y: %v", err)
+	}
+	return geom.Pt(x, y), nil
+}

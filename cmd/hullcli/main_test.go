@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func TestParsePoint(t *testing.T) {
+	cases := []struct {
+		in   string
+		want geom.Point
+		ok   bool
+	}{
+		{"1,2", geom.Pt(1, 2), true},
+		{" 1.5 , -2.25 ", geom.Pt(1.5, -2.25), true},
+		{"1e3,-1e-3", geom.Pt(1000, -0.001), true},
+		{"1", geom.Point{}, false},
+		{"1,2,3", geom.Point{}, false},
+		{"a,2", geom.Point{}, false},
+		{"1,b", geom.Point{}, false},
+		{"", geom.Point{}, false},
+	}
+	for _, c := range cases {
+		got, err := parsePoint(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parsePoint(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !got.Eq(c.want) {
+			t.Errorf("parsePoint(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command hullserver runs the HTTP stream-summary service: point sources
+// POST their coordinates, the server keeps O(r)-size hull summaries per
+// stream, and clients query diameters, extents, separation, containment
+// and overlap at any time. See internal/server for the API.
+//
+// Usage:
+//
+//	hullserver -addr :8080 -r 32
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/streamgeom/streamhull/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		r    = flag.Int("r", 32, "default sample parameter for auto-created streams")
+		maxS = flag.Int("max-streams", 1024, "maximum number of live streams")
+	)
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(server.Config{DefaultR: *r, MaxStreams: *maxS}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("hullserver listening on %s (default r = %d)", *addr, *r)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+// Command hullviz renders SVG reproductions of the paper's figures:
+// Fig. 10 (adaptive vs uniform sample hulls with uncertainty triangles on
+// the rotated thin ellipse) and Fig. 9 (the circle lower-bound
+// construction of §5.4).
+//
+// Usage:
+//
+//	hullviz -out ./figures            # writes fig9.svg and fig10.svg
+//	hullviz -fig10 -n 100000 -r 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/streamgeom/streamhull/internal/svgplot"
+)
+
+func main() {
+	var (
+		fig9  = flag.Bool("fig9", false, "render only Fig. 9")
+		fig10 = flag.Bool("fig10", false, "render only Fig. 10")
+		out   = flag.String("out", ".", "output directory")
+		n     = flag.Int("n", 100000, "stream length for Fig. 10")
+		r     = flag.Int("r", 16, "adaptive sample parameter")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	both := !*fig9 && !*fig10
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("creating %s: %v", *out, err)
+	}
+	write := func(name, svg string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		fmt.Println("wrote", path)
+	}
+	if both || *fig9 {
+		write("fig9.svg", svgplot.Fig9(*r, *seed))
+	}
+	if both || *fig10 {
+		write("fig10.svg", svgplot.Fig10(*n, *r, *seed))
+	}
+}

@@ -1,0 +1,53 @@
+package streamhull
+
+import (
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// TestThreeValuedContainment verifies the one-sided guarantees of the
+// containment API: ContainsDefinitely never reports a false positive
+// against the true hull, and ContainsPossibly never reports a false
+// negative for points of the stream itself.
+func TestThreeValuedContainment(t *testing.T) {
+	pts := workload.Take(workload.Ellipse(11, 1, 0.1, 0.4), 20000)
+	s := NewAdaptive(16)
+	exact := NewExact()
+	for _, p := range pts {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := exact.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truth := exact.Hull()
+
+	// Soundness of "definitely": implied by hull ⊆ truth.
+	probes := workload.Take(workload.Square(12, 1.4, 0), 4000)
+	for _, q := range probes {
+		if s.ContainsDefinitely(q) && truth.DistToPoint(q) > 1e-9 {
+			t.Fatalf("ContainsDefinitely false positive at %v", q)
+		}
+		// Completeness of "possibly": definite-out implies truly out.
+		if !s.ContainsPossibly(q) && truth.Contains(q) {
+			t.Fatalf("ContainsPossibly false negative at %v", q)
+		}
+	}
+	// Every stream point is at least "possibly" contained.
+	for _, q := range pts {
+		if !s.ContainsPossibly(q) {
+			t.Fatalf("stream point %v reported definitely outside", q)
+		}
+	}
+	// Far-away points are definitely out.
+	if s.ContainsPossibly(geom.Pt(50, 50)) {
+		t.Error("distant point not excluded")
+	}
+	// The hull centroid is definitely in.
+	if !s.ContainsDefinitely(s.Hull().Vertices()[0]) {
+		t.Error("hull vertex not definitely contained")
+	}
+}

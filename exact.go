@@ -1,0 +1,77 @@
+package streamhull
+
+import (
+	"sync"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+)
+
+// ExactHull maintains the exact convex hull of everything seen. Its
+// storage is Θ(hull size), which is unbounded for adversarial streams —
+// it exists as ground truth for evaluating the sampled summaries and for
+// small streams where exactness is affordable.
+type ExactHull struct {
+	mu    sync.Mutex
+	verts []geom.Point // current hull vertices
+	poly  convex.Polygon
+	dirty bool
+	n     int
+}
+
+// NewExact returns an exact hull summary.
+func NewExact() *ExactHull { return &ExactHull{} }
+
+// Insert processes one stream point. Points inside the current hull are
+// dropped immediately; hull-changing points trigger an O(h log h) re-hull
+// of the at most h+1 boundary points.
+func (s *ExactHull) Insert(p geom.Point) error {
+	if err := checkFinite(p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	if s.dirty {
+		s.rebuild()
+	}
+	if s.poly.Len() >= 3 && s.poly.Contains(p) {
+		return nil
+	}
+	s.verts = append(s.poly.Vertices(), p)
+	s.dirty = true
+	return nil
+}
+
+func (s *ExactHull) rebuild() {
+	s.poly = convex.Hull(s.verts)
+	s.verts = nil
+	s.dirty = false
+}
+
+// Hull returns the exact convex hull of the stream so far.
+func (s *ExactHull) Hull() Polygon {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty {
+		s.rebuild()
+	}
+	return Polygon{s.poly}
+}
+
+// SampleSize returns the number of stored hull vertices.
+func (s *ExactHull) SampleSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty {
+		s.rebuild()
+	}
+	return s.poly.Len()
+}
+
+// N returns the number of stream points processed.
+func (s *ExactHull) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

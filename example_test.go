@@ -1,0 +1,95 @@
+package streamhull_test
+
+import (
+	"fmt"
+	"math"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// The basic loop: stream points in, query the hull at any time.
+func ExampleNewAdaptive() {
+	s := streamhull.NewAdaptive(16)
+	// A 1×3 axis-aligned rectangle outline.
+	for _, p := range []geom.Point{
+		{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 3, Y: 1}, {X: 0, Y: 1},
+		{X: 1.5, Y: 0.5}, // interior points are discarded in O(log r)
+	} {
+		if err := s.Insert(p); err != nil {
+			panic(err)
+		}
+	}
+	hull := s.Hull()
+	d, _ := hull.Diameter()
+	w, _ := hull.Width()
+	fmt.Printf("diameter %.4f width %.4f area %.1f stored %d\n",
+		d, w, hull.Area(), s.SampleSize())
+	// Output:
+	// diameter 3.1623 width 1.0000 area 3.0 stored 4
+}
+
+// Directional extent: how wide is the stream when projected onto an
+// arbitrary direction (§6)?
+func ExamplePolygon_Extent() {
+	s := streamhull.NewUniform(32)
+	for _, p := range []geom.Point{
+		{X: -2, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1},
+	} {
+		_ = s.Insert(p)
+	}
+	hull := s.Hull()
+	fmt.Printf("extent along x: %.1f\n", hull.Extent(0))
+	fmt.Printf("extent along y: %.1f\n", hull.Extent(math.Pi/2))
+	// Output:
+	// extent along x: 4.0
+	// extent along y: 2.0
+}
+
+// Two-stream separability with a certificate line (§6).
+func ExampleNewPairTracker() {
+	tr := streamhull.NewPairTracker(streamhull.NewAdaptive(8), streamhull.NewAdaptive(8))
+	for i := 0; i < 10; i++ {
+		y := float64(i) / 5
+		_ = tr.InsertA(geom.Pt(-2+0.1*y, y))
+		_ = tr.InsertB(geom.Pt(+2-0.1*y, y))
+	}
+	d, _ := tr.Distance()
+	_, separable := tr.Separable()
+	fmt.Printf("distance %.2f separable %v\n", d, separable)
+	// Output:
+	// distance 3.64 separable true
+}
+
+// Sensor-to-aggregator snapshots: ship at most 2r+1 points, merge at the
+// base station (§1).
+func ExampleMergeSnapshots() {
+	east := streamhull.NewAdaptive(8)
+	west := streamhull.NewAdaptive(8)
+	_ = east.Insert(geom.Pt(5, 0))
+	_ = east.Insert(geom.Pt(6, 1))
+	_ = west.Insert(geom.Pt(-5, 0))
+	_ = west.Insert(geom.Pt(-6, -1))
+
+	merged, err := streamhull.MergeSnapshots(8, east.Snapshot(), west.Snapshot())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("combined extent: %.1f\n", merged.Hull().Extent(0))
+	// Output:
+	// combined extent: 12.0
+}
+
+// Per-region hulls for clustered streams (the §8 extension).
+func ExampleNewPartitioned() {
+	assign, n := streamhull.GridRegions(2, 1, -10, -1, 10, 1)
+	s := streamhull.NewPartitioned(n, assign, 8)
+	for i := 0; i < 8; i++ {
+		_ = s.Insert(geom.Pt(-5+0.1*float64(i), 0.1*float64(i%3)))
+		_ = s.Insert(geom.Pt(+5-0.1*float64(i), -0.1*float64(i%3)))
+	}
+	_, _, d, _ := s.ClosestRegions()
+	fmt.Printf("gap between clusters: %.1f\n", d)
+	// Output:
+	// gap between clusters: 8.6
+}

@@ -1,0 +1,93 @@
+// The changing-distribution experiment of §7, run through the public API:
+// a thin near-vertical ellipse is followed by a containing near-horizontal
+// one. The continuously adaptive summary re-aims its sample directions;
+// the partially adaptive summary (frozen after training on the first
+// half) keeps stale directions and degrades dramatically.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+)
+
+const (
+	half = 50000
+	r    = 16
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	adaptive := streamhull.NewAdaptive(r, streamhull.WithFixedBudget(2*r))
+	partial := streamhull.NewPartial(r, half, 2*r)
+
+	stream := make([]geom.Point, 0, 2*half)
+	for i := 0; i < half; i++ {
+		stream = append(stream, ellipsePoint(rng, 0.05, 0.8)) // thin vertical
+	}
+	for i := 0; i < half; i++ {
+		stream = append(stream, ellipsePoint(rng, 14.4, 0.9)) // containing horizontal
+	}
+
+	for i, p := range stream {
+		if err := adaptive.Insert(p); err != nil {
+			log.Fatal(err)
+		}
+		if err := partial.Insert(p); err != nil {
+			log.Fatal(err)
+		}
+		if i == half-1 {
+			fmt.Println("-- end of training half (vertical ellipse) --")
+			describe("adaptive", adaptive.Directions())
+			describe("partial ", partial.Directions())
+		}
+	}
+
+	fmt.Println("-- end of stream (horizontal ellipse) --")
+	describe("adaptive", adaptive.Directions())
+	describe("partial ", partial.Directions())
+
+	// Score both against the stream: fraction of points outside each hull.
+	aHull, pHull := adaptive.Hull(), partial.Hull()
+	aOut, pOut := 0, 0
+	for _, q := range stream {
+		if aHull.DistToPoint(q) > 0 {
+			aOut++
+		}
+		if pHull.DistToPoint(q) > 0 {
+			pOut++
+		}
+	}
+	total := float64(len(stream))
+	fmt.Printf("\npoints outside hull: adaptive %.2f%%   partial %.2f%%\n",
+		100*float64(aOut)/total, 100*float64(pOut)/total)
+	fmt.Println("(the paper's Table 1, fourth section: the frozen directions were")
+	fmt.Println(" trained on the wrong distribution and miss the new shape)")
+}
+
+// describe prints how the sample directions distribute over the four
+// axis-aligned quadrant bands: directions near ±x track vertical flats,
+// directions near ±y track horizontal flats.
+func describe(name string, dirs []float64) {
+	nearX, nearY := 0, 0
+	for _, th := range dirs {
+		c := math.Abs(math.Cos(th))
+		if c > math.Sqrt2/2 {
+			nearX++
+		} else {
+			nearY++
+		}
+	}
+	fmt.Printf("%s: %2d directions total, %2d aimed near ±x, %2d aimed near ±y\n",
+		name, len(dirs), nearX, nearY)
+}
+
+func ellipsePoint(rng *rand.Rand, a, b float64) geom.Point {
+	ang := rng.Float64() * geom.TwoPi
+	rad := math.Sqrt(rng.Float64())
+	return geom.Pt(a*rad*math.Cos(ang), b*rad*math.Sin(ang))
+}

@@ -1,0 +1,77 @@
+// Quickstart: summarize a random point stream with the adaptive hull and
+// answer the extremal queries of the paper's §6, comparing against the
+// exact hull to show the approximation quality.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func main() {
+	const (
+		n = 200000
+		r = 16
+	)
+	rng := rand.New(rand.NewSource(7))
+
+	// The summary keeps at most 2r+1 points no matter how long the stream
+	// runs; the exact hull is kept here only to measure the error.
+	adaptive := streamhull.NewAdaptive(r)
+	exact := streamhull.NewExact()
+
+	for i := 0; i < n; i++ {
+		// An elongated, tilted cloud: the adversary for uniform sampling.
+		p := geom.Pt(rng.NormFloat64()*3, rng.NormFloat64()*0.2).Rotate(0.4)
+		if err := adaptive.Insert(p); err != nil {
+			log.Fatal(err)
+		}
+		if err := exact.Insert(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	hull := adaptive.Hull()
+	truth := exact.Hull()
+
+	fmt.Printf("stream length:        %d points\n", adaptive.N())
+	fmt.Printf("summary size:         %d points (bound 2r+1 = %d)\n",
+		adaptive.SampleSize(), 2*r+1)
+	fmt.Printf("exact hull size:      %d points\n", exact.SampleSize())
+
+	dApprox, _ := hull.Diameter()
+	dTrue, _ := truth.Diameter()
+	fmt.Printf("diameter:             %.4f (exact %.4f, rel err %.2e)\n",
+		dApprox, dTrue, (dTrue-dApprox)/dTrue)
+
+	wApprox, _ := hull.Width()
+	wTrue, _ := truth.Width()
+	fmt.Printf("width:                %.4f (exact %.4f)\n", wApprox, wTrue)
+
+	for _, deg := range []float64{0, 45, 90} {
+		theta := deg * math.Pi / 180
+		fmt.Printf("extent at %3.0f°:       %.4f (exact %.4f)\n",
+			deg, hull.Extent(theta), truth.Extent(theta))
+	}
+
+	c, rad := hull.EnclosingCircle()
+	fmt.Printf("enclosing circle:     center %v radius %.4f\n", c, rad)
+	fmt.Printf("a-posteriori error:   %.2e (max uncertainty-triangle height)\n",
+		adaptive.ErrorBound())
+
+	// The guarantee of Theorem 5.4: the summary hull is inside the true
+	// hull, within O(D/r²) of it.
+	worst := 0.0
+	for _, v := range truth.Vertices() {
+		if d := hull.DistToPoint(v); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("true-hull distance:   %.2e (Theorem 5.4 scale D/r² = %.2e)\n",
+		worst, dTrue/float64(r*r))
+}

@@ -1,0 +1,87 @@
+// Sensor-network scenario from the paper's introduction: report the
+// smallest convex region in which a chemical leak has been sensed.
+//
+// A fleet of sensor nodes each observes local detections of a drifting
+// plume. Every node keeps only an O(r)-point adaptive summary — sensors
+// have tiny memories and radio time is precious (§1) — and periodically
+// ships a snapshot to a base station, which merges them and reports the
+// leak's convex extent, enclosing circle, and growth over time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+)
+
+const (
+	sensors     = 25
+	epochs      = 6
+	perEpoch    = 2000
+	r           = 12
+	aggregatorR = 24
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Each sensor covers a cell of a 5×5 grid; the plume starts near the
+	// center and drifts north-east while spreading.
+	nodes := make([]*streamhull.AdaptiveHull, sensors)
+	for i := range nodes {
+		nodes[i] = streamhull.NewAdaptive(r)
+	}
+	cell := func(p geom.Point) int {
+		col := clamp(int((p.X+5)/2), 0, 4)
+		row := clamp(int((p.Y+5)/2), 0, 4)
+		return row*5 + col
+	}
+
+	center := geom.Pt(-2, -2)
+	spread := 0.4
+	for epoch := 1; epoch <= epochs; epoch++ {
+		for i := 0; i < perEpoch; i++ {
+			det := center.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(spread))
+			if err := nodes[cell(det)].Insert(det); err != nil {
+				log.Fatal(err)
+			}
+		}
+		center = center.Add(geom.Pt(0.7, 0.55))
+		spread *= 1.25
+
+		// Base station: merge the (tiny) snapshots. Each snapshot is at
+		// most 2r+1 points — the nodes never transmit raw detections.
+		snaps := make([]streamhull.Snapshot, 0, sensors)
+		transmitted := 0
+		for _, nd := range nodes {
+			if nd.N() == 0 {
+				continue
+			}
+			s := nd.Snapshot()
+			transmitted += len(s.Points)
+			snaps = append(snaps, s)
+		}
+		agg, err := streamhull.MergeSnapshots(aggregatorR, snaps...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hull := agg.Hull()
+		c, rad := hull.EnclosingCircle()
+		fmt.Printf("epoch %d: %2d reporting sensors, %3d sample points on air, "+
+			"leak area %6.2f, enclosing circle r=%.2f at %v\n",
+			epoch, len(snaps), transmitted, hull.Area(), rad, c)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+// End-to-end service demo: an in-process hull-summary server, two point
+// sources POSTing coordinates over HTTP, and a client asking the §6
+// questions — the deployment shape of the paper's monitoring scenarios.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+
+	"github.com/streamgeom/streamhull/internal/server"
+)
+
+func main() {
+	ts := httptest.NewServer(server.New(server.Config{DefaultR: 24}))
+	defer ts.Close()
+	fmt.Println("hull-summary service at", ts.URL)
+
+	// Two vehicle fleets report positions in batches.
+	rng := rand.New(rand.NewSource(42))
+	for batch := 0; batch < 20; batch++ {
+		post(ts.URL+"/v1/streams/fleet-a/points", fleet(rng, -6+0.5*float64(batch), 0))
+		post(ts.URL+"/v1/streams/fleet-b/points", fleet(rng, +6-0.5*float64(batch), 0.5))
+	}
+
+	var hull struct {
+		N        float64      `json:"n"`
+		Area     float64      `json:"area"`
+		Vertices [][2]float64 `json:"vertices"`
+	}
+	get(ts.URL+"/v1/streams/fleet-a/hull", &hull)
+	fmt.Printf("fleet-a: %d points summarized by %d hull vertices (area %.2f)\n",
+		int(hull.N), len(hull.Vertices), hull.Area)
+
+	var diam struct {
+		Diameter float64 `json:"diameter"`
+	}
+	get(ts.URL+"/v1/streams/fleet-a/query?type=diameter", &diam)
+	fmt.Printf("fleet-a diameter: %.2f\n", diam.Diameter)
+
+	var sep struct {
+		Separable bool `json:"separable"`
+	}
+	get(ts.URL+"/v1/pairs/query?a=fleet-a&b=fleet-b&type=separable", &sep)
+	var dist struct {
+		Distance float64 `json:"distance"`
+	}
+	get(ts.URL+"/v1/pairs/query?a=fleet-a&b=fleet-b&type=distance", &dist)
+	fmt.Printf("fleets separable: %v (hull distance %.2f)\n", sep.Separable, dist.Distance)
+
+	var ov struct {
+		OverlapArea float64 `json:"overlap_area"`
+	}
+	get(ts.URL+"/v1/pairs/query?a=fleet-a&b=fleet-b&type=overlap", &ov)
+	fmt.Printf("territory overlap: %.2f\n", ov.OverlapArea)
+}
+
+// fleet produces one batch of noisy positions around a moving center.
+func fleet(rng *rand.Rand, cx, cy float64) [][2]float64 {
+	out := make([][2]float64, 200)
+	for i := range out {
+		out[i] = [2]float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()}
+	}
+	return out
+}
+
+func post(url string, points [][2]float64) {
+	body, err := json.Marshal(map[string]any{"points": points})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

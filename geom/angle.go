@@ -1,0 +1,48 @@
+package geom
+
+import "math"
+
+// TwoPi is the full circle in radians.
+const TwoPi = 2 * math.Pi
+
+// NormalizeAngle maps an angle to the canonical range [0, 2π). NaN and ±Inf
+// are returned unchanged so that callers can detect them.
+func NormalizeAngle(theta float64) float64 {
+	if math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return theta
+	}
+	theta = math.Mod(theta, TwoPi)
+	if theta < 0 {
+		theta += TwoPi
+	}
+	// Mod can return exactly 2π for inputs just below a multiple of 2π.
+	if theta >= TwoPi {
+		theta = 0
+	}
+	return theta
+}
+
+// AngleDist returns the absolute angular distance between two angles,
+// in [0, π].
+func AngleDist(a, b float64) float64 {
+	d := math.Abs(NormalizeAngle(a) - NormalizeAngle(b))
+	if d > math.Pi {
+		d = TwoPi - d
+	}
+	return d
+}
+
+// CCWGap returns the counterclockwise angular distance from a to b,
+// in [0, 2π).
+func CCWGap(a, b float64) float64 {
+	return NormalizeAngle(b - a)
+}
+
+// AngleInCCWRange reports whether theta lies in the counterclockwise open
+// interval (lo, hi). The interval may wrap around 2π; if lo == hi the
+// interval is empty.
+func AngleInCCWRange(theta, lo, hi float64) bool {
+	g := CCWGap(lo, hi)
+	t := CCWGap(lo, theta)
+	return t > 0 && t < g
+}

@@ -1,0 +1,88 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{TwoPi, 0},
+		{-TwoPi, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * TwoPi, 0},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(NormalizeAngle(math.NaN())) {
+		t.Error("NaN not propagated")
+	}
+}
+
+func TestNormalizeAngleRange(t *testing.T) {
+	err := quick.Check(func(theta float64) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		got := NormalizeAngle(theta)
+		return got >= 0 && got < TwoPi
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDist(t *testing.T) {
+	if got := AngleDist(0.1, TwoPi-0.1); !almostEq(got, 0.2, 1e-9) {
+		t.Errorf("AngleDist wrap = %v", got)
+	}
+	if got := AngleDist(1, 2); !almostEq(got, 1, 1e-12) {
+		t.Errorf("AngleDist = %v", got)
+	}
+	err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		d := AngleDist(a, b)
+		return d >= 0 && d <= math.Pi+1e-9 && almostEq(d, AngleDist(b, a), 1e-9)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCWGap(t *testing.T) {
+	if got := CCWGap(3*math.Pi/2, math.Pi/2); !almostEq(got, math.Pi, 1e-9) {
+		t.Errorf("CCWGap = %v", got)
+	}
+	if got := CCWGap(1, 1); got != 0 {
+		t.Errorf("CCWGap same = %v", got)
+	}
+}
+
+func TestAngleInCCWRange(t *testing.T) {
+	// Range wrapping through zero.
+	if !AngleInCCWRange(0.1, TwoPi-0.5, 0.5) {
+		t.Error("0.1 should be in (2π−0.5, 0.5)")
+	}
+	if AngleInCCWRange(1.0, TwoPi-0.5, 0.5) {
+		t.Error("1.0 should not be in (2π−0.5, 0.5)")
+	}
+	// Open interval: endpoints excluded.
+	if AngleInCCWRange(1, 1, 2) {
+		t.Error("lo endpoint should be excluded")
+	}
+	if AngleInCCWRange(2, 1, 2) {
+		t.Error("hi endpoint should be excluded")
+	}
+	// Empty interval.
+	if AngleInCCWRange(1.5, 1, 1) {
+		t.Error("empty interval should contain nothing")
+	}
+}

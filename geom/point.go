@@ -1,0 +1,104 @@
+// Package geom provides the small planar geometry kernel used by the
+// streamhull summaries: points, vectors, directions on the unit circle,
+// segments and lines, together with the handful of predicates the sampling
+// algorithms rely on.
+//
+// All coordinates are float64. Exactness, where combinatorial decisions
+// require it, is supplied by the internal robust-predicate package; the
+// types here are deliberately plain value types with no hidden state.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point (or a vector, by context) in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + q, treating q as a displacement vector.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns the point scaled by s about the origin.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Neg returns the reflection of p through the origin.
+func (p Point) Neg() Point { return Point{-p.X, -p.Y} }
+
+// Dot returns the dot product p·q of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p×q. It is positive
+// when q is counterclockwise of p.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of p viewed as a vector.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 { return p.Sub(q).Norm2() }
+
+// Angle returns the polar angle of p viewed as a vector, in (−π, π].
+func (p Point) Angle() float64 { return math.Atan2(p.Y, p.X) }
+
+// Rot90 returns p rotated by +90° (counterclockwise) about the origin.
+func (p Point) Rot90() Point { return Point{-p.Y, p.X} }
+
+// Rotate returns p rotated counterclockwise about the origin by the given
+// angle in radians.
+func (p Point) Rotate(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{c*p.X - s*p.Y, s*p.X + c*p.Y}
+}
+
+// Lerp returns the point (1−t)·p + t·q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+// Eq reports whether p and q have identical coordinates.
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// IsFinite reports whether both coordinates are finite (neither NaN nor ±Inf).
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Unit returns the direction unit vector at the given angle in radians.
+func Unit(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{c, s}
+}
+
+// Centroid returns the arithmetic mean of the points. It returns the origin
+// for an empty slice.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(pts))
+	return Point{sx / n, sy / n}
+}

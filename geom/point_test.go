@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); !got.Eq(Pt(2, 6)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); !got.Eq(Pt(4, 2)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); !got.Eq(Pt(6, 8)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Neg(); !got.Eq(Pt(-3, -4)) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := p.Dot(q); got != -3+8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 3*2-4*(-1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := p.Dist(q); !almostEq(got, math.Hypot(4, 2), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := p.Rot90(); !got.Eq(Pt(-4, 3)) {
+		t.Errorf("Rot90 = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, -4)
+	if got := a.Lerp(b, 0); !got.Eq(a) {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); !got.Eq(b) {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	mid := a.Lerp(b, 0.5)
+	if !almostEq(mid.X, 5, 1e-12) || !almostEq(mid.Y, -2, 1e-12) {
+		t.Errorf("Lerp 0.5 = %v", mid)
+	}
+}
+
+func TestRotatePreservesNorm(t *testing.T) {
+	err := quick.Check(func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		// Keep magnitudes sane so relative tolerance applies.
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		theta = math.Mod(theta, 100)
+		p := Pt(x, y)
+		q := p.Rotate(theta)
+		return almostEq(p.Norm(), q.Norm(), 1e-6*(1+p.Norm()))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateComposition(t *testing.T) {
+	p := Pt(1, 0)
+	q := p.Rotate(math.Pi / 6).Rotate(math.Pi / 3)
+	if !almostEq(q.X, 0, 1e-12) || !almostEq(q.Y, 1, 1e-12) {
+		t.Errorf("Rotate composition = %v", q)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		theta := float64(i) * TwoPi / 64
+		u := Unit(theta)
+		if !almostEq(u.Norm(), 1, 1e-12) {
+			t.Fatalf("Unit(%v) not unit: %v", theta, u)
+		}
+		if !almostEq(NormalizeAngle(u.Angle()), theta, 1e-9) && i != 32 {
+			t.Fatalf("Unit(%v).Angle() = %v", theta, u.Angle())
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); !got.Eq(Pt(0, 0)) {
+		t.Errorf("Centroid(nil) = %v", got)
+	}
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := Centroid(pts); !got.Eq(Pt(1, 1)) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !Pt(1, 2).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	bad := []Point{
+		Pt(math.NaN(), 0), Pt(0, math.NaN()),
+		Pt(math.Inf(1), 0), Pt(0, math.Inf(-1)),
+	}
+	for _, p := range bad {
+		if p.IsFinite() {
+			t.Errorf("%v reported finite", p)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Pt(1.5, -2).String(); got != "(1.5, -2)" {
+		t.Errorf("String = %q", got)
+	}
+}

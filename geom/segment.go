@@ -1,0 +1,157 @@
+package geom
+
+import "math"
+
+// Segment is the closed line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{a, b} }
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the midpoint of the segment.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// DistToPoint returns the distance from p to the closest point of the
+// segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	return math.Sqrt(s.Dist2ToPoint(p))
+}
+
+// Dist2ToPoint returns the squared distance from p to the closest point of
+// the segment.
+func (s Segment) Dist2ToPoint(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	ap := p.Sub(s.A)
+	denom := ab.Norm2()
+	if denom == 0 {
+		return ap.Norm2()
+	}
+	t := ap.Dot(ab) / denom
+	if t <= 0 {
+		return ap.Norm2()
+	}
+	if t >= 1 {
+		return p.Dist2(s.B)
+	}
+	return p.Dist2(s.A.Lerp(s.B, t))
+}
+
+// ClosestPoint returns the point of the segment nearest to p.
+func (s Segment) ClosestPoint(p Point) Point {
+	ab := s.B.Sub(s.A)
+	denom := ab.Norm2()
+	if denom == 0 {
+		return s.A
+	}
+	t := p.Sub(s.A).Dot(ab) / denom
+	if t <= 0 {
+		return s.A
+	}
+	if t >= 1 {
+		return s.B
+	}
+	return s.A.Lerp(s.B, t)
+}
+
+// Dist2 returns the squared distance between the closest points of two
+// segments. Intersecting segments have distance zero.
+func (s Segment) Dist2(t Segment) float64 {
+	if s.Intersects(t) {
+		return 0
+	}
+	d := s.Dist2ToPoint(t.A)
+	if v := s.Dist2ToPoint(t.B); v < d {
+		d = v
+	}
+	if v := t.Dist2ToPoint(s.A); v < d {
+		d = v
+	}
+	if v := t.Dist2ToPoint(s.B); v < d {
+		d = v
+	}
+	return d
+}
+
+// Intersects reports whether the two closed segments share at least one
+// point. The test uses orientation signs and therefore handles collinear
+// overlap.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := orientSign(t.A, t.B, s.A)
+	d2 := orientSign(t.A, t.B, s.B)
+	d3 := orientSign(s.A, s.B, t.A)
+	d4 := orientSign(s.A, s.B, t.B)
+	if d1*d2 < 0 && d3*d4 < 0 {
+		return true
+	}
+	if d1 == 0 && onSegment(t.A, t.B, s.A) {
+		return true
+	}
+	if d2 == 0 && onSegment(t.A, t.B, s.B) {
+		return true
+	}
+	if d3 == 0 && onSegment(s.A, s.B, t.A) {
+		return true
+	}
+	if d4 == 0 && onSegment(s.A, s.B, t.B) {
+		return true
+	}
+	return false
+}
+
+// orientSign returns the sign of the orientation test (a, b, c): +1 for a
+// left turn, −1 for a right turn, 0 for collinear. Plain floating point is
+// sufficient for the segment routines, which are used only on measured data;
+// the summaries themselves use internal/robust.
+func orientSign(a, b, c Point) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// onSegment reports whether c, known to be collinear with a and b, lies on
+// the closed segment ab.
+func onSegment(a, b, c Point) bool {
+	return math.Min(a.X, b.X) <= c.X && c.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= c.Y && c.Y <= math.Max(a.Y, b.Y)
+}
+
+// Line is the infinite oriented line through a point with a given outward
+// unit normal: {x : x·N = Offset} with the "outside" being x·N > Offset.
+type Line struct {
+	N      Point   // unit normal
+	Offset float64 // signed offset along N
+}
+
+// SupportingLine returns the line through p with outward normal at angle
+// theta, as used for uncertainty-triangle constructions.
+func SupportingLine(p Point, theta float64) Line {
+	n := Unit(theta)
+	return Line{N: n, Offset: n.Dot(p)}
+}
+
+// Side returns the signed distance from p to the line (positive outside).
+func (l Line) Side(p Point) float64 { return l.N.Dot(p) - l.Offset }
+
+// Intersect returns the intersection point of two lines and reports whether
+// it exists (the lines are not parallel).
+func (l Line) Intersect(m Line) (Point, bool) {
+	det := l.N.Cross(m.N)
+	if det == 0 {
+		return Point{}, false
+	}
+	// Solve l.N·x = l.Offset, m.N·x = m.Offset by Cramer's rule.
+	x := (l.Offset*m.N.Y - m.Offset*l.N.Y) / det
+	y := (l.N.X*m.Offset - m.N.X*l.Offset) / det
+	return Point{x, y}, true
+}

@@ -1,0 +1,120 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSegmentBasics(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(4, 0))
+	if got := s.Length(); got != 4 {
+		t.Errorf("Length = %v", got)
+	}
+	if got := s.Midpoint(); !got.Eq(Pt(2, 0)) {
+		t.Errorf("Midpoint = %v", got)
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(5, 3), 3},
+		{Pt(-3, 4), 5},
+		{Pt(13, -4), 5},
+		{Pt(0, 0), 0},
+		{Pt(10, 0), 0},
+	}
+	for _, c := range cases {
+		if got := s.DistToPoint(c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("DistToPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment.
+	d := Seg(Pt(1, 1), Pt(1, 1))
+	if got := d.DistToPoint(Pt(4, 5)); !almostEq(got, 5, 1e-12) {
+		t.Errorf("degenerate DistToPoint = %v", got)
+	}
+}
+
+func TestClosestPointIsOnSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s := Seg(Pt(rng.NormFloat64(), rng.NormFloat64()), Pt(rng.NormFloat64(), rng.NormFloat64()))
+		p := Pt(rng.NormFloat64()*3, rng.NormFloat64()*3)
+		c := s.ClosestPoint(p)
+		// c must achieve the reported distance.
+		if !almostEq(p.Dist(c), s.DistToPoint(p), 1e-9) {
+			t.Fatalf("closest point %v does not achieve distance", c)
+		}
+		// c must be within the segment's bounding box (with slack).
+		if c.X < math.Min(s.A.X, s.B.X)-1e-9 || c.X > math.Max(s.A.X, s.B.X)+1e-9 {
+			t.Fatalf("closest point %v off segment %v", c, s)
+		}
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		s, u Segment
+		want bool
+	}{
+		{Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true},
+		{Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(2, 2), Pt(3, 3)), false},
+		{Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(1, 1), Pt(3, 3)), true}, // collinear overlap
+		{Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(1, 0), Pt(2, 5)), true}, // shared endpoint
+		{Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0.5, 1), Pt(0.5, 2)), false},
+		{Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0.5, 0), Pt(0.5, 1)), true}, // T junction
+	}
+	for i, c := range cases {
+		if got := c.s.Intersects(c.u); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.u.Intersects(c.s); got != c.want {
+			t.Errorf("case %d (swapped): Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSegmentDist2(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(1, 0))
+	u := Seg(Pt(0, 2), Pt(1, 2))
+	if got := s.Dist2(u); !almostEq(got, 4, 1e-12) {
+		t.Errorf("parallel Dist2 = %v", got)
+	}
+	v := Seg(Pt(0.5, -1), Pt(0.5, 1))
+	if got := s.Dist2(v); got != 0 {
+		t.Errorf("crossing Dist2 = %v", got)
+	}
+}
+
+func TestSupportingLine(t *testing.T) {
+	p := Pt(3, 0)
+	l := SupportingLine(p, 0) // outward normal +x
+	if !almostEq(l.Side(Pt(5, 2)), 2, 1e-12) {
+		t.Errorf("Side = %v", l.Side(Pt(5, 2)))
+	}
+	if !almostEq(l.Side(p), 0, 1e-12) {
+		t.Errorf("point not on its supporting line: %v", l.Side(p))
+	}
+}
+
+func TestLineIntersect(t *testing.T) {
+	l := SupportingLine(Pt(1, 0), 0)         // x = 1
+	m := SupportingLine(Pt(0, 2), math.Pi/2) // y = 2
+	p, ok := l.Intersect(m)
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	if !almostEq(p.X, 1, 1e-12) || !almostEq(p.Y, 2, 1e-12) {
+		t.Errorf("Intersect = %v", p)
+	}
+	// Parallel lines.
+	n := SupportingLine(Pt(5, 0), 0)
+	if _, ok := l.Intersect(n); ok {
+		t.Error("parallel lines reported as intersecting")
+	}
+}

@@ -1,0 +1,103 @@
+// Package bucketq implements the approximate priority queue of
+// Hershberger–Suri §5.3 (an idea the paper credits to Yossi Matias).
+//
+// Internal refinement-tree nodes must be unrefined when the uniform-hull
+// perimeter P grows past their threshold Thresh(e) = r·ℓ̃(e)/(1+d(e)).
+// Instead of a comparison-based priority queue (Θ(log r) per operation),
+// thresholds are rounded down to a power of two and stored in an array of
+// buckets indexed by exponent; because P is monotone non-decreasing, pops
+// simply drain every bucket whose power of two has been passed. All
+// operations are O(1) amortized.
+//
+// Entries are invalidated lazily: refinement trees are torn down wholesale
+// when a gap is rebuilt, so the queue hands back possibly-stale items and
+// the caller filters them with its own liveness check.
+package bucketq
+
+import (
+	"math"
+	"sort"
+)
+
+// Queue is a monotone bucket priority queue. Items become ready when the
+// monotone key (the perimeter P) exceeds 2^exp for the bucket they were
+// placed in.
+type Queue[T any] struct {
+	buckets map[int][]T
+	exps    []int // occupied exponents, ascending
+	n       int
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	return &Queue[T]{buckets: make(map[int][]T)}
+}
+
+// Len returns the number of stored items, including stale ones not yet
+// filtered by the caller.
+func (q *Queue[T]) Len() int { return q.n }
+
+// ExpOf returns the bucket exponent for a raw threshold value:
+// ⌊log2(threshold)⌋, so that 2^exp ≤ threshold < 2^(exp+1). Thresholds
+// that are zero, negative, or non-finite are mapped to math.MinInt and
+// will be popped immediately.
+func ExpOf(threshold float64) int {
+	if threshold <= 0 || math.IsNaN(threshold) || math.IsInf(threshold, 0) {
+		return math.MinInt
+	}
+	return math.Ilogb(threshold)
+}
+
+// Push stores an item in the bucket for the given exponent.
+func (q *Queue[T]) Push(exp int, item T) {
+	if _, ok := q.buckets[exp]; !ok {
+		// Insert exp into the (short) sorted exponent list. The adaptive
+		// hull keeps only O(log r) live exponents at a time (§5.3), so the
+		// linear insertion is effectively constant.
+		i := sort.SearchInts(q.exps, exp)
+		q.exps = append(q.exps, 0)
+		copy(q.exps[i+1:], q.exps[i:])
+		q.exps[i] = exp
+	}
+	q.buckets[exp] = append(q.buckets[exp], item)
+	q.n++
+}
+
+// PopReady removes and returns every item whose bucket has been passed by
+// the monotone key p: all buckets with p > 2^exp. The relative order of
+// returned items is by increasing exponent and, within a bucket, FIFO.
+func (q *Queue[T]) PopReady(p float64) []T {
+	if q.n == 0 {
+		return nil
+	}
+	var out []T
+	drained := 0
+	for _, exp := range q.exps {
+		if !passed(p, exp) {
+			break // exponents ascend; all later buckets survive too
+		}
+		items := q.buckets[exp]
+		out = append(out, items...)
+		q.n -= len(items)
+		delete(q.buckets, exp)
+		drained++
+	}
+	q.exps = q.exps[drained:]
+	return out
+}
+
+// passed reports whether p > 2^exp, computed without overflow for the
+// sentinel exponents.
+func passed(p float64, exp int) bool {
+	if exp == math.MinInt {
+		return true
+	}
+	return p > math.Ldexp(1, exp)
+}
+
+// Clear removes all items.
+func (q *Queue[T]) Clear() {
+	q.buckets = make(map[int][]T)
+	q.exps = nil
+	q.n = 0
+}

@@ -1,0 +1,181 @@
+package bucketq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestExpOf(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int
+	}{
+		{1, 0}, {1.5, 0}, {2, 1}, {3.99, 1}, {4, 2},
+		{0.5, -1}, {0.75, -1}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := ExpOf(c.in); got != c.want {
+			t.Errorf("ExpOf(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if got := ExpOf(bad); got != math.MinInt {
+			t.Errorf("ExpOf(%v) = %d, want MinInt", bad, got)
+		}
+	}
+}
+
+func TestExpOfRounding(t *testing.T) {
+	// 2^exp ≤ threshold < 2^(exp+1) for positive finite thresholds.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		th := math.Exp(rng.Float64()*40 - 20)
+		e := ExpOf(th)
+		if math.Ldexp(1, e) > th || th >= math.Ldexp(1, e+1) {
+			t.Fatalf("ExpOf(%v) = %d violates bracketing", th, e)
+		}
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	q := New[string]()
+	q.Push(ExpOf(10), "a") // bucket 3, pops when p > 8
+	q.Push(ExpOf(100), "b")
+	q.Push(ExpOf(5), "c") // bucket 2, pops when p > 4
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+
+	if got := q.PopReady(3); len(got) != 0 {
+		t.Fatalf("PopReady(3) = %v", got)
+	}
+	got := q.PopReady(9)
+	want := []string{"c", "a"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("PopReady(9) = %v, want %v", got, want)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len after pop = %d", q.Len())
+	}
+	if got := q.PopReady(1e9); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("final pop = %v", got)
+	}
+	if got := q.PopReady(1e12); got != nil {
+		t.Fatalf("pop on empty = %v", got)
+	}
+}
+
+func TestBoundaryExactPowerOfTwo(t *testing.T) {
+	q := New[int]()
+	q.Push(3, 1) // pops when p > 8
+	if got := q.PopReady(8); len(got) != 0 {
+		t.Error("popped at p == 2^exp; must require strict >")
+	}
+	if got := q.PopReady(math.Nextafter(8, 9)); len(got) != 1 {
+		t.Error("did not pop just above 2^exp")
+	}
+}
+
+func TestNonPositiveThresholdPopsImmediately(t *testing.T) {
+	q := New[int]()
+	q.Push(ExpOf(0), 7)
+	if got := q.PopReady(1e-300); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("sentinel bucket = %v", got)
+	}
+}
+
+// TestAgainstModel drives the queue against a naive model with a monotone
+// key, as the adaptive hull's perimeter behaves.
+func TestAgainstModel(t *testing.T) {
+	q := New[int]()
+	type entry struct {
+		th float64
+		id int
+	}
+	var model []entry
+	rng := rand.New(rand.NewSource(11))
+	p := 1.0
+	id := 0
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(2) == 0 {
+			th := p * (0.5 + rng.Float64()*100)
+			q.Push(ExpOf(th), id)
+			model = append(model, entry{th, id})
+			id++
+		} else {
+			p *= 1 + rng.Float64()*0.2
+			got := q.PopReady(p)
+			// The model pops entries whose rounded threshold was passed.
+			var wantIDs []int
+			var remain []entry
+			for _, e := range model {
+				if p > math.Ldexp(1, ExpOf(e.th)) {
+					wantIDs = append(wantIDs, e.id)
+				} else {
+					remain = append(remain, e)
+				}
+			}
+			model = remain
+			sort.Ints(got)
+			sort.Ints(wantIDs)
+			if len(got) != len(wantIDs) {
+				t.Fatalf("step %d: popped %v, want %v", step, got, wantIDs)
+			}
+			for i := range got {
+				if got[i] != wantIDs[i] {
+					t.Fatalf("step %d: popped %v, want %v", step, got, wantIDs)
+				}
+			}
+		}
+	}
+	if q.Len() != len(model) {
+		t.Fatalf("sizes diverged: %d vs %d", q.Len(), len(model))
+	}
+}
+
+// TestEarlyPopProperty verifies the paper's "unrefined slightly too early"
+// guarantee: an entry pops no earlier than at half its true threshold and no
+// later than its true threshold.
+func TestEarlyPopProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 1000; i++ {
+		th := math.Exp(rng.Float64()*20 - 10)
+		q := New[int]()
+		q.Push(ExpOf(th), 1)
+		// Just above th must pop.
+		if got := q.PopReady(th * 1.0000001); len(got) != 1 {
+			t.Fatalf("threshold %v: did not pop at threshold", th)
+		}
+		q2 := New[int]()
+		q2.Push(ExpOf(th), 1)
+		// At or below th/2 must not pop.
+		if got := q2.PopReady(th / 2); len(got) != 0 {
+			t.Fatalf("threshold %v: popped at half threshold", th)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	q := New[int]()
+	q.Push(0, 1)
+	q.Push(5, 2)
+	q.Clear()
+	if q.Len() != 0 {
+		t.Error("Clear did not empty")
+	}
+	if got := q.PopReady(1e18); got != nil {
+		t.Errorf("pop after clear = %v", got)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[int]()
+	p := 1.0
+	for i := 0; i < b.N; i++ {
+		q.Push(ExpOf(p*3), i)
+		p *= 1.001
+		q.PopReady(p)
+	}
+}

@@ -1,0 +1,115 @@
+package convex
+
+import (
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Diameter returns the maximum distance between two vertices and one pair
+// realizing it, using rotating calipers in O(n). This is the §6 diameter
+// query on a sampled hull.
+func (p Polygon) Diameter() (float64, [2]geom.Point) {
+	n := len(p.vs)
+	switch n {
+	case 0:
+		return 0, [2]geom.Point{}
+	case 1:
+		return 0, [2]geom.Point{p.vs[0], p.vs[0]}
+	case 2:
+		return p.vs[0].Dist(p.vs[1]), [2]geom.Point{p.vs[0], p.vs[1]}
+	}
+	best := 0.0
+	pair := [2]geom.Point{p.vs[0], p.vs[0]}
+	consider := func(a, b geom.Point) {
+		if d := a.Dist2(b); d > best {
+			best = d
+			pair = [2]geom.Point{a, b}
+		}
+	}
+	j := 1
+	for i := 0; i < n; i++ {
+		ei := p.vs[(i+1)%n].Sub(p.vs[i])
+		// Advance the antipodal pointer while the next vertex is farther
+		// from the supporting line of edge i.
+		for ei.Cross(p.vs[(j+1)%n].Sub(p.vs[j])) > 0 {
+			j = (j + 1) % n
+		}
+		consider(p.vs[i], p.vs[j])
+		consider(p.vs[(i+1)%n], p.vs[j])
+	}
+	return math.Sqrt(best), pair
+}
+
+// Width returns the minimum distance between two parallel supporting lines
+// (the §6 width query) along with the angle of the achieving direction
+// (the outward normal of the defining edge).
+func (p Polygon) Width() (float64, float64) {
+	n := len(p.vs)
+	if n < 3 {
+		return 0, 0
+	}
+	best := math.Inf(1)
+	bestAngle := 0.0
+	j := 1
+	for i := 0; i < n; i++ {
+		a, b := p.vs[i], p.vs[(i+1)%n]
+		ei := b.Sub(a)
+		el := ei.Norm()
+		if el == 0 {
+			continue
+		}
+		for ei.Cross(p.vs[(j+1)%n].Sub(p.vs[j])) > 0 {
+			j = (j + 1) % n
+		}
+		// Distance from the supporting line of edge i to the antipodal
+		// vertex j; the width is the minimum over edges.
+		d := math.Abs(ei.Cross(p.vs[j].Sub(a))) / el
+		if d < best {
+			best = d
+			bestAngle = geom.NormalizeAngle(geom.Pt(ei.Y, -ei.X).Angle())
+		}
+	}
+	return best, bestAngle
+}
+
+// DiameterBrute is the quadratic reference used in tests.
+func (p Polygon) DiameterBrute() float64 {
+	best := 0.0
+	for i := range p.vs {
+		for j := i + 1; j < len(p.vs); j++ {
+			if d := p.vs[i].Dist2(p.vs[j]); d > best {
+				best = d
+			}
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// WidthBrute is the quadratic reference used in tests: for each edge it
+// scans all vertices for the farthest one.
+func (p Polygon) WidthBrute() float64 {
+	n := len(p.vs)
+	if n < 3 {
+		return 0
+	}
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		a, b := p.vs[i], p.vs[(i+1)%n]
+		ei := b.Sub(a)
+		el := ei.Norm()
+		if el == 0 {
+			continue
+		}
+		far := 0.0
+		for _, v := range p.vs {
+			if d := math.Abs(ei.Cross(v.Sub(a))) / el; d > far {
+				far = d
+			}
+		}
+		if far < best {
+			best = far
+		}
+	}
+	return best
+}

@@ -1,0 +1,129 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func TestDiameterKnownShapes(t *testing.T) {
+	square := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)})
+	d, pair := square.Diameter()
+	if !almostEq(d, math.Sqrt2, 1e-12) {
+		t.Errorf("square diameter = %v", d)
+	}
+	if !almostEq(pair[0].Dist(pair[1]), d, 1e-12) {
+		t.Errorf("diameter pair %v does not realize %v", pair, d)
+	}
+
+	seg := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)})
+	if d, _ := seg.Diameter(); !almostEq(d, 5, 1e-12) {
+		t.Errorf("segment diameter = %v", d)
+	}
+	pt := Hull([]geom.Point{geom.Pt(1, 1)})
+	if d, _ := pt.Diameter(); d != 0 {
+		t.Errorf("point diameter = %v", d)
+	}
+	if d, _ := (Polygon{}).Diameter(); d != 0 {
+		t.Errorf("empty diameter = %v", d)
+	}
+}
+
+func TestDiameterMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		h := Hull(randPoints(rng, 3+rng.Intn(120)))
+		got, _ := h.Diameter()
+		want := h.DiameterBrute()
+		if !almostEq(got, want, 1e-9*(1+want)) {
+			t.Fatalf("trial %d: calipers %v, brute %v (n=%d)", trial, got, want, h.Len())
+		}
+	}
+}
+
+func TestWidthKnownShapes(t *testing.T) {
+	// 1×3 rectangle: width 1, achieved with normal along ±y.
+	rect := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(3, 0), geom.Pt(3, 1), geom.Pt(0, 1)})
+	w, ang := rect.Width()
+	if !almostEq(w, 1, 1e-12) {
+		t.Errorf("rect width = %v", w)
+	}
+	if !(almostEq(ang, math.Pi/2, 1e-9) || almostEq(ang, 3*math.Pi/2, 1e-9)) {
+		t.Errorf("rect width angle = %v", ang)
+	}
+	// Equilateral triangle of side 2: width = height = √3.
+	tri := Hull([]geom.Point{geom.Pt(-1, 0), geom.Pt(1, 0), geom.Pt(0, math.Sqrt(3))})
+	if w, _ := tri.Width(); !almostEq(w, math.Sqrt(3), 1e-12) {
+		t.Errorf("triangle width = %v", w)
+	}
+	// Degenerate shapes have zero width.
+	if w, _ := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}).Width(); w != 0 {
+		t.Errorf("segment width = %v", w)
+	}
+}
+
+func TestWidthMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 80; trial++ {
+		h := Hull(randPoints(rng, 3+rng.Intn(120)))
+		w, _ := h.Width()
+		want := h.WidthBrute()
+		if !almostEq(w, want, 1e-9*(1+want)) {
+			t.Fatalf("trial %d: calipers %v, brute %v (n=%d)", trial, w, want, h.Len())
+		}
+	}
+}
+
+func TestWidthLeDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 50; trial++ {
+		h := Hull(randPoints(rng, 3+rng.Intn(60)))
+		w, _ := h.Width()
+		d, _ := h.Diameter()
+		if w > d+1e-12 {
+			t.Fatalf("width %v > diameter %v", w, d)
+		}
+	}
+}
+
+func TestExtentMatchesProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 3+rng.Intn(60))
+		h := Hull(pts)
+		for i := 0; i < 20; i++ {
+			theta := rng.Float64() * geom.TwoPi
+			u := geom.Unit(theta)
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, p := range pts {
+				d := p.Dot(u)
+				lo = math.Min(lo, d)
+				hi = math.Max(hi, d)
+			}
+			if got := h.Extent(theta); !almostEq(got, hi-lo, 1e-9*(1+hi-lo)) {
+				t.Fatalf("Extent(%v) = %v, want %v", theta, got, hi-lo)
+			}
+		}
+	}
+}
+
+func TestWidthOfEllipseLikeHull(t *testing.T) {
+	// Points on an axis-aligned ellipse with semi-axes 2 and 0.5: width
+	// approaches 1 and diameter approaches 4 as the sampling densifies.
+	var pts []geom.Point
+	for i := 0; i < 400; i++ {
+		a := geom.TwoPi * float64(i) / 400
+		pts = append(pts, geom.Pt(2*math.Cos(a), 0.5*math.Sin(a)))
+	}
+	h := Hull(pts)
+	w, _ := h.Width()
+	d, _ := h.Diameter()
+	if !almostEq(w, 1, 1e-3) {
+		t.Errorf("ellipse width = %v", w)
+	}
+	if !almostEq(d, 4, 1e-3) {
+		t.Errorf("ellipse diameter = %v", d)
+	}
+}

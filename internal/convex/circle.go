@@ -1,0 +1,102 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Circle is a circle given by center and radius.
+type Circle struct {
+	Center geom.Point
+	Radius float64
+}
+
+// Contains reports whether p is inside the circle, with a small relative
+// tolerance to absorb the floating-point construction error.
+func (c Circle) Contains(p geom.Point) bool {
+	return c.Center.Dist(p) <= c.Radius*(1+1e-10)+1e-300
+}
+
+// MinEnclosingCircle returns the smallest circle containing all points,
+// using Welzl's randomized incremental algorithm in expected O(n). The §6
+// "smallest circle containing all the points" query runs this over the
+// sampled hull's ≤ 2r+1 vertices.
+func MinEnclosingCircle(pts []geom.Point) Circle {
+	switch len(pts) {
+	case 0:
+		return Circle{}
+	case 1:
+		return Circle{Center: pts[0]}
+	}
+	// Fixed-seed shuffle: deterministic results, expected-linear time.
+	shuffled := make([]geom.Point, len(pts))
+	copy(shuffled, pts)
+	rng := rand.New(rand.NewSource(0x5eed))
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+
+	c := circleFrom2(shuffled[0], shuffled[1])
+	for i := 2; i < len(shuffled); i++ {
+		if c.Contains(shuffled[i]) {
+			continue
+		}
+		c = circleWithOne(shuffled[:i], shuffled[i])
+	}
+	return c
+}
+
+// circleWithOne returns the minimum circle of pts ∪ {p} with p on its
+// boundary.
+func circleWithOne(pts []geom.Point, p geom.Point) Circle {
+	c := Circle{Center: p}
+	for i, q := range pts {
+		if c.Contains(q) {
+			continue
+		}
+		c = circleFrom2(p, q)
+		for _, s := range pts[:i] {
+			if !c.Contains(s) {
+				c = circleFrom3(p, q, s)
+			}
+		}
+	}
+	return c
+}
+
+func circleFrom2(a, b geom.Point) Circle {
+	center := a.Lerp(b, 0.5)
+	return Circle{Center: center, Radius: center.Dist(a)}
+}
+
+// circleFrom3 returns the circumcircle of a, b, c, falling back to the
+// widest two-point circle when the points are (nearly) collinear.
+func circleFrom3(a, b, c geom.Point) Circle {
+	ab := b.Sub(a)
+	ac := c.Sub(a)
+	d := 2 * ab.Cross(ac)
+	if d == 0 {
+		// Collinear: the minimum circle through all three is determined by
+		// the farthest pair.
+		c1 := circleFrom2(a, b)
+		c2 := circleFrom2(a, c)
+		c3 := circleFrom2(b, c)
+		best := c1
+		if c2.Radius > best.Radius {
+			best = c2
+		}
+		if c3.Radius > best.Radius {
+			best = c3
+		}
+		return best
+	}
+	abLen := ab.Norm2()
+	acLen := ac.Norm2()
+	ux := (ac.Y*abLen - ab.Y*acLen) / d
+	uy := (ab.X*acLen - ac.X*abLen) / d
+	center := geom.Pt(a.X+ux, a.Y+uy)
+	r := math.Max(center.Dist(a), math.Max(center.Dist(b), center.Dist(c)))
+	return Circle{Center: center, Radius: r}
+}

@@ -1,0 +1,97 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func TestMinEnclosingCircleKnown(t *testing.T) {
+	// Two points: diametral circle.
+	c := MinEnclosingCircle([]geom.Point{geom.Pt(0, 0), geom.Pt(2, 0)})
+	if !almostEq(c.Radius, 1, 1e-12) || c.Center.Dist(geom.Pt(1, 0)) > 1e-12 {
+		t.Errorf("two-point circle = %+v", c)
+	}
+	// Unit square: circumradius √2/2 about the center.
+	c = MinEnclosingCircle([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1),
+	})
+	if !almostEq(c.Radius, math.Sqrt2/2, 1e-9) || c.Center.Dist(geom.Pt(0.5, 0.5)) > 1e-9 {
+		t.Errorf("square circle = %+v", c)
+	}
+	// Obtuse triangle: circle determined by the longest side only.
+	c = MinEnclosingCircle([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 0.1)})
+	if !almostEq(c.Radius, 5, 1e-6) {
+		t.Errorf("obtuse triangle radius = %v", c.Radius)
+	}
+	// Degenerate inputs.
+	if c := MinEnclosingCircle(nil); c.Radius != 0 {
+		t.Errorf("empty circle = %+v", c)
+	}
+	if c := MinEnclosingCircle([]geom.Point{geom.Pt(3, 4)}); c.Radius != 0 || !c.Center.Eq(geom.Pt(3, 4)) {
+		t.Errorf("single circle = %+v", c)
+	}
+}
+
+func TestMinEnclosingCircleCollinear(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(5, 5)}
+	c := MinEnclosingCircle(pts)
+	if !almostEq(c.Radius, math.Sqrt(50)/2, 1e-9) {
+		t.Errorf("collinear radius = %v", c.Radius)
+	}
+	for _, p := range pts {
+		if !c.Contains(p) {
+			t.Errorf("collinear circle misses %v", p)
+		}
+	}
+}
+
+func TestMinEnclosingCircleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 60; trial++ {
+		pts := randPoints(rng, 1+rng.Intn(150))
+		c := MinEnclosingCircle(pts)
+		// Containment.
+		for _, p := range pts {
+			if !c.Contains(p) {
+				t.Fatalf("trial %d: circle misses %v (r=%v, d=%v)",
+					trial, p, c.Radius, c.Center.Dist(p))
+			}
+		}
+		// Optimality: at least two points essentially on the boundary
+		// (otherwise the circle could shrink).
+		if len(pts) >= 2 && c.Radius > 0 {
+			onBoundary := 0
+			for _, p := range pts {
+				if math.Abs(c.Center.Dist(p)-c.Radius) < 1e-7*c.Radius {
+					onBoundary++
+				}
+			}
+			if onBoundary < 2 {
+				t.Fatalf("trial %d: only %d boundary points", trial, onBoundary)
+			}
+		}
+		// Lower bound: radius ≥ half the diameter of the point set.
+		h := Hull(pts)
+		d, _ := h.Diameter()
+		if c.Radius < d/2-1e-9 {
+			t.Fatalf("trial %d: radius %v < diameter/2 %v", trial, c.Radius, d/2)
+		}
+		// Upper bound: radius ≤ diameter/√3 (Jung's theorem in the plane).
+		if c.Radius > d/math.Sqrt(3)+1e-9 {
+			t.Fatalf("trial %d: radius %v > Jung bound %v", trial, c.Radius, d/math.Sqrt(3))
+		}
+	}
+}
+
+func TestMinEnclosingCircleDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	pts := randPoints(rng, 200)
+	c1 := MinEnclosingCircle(pts)
+	c2 := MinEnclosingCircle(pts)
+	if c1 != c2 {
+		t.Error("MinEnclosingCircle not deterministic")
+	}
+}

@@ -1,0 +1,58 @@
+package convex
+
+import (
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Intersection returns the intersection of two convex polygons as a convex
+// polygon, using Sutherland–Hodgman clipping of p against each half-plane
+// of q. Degenerate inputs (fewer than 3 vertices) yield an empty polygon:
+// the spatial-overlap query (§6) is an area measure, which is zero for
+// them anyway.
+//
+// Intersection vertices are computed in floating point: the result is a
+// measured region, not a combinatorial structure, so exactness is not
+// required here.
+func Intersection(p, q Polygon) Polygon {
+	if len(p.vs) < 3 || len(q.vs) < 3 {
+		return Polygon{}
+	}
+	subject := append([]geom.Point(nil), p.vs...)
+	for i := 0; i < len(q.vs) && len(subject) > 0; i++ {
+		a := q.vs[i]
+		b := q.vs[(i+1)%len(q.vs)]
+		subject = clipHalfPlane(subject, a, b)
+	}
+	if len(subject) < 3 {
+		return Polygon{}
+	}
+	// The clip can introduce duplicate/collinear vertices; normalize.
+	return FromConvexCCW(subject)
+}
+
+// clipHalfPlane keeps the part of the (convex, CCW) subject polygon on the
+// left of the directed line a→b.
+func clipHalfPlane(subject []geom.Point, a, b geom.Point) []geom.Point {
+	dir := b.Sub(a)
+	side := func(p geom.Point) float64 { return dir.Cross(p.Sub(a)) }
+	out := make([]geom.Point, 0, len(subject)+1)
+	for i := 0; i < len(subject); i++ {
+		cur := subject[i]
+		next := subject[(i+1)%len(subject)]
+		sc, sn := side(cur), side(next)
+		if sc >= 0 {
+			out = append(out, cur)
+		}
+		if (sc > 0 && sn < 0) || (sc < 0 && sn > 0) {
+			t := sc / (sc - sn)
+			out = append(out, cur.Lerp(next, t))
+		}
+	}
+	return out
+}
+
+// IntersectionArea returns the area of the intersection of two convex
+// polygons.
+func IntersectionArea(p, q Polygon) float64 {
+	return Intersection(p, q).Area()
+}

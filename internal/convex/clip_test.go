@@ -1,0 +1,102 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func unitSquareAt(x, y, side float64) Polygon {
+	return Hull([]geom.Point{
+		geom.Pt(x, y), geom.Pt(x+side, y), geom.Pt(x+side, y+side), geom.Pt(x, y+side),
+	})
+}
+
+func TestIntersectionSquares(t *testing.T) {
+	a := unitSquareAt(0, 0, 2)
+	b := unitSquareAt(1, 1, 2)
+	inter := Intersection(a, b)
+	if got := inter.Area(); !almostEq(got, 1, 1e-9) {
+		t.Errorf("overlap area = %v, want 1", got)
+	}
+	// Disjoint squares.
+	c := unitSquareAt(5, 5, 1)
+	if got := IntersectionArea(a, c); got != 0 {
+		t.Errorf("disjoint area = %v", got)
+	}
+	// Nested squares: intersection is the inner one.
+	inner := unitSquareAt(0.5, 0.5, 0.5)
+	if got := IntersectionArea(a, inner); !almostEq(got, 0.25, 1e-9) {
+		t.Errorf("nested area = %v", got)
+	}
+	// Self intersection.
+	if got := IntersectionArea(a, a); !almostEq(got, 4, 1e-9) {
+		t.Errorf("self area = %v", got)
+	}
+}
+
+func TestIntersectionCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 40; trial++ {
+		a := Hull(randPoints(rng, 3+rng.Intn(30)))
+		b := Hull(randPoints(rng, 3+rng.Intn(30)))
+		ab := IntersectionArea(a, b)
+		ba := IntersectionArea(b, a)
+		if !almostEq(ab, ba, 1e-9*(1+ab)) {
+			t.Fatalf("trial %d: area(a∩b) = %v, area(b∩a) = %v", trial, ab, ba)
+		}
+		if ab > a.Area()+1e-9 || ab > b.Area()+1e-9 {
+			t.Fatalf("trial %d: intersection bigger than operand", trial)
+		}
+	}
+}
+
+func TestIntersectionAgainstMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := Hull(randPoints(rng, 20))
+	b := Hull(randPoints(rng, 20))
+	want := IntersectionArea(a, b)
+
+	// Monte Carlo estimate over a bounding box.
+	const samples = 200000
+	lo, hi := geom.Pt(-4, -4), geom.Pt(4, 4)
+	in := 0
+	for i := 0; i < samples; i++ {
+		p := geom.Pt(lo.X+rng.Float64()*(hi.X-lo.X), lo.Y+rng.Float64()*(hi.Y-lo.Y))
+		if a.Contains(p) && b.Contains(p) {
+			in++
+		}
+	}
+	boxArea := (hi.X - lo.X) * (hi.Y - lo.Y)
+	est := float64(in) / samples * boxArea
+	if math.Abs(est-want) > 0.15 {
+		t.Errorf("clip area %v vs Monte Carlo %v", want, est)
+	}
+}
+
+func TestIntersectionVerticesInsideBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 40; trial++ {
+		a := Hull(randPoints(rng, 3+rng.Intn(25)))
+		b := Hull(randPoints(rng, 3+rng.Intn(25)))
+		inter := Intersection(a, b)
+		for _, v := range inter.Vertices() {
+			if a.DistToPoint(v) > 1e-7 || b.DistToPoint(v) > 1e-7 {
+				t.Fatalf("trial %d: intersection vertex %v outside operands", trial, v)
+			}
+		}
+	}
+}
+
+func TestIntersectionDegenerate(t *testing.T) {
+	sq := unitSquareAt(0, 0, 1)
+	if !Intersection(Polygon{}, sq).IsEmpty() {
+		t.Error("empty ∩ square not empty")
+	}
+	seg := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)})
+	if !Intersection(seg, sq).IsEmpty() {
+		t.Error("segment ∩ square should be empty (degenerate input)")
+	}
+}

@@ -1,0 +1,154 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func TestIntersectsBasic(t *testing.T) {
+	a := unitSquareAt(0, 0, 2)
+	cases := []struct {
+		b    Polygon
+		want bool
+	}{
+		{unitSquareAt(1, 1, 2), true},                             // overlap
+		{unitSquareAt(3, 0, 1), false},                            // disjoint
+		{unitSquareAt(2, 0, 1), true},                             // touching edge
+		{unitSquareAt(0.5, 0.5, 1), true},                         // nested
+		{Hull([]geom.Point{geom.Pt(1, 1)}), true},                 // point inside
+		{Hull([]geom.Point{geom.Pt(5, 5)}), false},                // point outside
+		{Hull([]geom.Point{geom.Pt(-1, 1), geom.Pt(3, 1)}), true}, // crossing segment
+		{Polygon{}, false},
+	}
+	for i, c := range cases {
+		if got := Intersects(a, c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := Intersects(c.b, a); got != c.want {
+			t.Errorf("case %d swapped: Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMinDistKnown(t *testing.T) {
+	a := unitSquareAt(0, 0, 1)
+	b := unitSquareAt(3, 0, 1) // faces 2 apart
+	d, pair := MinDist(a, b)
+	if !almostEq(d, 2, 1e-12) {
+		t.Errorf("face distance = %v", d)
+	}
+	if !almostEq(pair[0].Dist(pair[1]), d, 1e-12) {
+		t.Errorf("witness pair %v does not realize %v", pair, d)
+	}
+	// Diagonal corners: distance √2.
+	c := unitSquareAt(2, 2, 1)
+	if d, _ := MinDist(a, c); !almostEq(d, math.Sqrt2, 1e-12) {
+		t.Errorf("corner distance = %v", d)
+	}
+	// Overlapping: zero.
+	if d, _ := MinDist(a, unitSquareAt(0.5, 0, 1)); d != 0 {
+		t.Errorf("overlap distance = %v", d)
+	}
+	// Point to square.
+	pt := Hull([]geom.Point{geom.Pt(5, 0.5)})
+	if d, _ := MinDist(a, pt); !almostEq(d, 4, 1e-12) {
+		t.Errorf("point distance = %v", d)
+	}
+}
+
+func TestMinDistSymmetricAndConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		a := Hull(randPoints(rng, 1+rng.Intn(25)))
+		shift := geom.Pt(rng.NormFloat64()*4, rng.NormFloat64()*4)
+		bpts := randPoints(rng, 1+rng.Intn(25))
+		for i := range bpts {
+			bpts[i] = bpts[i].Add(shift)
+		}
+		b := Hull(bpts)
+		dab, pair := MinDist(a, b)
+		dba, _ := MinDist(b, a)
+		if !almostEq(dab, dba, 1e-9*(1+dab)) {
+			t.Fatalf("trial %d: asymmetric distance %v vs %v", trial, dab, dba)
+		}
+		if dab > 0 {
+			// Witnesses must be on (or extremely near) the polygons.
+			if a.DistToPoint(pair[0]) > 1e-9 || b.DistToPoint(pair[1]) > 1e-9 {
+				t.Fatalf("trial %d: witnesses not on polygons", trial)
+			}
+			if Intersects(a, b) {
+				t.Fatalf("trial %d: positive distance but intersecting", trial)
+			}
+			// No vertex pair can be closer.
+			for _, va := range a.Vertices() {
+				if b.DistToPoint(va) < dab-1e-9 {
+					t.Fatalf("trial %d: vertex %v closer (%v) than MinDist %v",
+						trial, va, b.DistToPoint(va), dab)
+				}
+			}
+		} else if !Intersects(a, b) {
+			t.Fatalf("trial %d: zero distance but not intersecting", trial)
+		}
+	}
+}
+
+func TestSeparatingLine(t *testing.T) {
+	a := unitSquareAt(0, 0, 1)
+	b := unitSquareAt(3, 0, 1)
+	l, ok := SeparatingLine(a, b)
+	if !ok {
+		t.Fatal("expected a separating line")
+	}
+	for _, v := range a.Vertices() {
+		if l.Side(v) >= 0 {
+			t.Errorf("vertex %v of a not strictly on negative side", v)
+		}
+	}
+	for _, v := range b.Vertices() {
+		if l.Side(v) <= 0 {
+			t.Errorf("vertex %v of b not strictly on positive side", v)
+		}
+	}
+	// Overlapping polygons are not separable.
+	if _, ok := SeparatingLine(a, unitSquareAt(0.5, 0, 1)); ok {
+		t.Error("separating line found for overlapping polygons")
+	}
+}
+
+func TestSeparatingLineRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	found := 0
+	for trial := 0; trial < 60; trial++ {
+		a := Hull(randPoints(rng, 3+rng.Intn(20)))
+		shift := geom.Pt(6+rng.Float64()*2, rng.NormFloat64())
+		bpts := randPoints(rng, 3+rng.Intn(20))
+		for i := range bpts {
+			bpts[i] = bpts[i].Add(shift)
+		}
+		b := Hull(bpts)
+		l, ok := SeparatingLine(a, b)
+		if !ok {
+			if !Intersects(a, b) {
+				t.Fatalf("trial %d: disjoint but no separating line", trial)
+			}
+			continue
+		}
+		found++
+		for _, v := range a.Vertices() {
+			if l.Side(v) > 0 {
+				t.Fatalf("trial %d: a vertex on wrong side", trial)
+			}
+		}
+		for _, v := range b.Vertices() {
+			if l.Side(v) < 0 {
+				t.Fatalf("trial %d: b vertex on wrong side", trial)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no separable trials; test ineffective")
+	}
+}

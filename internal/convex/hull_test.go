@@ -1,0 +1,208 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func randPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return pts
+}
+
+func TestHullSmall(t *testing.T) {
+	if !Hull(nil).IsEmpty() {
+		t.Error("Hull(nil) not empty")
+	}
+	one := Hull([]geom.Point{geom.Pt(1, 2)})
+	if one.Len() != 1 {
+		t.Errorf("single-point hull has %d vertices", one.Len())
+	}
+	two := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)})
+	if two.Len() != 2 {
+		t.Errorf("two-point hull has %d vertices", two.Len())
+	}
+	dup := Hull([]geom.Point{geom.Pt(3, 3), geom.Pt(3, 3), geom.Pt(3, 3)})
+	if dup.Len() != 1 {
+		t.Errorf("duplicate hull has %d vertices", dup.Len())
+	}
+}
+
+func TestHullCollinear(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(3, 3)}
+	h := Hull(pts)
+	if h.Len() != 2 {
+		t.Fatalf("collinear hull has %d vertices: %v", h.Len(), h.Vertices())
+	}
+}
+
+func TestHullSquareWithInterior(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1),
+		geom.Pt(0.5, 0.5), geom.Pt(0.2, 0.7), geom.Pt(0.5, 0), // on edge
+	}
+	h := Hull(pts)
+	if h.Len() != 4 {
+		t.Fatalf("square hull has %d vertices: %v", h.Len(), h.Vertices())
+	}
+	if !h.IsConvexCCW() {
+		t.Error("hull not strictly convex CCW")
+	}
+	if got := h.Area(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Area = %v", got)
+	}
+	if got := h.Perimeter(); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Perimeter = %v", got)
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHullPropertiesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		pts := randPoints(rng, 3+rng.Intn(200))
+		h := Hull(pts)
+		if !h.IsConvexCCW() {
+			t.Fatalf("trial %d: hull not strictly convex", trial)
+		}
+		for _, p := range pts {
+			if !h.ContainsBrute(p) {
+				t.Fatalf("trial %d: hull does not contain input point %v", trial, p)
+			}
+		}
+		// Every hull vertex is an input point.
+		for _, v := range h.Vertices() {
+			found := false
+			for _, p := range pts {
+				if p.Eq(v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: hull vertex %v not an input", trial, v)
+			}
+		}
+	}
+}
+
+func TestHullQuickInvariant(t *testing.T) {
+	err := quick.Check(func(raw []struct{ X, Y float64 }) bool {
+		pts := make([]geom.Point, 0, len(raw))
+		for _, r := range raw {
+			if math.IsNaN(r.X) || math.IsInf(r.X, 0) || math.IsNaN(r.Y) || math.IsInf(r.Y, 0) {
+				continue
+			}
+			// Keep coordinates in a sane range for the test.
+			pts = append(pts, geom.Pt(math.Mod(r.X, 1e9), math.Mod(r.Y, 1e9)))
+		}
+		h := Hull(pts)
+		if !h.IsConvexCCW() {
+			return false
+		}
+		for _, p := range pts {
+			if !h.ContainsBrute(p) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHullOnGrid(t *testing.T) {
+	// Dense integer grid: lots of exact collinearity.
+	var pts []geom.Point
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			pts = append(pts, geom.Pt(float64(x), float64(y)))
+		}
+	}
+	h := Hull(pts)
+	if h.Len() != 4 {
+		t.Fatalf("grid hull has %d vertices: %v", h.Len(), h.Vertices())
+	}
+}
+
+func TestHullOnCircle(t *testing.T) {
+	const n = 100
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Unit(geom.TwoPi * float64(i) / n)
+	}
+	h := Hull(pts)
+	if h.Len() != n {
+		t.Fatalf("circle hull has %d vertices, want %d", h.Len(), n)
+	}
+}
+
+func TestFromConvexCCWRepairsNoise(t *testing.T) {
+	// A nearly convex chain with one slightly reflex vertex, as can arise
+	// from independently sampled extrema.
+	pts := []geom.Point{
+		geom.Pt(1, 0), geom.Pt(0.9, 0.5), geom.Pt(0.7, 0.69),
+		geom.Pt(0.71, 0.7), // slightly out of order
+		geom.Pt(0, 1), geom.Pt(-1, 0), geom.Pt(0, -1),
+	}
+	h := FromConvexCCW(pts)
+	if !h.IsConvexCCW() {
+		t.Error("repair did not produce strict convexity")
+	}
+}
+
+func TestVertexCyclicIndexing(t *testing.T) {
+	h := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)})
+	n := h.Len()
+	for i := 0; i < n; i++ {
+		if !h.Vertex(i).Eq(h.Vertex(i + n)) {
+			t.Errorf("cyclic index mismatch at %d", i)
+		}
+		if !h.Vertex(i).Eq(h.Vertex(i - n)) {
+			t.Errorf("negative cyclic index mismatch at %d", i)
+		}
+	}
+}
+
+func TestSupportAndExtent(t *testing.T) {
+	// Unit square.
+	h := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)})
+	if got := h.Support(geom.Pt(1, 0)); got != 1 {
+		t.Errorf("Support(+x) = %v", got)
+	}
+	if got := h.Support(geom.Pt(-1, 0)); got != 0 {
+		t.Errorf("Support(−x) = %v", got)
+	}
+	if got := h.Extent(0); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Extent(0) = %v", got)
+	}
+	if got := h.Extent(math.Pi / 4); !almostEq(got, math.Sqrt2, 1e-12) {
+		t.Errorf("Extent(45°) = %v", got)
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	h := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(2, 2), geom.Pt(0, 2)})
+	if got := h.DistToPoint(geom.Pt(1, 1)); got != 0 {
+		t.Errorf("interior DistToPoint = %v", got)
+	}
+	if got := h.DistToPoint(geom.Pt(3, 1)); !almostEq(got, 1, 1e-12) {
+		t.Errorf("DistToPoint = %v", got)
+	}
+	if got := h.DistToPoint(geom.Pt(3, 3)); !almostEq(got, math.Sqrt2, 1e-12) {
+		t.Errorf("corner DistToPoint = %v", got)
+	}
+	empty := Polygon{}
+	if !math.IsInf(empty.DistToPoint(geom.Pt(0, 0)), 1) {
+		t.Error("empty DistToPoint not +Inf")
+	}
+}

@@ -1,0 +1,43 @@
+package convex
+
+import (
+	"sort"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// normalAngles returns, for each edge i (vs[i] → vs[i+1]) of a CCW polygon,
+// the angle of its outward normal, normalized to [0, 2π). For a convex CCW
+// cycle the sequence is cyclically increasing.
+func (p Polygon) normalAngles() []float64 {
+	n := len(p.vs)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := p.vs[(i+1)%n].Sub(p.vs[i])
+		// Outward normal of a CCW edge is the direction rotated −90°.
+		out[i] = geom.NormalizeAngle(geom.Pt(d.Y, -d.X).Angle())
+	}
+	return out
+}
+
+// extremeByNormals locates the vertex whose normal cone contains the
+// direction u by binary search over the cyclically increasing edge-normal
+// angles. The caller performs an exact local adjustment afterwards, so this
+// only needs to land within floating-point rounding of the right vertex.
+func (p Polygon) extremeByNormals(u geom.Point) int {
+	n := len(p.vs)
+	if p.norm == nil {
+		// Polygon values share the backing array, so computing the table
+		// here would not persist; Hull precomputes it. Fall back to a scan.
+		return ExtremeIdx(n, p.Vertex, u)
+	}
+	normals := p.norm
+	base := normals[0]
+	target := geom.CCWGap(base, geom.NormalizeAngle(u.Angle()))
+	// Smallest i with CCWGap(base, normals[i]) ≥ target; vertex i's normal
+	// cone is [normals[i−1], normals[i]].
+	i := sort.Search(n, func(i int) bool {
+		return geom.CCWGap(base, normals[i]) >= target
+	})
+	return i % n
+}

@@ -1,0 +1,216 @@
+// Package convex implements the convex-polygon machinery the stream
+// summaries are built on and queried through: exact monotone-chain hulls
+// (the ground truth the approximations are measured against), O(log n)
+// point location and tangent finding (Hershberger–Suri §3.1), rotating
+// calipers for diameter and width (§6), convex clipping for spatial
+// overlap, polygon distance and separation for the two-stream queries, and
+// Welzl's minimum enclosing circle.
+//
+// All combinatorial decisions go through internal/robust, so the
+// structures never become inconsistent from floating-point rounding.
+package convex
+
+import (
+	"math"
+	"sort"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/robust"
+)
+
+// Polygon is a convex polygon with vertices in counterclockwise order.
+// A Polygon may be degenerate: empty, a single point, or a segment.
+// The zero value is the empty polygon.
+type Polygon struct {
+	vs   []geom.Point
+	norm []float64 // lazily shared edge-normal angles; see normals.go
+}
+
+// Hull returns the convex hull of the points as a strictly convex CCW
+// polygon (no duplicate and no collinear vertices), computed with Andrew's
+// monotone chain in O(n log n). This is the exact baseline against which
+// the sampled hulls are evaluated.
+func Hull(pts []geom.Point) Polygon {
+	n := len(pts)
+	if n == 0 {
+		return Polygon{}
+	}
+	sorted := make([]geom.Point, n)
+	copy(sorted, pts)
+	sortPoints(sorted)
+	sorted = dedupSorted(sorted)
+	n = len(sorted)
+	if n == 1 {
+		return Polygon{vs: sorted}
+	}
+
+	hull := make([]geom.Point, 0, 2*n)
+	// Lower hull.
+	for _, p := range sorted {
+		for len(hull) >= 2 && robust.Orient2D(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := sorted[i]
+		for len(hull) >= lower && robust.Orient2D(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	hull = hull[:len(hull)-1] // last point equals the first
+	poly := Polygon{vs: hull}
+	if len(hull) > 8 {
+		poly.norm = poly.normalAngles()
+	}
+	return poly
+}
+
+// FromConvexCCW builds a Polygon from points that are expected to already
+// be in (weakly) convex counterclockwise position, as produced by the hull
+// summaries. Consecutive duplicates and collinear or slightly reflex
+// vertices (floating-point noise from independently sampled extrema) are
+// removed by a single Graham-style pass, so the result is strictly convex.
+func FromConvexCCW(pts []geom.Point) Polygon {
+	if len(pts) <= 1 {
+		return Polygon{vs: append([]geom.Point(nil), pts...)}
+	}
+	// A short Graham pass over the (cyclically ordered) points is cheaper
+	// and more shape-preserving than a full re-hull, but a full monotone
+	// chain is simpler and the inputs here are small (≤ 2r+1 points).
+	return Hull(pts)
+}
+
+// sortPoints orders points by x, breaking ties by y.
+func sortPoints(pts []geom.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}
+
+func dedupSorted(pts []geom.Point) []geom.Point {
+	out := pts[:1]
+	for _, p := range pts[1:] {
+		if !p.Eq(out[len(out)-1]) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Len returns the number of vertices.
+func (p Polygon) Len() int { return len(p.vs) }
+
+// IsEmpty reports whether the polygon has no vertices.
+func (p Polygon) IsEmpty() bool { return len(p.vs) == 0 }
+
+// Vertex returns the i-th vertex with cyclic indexing.
+func (p Polygon) Vertex(i int) geom.Point {
+	n := len(p.vs)
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return p.vs[i]
+}
+
+// Vertices returns a copy of the vertex slice in CCW order.
+func (p Polygon) Vertices() []geom.Point {
+	return append([]geom.Point(nil), p.vs...)
+}
+
+// Area returns the (non-negative) area by the shoelace formula.
+func (p Polygon) Area() float64 {
+	n := len(p.vs)
+	if n < 3 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += p.vs[i].Cross(p.vs[j])
+	}
+	return math.Abs(s) / 2
+}
+
+// Perimeter returns the total boundary length. For a segment (two
+// vertices) this is twice the segment length, consistent with the polygon
+// being a degenerate two-edge cycle.
+func (p Polygon) Perimeter() float64 {
+	n := len(p.vs)
+	if n < 2 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += p.vs[i].Dist(p.vs[(i+1)%n])
+	}
+	return s
+}
+
+// Centroid returns the vertex centroid (adequate for the search pivots and
+// plots that use it; not the area centroid).
+func (p Polygon) Centroid() geom.Point { return geom.Centroid(p.vs) }
+
+// Support returns the support function value max_v v·u over the vertices,
+// or −Inf for an empty polygon.
+func (p Polygon) Support(u geom.Point) float64 {
+	if len(p.vs) == 0 {
+		return math.Inf(-1)
+	}
+	return p.vs[p.Extreme(u)].Dot(u)
+}
+
+// Extent returns the width of the polygon's projection onto the direction
+// at the given angle: support(u) + support(−u).
+func (p Polygon) Extent(theta float64) float64 {
+	if len(p.vs) == 0 {
+		return 0
+	}
+	u := geom.Unit(theta)
+	return p.Support(u) + p.Support(u.Neg())
+}
+
+// DistToPoint returns the distance from q to the polygon (zero if q is
+// inside or on the boundary).
+func (p Polygon) DistToPoint(q geom.Point) float64 {
+	n := len(p.vs)
+	switch n {
+	case 0:
+		return math.Inf(1)
+	case 1:
+		return q.Dist(p.vs[0])
+	}
+	if n >= 3 && p.Contains(q) {
+		return 0
+	}
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		d := geom.Seg(p.vs[i], p.vs[(i+1)%n]).Dist2ToPoint(q)
+		if d < best {
+			best = d
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// IsConvexCCW reports whether the vertex cycle is strictly convex and
+// counterclockwise. Used by tests and invariant checks.
+func (p Polygon) IsConvexCCW() bool {
+	n := len(p.vs)
+	if n < 3 {
+		return true
+	}
+	for i := 0; i < n; i++ {
+		if robust.Orient2D(p.vs[i], p.vs[(i+1)%n], p.vs[(i+2)%n]) <= 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,192 @@
+package convex
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func regularPolygon(n int, radius float64) Polygon {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Unit(geom.TwoPi * float64(i) / float64(n)).Scale(radius)
+	}
+	return Hull(pts)
+}
+
+func TestContainsMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		h := Hull(randPoints(rng, 3+rng.Intn(60)))
+		for i := 0; i < 200; i++ {
+			q := geom.Pt(rng.NormFloat64()*1.5, rng.NormFloat64()*1.5)
+			if got, want := h.Contains(q), h.ContainsBrute(q); got != want {
+				t.Fatalf("trial %d: Contains(%v) = %v, brute %v (hull %v)",
+					trial, q, got, want, h.Vertices())
+			}
+		}
+		// Vertices and edge midpoints are contained (boundary inclusive).
+		for i := 0; i < h.Len(); i++ {
+			if !h.Contains(h.Vertex(i)) {
+				t.Fatalf("vertex %d not contained", i)
+			}
+			mid := h.Vertex(i).Lerp(h.Vertex(i+1), 0.5)
+			if got, want := h.Contains(mid), h.ContainsBrute(mid); got != want {
+				t.Fatalf("midpoint binary/brute disagree at %v", mid)
+			}
+		}
+	}
+}
+
+func TestContainsDegenerate(t *testing.T) {
+	empty := Polygon{}
+	if empty.Contains(geom.Pt(0, 0)) {
+		t.Error("empty polygon contains a point")
+	}
+	pt := Hull([]geom.Point{geom.Pt(1, 1)})
+	if !pt.Contains(geom.Pt(1, 1)) || pt.Contains(geom.Pt(1, 2)) {
+		t.Error("single-point polygon containment wrong")
+	}
+	seg := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(2, 2)})
+	if !seg.Contains(geom.Pt(1, 1)) {
+		t.Error("segment polygon does not contain its midpoint")
+	}
+	if seg.Contains(geom.Pt(1, 1.0001)) || seg.Contains(geom.Pt(3, 3)) {
+		t.Error("segment polygon contains outside point")
+	}
+}
+
+func TestVisibleRangeSquare(t *testing.T) {
+	h := Hull([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)})
+	// From far right, only the right edge is visible.
+	first, count, ok := VisibleRange(h.Len(), h.Vertex, geom.Pt(3, 0.5))
+	if !ok || count != 1 {
+		t.Fatalf("right: first=%d count=%d ok=%v", first, count, ok)
+	}
+	if !h.Vertex(first).Eq(geom.Pt(1, 0)) || !h.Vertex(first+count).Eq(geom.Pt(1, 1)) {
+		t.Errorf("right tangents: %v..%v", h.Vertex(first), h.Vertex(first+count))
+	}
+	// From a diagonal, two edges visible.
+	_, count, ok = VisibleRange(h.Len(), h.Vertex, geom.Pt(3, 3))
+	if !ok || count != 2 {
+		t.Fatalf("diagonal: count=%d ok=%v", count, ok)
+	}
+	// Inside: nothing visible.
+	if _, _, ok := VisibleRange(h.Len(), h.Vertex, geom.Pt(0.5, 0.5)); ok {
+		t.Error("interior point sees edges")
+	}
+	// On boundary: nothing strictly visible.
+	if _, _, ok := VisibleRange(h.Len(), h.Vertex, geom.Pt(1, 0.5)); ok {
+		t.Error("boundary point sees edges")
+	}
+}
+
+func TestVisibleRangeMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		h := regularPolygon(3+rng.Intn(30), 1)
+		q := geom.Pt(rng.NormFloat64()*3, rng.NormFloat64()*3)
+		first, count, ok := VisibleRange(h.Len(), h.Vertex, q)
+		n := h.Len()
+		visible := func(i int) bool {
+			a, b := h.Vertex(i), h.Vertex(i+1)
+			return b.Sub(a).Cross(q.Sub(a)) < 0
+		}
+		numVisible := 0
+		for i := 0; i < n; i++ {
+			if visible(i) {
+				numVisible++
+			}
+		}
+		if !ok {
+			if numVisible != 0 {
+				t.Fatalf("trial %d: ok=false but %d visible edges", trial, numVisible)
+			}
+			continue
+		}
+		if count != numVisible {
+			t.Fatalf("trial %d: count=%d, actual %d", trial, count, numVisible)
+		}
+		for i := 0; i < count; i++ {
+			if !visible((first + i) % n) {
+				t.Fatalf("trial %d: reported edge %d not visible", trial, (first+i)%n)
+			}
+		}
+		if visible((first-1+n)%n) || visible((first+count)%n) {
+			t.Fatalf("trial %d: range not maximal", trial)
+		}
+	}
+}
+
+func TestVisibleRangeTwoVertices(t *testing.T) {
+	at := func(i int) geom.Point {
+		return []geom.Point{geom.Pt(0, 0), geom.Pt(2, 0)}[i%2]
+	}
+	// Above the segment: edge 0→1 has q on its left, so edge 1 (the reverse)
+	// is the visible one.
+	first, count, ok := VisibleRange(2, at, geom.Pt(1, 1))
+	if !ok || count != 1 || first != 1 {
+		t.Errorf("above: first=%d count=%d ok=%v", first, count, ok)
+	}
+	first, count, ok = VisibleRange(2, at, geom.Pt(1, -1))
+	if !ok || count != 1 || first != 0 {
+		t.Errorf("below: first=%d count=%d ok=%v", first, count, ok)
+	}
+	// Collinear: nothing strictly visible.
+	if _, _, ok := VisibleRange(2, at, geom.Pt(3, 0)); ok {
+		t.Error("collinear point sees edges of a segment cycle")
+	}
+}
+
+func TestExtremeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		h := Hull(randPoints(rng, 3+rng.Intn(100)))
+		for i := 0; i < 100; i++ {
+			u := geom.Unit(rng.Float64() * geom.TwoPi)
+			got := h.Vertex(h.Extreme(u)).Dot(u)
+			want := h.Vertex(ExtremeIdx(h.Len(), h.Vertex, u)).Dot(u)
+			if got != want {
+				t.Fatalf("trial %d: Extreme support %v, brute %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestExtremeOnRegularPolygon(t *testing.T) {
+	h := regularPolygon(64, 2)
+	for i := 0; i < 64; i++ {
+		theta := geom.TwoPi * float64(i) / 64
+		u := geom.Unit(theta)
+		v := h.Vertex(h.Extreme(u))
+		// The extreme vertex in the direction of a vertex is that vertex.
+		want := geom.Unit(theta).Scale(2)
+		if v.Dist(want) > 1e-9 {
+			t.Fatalf("Extreme(%d) = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestTangentsAgainstAllVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 50; trial++ {
+		h := regularPolygon(3+rng.Intn(20), 1)
+		q := geom.Unit(rng.Float64() * geom.TwoPi).Scale(1.5 + rng.Float64()*3)
+		t1, t2, ok := h.Tangents(q)
+		if !ok {
+			t.Fatalf("trial %d: no tangents for outside point", trial)
+		}
+		// t1 starts the visible chain: every vertex lies on or right of the
+		// ray q→t1. t2 ends it: every vertex lies on or left of q→t2.
+		for i := 0; i < h.Len(); i++ {
+			v := h.Vertex(i)
+			if c := h.Vertex(t1).Sub(q).Cross(v.Sub(q)); c > 1e-9 {
+				t.Fatalf("trial %d: vertex %v left of chain-start tangent", trial, v)
+			}
+			if c := h.Vertex(t2).Sub(q).Cross(v.Sub(q)); c < -1e-9 {
+				t.Fatalf("trial %d: vertex %v right of chain-end tangent", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func randEllipsePoint(rng *rand.Rand, a, b float64) geom.Point {
+	ang := rng.Float64() * geom.TwoPi
+	rad := math.Sqrt(rng.Float64())
+	return geom.Pt(a*rad*math.Cos(ang), b*rad*math.Sin(ang))
+}
+
+// TestBoundedWorkVariant exercises the §5.3 worst-case sketch: at most
+// one unrefinement per insert, the rest deferred. The deferred work must
+// never impair the approximation guarantee, invariants must hold with the
+// documented slack, and the backlog must not grow once the stream goes
+// quiescent.
+func TestBoundedWorkVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	// An outward-growing stream maximizes perimeter growth and therefore
+	// unrefinement pressure.
+	const n = 4000
+	h := New(Config{R: 16, MaxUnrefinePerInsert: 1})
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		scale := 1 + 5*float64(i)/n
+		p := randEllipsePoint(rng, scale, scale*0.1)
+		h.Insert(p)
+		pts = append(pts, p)
+		if err := h.Check(); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+	}
+
+	// The error guarantee must hold despite deferred work (over-refined
+	// nodes only help accuracy).
+	poly := h.Polygon()
+	bound := 16 * math.Pi * h.Perimeter() / float64(16*16)
+	for _, p := range pts {
+		if d := poly.DistToPoint(p); d > bound {
+			t.Fatalf("error bound violated: %v > %v", d, bound)
+		}
+	}
+
+	// Backlog bounded by the live refinement structure.
+	if h.PendingUnrefinements() > h.RefinementDirs()+h.cfg.R {
+		t.Errorf("backlog %d vs %d live refinement dirs",
+			h.PendingUnrefinements(), h.RefinementDirs())
+	}
+
+	// Quiescent drain: interior points (no hull change, no perimeter
+	// growth) must not grow the backlog.
+	backlog := h.PendingUnrefinements()
+	for i := 0; i < 100; i++ {
+		h.Insert(randEllipsePoint(rng, 0.1, 0.01))
+	}
+	if got := h.PendingUnrefinements(); got > backlog {
+		t.Errorf("backlog grew during quiescence: %d → %d", backlog, got)
+	}
+}
+
+// TestBoundedWorkMatchesGuaranteesAcrossBudgets compares several work
+// budgets: all must satisfy the sample-budget-with-slack invariant and
+// end with similar error bounds.
+func TestBoundedWorkMatchesGuaranteesAcrossBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	pts := make([]geom.Point, 3000)
+	for i := range pts {
+		scale := 1 + 3*float64(i)/float64(len(pts))
+		pts[i] = randEllipsePoint(rng, scale, scale*0.2)
+	}
+	bounds := map[int]float64{}
+	for _, budget := range []int{0, 1, 4} {
+		h := New(Config{R: 16, MaxUnrefinePerInsert: budget})
+		h.InsertAll(pts)
+		if err := h.Check(); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		bounds[budget] = h.MaxUncertaintyHeight()
+	}
+	// Deferred unrefinement keeps extra refinement around, so bounded
+	// variants can only tighten (or match) the reported error bound.
+	if bounds[1] > bounds[0]*1.5+1e-12 {
+		t.Errorf("budget-1 error bound %v much worse than amortized %v", bounds[1], bounds[0])
+	}
+}

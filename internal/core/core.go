@@ -1,0 +1,197 @@
+// Package core implements the adaptive sampling scheme of Hershberger &
+// Suri, "Adaptive sampling for geometric problems over data streams"
+// (§4–§5): a single-pass summary of a 2-D point stream keeping at most
+// 2r+1 sample points whose convex hull lies within O(D/r²) of the true
+// hull, with amortized O(log r) work per stream point.
+//
+// Structure. The summary has two levels:
+//
+//   - a uniform level (internal/fixeddir) holding the running extrema in r
+//     evenly spaced directions j·θ0, θ0 = 2π/r, plus the perimeter P of the
+//     uniformly sampled polygon;
+//   - per uniform gap (jθ0, (j+1)θ0), a refinement tree (§5.1) whose active
+//     bisection directions carry additional extrema. Directions are exact
+//     dyadic integers (internal/dyadic); the tree itself is implicit in the
+//     dyadic structure of the active direction set, which lives in an
+//     order-statistic treap.
+//
+// An edge e between consecutive samples has weight w(e) = r·ℓ̃(e)/P − d(e)
+// (§4), where ℓ̃ is the free-side length of its uncertainty triangle and
+// d(e) its bisection depth. Leaves are refined while w > 1 (up to height
+// k); internal nodes register power-of-two unrefinement thresholds in a
+// bucket queue (§5.3) and are unrefined as P grows.
+package core
+
+import (
+	"fmt"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/bucketq"
+	"github.com/streamgeom/streamhull/internal/dyadic"
+	"github.com/streamgeom/streamhull/internal/fixeddir"
+	"github.com/streamgeom/streamhull/internal/treap"
+	"github.com/streamgeom/streamhull/internal/uncert"
+)
+
+// Config parameterizes the adaptive hull.
+type Config struct {
+	// R is the number of uniform sample directions (the paper's r). Must
+	// be ≥ 4.
+	R int
+	// Height is the refinement-tree height limit k (§5.1). Zero or
+	// negative selects the paper's recommended k = ⌊log2 r⌋.
+	Height int
+	// TargetDirs, when positive, switches to the fixed-budget experimental
+	// variant of §7: after every hull modification the total number of
+	// sample directions is rebalanced to exactly TargetDirs by refining
+	// maximum-weight edges (even past the weight threshold) or removing
+	// minimum-weight refinements. Must be ≥ R when set.
+	TargetDirs int
+	// Reference disables the localized search for affected refinement
+	// directions and instead scans every gap on every non-uniform insert.
+	// Used by tests to cross-validate the fast path.
+	Reference bool
+	// MaxUnrefinePerInsert, when positive, bounds the number of
+	// unrefinement steps executed per insert, deferring the rest — the
+	// worst-case O(log r) variant sketched at the end of §5.3 ("create a
+	// queue of node deletions and unrefinements to be carried out later…
+	// over-refined tree nodes do not impair the approximation quality").
+	// Zero processes all ready unrefinements immediately (the amortized
+	// variant used in the paper's experiments).
+	MaxUnrefinePerInsert int
+}
+
+// Sample is one active sample direction and its stored extremum.
+type Sample struct {
+	Idx     uint64     // dyadic direction index
+	Theta   float64    // direction angle in radians
+	Point   geom.Point // stored extremum in that direction
+	Uniform bool       // true for the r uniform directions
+}
+
+// sample is the treap entry for a refinement direction.
+type sample struct {
+	idx uint64
+	pt  geom.Point
+}
+
+func sampleLess(a, b sample) bool { return a.idx < b.idx }
+
+// refNode records one applied refinement (an internal tree node): the
+// dyadic interval it bisected and its depth. Nodes are invalidated (not
+// removed) when their gap is torn down; the unrefinement queue filters
+// dead nodes lazily.
+type refNode struct {
+	gap    int
+	lo, hi uint64 // unwrapped dyadic interval (hi may equal Units)
+	mid    uint64
+	depth  uint
+	alive  bool
+}
+
+type gapState struct {
+	nodes []*refNode // alive internal nodes of this gap's refinement tree
+}
+
+// Stats counts the work the summary has done.
+type Stats struct {
+	Points         int // stream points processed
+	Discarded      int // points that changed nothing
+	UniformChanges int // inserts that modified the uniform hull
+	GapRebuilds    int // refinement-tree rebuilds
+	Refinements    int // refinement steps applied
+	Unrefinements  int // unrefinement steps applied
+	MaxRefineDirs  int // high-water mark of active refinement directions
+}
+
+// Hull is the adaptive sampled hull. Not safe for concurrent use.
+type Hull struct {
+	cfg    Config
+	height uint
+	space  dyadic.Space
+	uni    *fixeddir.Hull
+	act    *treap.Treap[sample]
+	gaps   []gapState
+	queue  *bucketq.Queue[*refNode]
+	stats  Stats
+
+	// deferred holds unrefinement work that the bounded-work variant has
+	// popped from the bucket queue but not yet executed (§5.3 end).
+	deferred []*refNode
+
+	scratchGaps []int
+	scratchDel  []uint64
+}
+
+// New returns an empty adaptive hull.
+func New(cfg Config) *Hull {
+	if cfg.R < 4 {
+		panic(fmt.Sprintf("core: R = %d < 4", cfg.R))
+	}
+	if cfg.TargetDirs != 0 && cfg.TargetDirs < cfg.R {
+		panic(fmt.Sprintf("core: TargetDirs = %d < R = %d", cfg.TargetDirs, cfg.R))
+	}
+	k := uint(0)
+	if cfg.Height > 0 {
+		k = uint(cfg.Height)
+	} else {
+		k = dyadic.DefaultHeight(cfg.R)
+	}
+	if k == 0 {
+		k = 1 // always allow at least one bisection level
+	}
+	return &Hull{
+		cfg:    cfg,
+		height: k,
+		space:  dyadic.NewSpace(cfg.R, k),
+		uni:    fixeddir.NewUniform(cfg.R),
+		act:    treap.New(sampleLess, 0x7e4b),
+		gaps:   make([]gapState, cfg.R),
+		queue:  bucketq.New[*refNode](),
+	}
+}
+
+// R returns the uniform sample parameter r.
+func (h *Hull) R() int { return h.cfg.R }
+
+// HeightLimit returns the refinement-tree height limit k.
+func (h *Hull) HeightLimit() uint { return h.height }
+
+// N returns the number of stream points processed.
+func (h *Hull) N() int { return h.stats.Points }
+
+// Stats returns operation counters.
+func (h *Hull) Stats() Stats { return h.stats }
+
+// Perimeter returns P, the perimeter of the uniformly sampled polygon,
+// which drives the sample weights.
+func (h *Hull) Perimeter() float64 { return h.uni.Perimeter() }
+
+// RefinementDirs returns the number of active refinement directions.
+func (h *Hull) RefinementDirs() int { return h.act.Len() }
+
+// DirectionCount returns the total number of active sample directions
+// (uniform plus refinement).
+func (h *Hull) DirectionCount() int { return h.cfg.R + h.act.Len() }
+
+// weight returns w(e) = r·ℓ̃(e)/P − d for the edge spanning the dyadic
+// interval [lo, hi] with the given endpoint extrema.
+func (h *Hull) weight(lo, hi uint64, eLo, eHi geom.Point, depth uint) float64 {
+	p := h.uni.Perimeter()
+	if p <= 0 {
+		return 0
+	}
+	lt := uncert.LTildeOf(eLo, h.space.Angle(lo), eHi, h.space.Angle(hi))
+	return float64(h.cfg.R)*lt/p - float64(depth)
+}
+
+// extremumAtIdx returns the stored extremum for an arbitrary active
+// direction index (uniform or refinement).
+func (h *Hull) extremumAtIdx(idx uint64) (geom.Point, bool) {
+	idx = h.space.Wrap(idx)
+	if h.space.IsUniform(idx) {
+		return h.uni.ExtremumAt(h.space.Gap(idx))
+	}
+	s, ok := h.act.Get(sample{idx: idx})
+	return s.pt, ok
+}

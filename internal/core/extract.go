@@ -1,0 +1,107 @@
+package core
+
+import (
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+	"github.com/streamgeom/streamhull/internal/uncert"
+)
+
+// Samples returns every active sample direction with its extremum, in CCW
+// direction order starting from angle 0. It returns nil before the first
+// point.
+func (h *Hull) Samples() []Sample {
+	if h.uni.N() == 0 || h.uni.VertexCount() == 0 {
+		return nil
+	}
+	ref := h.act.Items()
+	out := make([]Sample, 0, h.cfg.R+len(ref))
+	ri := 0
+	for g := 0; g < h.cfg.R; g++ {
+		idx := h.space.Uniform(g)
+		pt, _ := h.uni.ExtremumAt(g)
+		out = append(out, Sample{Idx: idx, Theta: h.space.Angle(idx), Point: pt, Uniform: true})
+		gapEnd := idx + h.space.Scale
+		for ri < len(ref) && ref[ri].idx < gapEnd {
+			s := ref[ri]
+			out = append(out, Sample{Idx: s.idx, Theta: h.space.Angle(s.idx), Point: s.pt})
+			ri++
+		}
+	}
+	return out
+}
+
+// Vertices returns the distinct sample points in CCW order (consecutive
+// duplicates collapsed).
+func (h *Hull) Vertices() []geom.Point {
+	samples := h.Samples()
+	out := make([]geom.Point, 0, len(samples))
+	for _, s := range samples {
+		if len(out) == 0 || !out[len(out)-1].Eq(s.Point) {
+			out = append(out, s.Point)
+		}
+	}
+	if len(out) > 1 && out[0].Eq(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// SampleSize returns the number of distinct sample points currently
+// stored. Theorem 5.4 bounds this by 2r+1.
+func (h *Hull) SampleSize() int {
+	set := make(map[geom.Point]struct{}, h.cfg.R+h.act.Len())
+	for _, s := range h.Samples() {
+		set[s.Point] = struct{}{}
+	}
+	return len(set)
+}
+
+// Polygon returns the adaptive sampled hull as a convex polygon.
+func (h *Hull) Polygon() convex.Polygon {
+	return convex.FromConvexCCW(h.Vertices())
+}
+
+// Triangles returns the uncertainty triangles of the current hull, one per
+// edge between consecutive samples with distinct extrema (§2). The true
+// hull is contained in the sampled hull plus these triangles.
+func (h *Hull) Triangles() []uncert.Triangle {
+	samples := h.Samples()
+	n := len(samples)
+	if n < 2 {
+		return nil
+	}
+	out := make([]uncert.Triangle, 0, n)
+	for i := 0; i < n; i++ {
+		a := samples[i]
+		b := samples[(i+1)%n]
+		if a.Point.Eq(b.Point) {
+			continue
+		}
+		out = append(out, uncert.Compute(a.Point, a.Theta, b.Point, b.Theta))
+	}
+	return out
+}
+
+// MaxUncertaintyHeight returns the largest uncertainty-triangle height of
+// the current hull: the a-posteriori bound on the distance from the true
+// hull to the sampled hull.
+func (h *Hull) MaxUncertaintyHeight() float64 {
+	best := 0.0
+	for _, tr := range h.Triangles() {
+		if tr.Height > best {
+			best = tr.Height
+		}
+	}
+	return best
+}
+
+// DirectionAngles returns the angles of all active sample directions in
+// increasing order. The partially adaptive hull of §7 freezes this set.
+func (h *Hull) DirectionAngles() []float64 {
+	samples := h.Samples()
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Theta
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// FuzzInsert decodes the fuzz payload as a stream of float64 pairs and
+// feeds it through the adaptive hull, checking the structural invariants
+// and the sample budget after every insert. Non-finite coordinates are
+// mapped into range rather than skipped so the fuzzer cannot starve the
+// interesting paths.
+func FuzzInsert(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(make([]byte, 64))
+	seed := make([]byte, 0, 128)
+	for i := 0; i < 8; i++ {
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[:8], math.Float64bits(float64(i)))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(float64(i*i)))
+		seed = append(seed, b[:]...)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := New(Config{R: 8})
+		n := 0
+		for len(data) >= 16 && n < 512 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			y := math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+			data = data[16:]
+			n++
+			x = sanitize(x)
+			y = sanitize(y)
+			h.Insert(geom.Pt(x, y))
+			if err := h.Check(); err != nil {
+				t.Fatalf("after %d points: %v", n, err)
+			}
+			if h.SampleSize() > 17 {
+				t.Fatalf("sample size %d > 2r+1", h.SampleSize())
+			}
+		}
+	})
+}
+
+// sanitize maps arbitrary float bit patterns to finite values while
+// preserving a wide dynamic range (±1e12).
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return 1e12
+	}
+	if math.IsInf(v, -1) {
+		return -1e12
+	}
+	if v > 1e12 {
+		return 1e12
+	}
+	if v < -1e12 {
+		return -1e12
+	}
+	return v
+}

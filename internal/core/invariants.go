@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Check validates the structural invariants of the summary. It is used by
+// tests after every insert; any error indicates a corrupted summary.
+//
+// Checked invariants:
+//   - every refinement direction is strictly inside a gap (non-uniform);
+//   - consecutive active directions bound aligned dyadic intervals
+//     (closure under the bisection discipline of §5.1);
+//   - interval depths never exceed the height limit k;
+//   - every leaf edge satisfies the (rounding-relaxed) weight bound
+//     w(e) ≤ d(e) + 2 or is at maximal depth — the §5.3 approximate queue
+//     unrefines at most a factor 2 early, which bounds a merged leaf's
+//     weight by d+2;
+//   - the number of refinement directions respects Lemma 4.2's budget
+//     (r+1, with one extra of slack for the fixed-budget variant).
+func (h *Hull) Check() error {
+	if h.uni.N() == 0 {
+		if h.act.Len() != 0 {
+			return fmt.Errorf("refinement directions before any point")
+		}
+		return nil
+	}
+	// Directions strictly inside gaps, none uniform.
+	var err error
+	h.act.Ascend(func(s sample) bool {
+		if h.space.IsUniform(s.idx) {
+			err = fmt.Errorf("uniform direction %d stored as refinement", s.idx)
+			return false
+		}
+		if s.idx >= h.space.Units {
+			err = fmt.Errorf("direction %d out of range", s.idx)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, e := range h.leafEdges() {
+		// leafEdges itself exercises dyadic closure: Depth panics on an
+		// unaligned or non-dyadic interval, so reaching here means the
+		// partition is valid. Verify depth and weight.
+		if e.depth > h.height {
+			return fmt.Errorf("edge [%d,%d] depth %d exceeds height limit %d",
+				e.lo, e.hi, e.depth, h.height)
+		}
+		if h.cfg.TargetDirs == 0 && e.depth < h.height {
+			if bound := float64(e.depth) + 2 + 1e-9; e.w > bound {
+				return fmt.Errorf("edge [%d,%d] weight %.4f exceeds bound %.4f (depth %d)",
+					e.lo, e.hi, e.w, bound, e.depth)
+			}
+		}
+	}
+
+	budget := h.cfg.R + 1
+	if h.cfg.TargetDirs > 0 {
+		budget = h.cfg.TargetDirs - h.cfg.R
+	}
+	if h.cfg.MaxUnrefinePerInsert > 0 {
+		// The bounded-work variant may briefly hold over-refined
+		// directions that deferred unrefinements will reclaim (§5.3 end).
+		budget += h.PendingUnrefinements() * int(h.height)
+	}
+	if h.act.Len() > budget {
+		return fmt.Errorf("%d refinement directions exceed budget %d", h.act.Len(), budget)
+	}
+
+	// Samples must be in strictly increasing direction order with finite
+	// points.
+	samples := h.Samples()
+	for i, s := range samples {
+		if !s.Point.IsFinite() {
+			return fmt.Errorf("sample %d has non-finite point", i)
+		}
+		if i > 0 && samples[i-1].Idx >= s.Idx {
+			return fmt.Errorf("samples out of order at %d", i)
+		}
+	}
+	if p := h.uni.Perimeter(); math.IsNaN(p) || p < 0 {
+		return fmt.Errorf("invalid perimeter %v", p)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+)
+
+// TestQuickRandomStreams drives the adaptive hull with quick-generated
+// streams (including tiny coordinates, duplicates and collinear runs from
+// the integer lattice) and asserts the structural invariants, the sample
+// budget, and hull containment after the whole stream.
+func TestQuickRandomStreams(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(raw []struct{ X, Y int8 }, rSel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := 4 + int(rSel%29) // r ∈ [4, 32]
+		h := New(Config{R: r})
+		pts := make([]geom.Point, len(raw))
+		for i, c := range raw {
+			// Integer lattice: maximal exact-tie pressure.
+			pts[i] = geom.Pt(float64(c.X), float64(c.Y))
+			h.Insert(pts[i])
+			if err := h.Check(); err != nil {
+				t.Logf("invariant violation (r=%d, %d pts): %v", r, i+1, err)
+				return false
+			}
+		}
+		if h.SampleSize() > 2*r+1 {
+			t.Logf("sample size %d > 2r+1 (r=%d)", h.SampleSize(), r)
+			return false
+		}
+		truth := convex.Hull(pts)
+		for _, v := range h.Vertices() {
+			if truth.DistToPoint(v) > 1e-9 {
+				t.Logf("vertex %v outside truth", v)
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFloatStreams repeats the property with continuous coordinates
+// and larger magnitude spreads.
+func TestQuickFloatStreams(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(seed int64, nSel, rSel uint8) bool {
+		n := 1 + int(nSel)%400
+		r := 4 + int(rSel%13)
+		rng := rand.New(rand.NewSource(seed))
+		h := New(Config{R: r})
+		scale := math.Exp(rng.Float64()*20 - 10) // spread 4.5e-5 … 2.2e4
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.NormFloat64()*scale, rng.NormFloat64()*scale)
+			h.Insert(pts[i])
+		}
+		if err := h.Check(); err != nil {
+			t.Logf("invariant violation (r=%d, n=%d, scale=%g): %v", r, n, scale, err)
+			return false
+		}
+		if h.SampleSize() > 2*r+1 {
+			return false
+		}
+		// Corollary 5.2 with the measured constant envelope.
+		poly := h.Polygon()
+		p := h.Perimeter()
+		if p == 0 {
+			return true
+		}
+		bound := 16 * math.Pi * p / float64(r*r)
+		for _, q := range pts {
+			if poly.DistToPoint(q) > bound {
+				t.Logf("error bound violated (r=%d, scale=%g)", r, scale)
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFixedBudget drives the §7 fixed-budget variant under quick
+// streams: exactly TargetDirs directions once the hull is 2-dimensional,
+// dyadic closure maintained throughout.
+func TestQuickFixedBudget(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(seed int64, nSel uint8) bool {
+		n := 3 + int(nSel)%300
+		rng := rand.New(rand.NewSource(seed))
+		h := New(Config{R: 8, TargetDirs: 16})
+		nondegenerate := false
+		var first geom.Point
+		for i := 0; i < n; i++ {
+			p := geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+			if i == 0 {
+				first = p
+			} else if !nondegenerate && p.Sub(first).Norm2() > 0 {
+				nondegenerate = true
+			}
+			h.Insert(p)
+			if err := h.Check(); err != nil {
+				t.Logf("check: %v", err)
+				return false
+			}
+		}
+		if nondegenerate && h.DirectionCount() != 16 {
+			t.Logf("direction count %d, want 16", h.DirectionCount())
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/robust"
+)
+
+// rebalance implements the fixed-budget experimental variant of §7: "the
+// modified adaptive algorithm refines the maximum-weight edges until the
+// number of sample directions is 2r, even if that means refining some
+// edges with weight w(e) ≤ 1". The standard invariants can also leave up
+// to r+1 refinement directions, one over an r-direction budget, so the
+// symmetric trim removes minimum-weight removable refinements.
+func (h *Hull) rebalance() {
+	target := h.cfg.TargetDirs - h.cfg.R
+	if target < 0 {
+		target = 0
+	}
+	for h.act.Len() > target {
+		if !h.trimOne() {
+			break
+		}
+	}
+	for h.act.Len() < target {
+		if !h.padOne() {
+			break
+		}
+	}
+}
+
+// leafEdge is one edge of the current adaptive hull: a dyadic interval
+// between consecutive active directions.
+type leafEdge struct {
+	gap    int
+	lo, hi uint64 // unwrapped
+	eLo    geom.Point
+	eHi    geom.Point
+	depth  uint
+	w      float64
+}
+
+// leafEdges enumerates the current leaf edges gap by gap.
+func (h *Hull) leafEdges() []leafEdge {
+	var out []leafEdge
+	if h.uni.VertexCount() == 0 {
+		return out
+	}
+	ref := h.act.Items()
+	ri := 0
+	for g := 0; g < h.cfg.R; g++ {
+		gapLo := h.space.Uniform(g)
+		gapHi := gapLo + h.space.Scale
+		prevIdx := gapLo
+		prevPt, _ := h.uni.ExtremumAt(g)
+		flush := func(idx uint64, pt geom.Point) {
+			e := leafEdge{gap: g, lo: prevIdx, hi: idx, eLo: prevPt, eHi: pt}
+			e.depth = h.space.Depth(e.lo, e.hi)
+			e.w = h.weight(e.lo, e.hi, e.eLo, e.eHi, e.depth)
+			out = append(out, e)
+			prevIdx, prevPt = idx, pt
+		}
+		for ri < len(ref) && ref[ri].idx < gapHi {
+			flush(ref[ri].idx, ref[ri].pt)
+			ri++
+		}
+		endPt, _ := h.uni.ExtremumAt(g + 1)
+		flush(gapHi, endPt)
+	}
+	return out
+}
+
+// padOne refines the maximum-weight splittable leaf edge; it reports
+// whether a refinement was possible.
+func (h *Hull) padOne() bool {
+	var best *leafEdge
+	edges := h.leafEdges()
+	for i := range edges {
+		e := &edges[i]
+		if e.depth >= h.height || e.hi-e.lo < 2 || e.eLo.Eq(e.eHi) {
+			continue
+		}
+		if best == nil || e.w > best.w {
+			best = e
+		}
+	}
+	if best == nil {
+		return false
+	}
+	mid := h.space.Mid(best.lo, best.hi)
+	u := h.space.UnitVector(mid)
+	extM := best.eLo
+	if robust.CmpDot(best.eHi, extM, u) > 0 {
+		extM = best.eHi
+	}
+	h.act.Insert(sample{idx: h.space.Wrap(mid), pt: extM})
+	h.stats.Refinements++
+	return true
+}
+
+// trimOne removes the removable refinement direction whose merged edge has
+// the smallest weight; it reports whether a removal was possible. A
+// direction is removable when its two adjacent intervals are exactly the
+// halves of its parent interval (so removing it keeps the dyadic
+// structure closed).
+func (h *Hull) trimOne() bool {
+	found := false
+	var bestIdx uint64
+	bestW := math.Inf(1)
+	h.act.Ascend(func(s sample) bool {
+		pLo, pHi, ok := h.removableParent(s.idx)
+		if !ok {
+			return true
+		}
+		eLo, ok1 := h.extremumAtIdx(pLo)
+		eHi, ok2 := h.extremumAtIdx(pHi % h.space.Units)
+		if !ok1 || !ok2 {
+			return true
+		}
+		depth := h.space.Depth(pLo, pHi)
+		w := h.weight(pLo, pHi, eLo, eHi, depth)
+		if w < bestW {
+			bestW = w
+			bestIdx = s.idx
+			found = true
+		}
+		return true
+	})
+	if !found {
+		return false
+	}
+	h.act.Delete(sample{idx: bestIdx})
+	h.stats.Unrefinements++
+	return true
+}
+
+// removableParent returns the parent interval of refinement direction idx
+// and whether idx is removable: no other active direction lies strictly
+// inside the parent interval.
+func (h *Hull) removableParent(idx uint64) (pLo, pHi uint64, ok bool) {
+	i := h.space.Index(idx)
+	if i == 0 {
+		return 0, 0, false // uniform directions are never removed
+	}
+	cw := h.space.Scale >> i // width of idx's child intervals
+	pLo = idx - cw
+	pHi = idx + cw
+	if prev, found := h.act.Prev(sample{idx: idx}); found && prev.idx > pLo && prev.idx < idx {
+		return 0, 0, false
+	}
+	if next, found := h.act.Next(sample{idx: idx}); found && next.idx < pHi && next.idx > idx {
+		return 0, 0, false
+	}
+	return pLo, pHi, true
+}

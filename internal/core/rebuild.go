@@ -1,0 +1,173 @@
+package core
+
+import (
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/bucketq"
+	"github.com/streamgeom/streamhull/internal/robust"
+	"github.com/streamgeom/streamhull/internal/uncert"
+)
+
+// teardownGap removes every refinement direction of gap g and invalidates
+// its tree nodes (their queue entries die lazily).
+func (h *Hull) teardownGap(g int) {
+	for _, nd := range h.gaps[g].nodes {
+		nd.alive = false
+	}
+	h.gaps[g].nodes = h.gaps[g].nodes[:0]
+	lo := h.space.Uniform(g)
+	hi := lo + h.space.Scale
+	h.scratchDel = h.scratchDel[:0]
+	h.act.AscendRange(sample{idx: lo + 1}, sample{idx: hi - 1}, func(s sample) bool {
+		h.scratchDel = append(h.scratchDel, s.idx)
+		return true
+	})
+	for _, idx := range h.scratchDel {
+		h.act.Delete(sample{idx: idx})
+	}
+}
+
+// rebuildGap re-runs the static refinement procedure (§4) on gap g, using
+// as extremum candidates the gap's current endpoints, the extrema of its
+// surviving refinement directions, and (if non-nil) the newly arrived
+// point. This is §5.2 step 5: "we have essentially computed the static
+// adaptively sampled hull on the vertices of the previous adaptive hull
+// plus q".
+func (h *Hull) rebuildGap(g int, newPt *geom.Point) {
+	a, ok := h.uni.ExtremumAt(g)
+	if !ok {
+		return
+	}
+	b, _ := h.uni.ExtremumAt(g + 1)
+
+	lo := h.space.Uniform(g)
+	hi := lo + h.space.Scale
+
+	// Survivors: active refinement extrema in the gap not beaten by the
+	// new point at their own direction (§5.2: invalid nodes are those whose
+	// extrema q beats).
+	cands := make([]geom.Point, 0, 8)
+	cands = append(cands, a, b)
+	h.act.AscendRange(sample{idx: lo + 1}, sample{idx: hi - 1}, func(s sample) bool {
+		if newPt == nil || robust.CmpDot(*newPt, s.pt, h.space.UnitVector(s.idx)) <= 0 {
+			cands = append(cands, s.pt)
+		}
+		return true
+	})
+	if newPt != nil {
+		cands = append(cands, *newPt)
+	}
+
+	h.teardownGap(g)
+	h.stats.GapRebuilds++
+	if a.Eq(b) {
+		return // trivial gap: zero-length edge, never refined
+	}
+	h.buildRange(g, lo, hi, a, b, 0, cands)
+}
+
+// buildRange is the recursive refinement of §4 restricted to one dyadic
+// interval: refine while w(e) > 1 and the height limit permits, choosing
+// each new extremum among the candidate points (ties prefer the existing
+// endpoints, reproducing the paper's vertex nodes).
+func (h *Hull) buildRange(g int, lo, hi uint64, eLo, eHi geom.Point, depth uint, cands []geom.Point) {
+	if eLo.Eq(eHi) || hi-lo < 2 || depth >= h.height {
+		return
+	}
+	p := h.uni.Perimeter()
+	if p <= 0 {
+		return
+	}
+	lt := uncert.LTildeOf(eLo, h.space.Angle(lo), eHi, h.space.Angle(hi))
+	if float64(h.cfg.R)*lt/p-float64(depth) <= 1 {
+		return
+	}
+	mid := h.space.Mid(lo, hi)
+	u := h.space.UnitVector(mid)
+	extM := eLo
+	if robust.CmpDot(eHi, extM, u) > 0 {
+		extM = eHi
+	}
+	for _, c := range cands {
+		if robust.CmpDot(c, extM, u) > 0 {
+			extM = c
+		}
+	}
+	h.act.Insert(sample{idx: h.space.Wrap(mid), pt: extM})
+	h.stats.Refinements++
+	if h.cfg.TargetDirs == 0 {
+		nd := &refNode{gap: g, lo: lo, hi: hi, mid: mid, depth: depth, alive: true}
+		h.gaps[g].nodes = append(h.gaps[g].nodes, nd)
+		// Unrefinement threshold Thresh(e) = r·ℓ̃/(1+d), rounded down to a
+		// power of two (§5.3).
+		h.queue.Push(bucketq.ExpOf(float64(h.cfg.R)*lt/float64(1+depth)), nd)
+	}
+	h.buildRange(g, lo, mid, eLo, extM, depth+1, cands)
+	h.buildRange(g, mid, hi, extM, eHi, depth+1, cands)
+}
+
+// processUnrefinements executes step 4 of Algorithm AdaptiveHull: every
+// internal node whose power-of-two threshold the perimeter has passed
+// becomes a leaf again. Parents carry larger thresholds than their
+// children and were enqueued first, so subtree removal happens top-down
+// and descendants are skipped as dead.
+//
+// In the bounded-work variant (Config.MaxUnrefinePerInsert > 0) at most
+// that many unrefinements run now and the remainder are deferred to later
+// inserts, making the per-insert work worst-case bounded; the §5.3 sketch
+// notes that over-refined nodes do not impair approximation quality or
+// search performance.
+func (h *Hull) processUnrefinements() {
+	p := h.uni.Perimeter()
+	h.deferred = append(h.deferred, h.queue.PopReady(p)...)
+	budget := h.cfg.MaxUnrefinePerInsert
+	if budget <= 0 {
+		budget = len(h.deferred)
+	}
+	done := 0
+	for done < len(h.deferred) && budget > 0 {
+		nd := h.deferred[done]
+		done++
+		if !nd.alive {
+			continue
+		}
+		h.unrefine(nd)
+		budget--
+	}
+	h.deferred = h.deferred[:copy(h.deferred, h.deferred[done:])]
+}
+
+// PendingUnrefinements reports how much deferred unrefinement work is
+// queued (always zero in the amortized variant).
+func (h *Hull) PendingUnrefinements() int {
+	n := 0
+	for _, nd := range h.deferred {
+		if nd.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// unrefine turns the internal node back into a leaf edge: its midpoint
+// direction and every deeper direction inside its interval are removed.
+func (h *Hull) unrefine(nd *refNode) {
+	h.scratchDel = h.scratchDel[:0]
+	h.act.AscendRange(sample{idx: nd.lo + 1}, sample{idx: nd.hi - 1}, func(s sample) bool {
+		h.scratchDel = append(h.scratchDel, s.idx)
+		return true
+	})
+	for _, idx := range h.scratchDel {
+		h.act.Delete(sample{idx: idx})
+		h.stats.Unrefinements++
+	}
+	// Invalidate nd and every descendant node, then compact the gap list.
+	nodes := h.gaps[nd.gap].nodes[:0]
+	for _, o := range h.gaps[nd.gap].nodes {
+		if o.lo >= nd.lo && o.hi <= nd.hi {
+			o.alive = false
+			continue
+		}
+		nodes = append(nodes, o)
+	}
+	h.gaps[nd.gap].nodes = nodes
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+)
+
+// BuildStatic constructs the adaptive sample of a fixed (off-line) point
+// set, exactly as in §4: uniform extrema first, then refinement of every
+// gap with the full hull vertex set as extremum candidates. It is used as
+// the reference the streaming structure is compared against, and to
+// summarize already-collected data.
+func BuildStatic(pts []geom.Point, cfg Config) *Hull {
+	h := New(cfg)
+	hull := convex.Hull(pts)
+	vs := hull.Vertices()
+	if len(vs) == 0 {
+		return h
+	}
+	// Install the exact uniform extrema. Feeding only hull vertices is
+	// sufficient: every direction's extremum over the set is a hull vertex.
+	for _, v := range vs {
+		h.uni.Insert(v)
+	}
+	h.stats.Points = len(pts)
+	// Refine every gap with the full vertex set as candidates.
+	for g := 0; g < cfg.R; g++ {
+		a, _ := h.uni.ExtremumAt(g)
+		b, _ := h.uni.ExtremumAt(g + 1)
+		h.stats.GapRebuilds++
+		if a.Eq(b) {
+			continue
+		}
+		lo := h.space.Uniform(g)
+		h.buildRange(g, lo, lo+h.space.Scale, a, b, 0, vs)
+	}
+	if cfg.TargetDirs > 0 {
+		h.rebalance()
+	}
+	if n := h.act.Len(); n > h.stats.MaxRefineDirs {
+		h.stats.MaxRefineDirs = n
+	}
+	return h
+}

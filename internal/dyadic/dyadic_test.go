@@ -1,0 +1,190 @@
+package dyadic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func TestNewSpace(t *testing.T) {
+	s := NewSpace(16, 4)
+	if s.Scale != 16 || s.Units != 256 {
+		t.Fatalf("space = %+v", s)
+	}
+	if s.Theta0() != geom.TwoPi/16 {
+		t.Errorf("Theta0 = %v", s.Theta0())
+	}
+}
+
+func TestNewSpacePanics(t *testing.T) {
+	for _, c := range []struct {
+		r int
+		k uint
+	}{{2, 1}, {0, 0}, {8, 40}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d,%d) did not panic", c.r, c.k)
+				}
+			}()
+			NewSpace(c.r, c.k)
+		}()
+	}
+}
+
+func TestDefaultHeight(t *testing.T) {
+	cases := []struct {
+		r    int
+		want uint
+	}{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {16, 4}, {17, 4}, {31, 4}, {32, 5}}
+	for _, c := range cases {
+		if got := DefaultHeight(c.r); got != c.want {
+			t.Errorf("DefaultHeight(%d) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestUniformAndGap(t *testing.T) {
+	s := NewSpace(8, 3)
+	for j := 0; j < 8; j++ {
+		idx := s.Uniform(j)
+		if !s.IsUniform(idx) {
+			t.Errorf("Uniform(%d) not uniform", j)
+		}
+		if s.Gap(idx) != j {
+			t.Errorf("Gap(Uniform(%d)) = %d", j, s.Gap(idx))
+		}
+		wantAngle := geom.TwoPi * float64(j) / 8
+		if math.Abs(s.Angle(idx)-wantAngle) > 1e-12 {
+			t.Errorf("Angle(Uniform(%d)) = %v, want %v", j, s.Angle(idx), wantAngle)
+		}
+	}
+	if s.IsUniform(s.Uniform(2) + 1) {
+		t.Error("non-uniform index reported uniform")
+	}
+}
+
+func TestIndexDepth(t *testing.T) {
+	s := NewSpace(16, 4) // scale 16
+	// Uniform directions have index 0.
+	if got := s.Index(s.Uniform(5)); got != 0 {
+		t.Errorf("Index(uniform) = %d", got)
+	}
+	// Midpoint of a gap: θ0/2 multiples → index 1.
+	if got := s.Index(s.Uniform(5) + 8); got != 1 {
+		t.Errorf("Index(half) = %d", got)
+	}
+	if got := s.Index(s.Uniform(5) + 4); got != 2 {
+		t.Errorf("Index(quarter) = %d", got)
+	}
+	if got := s.Index(s.Uniform(5) + 1); got != 4 {
+		t.Errorf("Index(finest) = %d", got)
+	}
+	// Index 0 (angle zero) is uniform.
+	if got := s.Index(0); got != 0 {
+		t.Errorf("Index(0) = %d", got)
+	}
+
+	// Depth of intervals.
+	if got := s.Depth(s.Uniform(3), s.Uniform(4)); got != 0 {
+		t.Errorf("Depth(full gap) = %d", got)
+	}
+	if got := s.Depth(s.Uniform(3), s.Uniform(3)+8); got != 1 {
+		t.Errorf("Depth(half gap) = %d", got)
+	}
+	if got := s.Depth(s.Uniform(3)+8, s.Uniform(3)+12); got != 2 {
+		t.Errorf("Depth(quarter) = %d", got)
+	}
+}
+
+func TestDepthPanicsOnBadWidth(t *testing.T) {
+	s := NewSpace(16, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Depth with non-dyadic width did not panic")
+		}
+	}()
+	s.Depth(0, 3)
+}
+
+func TestMid(t *testing.T) {
+	s := NewSpace(8, 3)
+	lo, hi := s.Uniform(7), s.Uniform(7)+s.Scale // the wrap-around gap
+	m := s.Mid(lo, hi)
+	if m != lo+4 {
+		t.Errorf("Mid = %d", m)
+	}
+	// Midpoint bisects exactly.
+	if s.Depth(lo, m) != 1 || s.Depth(m, hi) != 1 {
+		t.Error("children depths wrong")
+	}
+}
+
+func TestWrapAndCCW(t *testing.T) {
+	s := NewSpace(8, 2) // units = 32
+	if s.Wrap(33) != 1 {
+		t.Errorf("Wrap(33) = %d", s.Wrap(33))
+	}
+	if s.CCWDist(30, 2) != 4 {
+		t.Errorf("CCWDist(30,2) = %d", s.CCWDist(30, 2))
+	}
+	if s.CCWDist(2, 30) != 28 {
+		t.Errorf("CCWDist(2,30) = %d", s.CCWDist(2, 30))
+	}
+	if !s.InOpenCCW(31, 30, 2) || !s.InOpenCCW(1, 30, 2) {
+		t.Error("InOpenCCW wrap failure")
+	}
+	if s.InOpenCCW(30, 30, 2) || s.InOpenCCW(2, 30, 2) {
+		t.Error("InOpenCCW endpoints not excluded")
+	}
+	if s.InOpenCCW(15, 30, 2) {
+		t.Error("InOpenCCW outside")
+	}
+}
+
+func TestAngleRoundTrip(t *testing.T) {
+	s := NewSpace(32, 5)
+	err := quick.Check(func(raw uint64) bool {
+		idx := raw % s.Units
+		back := s.AngleToNearestIdx(s.Angle(idx))
+		return back == idx
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitVectorMatchesAngle(t *testing.T) {
+	s := NewSpace(16, 4)
+	for idx := uint64(0); idx < s.Units; idx += 7 {
+		u := s.UnitVector(idx)
+		want := geom.Unit(s.Angle(idx))
+		if u.Dist(want) > 1e-15 {
+			t.Fatalf("UnitVector(%d) = %v, want %v", idx, u, want)
+		}
+	}
+}
+
+func TestIndexConsistentWithDepth(t *testing.T) {
+	// For any dyadic interval produced by recursive bisection, the midpoint's
+	// Index equals the child depth (depth of interval + 1).
+	s := NewSpace(16, 4)
+	var rec func(lo, hi uint64)
+	rec = func(lo, hi uint64) {
+		if hi-lo < 2 {
+			return
+		}
+		m := s.Mid(lo, hi)
+		d := s.Depth(lo, hi)
+		if got := s.Index(s.Wrap(m)); got != d+1 {
+			t.Fatalf("Index(mid of depth-%d interval) = %d", d, got)
+		}
+		rec(lo, m)
+		rec(m, hi)
+	}
+	for j := 0; j < s.R; j++ {
+		rec(s.Uniform(j), s.Uniform(j)+s.Scale)
+	}
+}

@@ -1,0 +1,133 @@
+// Package experiments reproduces the evaluation of Hershberger–Suri §7
+// (Table 1 and Fig. 10), the §5.4 lower bound (Fig. 9), and measured
+// versions of the paper's analytic claims: the O(D/r²) vs Θ(D/r) error
+// scaling of Theorem 5.4, the diameter approximation of Lemma 3.1, and
+// the per-point processing cost of §3.1/§5.3.
+package experiments
+
+import (
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+	"github.com/streamgeom/streamhull/internal/core"
+	"github.com/streamgeom/streamhull/internal/fixeddir"
+	"github.com/streamgeom/streamhull/internal/partial"
+	"github.com/streamgeom/streamhull/internal/uncert"
+)
+
+// Metrics are the Table 1 columns for one summary over one stream:
+// uncertainty-triangle heights (maximum and average), the maximum distance
+// of any stream point from the sampled hull, and the percentage of stream
+// points strictly outside the sampled hull.
+type Metrics struct {
+	MaxTriHeight   float64
+	AvgTriHeight   float64
+	MaxDistOutside float64
+	PctOutside     float64
+	SampleSize     int
+}
+
+// triangleStats reduces a triangle list to max and mean heights, ignoring
+// zero-length edges.
+func triangleStats(tris []uncert.Triangle) (maxH, avgH float64) {
+	n := 0
+	for _, tr := range tris {
+		if tr.LTilde == 0 {
+			continue
+		}
+		n++
+		avgH += tr.Height
+		if tr.Height > maxH {
+			maxH = tr.Height
+		}
+	}
+	if n > 0 {
+		avgH /= float64(n)
+	}
+	return maxH, avgH
+}
+
+// distanceStats measures the last two Table 1 columns against a polygon.
+func distanceStats(poly convex.Polygon, pts []geom.Point) (maxDist, pctOutside float64) {
+	out := 0
+	for _, p := range pts {
+		d := poly.DistToPoint(p)
+		if d > 0 {
+			out++
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	if len(pts) > 0 {
+		pctOutside = 100 * float64(out) / float64(len(pts))
+	}
+	return maxDist, pctOutside
+}
+
+// MeasureUniform feeds the stream through a uniformly sampled hull with m
+// directions and reports its metrics.
+func MeasureUniform(pts []geom.Point, m int) Metrics {
+	h := fixeddir.NewUniform(m)
+	for _, p := range pts {
+		h.Insert(p)
+	}
+	tris := uniformTriangles(h)
+	maxH, avgH := triangleStats(tris)
+	maxD, pct := distanceStats(h.Polygon(), pts)
+	return Metrics{
+		MaxTriHeight: maxH, AvgTriHeight: avgH,
+		MaxDistOutside: maxD, PctOutside: pct,
+		SampleSize: len(h.VerticesCCW()),
+	}
+}
+
+func uniformTriangles(h *fixeddir.Hull) []uncert.Triangle {
+	m := h.DirCount()
+	out := make([]uncert.Triangle, 0, m)
+	for j := 0; j < m; j++ {
+		a, ok := h.ExtremumAt(j)
+		if !ok {
+			return nil
+		}
+		b, _ := h.ExtremumAt((j + 1) % m)
+		if a.Eq(b) {
+			continue
+		}
+		out = append(out, uncert.Compute(a, h.Angle(j), b, h.Angle((j+1)%m)))
+	}
+	return out
+}
+
+// MeasureAdaptive feeds the stream through the adaptive hull (fixed-budget
+// variant when budget > 0, as in the paper's equal-size comparison) and
+// reports its metrics.
+func MeasureAdaptive(pts []geom.Point, r, budget int) Metrics {
+	h := core.New(core.Config{R: r, TargetDirs: budget})
+	h.InsertAll(pts)
+	maxH, avgH := triangleStats(h.Triangles())
+	maxD, pct := distanceStats(h.Polygon(), pts)
+	return Metrics{
+		MaxTriHeight: maxH, AvgTriHeight: avgH,
+		MaxDistOutside: maxD, PctOutside: pct,
+		SampleSize: h.SampleSize(),
+	}
+}
+
+// MeasurePartial feeds the stream through the §7 partially adaptive hull
+// (train on the first trainN points, then freeze) and reports its metrics.
+func MeasurePartial(pts []geom.Point, r, trainN, budget int) Metrics {
+	h := partial.New(r, trainN, budget)
+	h.InsertAll(pts)
+	maxH, avgH := triangleStats(h.Triangles())
+	maxD, pct := distanceStats(h.Polygon(), pts)
+	return Metrics{
+		MaxTriHeight: maxH, AvgTriHeight: avgH,
+		MaxDistOutside: maxD, PctOutside: pct,
+		SampleSize: len(h.Vertices()),
+	}
+}
+
+// Scaled returns a metric value in the paper's ×10⁻⁴ integer convention.
+func Scaled(v float64) int { return int(math.Round(v * 1e4)) }

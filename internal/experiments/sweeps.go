@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+	"github.com/streamgeom/streamhull/internal/core"
+	"github.com/streamgeom/streamhull/internal/fixeddir"
+	"github.com/streamgeom/streamhull/internal/robust"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// SweepPoint is one row of the error-scaling experiment: the worst
+// distance from a stream point to the sampled hull, for the uniform and
+// adaptive summaries at equal direction budget 2r.
+type SweepPoint struct {
+	R           int
+	UniformErr  float64
+	AdaptiveErr float64
+}
+
+// ErrorSweep measures hull error against r on a stream, holding the
+// direction budget equal (uniform 2r vs adaptive r padded to 2r). The
+// paper's Theorem 5.4 and Lemma 3.2 predict slopes of −2 and −1 on a
+// log-log plot.
+func ErrorSweep(gen func(seed int64) workload.Generator, n int, rs []int, seed int64) []SweepPoint {
+	pts := workload.Take(gen(seed), n)
+	out := make([]SweepPoint, 0, len(rs))
+	for _, r := range rs {
+		u := MeasureUniform(pts, 2*r)
+		a := MeasureAdaptive(pts, r, 2*r)
+		out = append(out, SweepPoint{R: r, UniformErr: u.MaxDistOutside, AdaptiveErr: a.MaxDistOutside})
+	}
+	return out
+}
+
+// ErrorSweepScaled is ErrorSweep with a workload that depends on r. The
+// regime in which the uniform hull is truly Θ(D/r) requires the shape's
+// eccentricity to track r (for a fixed smooth shape every scheme is
+// eventually O(D/r²)); the paper's Table 1 uses aspect ratio = r for the
+// same reason.
+func ErrorSweepScaled(gen func(seed int64, r int) workload.Generator, n int, rs []int, seed int64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(rs))
+	for _, r := range rs {
+		pts := workload.Take(gen(seed, r), n)
+		u := MeasureUniform(pts, 2*r)
+		a := MeasureAdaptive(pts, r, 2*r)
+		out = append(out, SweepPoint{R: r, UniformErr: u.MaxDistOutside, AdaptiveErr: a.MaxDistOutside})
+	}
+	return out
+}
+
+// FitLogLogSlope returns the least-squares slope of log(y) against
+// log(x), skipping non-positive values.
+func FitLogLogSlope(xs, ys []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// Slopes extracts the fitted log-log slopes of a sweep.
+func Slopes(sweep []SweepPoint) (uniform, adaptive float64) {
+	xs := make([]float64, len(sweep))
+	us := make([]float64, len(sweep))
+	as := make([]float64, len(sweep))
+	for i, p := range sweep {
+		xs[i] = float64(p.R)
+		us[i] = p.UniformErr
+		as[i] = p.AdaptiveErr
+	}
+	return FitLogLogSlope(xs, us), FitLogLogSlope(xs, as)
+}
+
+// FormatSweep renders an error sweep with fitted slopes.
+func FormatSweep(title string, sweep []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  %6s  %14s  %14s  %12s\n", title, "r", "uniform err", "adaptive err", "ratio U/A")
+	for _, p := range sweep {
+		ratio := math.Inf(1)
+		if p.AdaptiveErr > 0 {
+			ratio = p.UniformErr / p.AdaptiveErr
+		}
+		fmt.Fprintf(&b, "  %6d  %14.6g  %14.6g  %12.2f\n", p.R, p.UniformErr, p.AdaptiveErr, ratio)
+	}
+	su, sa := Slopes(sweep)
+	fmt.Fprintf(&b, "  log-log slopes: uniform %.2f (theory −1), adaptive %.2f (theory −2)\n", su, sa)
+	return b.String()
+}
+
+// LowerBoundPoint is one row of the §5.4 experiment: 2r points evenly
+// spaced on a circle of diameter D, summarized with parameter r; any
+// r-point sample must miss some point by Ω(D/r²).
+type LowerBoundPoint struct {
+	R            int
+	Err          float64
+	ErrOverDByR2 float64 // Err·r²/D — should be bounded above AND below
+}
+
+// LowerBound runs the Fig. 9 construction across r.
+func LowerBound(rs []int, seed int64) []LowerBoundPoint {
+	out := make([]LowerBoundPoint, 0, len(rs))
+	for _, r := range rs {
+		pts := workload.Take(workload.Circle(seed, 2*r, 1), 2*r)
+		m := MeasureAdaptive(pts, r, 0)
+		out = append(out, LowerBoundPoint{
+			R:            r,
+			Err:          m.MaxDistOutside,
+			ErrOverDByR2: m.MaxDistOutside * float64(r*r) / 2,
+		})
+	}
+	return out
+}
+
+// FormatLowerBound renders the lower-bound experiment.
+func FormatLowerBound(pts []LowerBoundPoint) string {
+	var b strings.Builder
+	b.WriteString("Lower bound (Thm 5.5): 2r points on a circle, any r-sample errs Ω(D/r²)\n")
+	fmt.Fprintf(&b, "  %6s  %14s  %14s\n", "r", "measured err", "err·r²/D")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %6d  %14.6g  %14.4f\n", p.R, p.Err, p.ErrOverDByR2)
+	}
+	return b.String()
+}
+
+// DiameterPoint is one row of the Lemma 3.1 experiment: relative diameter
+// error of the uniformly sampled hull, which should scale as 1/r².
+type DiameterPoint struct {
+	R             int
+	RelErr        float64
+	RelErrTimesR2 float64
+}
+
+// DiameterSweep measures the uniform hull's diameter approximation.
+func DiameterSweep(gen func(seed int64) workload.Generator, n int, rs []int, seed int64) []DiameterPoint {
+	pts := workload.Take(gen(seed), n)
+	truth := convex.Hull(pts)
+	dTrue, _ := truth.Diameter()
+	out := make([]DiameterPoint, 0, len(rs))
+	for _, r := range rs {
+		h := fixeddir.NewUniform(r)
+		for _, p := range pts {
+			h.Insert(p)
+		}
+		dApprox, _ := h.Polygon().Diameter()
+		rel := (dTrue - dApprox) / dTrue
+		out = append(out, DiameterPoint{R: r, RelErr: rel, RelErrTimesR2: rel * float64(r*r)})
+	}
+	return out
+}
+
+// FormatDiameter renders the diameter sweep.
+func FormatDiameter(pts []DiameterPoint) string {
+	var b strings.Builder
+	b.WriteString("Diameter approximation (Lemma 3.1): relative error ×r² should stay bounded\n")
+	fmt.Fprintf(&b, "  %6s  %14s  %14s\n", "r", "rel err", "rel err·r²")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %6d  %14.6g  %14.4f\n", p.R, p.RelErr, p.RelErrTimesR2)
+	}
+	return b.String()
+}
+
+// TimingPoint is one row of the per-point cost experiment (§3.1, §5.3):
+// nanoseconds per stream point for the Θ(r) naive uniform scan, the
+// O(log r) uniform hull, and the adaptive hull.
+type TimingPoint struct {
+	R            int
+	NaiveNsPerPt float64
+	UniformNsPt  float64
+	AdaptiveNsPt float64
+}
+
+// TimeSweep measures insertion cost per point against r.
+func TimeSweep(gen func(seed int64) workload.Generator, n int, rs []int, seed int64) []TimingPoint {
+	pts := workload.Take(gen(seed), n)
+	out := make([]TimingPoint, 0, len(rs))
+	for _, r := range rs {
+		naive := timeIt(func() {
+			h := newNaiveUniform(r)
+			for _, p := range pts {
+				h.insert(p)
+			}
+		})
+		uni := timeIt(func() {
+			h := fixeddir.NewUniform(r)
+			for _, p := range pts {
+				h.Insert(p)
+			}
+		})
+		ad := timeIt(func() {
+			h := core.New(core.Config{R: r})
+			h.InsertAll(pts)
+		})
+		den := float64(len(pts))
+		out = append(out, TimingPoint{
+			R: r, NaiveNsPerPt: naive / den, UniformNsPt: uni / den, AdaptiveNsPt: ad / den,
+		})
+	}
+	return out
+}
+
+func timeIt(f func()) float64 {
+	start := time.Now()
+	f()
+	return float64(time.Since(start).Nanoseconds())
+}
+
+// FormatTiming renders the timing sweep.
+func FormatTiming(pts []TimingPoint) string {
+	var b strings.Builder
+	b.WriteString("Per-point processing cost (ns/point): naive Θ(r) vs tree O(log r) vs adaptive\n")
+	fmt.Fprintf(&b, "  %6s  %12s  %12s  %12s\n", "r", "naive", "uniform", "adaptive")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %6d  %12.1f  %12.1f  %12.1f\n", p.R, p.NaiveNsPerPt, p.UniformNsPt, p.AdaptiveNsPt)
+	}
+	return b.String()
+}
+
+// naiveUniform is the straightforward Θ(r)-per-point implementation of
+// §3.1: one dot product against every direction's stored extremum.
+type naiveUniform struct {
+	units []geom.Point
+	ext   []geom.Point
+	any   bool
+}
+
+func newNaiveUniform(r int) *naiveUniform {
+	h := &naiveUniform{units: make([]geom.Point, r), ext: make([]geom.Point, r)}
+	for j := range h.units {
+		h.units[j] = geom.Unit(geom.TwoPi * float64(j) / float64(r))
+	}
+	return h
+}
+
+func (h *naiveUniform) insert(q geom.Point) {
+	if !h.any {
+		h.any = true
+		for j := range h.ext {
+			h.ext[j] = q
+		}
+		return
+	}
+	for j := range h.ext {
+		if robust.CmpDot(q, h.ext[j], h.units[j]) > 0 {
+			h.ext[j] = q
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// Table1Config parameterizes the §7 experiment. The paper uses N = 10⁵
+// points, r = 16 for the adaptive hull padded to 2r = 32 directions, and
+// r = 32 for the uniformly sampled hull, so both maintain 32 samples;
+// θ0 = 2π/16 = π/8 defines the rotation fractions.
+type Table1Config struct {
+	N    int
+	R    int // adaptive parameter (uniform uses 2R)
+	Seed int64
+}
+
+// DefaultTable1 matches the paper's settings.
+func DefaultTable1() Table1Config { return Table1Config{N: 100000, R: 16, Seed: 1} }
+
+// Row is one line of Table 1: a workload and the metrics of the two
+// compared algorithms (uniform vs adaptive in sections 1–3; partially
+// adaptive vs adaptive in section 4).
+type Row struct {
+	Label string
+	A, B  Metrics
+}
+
+// Section is one block of Table 1.
+type Section struct {
+	Title string
+	AName string
+	BName string
+	Rows  []Row
+}
+
+// rotationLabels are the §7 detuning rotations in units of θ0.
+var rotations = []struct {
+	label string
+	frac  float64
+}{
+	{"0", 0},
+	{"θ0/4", 0.25},
+	{"θ0/3", 1.0 / 3},
+	{"θ0/2", 0.5},
+}
+
+// RunTable1 regenerates all four sections of Table 1.
+func RunTable1(cfg Table1Config) []Section {
+	theta0 := geom.TwoPi / float64(cfg.R)
+	budget := 2 * cfg.R
+	uniM := 2 * cfg.R
+
+	measureUA := func(pts []geom.Point) (Metrics, Metrics) {
+		return MeasureUniform(pts, uniM), MeasureAdaptive(pts, cfg.R, budget)
+	}
+
+	var sections []Section
+
+	// Section 1: unit disk.
+	disk := workload.Take(workload.Disk(cfg.Seed, geom.Point{}, 1), cfg.N)
+	u, a := measureUA(disk)
+	sections = append(sections, Section{
+		Title: "Disk", AName: "Uniform", BName: "Adaptive",
+		Rows: []Row{{Label: "disk", A: u, B: a}},
+	})
+
+	// Section 2: unit square, rotated.
+	sq := Section{Title: "Square, rotated by", AName: "Uniform", BName: "Adaptive"}
+	for i, rot := range rotations {
+		pts := workload.Take(workload.Square(cfg.Seed+int64(10+i), 1, rot.frac*theta0), cfg.N)
+		u, a := measureUA(pts)
+		sq.Rows = append(sq.Rows, Row{Label: rot.label, A: u, B: a})
+	}
+	sections = append(sections, sq)
+
+	// Section 3: aspect-ratio-r ellipse, rotated.
+	el := Section{Title: "Ellipse, rotated by", AName: "Uniform", BName: "Adaptive"}
+	for i, rot := range rotations {
+		pts := workload.Take(
+			workload.Ellipse(cfg.Seed+int64(20+i), 1, 1/float64(cfg.R), rot.frac*theta0), cfg.N)
+		u, a := measureUA(pts)
+		el.Rows = append(el.Rows, Row{Label: rot.label, A: u, B: a})
+	}
+	sections = append(sections, el)
+
+	// Section 4: changing ellipse, partial vs adaptive. The stream is
+	// 2N points: N from each distribution (the paper uses 10⁵ + 10⁵).
+	ch := Section{Title: "Changing ellipse rotated by", AName: "Partial", BName: "Adaptive"}
+	for i, rot := range rotations {
+		pts := workload.Take(
+			workload.ChangingEllipse(cfg.Seed+int64(30+i), 2*cfg.N, rot.frac*theta0), 2*cfg.N)
+		p := MeasurePartial(pts, cfg.R, cfg.N, budget)
+		a := MeasureAdaptive(pts, cfg.R, budget)
+		ch.Rows = append(ch.Rows, Row{Label: rot.label, A: p, B: a})
+	}
+	sections = append(sections, ch)
+
+	return sections
+}
+
+// FormatTable1 renders the sections in the paper's layout. Heights and
+// distances are ×10⁻⁴ of the shape scale (the paper's integer
+// convention); percentages keep two decimals.
+func FormatTable1(sections []Section) string {
+	var b strings.Builder
+	b.WriteString("Table 1 reproduction (heights and distances ×10⁻⁴; n per row as configured)\n\n")
+	for _, sec := range sections {
+		an, bn := abbrev(sec.AName), abbrev(sec.BName)
+		fmt.Fprintf(&b, "%s\n", sec.Title)
+		fmt.Fprintf(&b, "  %-8s | %21s | %21s | %21s | %21s\n",
+			"", "Max tri height", "Avg tri height", "Max dist from hull", "% points outside")
+		fmt.Fprintf(&b, "  %-8s | %10s %10s | %10s %10s | %10s %10s | %10s %10s\n",
+			"", an, bn, an, bn, an, bn, an, bn)
+		for _, row := range sec.Rows {
+			fmt.Fprintf(&b, "  %-8s | %10d %10d | %10d %10d | %10d %10d | %10.2f %10.2f\n",
+				row.Label,
+				Scaled(row.A.MaxTriHeight), Scaled(row.B.MaxTriHeight),
+				Scaled(row.A.AvgTriHeight), Scaled(row.B.AvgTriHeight),
+				Scaled(row.A.MaxDistOutside), Scaled(row.B.MaxDistOutside),
+				row.A.PctOutside, row.B.PctOutside)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func abbrev(name string) string {
+	if len(name) > 10 {
+		return name[:10]
+	}
+	return name
+}

@@ -1,0 +1,362 @@
+package fixeddir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+	"github.com/streamgeom/streamhull/internal/robust"
+)
+
+// model is the trivially correct reference: one running extremum per
+// direction, updated by direct comparison (the Θ(r)-per-point
+// implementation of §3.1).
+type model struct {
+	units []geom.Point
+	ext   []geom.Point
+	any   bool
+}
+
+func newModel(h *Hull) *model {
+	m := &model{units: make([]geom.Point, h.DirCount()), ext: make([]geom.Point, h.DirCount())}
+	for j := range m.units {
+		m.units[j] = h.UnitDir(j)
+	}
+	return m
+}
+
+// insert returns the set of directions where the extremum changed.
+func (m *model) insert(q geom.Point) []int {
+	var changed []int
+	if !m.any {
+		m.any = true
+		for j := range m.ext {
+			m.ext[j] = q
+			changed = append(changed, j)
+		}
+		return changed
+	}
+	for j := range m.ext {
+		if robust.CmpDot(q, m.ext[j], m.units[j]) > 0 {
+			m.ext[j] = q
+			changed = append(changed, j)
+		}
+	}
+	return changed
+}
+
+func checkAgainstModel(t *testing.T, h *Hull, mod *model, context string) {
+	t.Helper()
+	for j := 0; j < h.DirCount(); j++ {
+		got, ok := h.ExtremumAt(j)
+		if ok != mod.any {
+			t.Fatalf("%s: ExtremumAt(%d) ok=%v, model any=%v", context, j, ok, mod.any)
+		}
+		if ok && !got.Eq(mod.ext[j]) {
+			t.Fatalf("%s: ExtremumAt(%d) = %v, model %v", context, j, got, mod.ext[j])
+		}
+	}
+}
+
+func feedAndCheck(t *testing.T, h *Hull, pts []geom.Point) {
+	t.Helper()
+	mod := newModel(h)
+	for i, p := range pts {
+		ch := h.Insert(p)
+		changed := mod.insert(p)
+		if ch.Changed != (len(changed) > 0) {
+			t.Fatalf("point %d (%v): Changed=%v, model changed %d dirs", i, p, ch.Changed, len(changed))
+		}
+		if ch.Changed {
+			if ch.Count != len(changed) {
+				t.Fatalf("point %d: Count=%d, model %d (range [%d..%d])", i, ch.Count, len(changed), ch.Lo, ch.Hi)
+			}
+			// Every changed direction must be inside [Lo..Hi].
+			inRange := func(j int) bool {
+				off := (j - ch.Lo + h.DirCount()) % h.DirCount()
+				return off < ch.Count
+			}
+			for _, j := range changed {
+				if !inRange(j) {
+					t.Fatalf("point %d: dir %d changed but outside [%d..%d]", i, j, ch.Lo, ch.Hi)
+				}
+			}
+		}
+		checkAgainstModel(t, h, mod, "after point")
+	}
+}
+
+func diskPoints(rng *rand.Rand, n int, radius float64) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		p := geom.Pt(rng.Float64()*2-1, rng.Float64()*2-1)
+		if p.Norm2() <= 1 {
+			pts = append(pts, p.Scale(radius))
+		}
+	}
+	return pts
+}
+
+func TestAgainstModelDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{3, 4, 7, 16, 33} {
+		h := NewUniform(m)
+		feedAndCheck(t, h, diskPoints(rng, 600, 1))
+	}
+}
+
+func TestAgainstModelEllipse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 800)
+	for i := range pts {
+		a := rng.Float64() * geom.TwoPi
+		r := math.Sqrt(rng.Float64())
+		pts[i] = geom.Pt(r*math.Cos(a), 0.05*r*math.Sin(a)).Rotate(0.3)
+	}
+	feedAndCheck(t, NewUniform(16), pts)
+}
+
+func TestAgainstModelCircle(t *testing.T) {
+	// Adversarial: every point is extreme. Exercises the hull-change path
+	// on every insert.
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Unit(rng.Float64() * geom.TwoPi)
+	}
+	feedAndCheck(t, NewUniform(32), pts)
+}
+
+func TestAgainstModelSpiral(t *testing.T) {
+	// Outward spiral: every point beats a range of directions.
+	pts := make([]geom.Point, 400)
+	for i := range pts {
+		a := float64(i) * 0.7
+		pts[i] = geom.Unit(a).Scale(1 + float64(i)*0.01)
+	}
+	feedAndCheck(t, NewUniform(24), pts)
+}
+
+func TestAgainstModelCollinear(t *testing.T) {
+	// Degenerate: all points on a line, including duplicates and reversals.
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 1}, {X: -1, Y: -1}, {X: 0.5, Y: 0.5},
+		{X: 2, Y: 2}, {X: 2, Y: 2}, {X: -3, Y: -3}, {X: 0, Y: 0},
+	}
+	feedAndCheck(t, NewUniform(8), pts)
+	feedAndCheck(t, NewUniform(5), pts)
+}
+
+func TestAgainstModelDuplicates(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 2}, {X: 1, Y: 2}, {X: 1, Y: 2}}
+	h := NewUniform(6)
+	feedAndCheck(t, h, pts)
+	if h.VertexCount() != 1 {
+		t.Errorf("duplicate stream: %d vertices", h.VertexCount())
+	}
+}
+
+func TestAgainstModelArbitraryAngles(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	angles := []float64{0.1, 0.7, 1.2, 2.5, 2.6, 4.0, 5.9}
+	h := NewFromAngles(angles)
+	feedAndCheck(t, h, diskPoints(rng, 500, 2))
+}
+
+func TestAgainstModelTinyCluster(t *testing.T) {
+	// Points nearly coincident: exercises near-tie comparisons.
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		pts[i] = geom.Pt(1+rng.Float64()*1e-12, 1+rng.Float64()*1e-12)
+	}
+	feedAndCheck(t, NewUniform(12), pts)
+}
+
+func TestVerticesFormConvexSubsetOfTrueHull(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := diskPoints(rng, 2000, 3)
+	h := NewUniform(16)
+	for _, p := range pts {
+		h.Insert(p)
+	}
+	truth := convex.Hull(pts)
+	for _, v := range h.VerticesCCW() {
+		if !truth.Contains(v) {
+			t.Fatalf("sampled vertex %v outside true hull", v)
+		}
+	}
+	if !h.Polygon().IsConvexCCW() {
+		t.Error("sampled polygon not convex")
+	}
+}
+
+// TestUniformErrorBound verifies Lemma 3.2's uncertainty guarantee: every
+// stream point is within D·tan(θ0/2) of the sampled hull.
+func TestUniformErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{8, 16, 32, 64} {
+		pts := diskPoints(rng, 3000, 1)
+		h := NewUniform(m)
+		for _, p := range pts {
+			h.Insert(p)
+		}
+		poly := h.Polygon()
+		truth := convex.Hull(pts)
+		d, _ := truth.Diameter()
+		bound := d*math.Tan(math.Pi/float64(m)) + 1e-9
+		for _, p := range pts {
+			if dist := poly.DistToPoint(p); dist > bound {
+				t.Fatalf("m=%d: point %v at distance %v > bound %v", m, p, dist, bound)
+			}
+		}
+	}
+}
+
+// TestDiameterApproximation verifies Lemma 3.1: the diameter of the
+// extrema is within a (1 + O(1/r²)) factor of the true diameter.
+func TestDiameterApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, m := range []int{8, 16, 32, 64, 128} {
+		pts := diskPoints(rng, 5000, 1)
+		h := NewUniform(m)
+		for _, p := range pts {
+			h.Insert(p)
+		}
+		dTrue, _ := convex.Hull(pts).Diameter()
+		dSampled, _ := h.Polygon().Diameter()
+		if dSampled > dTrue+1e-12 {
+			t.Fatalf("m=%d: sampled diameter exceeds truth", m)
+		}
+		theta0 := geom.TwoPi / float64(m)
+		// Lemma 3.1: D̃ ≥ D·cos(θ0/2).
+		if dSampled < dTrue*math.Cos(theta0/2)-1e-9 {
+			t.Fatalf("m=%d: sampled diameter %v below bound %v",
+				m, dSampled, dTrue*math.Cos(theta0/2))
+		}
+	}
+}
+
+func TestPerimeterMatchesPolygon(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := NewUniform(20)
+	pts := diskPoints(rng, 500, 1)
+	for i, p := range pts {
+		h.Insert(p)
+		vs := h.VerticesCCW()
+		want := 0.0
+		if len(vs) > 1 {
+			for k := range vs {
+				want += vs[k].Dist(vs[(k+1)%len(vs)])
+			}
+		}
+		if math.Abs(h.Perimeter()-want) > 1e-9*(1+want) {
+			t.Fatalf("point %d: Perimeter=%v, recomputed %v", i, h.Perimeter(), want)
+		}
+	}
+}
+
+func TestSupportIsRunningMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	h := NewUniform(10)
+	var seen []geom.Point
+	for i := 0; i < 300; i++ {
+		p := geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+		h.Insert(p)
+		seen = append(seen, p)
+		j := rng.Intn(10)
+		want := math.Inf(-1)
+		for _, s := range seen {
+			want = math.Max(want, s.Dot(h.UnitDir(j)))
+		}
+		if got := h.Support(j); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("step %d: Support(%d) = %v, want %v", i, j, got, want)
+		}
+	}
+}
+
+func TestChangeReportFirstInsert(t *testing.T) {
+	h := NewUniform(8)
+	ch := h.Insert(geom.Pt(1, 1))
+	if !ch.Changed || !ch.First || ch.Count != 8 {
+		t.Errorf("first insert change = %+v", ch)
+	}
+	ch = h.Insert(geom.Pt(1, 1))
+	if ch.Changed {
+		t.Errorf("duplicate insert changed: %+v", ch)
+	}
+}
+
+func TestStateDeterminism(t *testing.T) {
+	build := func() []geom.Point {
+		rng := rand.New(rand.NewSource(11))
+		h := NewUniform(16)
+		for i := 0; i < 1000; i++ {
+			h.Insert(geom.Pt(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		return h.VerticesCCW()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic vertex count")
+	}
+	for i := range a {
+		if !a[i].Eq(b[i]) {
+			t.Fatal("nondeterministic vertices")
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewUniform(2)", func() { NewUniform(2) })
+	mustPanic("too few angles", func() { NewFromAngles([]float64{0, 1}) })
+	mustPanic("unsorted", func() { NewFromAngles([]float64{0, 2, 1}) })
+	mustPanic("out of range", func() { NewFromAngles([]float64{0, 1, 7}) })
+	mustPanic("duplicate", func() { NewFromAngles([]float64{0, 1, 1}) })
+}
+
+func TestHullChangesCounter(t *testing.T) {
+	h := NewUniform(8)
+	h.Insert(geom.Pt(0, 0))
+	h.Insert(geom.Pt(10, 0)) // changes
+	h.Insert(geom.Pt(1, 0))  // inside, no change
+	if h.HullChanges() != 2 {
+		t.Errorf("HullChanges = %d", h.HullChanges())
+	}
+	if h.N() != 3 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func BenchmarkInsertDiskUniform32(b *testing.B) {
+	rng := rand.New(rand.NewSource(100))
+	pts := diskPoints(rng, 4096, 1)
+	h := NewUniform(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkInsertCircleUniform256(b *testing.B) {
+	rng := rand.New(rand.NewSource(101))
+	pts := make([]geom.Point, 4096)
+	for i := range pts {
+		pts[i] = geom.Unit(rng.Float64() * geom.TwoPi)
+	}
+	h := NewUniform(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(pts[i%len(pts)])
+	}
+}

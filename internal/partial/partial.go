@@ -1,0 +1,143 @@
+// Package partial implements the "partially adaptive" scheme that §7 of
+// Hershberger–Suri uses as a cautionary comparator: an adaptive hull is
+// trained on a prefix of the stream, its sample directions are then
+// frozen, and the remainder of the stream only updates extrema in those
+// fixed directions.
+//
+// The paper describes it as "inspired by (a particularly bad example of)
+// machine learning": when the distribution changes after training, the
+// frozen directions are aimed at the wrong shape and the approximation
+// degrades to uniform-hull quality or worse (Table 1, fourth section).
+package partial
+
+import (
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+	"github.com/streamgeom/streamhull/internal/core"
+	"github.com/streamgeom/streamhull/internal/fixeddir"
+	"github.com/streamgeom/streamhull/internal/uncert"
+)
+
+// Hull is the partially adaptive sampled hull.
+type Hull struct {
+	trainN   int
+	adaptive *core.Hull // live during training, nil after freeze
+	frozen   *fixeddir.Hull
+	n        int
+}
+
+// New returns a hull that adapts for the first trainN points using an
+// adaptive hull with parameter r (and, if targetDirs > 0, the fixed-budget
+// variant), then freezes its direction set.
+func New(r, trainN, targetDirs int) *Hull {
+	if trainN < 1 {
+		panic("partial: trainN must be ≥ 1")
+	}
+	return &Hull{
+		trainN:   trainN,
+		adaptive: core.New(core.Config{R: r, TargetDirs: targetDirs}),
+	}
+}
+
+// N returns the number of stream points processed.
+func (h *Hull) N() int { return h.n }
+
+// Frozen reports whether the training phase has ended.
+func (h *Hull) Frozen() bool { return h.frozen != nil }
+
+// Insert processes one stream point.
+func (h *Hull) Insert(q geom.Point) {
+	h.n++
+	if h.frozen != nil {
+		h.frozen.Insert(q)
+		return
+	}
+	h.adaptive.Insert(q)
+	if h.adaptive.N() >= h.trainN {
+		h.freeze()
+	}
+}
+
+// InsertAll processes a batch of points in order.
+func (h *Hull) InsertAll(pts []geom.Point) {
+	for _, p := range pts {
+		h.Insert(p)
+	}
+}
+
+// freeze converts the trained adaptive hull into a fixed-direction hull,
+// carrying the trained extrema over so no information is lost at the
+// boundary.
+func (h *Hull) freeze() {
+	samples := h.adaptive.Samples()
+	angles := make([]float64, len(samples))
+	for i, s := range samples {
+		angles[i] = s.Theta
+	}
+	h.frozen = fixeddir.NewFromAngles(angles)
+	for _, s := range samples {
+		h.frozen.Insert(s.Point)
+	}
+	h.adaptive = nil
+}
+
+// DirectionAngles returns the current sample directions.
+func (h *Hull) DirectionAngles() []float64 {
+	if h.frozen != nil {
+		out := make([]float64, h.frozen.DirCount())
+		for j := range out {
+			out[j] = h.frozen.Angle(j)
+		}
+		return out
+	}
+	return h.adaptive.DirectionAngles()
+}
+
+// Vertices returns the distinct sample points in CCW order.
+func (h *Hull) Vertices() []geom.Point {
+	if h.frozen != nil {
+		return h.frozen.VerticesCCW()
+	}
+	return h.adaptive.Vertices()
+}
+
+// Polygon returns the sampled hull as a convex polygon.
+func (h *Hull) Polygon() convex.Polygon {
+	if h.frozen != nil {
+		return h.frozen.Polygon()
+	}
+	return h.adaptive.Polygon()
+}
+
+// Triangles returns the current uncertainty triangles.
+func (h *Hull) Triangles() []uncert.Triangle {
+	if h.frozen == nil {
+		return h.adaptive.Triangles()
+	}
+	f := h.frozen
+	m := f.DirCount()
+	out := make([]uncert.Triangle, 0, m)
+	for j := 0; j < m; j++ {
+		a, ok := f.ExtremumAt(j)
+		if !ok {
+			return nil
+		}
+		b, _ := f.ExtremumAt((j + 1) % m)
+		if a.Eq(b) {
+			continue
+		}
+		out = append(out, uncert.Compute(a, f.Angle(j), b, f.Angle((j+1)%m)))
+	}
+	return out
+}
+
+// MaxUncertaintyHeight returns the largest uncertainty-triangle height.
+func (h *Hull) MaxUncertaintyHeight() float64 {
+	best := 0.0
+	for _, tr := range h.Triangles() {
+		if tr.Height > best {
+			best = tr.Height
+		}
+	}
+	return best
+}

@@ -1,0 +1,119 @@
+package partial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/core"
+)
+
+func ellipse(rng *rand.Rand, n int, a, b, rot float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		ang := rng.Float64() * geom.TwoPi
+		rad := math.Sqrt(rng.Float64())
+		pts[i] = geom.Pt(a*rad*math.Cos(ang), b*rad*math.Sin(ang)).Rotate(rot)
+	}
+	return pts
+}
+
+func TestFreezeHappensAtTrainN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := New(8, 100, 16)
+	pts := ellipse(rng, 150, 1, 0.5, 0)
+	for i, p := range pts {
+		h.Insert(p)
+		if (h.N() >= 100) != h.Frozen() {
+			t.Fatalf("point %d: Frozen=%v at n=%d", i, h.Frozen(), h.N())
+		}
+	}
+	if h.N() != 150 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestBeforeFreezeMatchesAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := ellipse(rng, 80, 1, 0.2, 0.3)
+	h := New(8, 1000, 0)
+	a := core.New(core.Config{R: 8})
+	for _, p := range pts {
+		h.Insert(p)
+		a.Insert(p)
+	}
+	hv, av := h.Vertices(), a.Vertices()
+	if len(hv) != len(av) {
+		t.Fatalf("vertex counts differ: %d vs %d", len(hv), len(av))
+	}
+	for i := range hv {
+		if !hv[i].Eq(av[i]) {
+			t.Fatalf("vertex %d differs", i)
+		}
+	}
+}
+
+func TestFreezePreservesTrainedExtrema(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := ellipse(rng, 200, 1, 0.3, 0.1)
+	h := New(8, 200, 16)
+	h.InsertAll(train)
+	if !h.Frozen() {
+		t.Fatal("not frozen after training")
+	}
+	// Immediately after freezing, the polygon must contain the trained
+	// hull's vertices (no information lost at the boundary).
+	poly := h.Polygon()
+	static := core.New(core.Config{R: 8, TargetDirs: 16})
+	static.InsertAll(train)
+	for _, v := range static.Vertices() {
+		if poly.DistToPoint(v) > 1e-9 {
+			t.Fatalf("trained vertex %v lost at freeze (dist %v)", v, poly.DistToPoint(v))
+		}
+	}
+}
+
+// TestChangingDistributionDegrades reproduces the qualitative claim of
+// §7's fourth table section: on the changing-ellipse stream the partially
+// adaptive hull is much worse than the continuously adaptive one.
+func TestChangingDistributionDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 20000
+	first := ellipse(rng, n, 0.05, 0.8, 0)  // thin near-vertical
+	second := ellipse(rng, n, 14.4, 0.9, 0) // thin near-horizontal, contains the first
+	stream := append(append([]geom.Point{}, first...), second...)
+
+	part := New(16, n, 32)
+	part.InsertAll(stream)
+	adapt := core.New(core.Config{R: 16, TargetDirs: 32})
+	for _, p := range stream {
+		adapt.Insert(p)
+	}
+
+	// Count stream points outside each hull.
+	pPoly, aPoly := part.Polygon(), adapt.Polygon()
+	pOut, aOut := 0, 0
+	for _, q := range stream {
+		if pPoly.DistToPoint(q) > 0 {
+			pOut++
+		}
+		if aPoly.DistToPoint(q) > 0 {
+			aOut++
+		}
+	}
+	if pOut <= aOut {
+		t.Errorf("partial outside=%d not worse than adaptive outside=%d", pOut, aOut)
+	}
+	t.Logf("changing ellipse: %%outside partial=%.2f adaptive=%.2f",
+		100*float64(pOut)/float64(len(stream)), 100*float64(aOut)/float64(len(stream)))
+}
+
+func TestPanicsOnBadTrainN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(8, 0, 0)
+}

@@ -1,0 +1,119 @@
+// Package robust provides exact-sign geometric predicates on float64
+// coordinates.
+//
+// The combinatorial layers of the hull summaries (tangent binary searches,
+// point-in-polygon tests, monotone-chain construction) must never make two
+// mutually inconsistent decisions, or the searchable vertex lists of
+// Hershberger–Suri §3.1 corrupt. The predicates here use a standard
+// floating-point filter: the straightforward double-precision expression is
+// evaluated together with a forward error bound, and only if the result is
+// smaller than the bound do we fall back to exact rational arithmetic
+// (math/big.Rat; every float64 is a rational, so the fallback is exact).
+package robust
+
+import (
+	"math"
+	"math/big"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// epsilon is the unit roundoff for float64 (2^-53).
+const epsilon = 1.1102230246251565e-16
+
+// orientErrBound is the coefficient of the forward error bound for the
+// orientation determinant, following Shewchuk's ccwerrboundA
+// (3 + 16ε)ε.
+var orientErrBound = (3.0 + 16.0*epsilon) * epsilon
+
+// Orient2D returns the sign of the orientation test for the ordered triple
+// (a, b, c): +1 if they make a counterclockwise (left) turn, −1 for a
+// clockwise (right) turn, and 0 if they are exactly collinear.
+func Orient2D(a, b, c geom.Point) int {
+	detL := (a.X - c.X) * (b.Y - c.Y)
+	detR := (a.Y - c.Y) * (b.X - c.X)
+	det := detL - detR
+
+	var detSum float64
+	switch {
+	case detL > 0:
+		if detR <= 0 {
+			return signOf(det)
+		}
+		detSum = detL + detR
+	case detL < 0:
+		if detR >= 0 {
+			return signOf(det)
+		}
+		detSum = -detL - detR
+	default:
+		return signOf(det)
+	}
+
+	errBound := orientErrBound * detSum
+	if det >= errBound || -det >= errBound {
+		return signOf(det)
+	}
+	return orient2DExact(a, b, c)
+}
+
+// orient2DExact computes the orientation sign with exact rational
+// arithmetic. It is reached only when the filter cannot certify the sign.
+func orient2DExact(a, b, c geom.Point) int {
+	ax, ay := ratOf(a.X), ratOf(a.Y)
+	bx, by := ratOf(b.X), ratOf(b.Y)
+	cx, cy := ratOf(c.X), ratOf(c.Y)
+
+	l := new(big.Rat).Mul(new(big.Rat).Sub(ax, cx), new(big.Rat).Sub(by, cy))
+	r := new(big.Rat).Mul(new(big.Rat).Sub(ay, cy), new(big.Rat).Sub(bx, cx))
+	return l.Cmp(r)
+}
+
+func ratOf(x float64) *big.Rat {
+	r := new(big.Rat)
+	// SetFloat64 returns nil for NaN/Inf; the summaries reject non-finite
+	// points at the API boundary, so this is an internal invariant.
+	if r.SetFloat64(x) == nil {
+		panic("robust: non-finite coordinate")
+	}
+	return r
+}
+
+func signOf(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// CmpDot compares dot products exactly: it returns the sign of
+// (a·u − b·u) = (a−b)·u for float64 vectors, using the same
+// filter-then-exact strategy as Orient2D.
+func CmpDot(a, b, u geom.Point) int {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	s := dx*u.X + dy*u.Y
+	// Forward error bound: each product has relative error ≤ ε after the
+	// exact subtraction bound; use a conservative coefficient.
+	mag := math.Abs(dx*u.X) + math.Abs(dy*u.Y)
+	errBound := 8 * epsilon * mag
+	if s > errBound || -s > errBound {
+		return signOf(s)
+	}
+	return cmpDotExact(a, b, u)
+}
+
+func cmpDotExact(a, b, u geom.Point) int {
+	dx := new(big.Rat).Sub(ratOf(a.X), ratOf(b.X))
+	dy := new(big.Rat).Sub(ratOf(a.Y), ratOf(b.Y))
+	s := new(big.Rat).Mul(dx, ratOf(u.X))
+	s.Add(s, new(big.Rat).Mul(dy, ratOf(u.Y)))
+	return s.Sign()
+}
+
+// Collinear reports whether the three points are exactly collinear.
+func Collinear(a, b, c geom.Point) bool { return Orient2D(a, b, c) == 0 }

@@ -1,0 +1,173 @@
+package robust
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// exactOrient is an independent exact implementation used as the oracle.
+func exactOrient(a, b, c geom.Point) int {
+	ax := new(big.Rat).SetFloat64(a.X)
+	ay := new(big.Rat).SetFloat64(a.Y)
+	bx := new(big.Rat).SetFloat64(b.X)
+	by := new(big.Rat).SetFloat64(b.Y)
+	cx := new(big.Rat).SetFloat64(c.X)
+	cy := new(big.Rat).SetFloat64(c.Y)
+	abx := new(big.Rat).Sub(bx, ax)
+	aby := new(big.Rat).Sub(by, ay)
+	acx := new(big.Rat).Sub(cx, ax)
+	acy := new(big.Rat).Sub(cy, ay)
+	l := new(big.Rat).Mul(abx, acy)
+	r := new(big.Rat).Mul(aby, acx)
+	return l.Cmp(r)
+}
+
+func TestOrient2DBasic(t *testing.T) {
+	a, b := geom.Pt(0, 0), geom.Pt(1, 0)
+	if got := Orient2D(a, b, geom.Pt(0, 1)); got != 1 {
+		t.Errorf("left turn = %d", got)
+	}
+	if got := Orient2D(a, b, geom.Pt(0, -1)); got != -1 {
+		t.Errorf("right turn = %d", got)
+	}
+	if got := Orient2D(a, b, geom.Pt(2, 0)); got != 0 {
+		t.Errorf("collinear = %d", got)
+	}
+	if !Collinear(a, b, geom.Pt(0.5, 0)) {
+		t.Error("Collinear false negative")
+	}
+}
+
+func TestOrient2DRandomAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		a := geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+		b := geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+		c := geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+		if got, want := Orient2D(a, b, c), exactOrient(a, b, c); got != want {
+			t.Fatalf("Orient2D(%v,%v,%v) = %d, want %d", a, b, c, got, want)
+		}
+	}
+}
+
+func TestOrient2DNearDegenerate(t *testing.T) {
+	// Points nearly collinear: c on the line ab, perturbed by one ulp.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		a := geom.Pt(rng.Float64(), rng.Float64())
+		d := geom.Pt(rng.Float64()-0.5, rng.Float64()-0.5)
+		b := a.Add(d)
+		tt := rng.Float64() * 2
+		c := a.Add(d.Scale(tt))
+		// Perturb c by a tiny amount in a random direction.
+		switch i % 3 {
+		case 0: // exact collinear up to fp of construction
+		case 1:
+			c.X = math.Nextafter(c.X, math.Inf(1))
+		case 2:
+			c.Y = math.Nextafter(c.Y, math.Inf(-1))
+		}
+		if got, want := Orient2D(a, b, c), exactOrient(a, b, c); got != want {
+			t.Fatalf("near-degenerate Orient2D(%v,%v,%v) = %d, want %d", a, b, c, got, want)
+		}
+	}
+}
+
+func TestOrient2DAdversarialGrid(t *testing.T) {
+	// The classic torture grid: tiny offsets around a base point, where the
+	// naive determinant sign is wrong for many cells.
+	base := geom.Pt(0.5, 0.5)
+	b := geom.Pt(12, 12)
+	c := geom.Pt(24, 24)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			a := base
+			for k := 0; k < i; k++ {
+				a.X = math.Nextafter(a.X, 1)
+			}
+			for k := 0; k < j; k++ {
+				a.Y = math.Nextafter(a.Y, 1)
+			}
+			if got, want := Orient2D(a, b, c), exactOrient(a, b, c); got != want {
+				t.Fatalf("grid (%d,%d): got %d want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestOrient2DAntisymmetry(t *testing.T) {
+	err := quick.Check(func(ax, ay, bx, by, cx, cy float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a, b, c := geom.Pt(ax, ay), geom.Pt(bx, by), geom.Pt(cx, cy)
+		return Orient2D(a, b, c) == -Orient2D(b, a, c) &&
+			Orient2D(a, b, c) == Orient2D(b, c, a)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpDot(t *testing.T) {
+	u := geom.Unit(0.3)
+	a, b := geom.Pt(2, 3), geom.Pt(1, 1)
+	if got := CmpDot(a, b, u); got != 1 {
+		t.Errorf("CmpDot = %d", got)
+	}
+	if got := CmpDot(b, a, u); got != -1 {
+		t.Errorf("CmpDot reversed = %d", got)
+	}
+	if got := CmpDot(a, a, u); got != 0 {
+		t.Errorf("CmpDot equal = %d", got)
+	}
+}
+
+func TestCmpDotNearTie(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		u := geom.Unit(rng.Float64() * geom.TwoPi)
+		a := geom.Pt(rng.Float64(), rng.Float64())
+		// b has (nearly) the same projection: move along the perpendicular.
+		b := a.Add(u.Rot90().Scale(rng.NormFloat64()))
+		if i%2 == 0 {
+			b.X = math.Nextafter(b.X, math.Inf(1))
+		}
+		got := CmpDot(a, b, u)
+		want := cmpDotExact(a, b, u)
+		if got != want {
+			t.Fatalf("CmpDot(%v,%v,%v) = %d, want %d", a, b, u, got, want)
+		}
+	}
+}
+
+func TestRatOfPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for NaN")
+		}
+	}()
+	ratOf(math.NaN())
+}
+
+func BenchmarkOrient2DFastPath(b *testing.B) {
+	p, q, r := geom.Pt(0, 0), geom.Pt(1, 0.5), geom.Pt(2, 3)
+	for i := 0; i < b.N; i++ {
+		Orient2D(p, q, r)
+	}
+}
+
+func BenchmarkOrient2DExactPath(b *testing.B) {
+	p, q := geom.Pt(0, 0), geom.Pt(1, 1)
+	r := geom.Pt(0.5, math.Nextafter(0.5, 1))
+	for i := 0; i < b.N; i++ {
+		Orient2D(p, q, r)
+	}
+}

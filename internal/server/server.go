@@ -1,0 +1,349 @@
+// Package server exposes stream-hull summaries over HTTP with a small
+// JSON API — the shape of deployment the paper motivates (§1): many
+// sources push points, the service holds only O(r)-size summaries per
+// stream, and extremal queries (diameter, width, extent, separation,
+// containment, overlap) are answered from the summaries at any time.
+//
+// Endpoints:
+//
+//	PUT    /v1/streams/{id}?algo=adaptive|uniform|exact&r=32   create
+//	DELETE /v1/streams/{id}                                    drop
+//	GET    /v1/streams                                         list
+//	POST   /v1/streams/{id}/points   {"points": [[x,y], ...]}  ingest
+//	GET    /v1/streams/{id}/hull                               hull polygon
+//	GET    /v1/streams/{id}/query?type=diameter|width|extent|circle&theta=rad
+//	GET    /v1/pairs/query?a=id&b=id&type=distance|separable|overlap|contains
+//	GET    /v1/streams/{id}/snapshot                           sample snapshot
+//
+// Streams are auto-created on first ingest with the default algorithm
+// when not explicitly configured.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DefaultR is the sample parameter used for auto-created streams.
+	// Zero selects 32.
+	DefaultR int
+	// MaxStreams bounds the number of live streams (0 = 1024).
+	MaxStreams int
+	// MaxBatch bounds the number of points per ingest request (0 = 65536).
+	MaxBatch int
+}
+
+// Server is an HTTP handler managing named stream summaries.
+type Server struct {
+	cfg     Config
+	mu      sync.RWMutex
+	streams map[string]*stream
+	mux     *http.ServeMux
+}
+
+type stream struct {
+	sum  streamhull.Summary
+	algo string
+	r    int
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.DefaultR == 0 {
+		cfg.DefaultR = 32
+	}
+	if cfg.MaxStreams == 0 {
+		cfg.MaxStreams = 1024
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 65536
+	}
+	s := &Server{cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux()}
+	s.mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreate)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/streams", s.handleList)
+	s.mux.HandleFunc("POST /v1/streams/{id}/points", s.handlePoints)
+	s.mux.HandleFunc("GET /v1/streams/{id}/hull", s.handleHull)
+	s.mux.HandleFunc("GET /v1/streams/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/pairs/query", s.handlePairQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// newSummary builds a summary for an algorithm name.
+func newSummary(algo string, r int) (streamhull.Summary, error) {
+	switch algo {
+	case "", "adaptive":
+		if r < 4 {
+			return nil, fmt.Errorf("adaptive requires r ≥ 4, got %d", r)
+		}
+		return streamhull.NewAdaptive(r), nil
+	case "uniform":
+		if r < 3 {
+			return nil, fmt.Errorf("uniform requires r ≥ 3, got %d", r)
+		}
+		return streamhull.NewUniform(r), nil
+	case "exact":
+		return streamhull.NewExact(), nil
+	default:
+		return nil, fmt.Errorf("unknown algo %q (want adaptive, uniform, or exact)", algo)
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	algo := req.URL.Query().Get("algo")
+	if algo == "" {
+		algo = "adaptive"
+	}
+	r := s.cfg.DefaultR
+	if rs := req.URL.Query().Get("r"); rs != "" {
+		v, err := strconv.Atoi(rs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid r: %v", err)
+			return
+		}
+		r = v
+	}
+	sum, err := newSummary(algo, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.streams[id]; exists {
+		writeErr(w, http.StatusConflict, "stream %q already exists", id)
+		return
+	}
+	if len(s.streams) >= s.cfg.MaxStreams {
+		writeErr(w, http.StatusInsufficientStorage, "stream limit %d reached", s.cfg.MaxStreams)
+		return
+	}
+	s.streams[id] = &stream{sum: sum, algo: algo, r: r}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "algo": algo, "r": r})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.streams[id]; !ok {
+		writeErr(w, http.StatusNotFound, "no stream %q", id)
+		return
+	}
+	delete(s.streams, id)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+type streamInfo struct {
+	ID         string `json:"id"`
+	Algo       string `json:"algo"`
+	R          int    `json:"r"`
+	N          int    `json:"n"`
+	SampleSize int    `json:"sample_size"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	infos := make([]streamInfo, 0, len(s.streams))
+	for id, st := range s.streams {
+		infos = append(infos, streamInfo{
+			ID: id, Algo: st.algo, R: st.r, N: st.sum.N(), SampleSize: st.sum.SampleSize(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"streams": infos})
+}
+
+// get returns the stream, auto-creating it for ingest when allowed.
+func (s *Server) get(id string, autocreate bool) (*stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.streams[id]; ok {
+		return st, nil
+	}
+	if !autocreate {
+		return nil, fmt.Errorf("no stream %q", id)
+	}
+	if len(s.streams) >= s.cfg.MaxStreams {
+		return nil, fmt.Errorf("stream limit %d reached", s.cfg.MaxStreams)
+	}
+	sum, err := newSummary("adaptive", s.cfg.DefaultR)
+	if err != nil {
+		return nil, err
+	}
+	st := &stream{sum: sum, algo: "adaptive", r: s.cfg.DefaultR}
+	s.streams[id] = st
+	return st, nil
+}
+
+type pointsBody struct {
+	Points [][2]float64 `json:"points"`
+}
+
+func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	var body pointsBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 16<<20))
+	if err := dec.Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(body.Points) == 0 {
+		writeErr(w, http.StatusBadRequest, "no points")
+		return
+	}
+	if len(body.Points) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d",
+			len(body.Points), s.cfg.MaxBatch)
+		return
+	}
+	st, err := s.get(id, true)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	for i, xy := range body.Points {
+		if err := st.sum.Insert(geom.Pt(xy[0], xy[1])); err != nil {
+			writeErr(w, http.StatusBadRequest, "point %d: %v", i, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested": len(body.Points), "n": st.sum.N(), "sample_size": st.sum.SampleSize(),
+	})
+}
+
+func (s *Server) handleHull(w http.ResponseWriter, req *http.Request) {
+	st, err := s.get(req.PathValue("id"), false)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	hull := st.sum.Hull()
+	vs := hull.Vertices()
+	out := make([][2]float64, len(vs))
+	for i, v := range vs {
+		out[i] = [2]float64{v.X, v.Y}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertices": out, "area": hull.Area(), "perimeter": hull.Perimeter(), "n": st.sum.N(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
+	st, err := s.get(req.PathValue("id"), false)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	hull := st.sum.Hull()
+	switch qt := req.URL.Query().Get("type"); qt {
+	case "diameter":
+		d, pair := hull.Diameter()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"diameter": d,
+			"pair":     [][2]float64{{pair[0].X, pair[0].Y}, {pair[1].X, pair[1].Y}},
+		})
+	case "width":
+		wv, ang := hull.Width()
+		writeJSON(w, http.StatusOK, map[string]any{"width": wv, "angle": ang})
+	case "extent":
+		theta, err := strconv.ParseFloat(req.URL.Query().Get("theta"), 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid theta: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"theta": theta, "extent": hull.Extent(theta)})
+	case "circle":
+		c, rad := hull.EnclosingCircle()
+		writeJSON(w, http.StatusOK, map[string]any{"center": [2]float64{c.X, c.Y}, "radius": rad})
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown query type %q", qt)
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
+	st, err := s.get(req.PathValue("id"), false)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	type snapshotter interface{ Snapshot() streamhull.Snapshot }
+	sn, ok := st.sum.(snapshotter)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "stream algo %q does not support snapshots", st.algo)
+		return
+	}
+	writeJSON(w, http.StatusOK, sn.Snapshot())
+}
+
+func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	sa, err := s.get(q.Get("a"), false)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	sb, err := s.get(q.Get("b"), false)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	ha, hb := sa.sum.Hull(), sb.sum.Hull()
+	switch qt := q.Get("type"); qt {
+	case "distance":
+		d, pair := streamhull.MinDistance(ha, hb)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"distance": d,
+			"pair":     [][2]float64{{pair[0].X, pair[0].Y}, {pair[1].X, pair[1].Y}},
+		})
+	case "separable":
+		line, ok := streamhull.SeparatingLine(ha, hb)
+		resp := map[string]any{"separable": ok}
+		if ok {
+			resp["line"] = map[string]any{
+				"normal": [2]float64{line.N.X, line.N.Y}, "offset": line.Offset,
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case "overlap":
+		area := streamhull.OverlapArea(ha, hb)
+		writeJSON(w, http.StatusOK, map[string]any{"overlap_area": area})
+	case "contains":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"a_contains_b": ha.ContainsPolygon(hb),
+			"b_contains_a": hb.ContainsPolygon(ha),
+		})
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown pair query type %q", qt)
+	}
+}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{DefaultR: 16}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func do(t *testing.T, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func ingest(t *testing.T, ts *httptest.Server, id string, pts []geom.Point) {
+	t.Helper()
+	body := map[string]any{"points": toPairs(pts)}
+	code, resp := do(t, "POST", ts.URL+"/v1/streams/"+id+"/points", body)
+	if code != http.StatusOK {
+		t.Fatalf("ingest: %d %v", code, resp)
+	}
+}
+
+func toPairs(pts []geom.Point) [][2]float64 {
+	out := make([][2]float64, len(pts))
+	for i, p := range pts {
+		out[i] = [2]float64{p.X, p.Y}
+	}
+	return out
+}
+
+func TestCreateListDelete(t *testing.T) {
+	ts := newTestServer(t)
+	code, resp := do(t, "PUT", ts.URL+"/v1/streams/s1?algo=adaptive&r=8", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, resp)
+	}
+	// Duplicate create conflicts.
+	if code, _ := do(t, "PUT", ts.URL+"/v1/streams/s1", nil); code != http.StatusConflict {
+		t.Errorf("duplicate create: %d", code)
+	}
+	// Bad algo.
+	if code, _ := do(t, "PUT", ts.URL+"/v1/streams/s2?algo=wizard", nil); code != http.StatusBadRequest {
+		t.Errorf("bad algo: %d", code)
+	}
+	code, resp = do(t, "GET", ts.URL+"/v1/streams", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if n := len(resp["streams"].([]any)); n != 1 {
+		t.Errorf("listed %d streams", n)
+	}
+	if code, _ := do(t, "DELETE", ts.URL+"/v1/streams/s1", nil); code != http.StatusOK {
+		t.Errorf("delete failed")
+	}
+	if code, _ := do(t, "DELETE", ts.URL+"/v1/streams/s1", nil); code != http.StatusNotFound {
+		t.Errorf("double delete: %d", code)
+	}
+}
+
+func TestIngestAndQueries(t *testing.T) {
+	ts := newTestServer(t)
+	pts := workload.Take(workload.Disk(1, geom.Pt(0, 0), 2), 5000)
+	ingest(t, ts, "sensors", pts) // auto-created
+
+	code, hull := do(t, "GET", ts.URL+"/v1/streams/sensors/hull", nil)
+	if code != http.StatusOK {
+		t.Fatalf("hull: %d %v", code, hull)
+	}
+	if hull["n"].(float64) != 5000 {
+		t.Errorf("n = %v", hull["n"])
+	}
+	if area := hull["area"].(float64); area < 9 || area > 13 {
+		t.Errorf("disk hull area = %v, want ≈ 4π", area)
+	}
+
+	code, diam := do(t, "GET", ts.URL+"/v1/streams/sensors/query?type=diameter", nil)
+	if code != http.StatusOK {
+		t.Fatalf("diameter: %d", code)
+	}
+	if d := diam["diameter"].(float64); math.Abs(d-4) > 0.2 {
+		t.Errorf("diameter = %v, want ≈ 4", d)
+	}
+
+	code, ext := do(t, "GET", ts.URL+"/v1/streams/sensors/query?type=extent&theta=0", nil)
+	if code != http.StatusOK || ext["extent"].(float64) < 3.5 {
+		t.Errorf("extent: %d %v", code, ext)
+	}
+
+	code, circ := do(t, "GET", ts.URL+"/v1/streams/sensors/query?type=circle", nil)
+	if code != http.StatusOK || math.Abs(circ["radius"].(float64)-2) > 0.2 {
+		t.Errorf("circle: %d %v", code, circ)
+	}
+
+	// Unknown query type and missing theta.
+	if code, _ := do(t, "GET", ts.URL+"/v1/streams/sensors/query?type=nope", nil); code != http.StatusBadRequest {
+		t.Errorf("unknown query type: %d", code)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/v1/streams/sensors/query?type=extent", nil); code != http.StatusBadRequest {
+		t.Errorf("missing theta: %d", code)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	ts := newTestServer(t)
+	// Empty body.
+	code, _ := do(t, "POST", ts.URL+"/v1/streams/x/points", map[string]any{"points": [][2]float64{}})
+	if code != http.StatusBadRequest {
+		t.Errorf("empty batch: %d", code)
+	}
+	// NaN point (JSON can't carry NaN; use a huge string instead → decode error).
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/streams/x/points",
+		bytes.NewReader([]byte(`{"points":[[null,0]]}`)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Log("null decoded as 0; accepted (documented behavior)")
+	}
+	// Garbage body.
+	req2, _ := http.NewRequest("POST", ts.URL+"/v1/streams/x/points", bytes.NewReader([]byte(`{`)))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: %d", resp2.StatusCode)
+	}
+}
+
+func TestPairQueries(t *testing.T) {
+	ts := newTestServer(t)
+	left := workload.Take(workload.Disk(2, geom.Pt(-5, 0), 1), 3000)
+	right := workload.Take(workload.Disk(3, geom.Pt(5, 0), 1), 3000)
+	ingest(t, ts, "left", left)
+	ingest(t, ts, "right", right)
+
+	code, dist := do(t, "GET", ts.URL+"/v1/pairs/query?a=left&b=right&type=distance", nil)
+	if code != http.StatusOK {
+		t.Fatalf("distance: %d %v", code, dist)
+	}
+	if d := dist["distance"].(float64); math.Abs(d-8) > 0.3 {
+		t.Errorf("pair distance = %v, want ≈ 8", d)
+	}
+
+	code, sep := do(t, "GET", ts.URL+"/v1/pairs/query?a=left&b=right&type=separable", nil)
+	if code != http.StatusOK || sep["separable"] != true {
+		t.Errorf("separable: %d %v", code, sep)
+	}
+	if _, ok := sep["line"]; !ok {
+		t.Error("no certificate line")
+	}
+
+	code, ov := do(t, "GET", ts.URL+"/v1/pairs/query?a=left&b=right&type=overlap", nil)
+	if code != http.StatusOK || ov["overlap_area"].(float64) != 0 {
+		t.Errorf("overlap: %d %v", code, ov)
+	}
+
+	code, ct := do(t, "GET", ts.URL+"/v1/pairs/query?a=left&b=right&type=contains", nil)
+	if code != http.StatusOK || ct["a_contains_b"] != false {
+		t.Errorf("contains: %d %v", code, ct)
+	}
+
+	// Missing stream.
+	if code, _ := do(t, "GET", ts.URL+"/v1/pairs/query?a=left&b=ghost&type=distance", nil); code != http.StatusNotFound {
+		t.Errorf("ghost pair: %d", code)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	ingest(t, ts, "s", workload.Take(workload.Gaussian(4, geom.Point{}, 1), 2000))
+	code, snap := do(t, "GET", ts.URL+"/v1/streams/s/snapshot", nil)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", code, snap)
+	}
+	if snap["kind"] != "adaptive" {
+		t.Errorf("kind = %v", snap["kind"])
+	}
+	angles := snap["angles"].([]any)
+	points := snap["points"].([]any)
+	if len(angles) != len(points) || len(angles) == 0 {
+		t.Errorf("snapshot sizes: %d angles, %d points", len(angles), len(points))
+	}
+	// Exact streams do not snapshot.
+	if code, _ := do(t, "PUT", ts.URL+"/v1/streams/ex?algo=exact", nil); code != http.StatusCreated {
+		t.Fatal("create exact")
+	}
+	ingest(t, ts, "ex", []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)})
+	if code, _ := do(t, "GET", ts.URL+"/v1/streams/ex/snapshot", nil); code != http.StatusBadRequest {
+		t.Errorf("exact snapshot: %d", code)
+	}
+}
+
+func TestStreamLimit(t *testing.T) {
+	ts := httptest.NewServer(New(Config{DefaultR: 8, MaxStreams: 2}))
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		if code, _ := do(t, "PUT", fmt.Sprintf("%s/v1/streams/s%d", ts.URL, i), nil); code != http.StatusCreated {
+			t.Fatalf("create %d failed", i)
+		}
+	}
+	if code, _ := do(t, "PUT", ts.URL+"/v1/streams/s2", nil); code != http.StatusInsufficientStorage {
+		t.Errorf("over-limit create: %d", code)
+	}
+}
+
+func TestBatchLimit(t *testing.T) {
+	ts := httptest.NewServer(New(Config{DefaultR: 8, MaxBatch: 10}))
+	defer ts.Close()
+	pts := workload.Take(workload.Disk(5, geom.Point{}, 1), 11)
+	code, _ := do(t, "POST", ts.URL+"/v1/streams/s/points", map[string]any{"points": toPairs(pts)})
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: %d", code)
+	}
+}

@@ -1,0 +1,118 @@
+package svgplot
+
+import (
+	"fmt"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/core"
+	"github.com/streamgeom/streamhull/internal/uncert"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// Fig10 reproduces the paper's Figure 10: the adaptive (top) and uniform
+// (bottom) sample hulls for the "ellipse rotated by θ0/4" workload, with
+// radial sample directions and uncertainty triangles drawn over the data
+// points. The figure is rotated back for presentation, as in the paper.
+func Fig10(n, r int, seed int64) string {
+	theta0 := geom.TwoPi / float64(r)
+	rot := theta0 / 4
+	pts := workload.Take(workload.Ellipse(seed, 1, 1/float64(r), rot), n)
+
+	adaptive := core.New(core.Config{R: r, TargetDirs: 2 * r})
+	adaptive.InsertAll(pts)
+	uniform := core.New(core.Config{R: 2 * r, TargetDirs: 2 * r})
+	uniform.InsertAll(pts)
+
+	// Rotate everything back so the ellipse is axis-aligned, as the paper
+	// does "for convenience of presentation". The two panels stack
+	// vertically with a gap proportional to the data height.
+	back := make([]geom.Point, len(pts))
+	maxAbsY := 0.0
+	for i, p := range pts {
+		back[i] = p.Rotate(-rot)
+		if y := back[i].Y; y > maxAbsY {
+			maxAbsY = y
+		} else if -y > maxAbsY {
+			maxAbsY = -y
+		}
+	}
+	gap := 4 * maxAbsY
+	if gap == 0 {
+		gap = 1
+	}
+	up, down := geom.Pt(0, gap), geom.Pt(0, -gap)
+
+	window := make([]geom.Point, 0, 2*len(back))
+	for _, p := range back {
+		window = append(window, p.Add(up), p.Add(down))
+	}
+	canvas := FitCanvas(900, 640, window, 0.2)
+	drawHullPanel(canvas, back, adaptive, -rot, up, maxAbsY,
+		fmt.Sprintf("adaptive (r=%d, %d directions)", r, 2*r))
+	drawHullPanel(canvas, back, uniform, -rot, down, maxAbsY,
+		fmt.Sprintf("uniform (%d directions)", 2*r))
+	return canvas.Render()
+}
+
+// drawHullPanel draws one summary's hull, triangles and sample rays,
+// offset vertically so the two panels stack as in the paper's figure.
+// pts must already be un-rotated; hull data from the summary is rotated
+// by rot before shifting.
+func drawHullPanel(c *Canvas, pts []geom.Point, h *core.Hull, rot float64, offset geom.Point, scale float64, label string) {
+	shift := func(p geom.Point) geom.Point { return p.Rotate(rot).Add(offset) }
+	shifted := make([]geom.Point, len(pts))
+	for i := range pts {
+		shifted[i] = pts[i].Add(offset)
+	}
+	c.Points(shifted, 0.8, "#555555", 0.35)
+
+	var hull []geom.Point
+	for _, v := range h.Vertices() {
+		hull = append(hull, shift(v))
+	}
+	c.Polygon(hull, "#1f77b4", 1.4, "none")
+
+	tris := h.Triangles()
+	moved := make([]uncert.Triangle, len(tris))
+	for i, tr := range tris {
+		moved[i] = tr
+		moved[i].P = shift(tr.P)
+		moved[i].Q = shift(tr.Q)
+		moved[i].Apex = shift(tr.Apex)
+	}
+	c.Triangles(moved, "#d62728", 0.8)
+
+	angles := make([]float64, 0, len(h.Samples()))
+	for _, s := range h.Samples() {
+		angles = append(angles, s.Theta+rot)
+	}
+	c.Rays(offset, angles, 2*scale, "#2ca02c", 0.5)
+	c.Label(offset.Add(geom.Pt(-1.0, 1.6*scale)), label, 14, "#000000")
+}
+
+// Fig9 reproduces the §5.4 lower-bound picture: 2r points evenly spaced
+// on a circle, the adaptive sample hull with parameter r, and the gap
+// between a missed point and the hull.
+func Fig9(r int, seed int64) string {
+	pts := workload.Take(workload.Circle(seed, 2*r, 1), 2*r)
+	h := core.New(core.Config{R: r})
+	h.InsertAll(pts)
+
+	canvas := FitCanvas(640, 640, pts, 0.15)
+	canvas.Points(pts, 3, "#1f77b4", 1)
+	canvas.Polygon(h.Vertices(), "#d62728", 1.5, "none")
+	poly := h.Polygon()
+	// Highlight the worst missed point.
+	worst, worstD := geom.Point{}, 0.0
+	for _, p := range pts {
+		if d := poly.DistToPoint(p); d > worstD {
+			worst, worstD = p, d
+		}
+	}
+	if worstD > 0 {
+		canvas.Points([]geom.Point{worst}, 5, "#2ca02c", 1)
+		canvas.Label(worst.Add(geom.Pt(0.04, 0.04)), "Ω(D/r²)", 14, "#2ca02c")
+	}
+	canvas.Label(geom.Pt(-1.05, 1.12), "2r points on a circle; r-point sample must miss one", 14, "#000000")
+	return canvas.Render()
+}

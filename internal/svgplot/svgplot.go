@@ -1,0 +1,161 @@
+// Package svgplot renders hull summaries as standalone SVG documents,
+// reproducing the figures of Hershberger–Suri §7: sampled hulls with
+// their radial sample directions and uncertainty triangles drawn over the
+// data points (Fig. 10), and the circle lower-bound construction
+// (Fig. 9).
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/uncert"
+)
+
+// Canvas accumulates SVG elements in data coordinates and renders them
+// with a y-up transform into a fixed viewport.
+type Canvas struct {
+	W, H     int
+	minX     float64
+	minY     float64
+	maxX     float64
+	maxY     float64
+	elements []string
+}
+
+// NewCanvas returns a canvas with the given pixel size covering the data
+// bounding box [minX,maxX]×[minY,maxY].
+func NewCanvas(w, h int, minX, minY, maxX, maxY float64) *Canvas {
+	if maxX <= minX || maxY <= minY {
+		panic("svgplot: empty data window")
+	}
+	return &Canvas{W: w, H: h, minX: minX, minY: minY, maxX: maxX, maxY: maxY}
+}
+
+// FitCanvas returns a canvas sized to the points with a relative margin.
+func FitCanvas(w, h int, pts []geom.Point, margin float64) *Canvas {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if minX > maxX {
+		minX, minY, maxX, maxY = -1, -1, 1, 1
+	}
+	dx, dy := maxX-minX, maxY-minY
+	if dx == 0 {
+		dx = 1
+	}
+	if dy == 0 {
+		dy = 1
+	}
+	return NewCanvas(w, h,
+		minX-margin*dx, minY-margin*dy, maxX+margin*dx, maxY+margin*dy)
+}
+
+func (c *Canvas) tx(p geom.Point) (float64, float64) {
+	x := (p.X - c.minX) / (c.maxX - c.minX) * float64(c.W)
+	y := float64(c.H) - (p.Y-c.minY)/(c.maxY-c.minY)*float64(c.H)
+	return x, y
+}
+
+// Points draws a scatter of small dots.
+func (c *Canvas) Points(pts []geom.Point, radius float64, color string, opacity float64) {
+	var b strings.Builder
+	b.WriteString(`<g fill="` + color + `" opacity="` + f(opacity) + `">`)
+	for _, p := range pts {
+		x, y := c.tx(p)
+		fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="%s"/>`, f(x), f(y), f(radius))
+	}
+	b.WriteString(`</g>`)
+	c.elements = append(c.elements, b.String())
+}
+
+// Polygon draws a closed polygon outline.
+func (c *Canvas) Polygon(pts []geom.Point, stroke string, width float64, fill string) {
+	if len(pts) == 0 {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(`<polygon points="`)
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		x, y := c.tx(p)
+		b.WriteString(f(x) + "," + f(y))
+	}
+	fmt.Fprintf(&b, `" stroke="%s" stroke-width="%s" fill="%s"/>`, stroke, f(width), fill)
+	c.elements = append(c.elements, b.String())
+}
+
+// Segment draws a line segment.
+func (c *Canvas) Segment(a, b geom.Point, stroke string, width float64) {
+	x1, y1 := c.tx(a)
+	x2, y2 := c.tx(b)
+	c.elements = append(c.elements, fmt.Sprintf(
+		`<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="%s"/>`,
+		f(x1), f(y1), f(x2), f(y2), stroke, f(width)))
+}
+
+// Triangles draws uncertainty triangles as filled wedges over the hull
+// edges, as in Fig. 10.
+func (c *Canvas) Triangles(tris []uncert.Triangle, fill string, opacity float64) {
+	var b strings.Builder
+	b.WriteString(`<g fill="` + fill + `" opacity="` + f(opacity) + `">`)
+	for _, tr := range tris {
+		if tr.LTilde == 0 {
+			continue
+		}
+		px, py := c.tx(tr.P)
+		qx, qy := c.tx(tr.Q)
+		ax, ay := c.tx(tr.Apex)
+		fmt.Fprintf(&b, `<polygon points="%s,%s %s,%s %s,%s"/>`,
+			f(px), f(py), f(qx), f(qy), f(ax), f(ay))
+	}
+	b.WriteString(`</g>`)
+	c.elements = append(c.elements, b.String())
+}
+
+// Rays draws the sample directions as radial segments from the origin (the
+// "radial line segments" of Fig. 10).
+func (c *Canvas) Rays(center geom.Point, angles []float64, length float64, stroke string, width float64) {
+	for _, a := range angles {
+		c.Segment(center, center.Add(geom.Unit(a).Scale(length)), stroke, width)
+	}
+}
+
+// Label places a small text label at a data position.
+func (c *Canvas) Label(at geom.Point, text string, size int, color string) {
+	x, y := c.tx(at)
+	c.elements = append(c.elements, fmt.Sprintf(
+		`<text x="%s" y="%s" font-size="%d" fill="%s" font-family="sans-serif">%s</text>`,
+		f(x), f(y), size, color, escape(text)))
+}
+
+// Render emits the complete SVG document.
+func (c *Canvas) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<?xml version="1.0" encoding="UTF-8"?>`+"\n")
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.W, c.H, c.W, c.H)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	for _, e := range c.elements {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

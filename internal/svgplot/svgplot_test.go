@@ -1,0 +1,79 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/uncert"
+)
+
+func TestCanvasBasics(t *testing.T) {
+	c := NewCanvas(100, 100, -1, -1, 1, 1)
+	c.Points([]geom.Point{{X: 0, Y: 0}}, 2, "#000", 1)
+	c.Polygon([]geom.Point{{X: -1, Y: -1}, {X: 1, Y: -1}, {X: 0, Y: 1}}, "#f00", 1, "none")
+	c.Segment(geom.Pt(0, 0), geom.Pt(1, 1), "#0f0", 1)
+	c.Label(geom.Pt(0, 0), "a<b&c", 10, "#00f")
+	out := c.Render()
+	for _, want := range []string{
+		`<?xml version="1.0"`, "<svg", "</svg>", "<circle", "<polygon", "<line",
+		"a&lt;b&amp;c",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestCanvasTransformOrientation(t *testing.T) {
+	// y-up: a point at the top of the data window maps to small SVG y.
+	c := NewCanvas(100, 100, 0, 0, 10, 10)
+	_, yTop := c.tx(geom.Pt(5, 10))
+	_, yBot := c.tx(geom.Pt(5, 0))
+	if yTop >= yBot {
+		t.Errorf("y axis not flipped: top=%v bottom=%v", yTop, yBot)
+	}
+}
+
+func TestFitCanvasDegenerate(t *testing.T) {
+	c := FitCanvas(50, 50, nil, 0.1)
+	if c == nil {
+		t.Fatal("nil canvas")
+	}
+	c2 := FitCanvas(50, 50, []geom.Point{{X: 3, Y: 3}}, 0.1)
+	if c2 == nil {
+		t.Fatal("nil canvas for single point")
+	}
+}
+
+func TestTrianglesSkipDegenerate(t *testing.T) {
+	c := NewCanvas(100, 100, -1, -1, 1, 1)
+	c.Triangles([]uncert.Triangle{{}}, "#f00", 0.5)
+	if strings.Contains(c.Render(), "polygon") {
+		t.Error("degenerate triangle rendered")
+	}
+}
+
+func TestFig10Structure(t *testing.T) {
+	out := Fig10(2000, 16, 3)
+	if !strings.HasPrefix(out, `<?xml`) || !strings.Contains(out, "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if !strings.Contains(out, "adaptive (r=16") || !strings.Contains(out, "uniform (32") {
+		t.Error("panel labels missing")
+	}
+	// Both panels must contain uncertainty triangles and rays.
+	if strings.Count(out, "<g fill=\"#d62728\"") < 2 {
+		t.Error("expected two triangle groups")
+	}
+}
+
+func TestFig9Structure(t *testing.T) {
+	out := Fig9(16, 4)
+	if !strings.Contains(out, "Ω(D/r²)") {
+		t.Error("lower-bound annotation missing")
+	}
+	if !strings.Contains(out, "circle") {
+		t.Error("no points rendered")
+	}
+}

@@ -1,0 +1,337 @@
+// Package treap implements an order-statistic treap: a randomized balanced
+// binary search tree supporting O(log n) insertion, deletion, predecessor/
+// successor queries, and rank/select.
+//
+// It is the "searchable, concatenable list structure" of Hershberger–Suri
+// §3.1 (they suggest "a balanced binary tree, a skip list, or a C++ STL
+// set"). Rank/select is what enables the binary searches over hull vertices
+// — point-in-hull tests and tangent finding — to run in O(log r).
+//
+// Each treap owns a deterministic pseudo-random priority source so that a
+// fixed stream of operations yields a fixed tree shape; this keeps the
+// summaries reproducible run to run.
+package treap
+
+import "math/rand"
+
+// Treap is an ordered collection of items of type T, ordered by the
+// comparison function supplied at construction. Duplicate keys (items
+// comparing equal) are not stored; inserting an equal item replaces the
+// existing one.
+type Treap[T any] struct {
+	less func(a, b T) bool
+	root *node[T]
+	rng  *rand.Rand
+}
+
+type node[T any] struct {
+	item        T
+	prio        uint64
+	size        int
+	left, right *node[T]
+}
+
+// New returns an empty treap ordered by less. The seed fixes the priority
+// sequence; any value is fine, and equal seeds give identical tree shapes
+// for identical operation sequences.
+func New[T any](less func(a, b T) bool, seed int64) *Treap[T] {
+	return &Treap[T]{less: less, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of items stored.
+func (t *Treap[T]) Len() int { return size(t.root) }
+
+func size[T any](n *node[T]) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node[T]) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// Insert adds item to the treap. If an equal item is already present it is
+// replaced, and Insert reports false; otherwise it reports true.
+func (t *Treap[T]) Insert(item T) bool {
+	inserted := true
+	var rec func(n *node[T]) *node[T]
+	rec = func(n *node[T]) *node[T] {
+		if n == nil {
+			return &node[T]{item: item, prio: t.rng.Uint64(), size: 1}
+		}
+		switch {
+		case t.less(item, n.item):
+			n.left = rec(n.left)
+			if n.left.prio > n.prio {
+				n = rotateRight(n)
+			}
+		case t.less(n.item, item):
+			n.right = rec(n.right)
+			if n.right.prio > n.prio {
+				n = rotateLeft(n)
+			}
+		default:
+			n.item = item
+			inserted = false
+		}
+		n.update()
+		return n
+	}
+	t.root = rec(t.root)
+	return inserted
+}
+
+// Delete removes the item equal to key and reports whether it was present.
+func (t *Treap[T]) Delete(key T) bool {
+	deleted := false
+	var rec func(n *node[T]) *node[T]
+	rec = func(n *node[T]) *node[T] {
+		if n == nil {
+			return nil
+		}
+		switch {
+		case t.less(key, n.item):
+			n.left = rec(n.left)
+		case t.less(n.item, key):
+			n.right = rec(n.right)
+		default:
+			deleted = true
+			return mergeNodes(n.left, n.right)
+		}
+		n.update()
+		return n
+	}
+	t.root = rec(t.root)
+	return deleted
+}
+
+// Get returns the stored item equal to key.
+func (t *Treap[T]) Get(key T) (T, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(key, n.item):
+			n = n.left
+		case t.less(n.item, key):
+			n = n.right
+		default:
+			return n.item, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// Contains reports whether an item equal to key is stored.
+func (t *Treap[T]) Contains(key T) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Min returns the smallest item.
+func (t *Treap[T]) Min() (T, bool) {
+	if t.root == nil {
+		var zero T
+		return zero, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.item, true
+}
+
+// Max returns the largest item.
+func (t *Treap[T]) Max() (T, bool) {
+	if t.root == nil {
+		var zero T
+		return zero, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.item, true
+}
+
+// Select returns the item of rank i (0-based, in sorted order).
+func (t *Treap[T]) Select(i int) (T, bool) {
+	if i < 0 || i >= t.Len() {
+		var zero T
+		return zero, false
+	}
+	n := t.root
+	for {
+		ls := size(n.left)
+		switch {
+		case i < ls:
+			n = n.left
+		case i > ls:
+			i -= ls + 1
+			n = n.right
+		default:
+			return n.item, true
+		}
+	}
+}
+
+// Rank returns the number of stored items strictly less than key.
+func (t *Treap[T]) Rank(key T) int {
+	rank := 0
+	n := t.root
+	for n != nil {
+		if t.less(n.item, key) {
+			rank += size(n.left) + 1
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return rank
+}
+
+// Floor returns the largest item ≤ key.
+func (t *Treap[T]) Floor(key T) (T, bool) {
+	var best T
+	found := false
+	n := t.root
+	for n != nil {
+		if t.less(key, n.item) {
+			n = n.left
+		} else {
+			best, found = n.item, true
+			n = n.right
+		}
+	}
+	return best, found
+}
+
+// Ceil returns the smallest item ≥ key.
+func (t *Treap[T]) Ceil(key T) (T, bool) {
+	var best T
+	found := false
+	n := t.root
+	for n != nil {
+		if t.less(n.item, key) {
+			n = n.right
+		} else {
+			best, found = n.item, true
+			n = n.left
+		}
+	}
+	return best, found
+}
+
+// Prev returns the largest item strictly less than key.
+func (t *Treap[T]) Prev(key T) (T, bool) {
+	var best T
+	found := false
+	n := t.root
+	for n != nil {
+		if t.less(n.item, key) {
+			best, found = n.item, true
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return best, found
+}
+
+// Next returns the smallest item strictly greater than key.
+func (t *Treap[T]) Next(key T) (T, bool) {
+	var best T
+	found := false
+	n := t.root
+	for n != nil {
+		if t.less(key, n.item) {
+			best, found = n.item, true
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return best, found
+}
+
+// Ascend calls fn on every item in increasing order until fn returns false.
+func (t *Treap[T]) Ascend(fn func(item T) bool) {
+	var rec func(n *node[T]) bool
+	rec = func(n *node[T]) bool {
+		if n == nil {
+			return true
+		}
+		return rec(n.left) && fn(n.item) && rec(n.right)
+	}
+	rec(t.root)
+}
+
+// AscendRange calls fn on every item x with lo ≤ x ≤ hi in increasing order
+// until fn returns false.
+func (t *Treap[T]) AscendRange(lo, hi T, fn func(item T) bool) {
+	var rec func(n *node[T]) bool
+	rec = func(n *node[T]) bool {
+		if n == nil {
+			return true
+		}
+		if t.less(n.item, lo) {
+			return rec(n.right)
+		}
+		if t.less(hi, n.item) {
+			return rec(n.left)
+		}
+		return rec(n.left) && fn(n.item) && rec(n.right)
+	}
+	rec(t.root)
+}
+
+// Items returns all items in increasing order.
+func (t *Treap[T]) Items() []T {
+	out := make([]T, 0, t.Len())
+	t.Ascend(func(item T) bool {
+		out = append(out, item)
+		return true
+	})
+	return out
+}
+
+// Clear removes all items.
+func (t *Treap[T]) Clear() { t.root = nil }
+
+func rotateRight[T any](n *node[T]) *node[T] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}
+
+func rotateLeft[T any](n *node[T]) *node[T] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}
+
+// mergeNodes joins two treaps where every item of a precedes every item of b.
+func mergeNodes[T any](a, b *node[T]) *node[T] {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.prio > b.prio:
+		a.right = mergeNodes(a.right, b)
+		a.update()
+		return a
+	default:
+		b.left = mergeNodes(a, b.left)
+		b.update()
+		return b
+	}
+}

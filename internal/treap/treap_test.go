@@ -1,0 +1,308 @@
+package treap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTreap() *Treap[int] {
+	return New(func(a, b int) bool { return a < b }, 1)
+}
+
+func TestBasicOps(t *testing.T) {
+	tr := intTreap()
+	if tr.Len() != 0 {
+		t.Fatal("new treap not empty")
+	}
+	for _, v := range []int{5, 3, 8, 1, 9, 7} {
+		if !tr.Insert(v) {
+			t.Fatalf("Insert(%d) reported replace", v)
+		}
+	}
+	if tr.Insert(5) {
+		t.Error("duplicate Insert reported new")
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Contains(8) || tr.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if min, _ := tr.Min(); min != 1 {
+		t.Errorf("Min = %d", min)
+	}
+	if max, _ := tr.Max(); max != 9 {
+		t.Errorf("Max = %d", max)
+	}
+	if !tr.Delete(3) {
+		t.Error("Delete(3) failed")
+	}
+	if tr.Delete(3) {
+		t.Error("double Delete succeeded")
+	}
+	want := []int{1, 5, 7, 8, 9}
+	got := tr.Items()
+	if len(got) != len(want) {
+		t.Fatalf("Items = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectRank(t *testing.T) {
+	tr := intTreap()
+	vals := []int{10, 20, 30, 40, 50}
+	for _, v := range vals {
+		tr.Insert(v)
+	}
+	for i, v := range vals {
+		got, ok := tr.Select(i)
+		if !ok || got != v {
+			t.Errorf("Select(%d) = %d,%v", i, got, ok)
+		}
+		if r := tr.Rank(v); r != i {
+			t.Errorf("Rank(%d) = %d, want %d", v, r, i)
+		}
+	}
+	if r := tr.Rank(35); r != 3 {
+		t.Errorf("Rank(35) = %d", r)
+	}
+	if _, ok := tr.Select(-1); ok {
+		t.Error("Select(-1) succeeded")
+	}
+	if _, ok := tr.Select(5); ok {
+		t.Error("Select(len) succeeded")
+	}
+}
+
+func TestNeighborQueries(t *testing.T) {
+	tr := intTreap()
+	for _, v := range []int{10, 20, 30} {
+		tr.Insert(v)
+	}
+	if v, ok := tr.Floor(25); !ok || v != 20 {
+		t.Errorf("Floor(25) = %d,%v", v, ok)
+	}
+	if v, ok := tr.Floor(20); !ok || v != 20 {
+		t.Errorf("Floor(20) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Floor(5); ok {
+		t.Error("Floor(5) found")
+	}
+	if v, ok := tr.Ceil(25); !ok || v != 30 {
+		t.Errorf("Ceil(25) = %d,%v", v, ok)
+	}
+	if v, ok := tr.Prev(20); !ok || v != 10 {
+		t.Errorf("Prev(20) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Prev(10); ok {
+		t.Error("Prev(min) found")
+	}
+	if v, ok := tr.Next(20); !ok || v != 30 {
+		t.Errorf("Next(20) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Next(30); ok {
+		t.Error("Next(max) found")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := intTreap()
+	for i := 0; i < 100; i += 10 {
+		tr.Insert(i)
+	}
+	var got []int
+	tr.AscendRange(25, 65, func(v int) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []int{30, 40, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("AscendRange = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendRange = %v, want %v", got, want)
+		}
+	}
+	// Early termination.
+	count := 0
+	tr.Ascend(func(int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early termination count = %d", count)
+	}
+}
+
+// TestModelBased compares the treap against a sorted-slice model under a
+// random operation mix.
+func TestModelBased(t *testing.T) {
+	tr := intTreap()
+	model := map[int]bool{}
+	rng := rand.New(rand.NewSource(2024))
+	for step := 0; step < 20000; step++ {
+		v := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0:
+			gotNew := tr.Insert(v)
+			if gotNew == model[v] {
+				t.Fatalf("step %d: Insert(%d) new=%v but model has=%v", step, v, gotNew, model[v])
+			}
+			model[v] = true
+		case 1:
+			got := tr.Delete(v)
+			if got != model[v] {
+				t.Fatalf("step %d: Delete(%d) = %v, model = %v", step, v, got, model[v])
+			}
+			delete(model, v)
+		case 2:
+			if got := tr.Contains(v); got != model[v] {
+				t.Fatalf("step %d: Contains(%d) = %v, model = %v", step, v, got, model[v])
+			}
+		}
+	}
+	// Final state must match exactly, including order and ranks.
+	keys := make([]int, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	items := tr.Items()
+	if len(items) != len(keys) {
+		t.Fatalf("final sizes differ: %d vs %d", len(items), len(keys))
+	}
+	for i, k := range keys {
+		if items[i] != k {
+			t.Fatalf("final order differs at %d: %d vs %d", i, items[i], k)
+		}
+		if got, ok := tr.Select(i); !ok || got != k {
+			t.Fatalf("Select(%d) = %d,%v want %d", i, got, ok, k)
+		}
+		if got := tr.Rank(k); got != i {
+			t.Fatalf("Rank(%d) = %d want %d", k, got, i)
+		}
+	}
+}
+
+func TestQuickSortedProperty(t *testing.T) {
+	err := quick.Check(func(vals []int) bool {
+		tr := intTreap()
+		seen := map[int]bool{}
+		for _, v := range vals {
+			tr.Insert(v)
+			seen[v] = true
+		}
+		items := tr.Items()
+		if len(items) != len(seen) {
+			return false
+		}
+		for i := 1; i < len(items); i++ {
+			if items[i-1] >= items[i] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	// Sequential insertion must still give logarithmic-ish depth.
+	tr := intTreap()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Insert(i)
+	}
+	depth := maxDepth(tr.root)
+	// Expected depth ~ 3 log2 n ≈ 42 for a treap; allow slack.
+	if depth > 80 {
+		t.Errorf("treap depth %d too large for n=%d", depth, n)
+	}
+}
+
+func maxDepth[T any](n *node[T]) int {
+	if n == nil {
+		return 0
+	}
+	l, r := maxDepth(n.left), maxDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func TestSizesConsistent(t *testing.T) {
+	tr := intTreap()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(2) == 0 {
+			tr.Insert(rng.Intn(1000))
+		} else {
+			tr.Delete(rng.Intn(1000))
+		}
+	}
+	var check func(n *node[int]) int
+	check = func(n *node[int]) int {
+		if n == nil {
+			return 0
+		}
+		got := 1 + check(n.left) + check(n.right)
+		if n.size != got {
+			t.Fatalf("node size %d, actual %d", n.size, got)
+		}
+		return got
+	}
+	check(tr.root)
+}
+
+func TestClear(t *testing.T) {
+	tr := intTreap()
+	tr.Insert(1)
+	tr.Insert(2)
+	tr.Clear()
+	if tr.Len() != 0 || tr.Contains(1) {
+		t.Error("Clear did not empty treap")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() []int {
+		tr := New(func(a, b int) bool { return a < b }, 99)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 1000; i++ {
+			tr.Insert(rng.Intn(100))
+			if i%3 == 0 {
+				tr.Delete(rng.Intn(100))
+			}
+		}
+		return tr.Items()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic contents")
+		}
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := intTreap()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(i % 4096)
+		if i%2 == 1 {
+			tr.Delete((i - 1) % 4096)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package uncert computes the uncertainty triangles of Hershberger–Suri §2.
+//
+// For an edge pq of a sampled hull whose endpoints are extreme in
+// directions θp and θq, the true hull's chain between p and q lies inside
+// the triangle bounded by pq and the supporting lines at p and q. The
+// triangle's height bounds the approximation error of the edge, and the
+// total length ℓ̃ of its two free sides drives the sample weights of §4.
+//
+// The computation uses the law of sines on the base angles (which sum to
+// θ(pq) = θq − θp, Fig. 2) rather than intersecting supporting lines, so
+// it stays stable for the nearly-degenerate flat triangles that dominate
+// well-refined hulls.
+package uncert
+
+import (
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Triangle describes one uncertainty triangle.
+type Triangle struct {
+	P, Q      geom.Point // edge endpoints in CCW hull order
+	Apex      geom.Point // intersection of the two supporting lines
+	Height    float64    // distance from Apex to segment PQ (the error bound)
+	LTilde    float64    // total length of the two free sides (ℓ̃ in §4)
+	ThetaSpan float64    // θ(pq): angle between the endpoint sample directions
+}
+
+// Compute returns the uncertainty triangle for the hull edge p→q, where p
+// is extreme in direction thetaP and q in direction thetaQ, and the CCW gap
+// from thetaP to thetaQ is less than π (always true for sampled hulls with
+// at least 3 directions).
+func Compute(p geom.Point, thetaP float64, q geom.Point, thetaQ float64) Triangle {
+	span := geom.CCWGap(thetaP, thetaQ)
+	tr := Triangle{P: p, Q: q, Apex: p, ThetaSpan: span}
+	d := q.Sub(p)
+	l := d.Norm()
+	if l == 0 || span <= 0 || span >= math.Pi {
+		return tr
+	}
+	// Angle at p between the edge and p's supporting line. The supporting
+	// line at p runs along direction thetaP + π/2 (the hull proceeds CCW).
+	tangent := thetaP + math.Pi/2
+	alpha := geom.NormalizeAngle(d.Angle() - tangent)
+	// alpha must land in [0, span]; clamp floating-point strays (including
+	// values just below 2π, which are tiny negatives).
+	if alpha > math.Pi {
+		alpha -= geom.TwoPi
+	}
+	alpha = math.Max(0, math.Min(span, alpha))
+	beta := span - alpha
+
+	sinSpan := math.Sin(span)
+	if sinSpan <= 0 {
+		return tr
+	}
+	sideP := l * math.Sin(beta) / sinSpan // length of the free side at p
+	sideQ := l * math.Sin(alpha) / sinSpan
+	tr.LTilde = sideP + sideQ
+	tr.Height = sideP * math.Sin(alpha)
+	tr.Apex = p.Add(geom.Unit(tangent).Scale(sideP))
+	return tr
+}
+
+// LTildeOf is a convenience wrapper returning only ℓ̃.
+func LTildeOf(p geom.Point, thetaP float64, q geom.Point, thetaQ float64) float64 {
+	return Compute(p, thetaP, q, thetaQ).LTilde
+}

@@ -1,0 +1,102 @@
+package uncert
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRightIsoscelesTriangle(t *testing.T) {
+	// CCW hull edge p→q along +x, so the outward normals point downward:
+	// p extreme at 5π/4 and q at 7π/4. Both supporting lines make 45° with
+	// the edge and the apex is at (1, −1) on the outward side.
+	p, q := geom.Pt(0, 0), geom.Pt(2, 0)
+	tr := Compute(p, 5*math.Pi/4, q, 7*math.Pi/4)
+	if !almostEq(tr.Height, 1, 1e-12) {
+		t.Errorf("Height = %v", tr.Height)
+	}
+	if !almostEq(tr.LTilde, 2*math.Sqrt2, 1e-12) {
+		t.Errorf("LTilde = %v", tr.LTilde)
+	}
+	if tr.Apex.Dist(geom.Pt(1, -1)) > 1e-12 {
+		t.Errorf("Apex = %v", tr.Apex)
+	}
+	if !almostEq(tr.ThetaSpan, math.Pi/2, 1e-12) {
+		t.Errorf("ThetaSpan = %v", tr.ThetaSpan)
+	}
+}
+
+func TestDegenerateZeroLength(t *testing.T) {
+	p := geom.Pt(1, 1)
+	tr := Compute(p, 0.3, p, 0.5)
+	if tr.Height != 0 || tr.LTilde != 0 {
+		t.Errorf("zero-length edge triangle = %+v", tr)
+	}
+}
+
+func TestSupportingLinesPassThroughEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		thetaP := rng.Float64() * geom.TwoPi
+		span := 0.01 + rng.Float64()*2.8 // < π
+		thetaQ := geom.NormalizeAngle(thetaP + span)
+		p := geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+		// Place q so that it is properly "ahead" of p: on the far side of
+		// p's supporting line direction.
+		ang := thetaP + math.Pi/2 + rng.Float64()*span
+		q := p.Add(geom.Unit(ang).Scale(0.1 + rng.Float64()*2))
+		tr := Compute(p, thetaP, q, thetaQ)
+		// The apex lies on the supporting line at p (within rounding).
+		lp := geom.SupportingLine(p, thetaP)
+		if math.Abs(lp.Side(tr.Apex)) > 1e-7*(1+tr.LTilde) {
+			t.Fatalf("apex %v off p's supporting line by %v", tr.Apex, lp.Side(tr.Apex))
+		}
+		// ℓ̃ is at least the edge length (triangle inequality) whenever the
+		// configuration is non-degenerate.
+		if tr.LTilde > 0 && tr.LTilde < p.Dist(q)-1e-9 {
+			t.Fatalf("ℓ̃ %v < edge length %v", tr.LTilde, p.Dist(q))
+		}
+		// Height ≤ ℓ(pq)·tan(span/2) + fp slack (§2, Eq. 1 region).
+		bound := p.Dist(q)*math.Tan(span/2) + 1e-9
+		if tr.Height > bound {
+			t.Fatalf("height %v exceeds Eq. 1 bound %v (span %v)", tr.Height, bound, span)
+		}
+	}
+}
+
+func TestHeightMatchesApexDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		thetaP := rng.Float64() * geom.TwoPi
+		span := 0.05 + rng.Float64()*2.5
+		thetaQ := geom.NormalizeAngle(thetaP + span)
+		p := geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+		ang := thetaP + math.Pi/2 + rng.Float64()*span*0.9 + 0.02
+		q := p.Add(geom.Unit(ang).Scale(0.5))
+		tr := Compute(p, thetaP, q, thetaQ)
+		if tr.LTilde == 0 {
+			continue
+		}
+		// Height is the perpendicular distance from the apex to the line
+		// through pq (§2: the apex "projects perpendicularly onto pq" for
+		// the spans that arise in sampled hulls).
+		d := q.Sub(p)
+		want := math.Abs(d.Cross(tr.Apex.Sub(p))) / d.Norm()
+		if !almostEq(tr.Height, want, 1e-7*(1+want)) {
+			t.Fatalf("Height = %v, apex line distance = %v", tr.Height, want)
+		}
+	}
+}
+
+func TestFlatSpanNearPi(t *testing.T) {
+	// span ≥ π is rejected (no bounded triangle).
+	p, q := geom.Pt(0, 0), geom.Pt(1, 0)
+	tr := Compute(p, 0, q, math.Pi)
+	if tr.Height != 0 || tr.LTilde != 0 {
+		t.Errorf("span π triangle = %+v", tr)
+	}
+}

@@ -1,0 +1,157 @@
+// Package workload generates the synthetic point streams of
+// Hershberger–Suri §7 plus additional stress workloads, all with seeded,
+// reproducible randomness.
+//
+// Paper workloads (Table 1): points drawn uniformly at random from a
+// disk, a square, and an aspect-ratio-r ellipse, each optionally rotated
+// by fractions of θ0 to detune the uniform sample directions; and the
+// "changing distribution" stream (a near-vertical thin ellipse followed by
+// a containing near-horizontal thin ellipse). The circle workload is the
+// lower-bound construction of §5.4 (Fig. 9).
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Generator produces a point stream.
+type Generator interface {
+	// Next returns the next stream point.
+	Next() geom.Point
+	// Name identifies the workload in reports.
+	Name() string
+}
+
+// Take drains n points from a generator.
+func Take(g Generator, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = g.Next()
+	}
+	return pts
+}
+
+type funcGen struct {
+	name string
+	next func() geom.Point
+}
+
+func (g *funcGen) Next() geom.Point { return g.next() }
+func (g *funcGen) Name() string     { return g.name }
+
+// Disk returns points uniform in a disk of the given radius centered at c.
+func Disk(seed int64, c geom.Point, radius float64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &funcGen{name: "disk", next: func() geom.Point {
+		for {
+			p := geom.Pt(rng.Float64()*2-1, rng.Float64()*2-1)
+			if p.Norm2() <= 1 {
+				return c.Add(p.Scale(radius))
+			}
+		}
+	}}
+}
+
+// Square returns points uniform in an origin-centered square with the
+// given half-side, rotated by rot radians (§7 rotates by fractions of θ0
+// to break the alignment between the square's normals and the uniform
+// sample directions).
+func Square(seed int64, halfSide, rot float64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &funcGen{name: "square", next: func() geom.Point {
+		p := geom.Pt(rng.Float64()*2-1, rng.Float64()*2-1).Scale(halfSide)
+		return p.Rotate(rot)
+	}}
+}
+
+// Ellipse returns points uniform in an origin-centered ellipse with
+// semi-axes a (along x) and b (along y), rotated by rot radians.
+func Ellipse(seed int64, a, b, rot float64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &funcGen{name: "ellipse", next: func() geom.Point {
+		ang := rng.Float64() * geom.TwoPi
+		rad := math.Sqrt(rng.Float64())
+		return geom.Pt(a*rad*math.Cos(ang), b*rad*math.Sin(ang)).Rotate(rot)
+	}}
+}
+
+// ChangingEllipse reproduces §7's changing-distribution stream: the first
+// half of the stream comes from a thin near-vertical ellipse, the second
+// half from a thin near-horizontal ellipse that completely contains the
+// first. Both are rotated by rot. n is the total stream length.
+func ChangingEllipse(seed int64, n int, rot float64) Generator {
+	// Semi-axes chosen so that E2 (aspect 16) strictly contains E1:
+	// E1 = (0.05, 0.8) vertical-thin, E2 = (14.4, 0.9) horizontal-thin.
+	first := Ellipse(seed, 0.05, 0.8, rot)
+	second := Ellipse(seed+1, 14.4, 0.9, rot)
+	i := 0
+	return &funcGen{name: "changing-ellipse", next: func() geom.Point {
+		i++
+		if i <= n/2 {
+			return first.Next()
+		}
+		return second.Next()
+	}}
+}
+
+// Circle returns the §5.4 lower-bound construction: n points evenly spaced
+// on a circle of the given radius, delivered in a seeded random order.
+func Circle(seed int64, n int, radius float64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	i := 0
+	return &funcGen{name: "circle", next: func() geom.Point {
+		j := perm[i%n]
+		i++
+		return geom.Unit(geom.TwoPi * float64(j) / float64(n)).Scale(radius)
+	}}
+}
+
+// Gaussian returns points from an isotropic normal distribution with the
+// given standard deviation.
+func Gaussian(seed int64, c geom.Point, sigma float64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &funcGen{name: "gaussian", next: func() geom.Point {
+		return c.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(sigma))
+	}}
+}
+
+// Clusters returns points drawn from k Gaussian clusters whose centers are
+// spread on a circle of the given radius.
+func Clusters(seed int64, k int, radius, sigma float64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Unit(geom.TwoPi * float64(i) / float64(k)).Scale(radius)
+	}
+	return &funcGen{name: "clusters", next: func() geom.Point {
+		c := centers[rng.Intn(k)]
+		return c.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(sigma))
+	}}
+}
+
+// Spiral returns an adversarial outward spiral: every point is extreme, so
+// every insert modifies the hull.
+func Spiral(seed int64, growth float64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	i := 0
+	phase := rng.Float64() * geom.TwoPi
+	return &funcGen{name: "spiral", next: func() geom.Point {
+		i++
+		return geom.Unit(phase + float64(i)*0.7297).Scale(1 + growth*float64(i))
+	}}
+}
+
+// Drift returns a disk workload whose center drifts linearly, modeling a
+// moving vehicle fleet.
+func Drift(seed int64, radius float64, velocity geom.Point) Generator {
+	disk := Disk(seed+1, geom.Point{}, radius)
+	i := 0
+	return &funcGen{name: "drift", next: func() geom.Point {
+		i++
+		return disk.Next().Add(velocity.Scale(float64(i)))
+	}}
+}

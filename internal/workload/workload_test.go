@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func TestDiskInRadius(t *testing.T) {
+	g := Disk(1, geom.Pt(2, 3), 1.5)
+	for i := 0; i < 2000; i++ {
+		p := g.Next()
+		if p.Dist(geom.Pt(2, 3)) > 1.5+1e-12 {
+			t.Fatalf("point %v outside disk", p)
+		}
+	}
+}
+
+func TestSquareInBounds(t *testing.T) {
+	rot := 0.3
+	g := Square(2, 1, rot)
+	for i := 0; i < 2000; i++ {
+		p := g.Next().Rotate(-rot)
+		if math.Abs(p.X) > 1+1e-12 || math.Abs(p.Y) > 1+1e-12 {
+			t.Fatalf("point %v outside square", p)
+		}
+	}
+}
+
+func TestEllipseInBounds(t *testing.T) {
+	a, b, rot := 2.0, 0.125, 0.7
+	g := Ellipse(3, a, b, rot)
+	for i := 0; i < 2000; i++ {
+		p := g.Next().Rotate(-rot)
+		v := (p.X/a)*(p.X/a) + (p.Y/b)*(p.Y/b)
+		if v > 1+1e-9 {
+			t.Fatalf("point %v outside ellipse (%v)", p, v)
+		}
+	}
+}
+
+func TestChangingEllipseContainment(t *testing.T) {
+	// Every first-half point must lie inside the second ellipse (the paper
+	// requires the horizontal ellipse to completely contain the vertical
+	// one).
+	const n = 4000
+	g := ChangingEllipse(4, n, 0.1)
+	firstHalf := Take(g, n/2)
+	for _, p := range firstHalf {
+		q := p.Rotate(-0.1)
+		v := (q.X/14.4)*(q.X/14.4) + (q.Y/0.9)*(q.Y/0.9)
+		if v > 1 {
+			t.Fatalf("first-half point %v outside containing ellipse", p)
+		}
+	}
+	// Second half actually switches distribution.
+	secondHalf := Take(g, n/2)
+	wide := 0
+	for _, p := range secondHalf {
+		if math.Abs(p.X) > 1 {
+			wide++
+		}
+	}
+	if wide == 0 {
+		t.Error("second half never exceeds the first ellipse's extent; switch missing")
+	}
+}
+
+func TestCircleEvenSpacing(t *testing.T) {
+	const n = 64
+	g := Circle(5, n, 2)
+	seen := map[geom.Point]bool{}
+	for i := 0; i < n; i++ {
+		p := g.Next()
+		if math.Abs(p.Norm()-2) > 1e-12 {
+			t.Fatalf("point %v not on circle", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != n {
+		t.Errorf("only %d distinct points of %d", len(seen), n)
+	}
+	// Wraps around deterministically.
+	p := g.Next()
+	if !seen[p] {
+		t.Error("wrap-around produced a new point")
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	a := Take(Disk(42, geom.Point{}, 1), 100)
+	b := Take(Disk(42, geom.Point{}, 1), 100)
+	c := Take(Disk(43, geom.Point{}, 1), 100)
+	for i := range a {
+		if !a[i].Eq(b[i]) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	same := true
+	for i := range a {
+		if !a[i].Eq(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSpiralMonotoneRadius(t *testing.T) {
+	g := Spiral(7, 0.01)
+	prev := -1.0
+	for i := 0; i < 500; i++ {
+		r := g.Next().Norm()
+		if r <= prev {
+			t.Fatalf("spiral radius not increasing at %d", i)
+		}
+		prev = r
+	}
+}
+
+func TestDriftMoves(t *testing.T) {
+	g := Drift(8, 0.5, geom.Pt(0.01, 0))
+	first := Take(g, 100)
+	last := Take(g, 100)
+	if geom.Centroid(last).X <= geom.Centroid(first).X {
+		t.Error("drift centroid did not move in +x")
+	}
+}
+
+func TestClustersNearCenters(t *testing.T) {
+	g := Clusters(9, 4, 10, 0.1)
+	for i := 0; i < 1000; i++ {
+		p := g.Next()
+		// Every point is within a few sigma of some center on the circle.
+		if math.Abs(p.Norm()-10) > 1.5 {
+			t.Fatalf("cluster point %v too far from center ring", p)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	gens := []Generator{
+		Disk(1, geom.Point{}, 1), Square(1, 1, 0), Ellipse(1, 1, 1, 0),
+		ChangingEllipse(1, 10, 0), Circle(1, 8, 1), Gaussian(1, geom.Point{}, 1),
+		Clusters(1, 2, 1, 0.1), Spiral(1, 0.1), Drift(1, 1, geom.Pt(1, 0)),
+	}
+	seen := map[string]bool{}
+	for _, g := range gens {
+		if g.Name() == "" {
+			t.Error("empty generator name")
+		}
+		seen[g.Name()] = true
+	}
+	if len(seen) != len(gens) {
+		t.Error("duplicate generator names")
+	}
+}

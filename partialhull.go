@@ -1,0 +1,77 @@
+package streamhull
+
+import (
+	"sync"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/partial"
+)
+
+// PartialHull is the "partially adaptive" comparator of §7: adaptive
+// during a training prefix, then frozen. It exists to demonstrate why
+// continuous adaptation matters; prefer AdaptiveHull for real use.
+type PartialHull struct {
+	mu sync.Mutex
+	h  *partial.Hull
+}
+
+// NewPartial returns a partially adaptive summary with parameter r that
+// freezes its sample directions after trainN points. If fixedBudget > 0
+// the training phase uses the fixed-budget adaptive variant with that many
+// total directions.
+func NewPartial(r, trainN, fixedBudget int) *PartialHull {
+	return &PartialHull{h: partial.New(r, trainN, fixedBudget)}
+}
+
+// Insert processes one stream point.
+func (s *PartialHull) Insert(p geom.Point) error {
+	if err := checkFinite(p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.h.Insert(p)
+	s.mu.Unlock()
+	return nil
+}
+
+// Hull returns the current sampled convex hull.
+func (s *PartialHull) Hull() Polygon {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Polygon{s.h.Polygon()}
+}
+
+// SampleSize returns the number of distinct stored points.
+func (s *PartialHull) SampleSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.h.Vertices())
+}
+
+// N returns the number of stream points processed.
+func (s *PartialHull) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.N()
+}
+
+// Frozen reports whether the training phase has ended.
+func (s *PartialHull) Frozen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Frozen()
+}
+
+// Directions returns the current sample direction angles.
+func (s *PartialHull) Directions() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.DirectionAngles()
+}
+
+// ErrorBound returns the maximum uncertainty-triangle height.
+func (s *PartialHull) ErrorBound() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.MaxUncertaintyHeight()
+}

@@ -1,0 +1,166 @@
+package streamhull
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// RegionFunc assigns a stream point to a region (cluster) index in
+// [0, regions). The §8 extension of the paper: "if we have some a priori
+// knowledge of the extent and separation of clusters, then we can easily
+// maintain a separate convex hull for each cluster: partition the plane
+// into disjoint regions such that points of one cluster fall within one
+// region; then maintain separate approximate hulls for points in each
+// region."
+type RegionFunc func(p geom.Point) int
+
+// Partitioned maintains one adaptive hull per plane region, answering
+// per-cluster extremal queries for streams that form multiple clusters
+// (where a single hull would hide all structure).
+type Partitioned struct {
+	mu      sync.Mutex
+	assign  RegionFunc
+	regions []*AdaptiveHull
+	r       int
+	n       int
+}
+
+// NewPartitioned returns a summary with the given number of regions, an
+// assignment function, and per-region adaptive parameter r.
+func NewPartitioned(regions int, assign RegionFunc, r int) *Partitioned {
+	if regions < 1 {
+		panic("streamhull: regions must be ≥ 1")
+	}
+	if assign == nil {
+		panic("streamhull: nil RegionFunc")
+	}
+	hs := make([]*AdaptiveHull, regions)
+	for i := range hs {
+		hs[i] = NewAdaptive(r)
+	}
+	return &Partitioned{assign: assign, regions: hs, r: r}
+}
+
+// GridRegions returns a RegionFunc and region count for a uniform
+// cols×rows grid over the rectangle [minX,maxX]×[minY,maxY]; points
+// outside are clamped to the nearest cell.
+func GridRegions(cols, rows int, minX, minY, maxX, maxY float64) (RegionFunc, int) {
+	if cols < 1 || rows < 1 || maxX <= minX || maxY <= minY {
+		panic("streamhull: invalid grid")
+	}
+	fc, fr := float64(cols), float64(rows)
+	return func(p geom.Point) int {
+		cx := int((p.X - minX) / (maxX - minX) * fc)
+		cy := int((p.Y - minY) / (maxY - minY) * fr)
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		return cy*cols + cx
+	}, cols * rows
+}
+
+// Insert routes the point to its region's summary.
+func (s *Partitioned) Insert(p geom.Point) error {
+	if err := checkFinite(p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	idx := s.assign(p)
+	if idx < 0 || idx >= len(s.regions) {
+		s.mu.Unlock()
+		return fmt.Errorf("streamhull: RegionFunc returned %d for %v (have %d regions)",
+			idx, p, len(s.regions))
+	}
+	s.n++
+	region := s.regions[idx]
+	s.mu.Unlock()
+	return region.Insert(p)
+}
+
+// N returns the number of stream points processed.
+func (s *Partitioned) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Regions returns the number of regions.
+func (s *Partitioned) Regions() int { return len(s.regions) }
+
+// RegionHull returns the hull of one region's points.
+func (s *Partitioned) RegionHull(i int) Polygon { return s.regions[i].Hull() }
+
+// RegionN returns the number of points routed to region i.
+func (s *Partitioned) RegionN(i int) int { return s.regions[i].N() }
+
+// Hulls returns the hulls of all non-empty regions, with their region
+// indices.
+func (s *Partitioned) Hulls() (indices []int, hulls []Polygon) {
+	for i, h := range s.regions {
+		if h.N() == 0 {
+			continue
+		}
+		indices = append(indices, i)
+		hulls = append(hulls, h.Hull())
+	}
+	return indices, hulls
+}
+
+// Hull returns the hull of the union of all regions (the global summary):
+// the exact hull of the per-region sample points. It satisfies the same
+// containment guarantee as a single adaptive hull, with error bounded by
+// the worst region's O(D_i/r²).
+func (s *Partitioned) Hull() Polygon {
+	var pts []geom.Point
+	for _, h := range s.regions {
+		if h.N() == 0 {
+			continue
+		}
+		pts = append(pts, h.Hull().Vertices()...)
+	}
+	return HullOf(pts)
+}
+
+// SampleSize returns the total number of points stored across regions.
+func (s *Partitioned) SampleSize() int {
+	total := 0
+	for _, h := range s.regions {
+		if h.N() > 0 {
+			total += h.SampleSize()
+		}
+	}
+	return total
+}
+
+// ClosestRegions returns the pair of non-empty regions whose hulls are
+// closest, with their distance — the "track pairwise separation" query of
+// §6 extended to many streams. It returns ok=false with fewer than two
+// non-empty regions.
+func (s *Partitioned) ClosestRegions() (i, j int, dist float64, ok bool) {
+	indices, hulls := s.Hulls()
+	if len(indices) < 2 {
+		return 0, 0, 0, false
+	}
+	best := -1.0
+	for a := 0; a < len(indices); a++ {
+		for b := a + 1; b < len(indices); b++ {
+			d, _ := MinDistance(hulls[a], hulls[b])
+			if best < 0 || d < best {
+				best = d
+				i, j = indices[a], indices[b]
+			}
+		}
+	}
+	return i, j, best, true
+}

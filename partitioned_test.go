@@ -1,0 +1,127 @@
+package streamhull
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+func TestPartitionedBasics(t *testing.T) {
+	assign, n := GridRegions(2, 1, -10, -10, 10, 10)
+	if n != 2 {
+		t.Fatalf("regions = %d", n)
+	}
+	s := NewPartitioned(n, assign, 8)
+
+	left := workload.Take(workload.Disk(1, geom.Pt(-5, 0), 1), 3000)
+	right := workload.Take(workload.Disk(2, geom.Pt(5, 0), 1), 3000)
+	for i := range left {
+		if err := s.Insert(left[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert(right[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.N() != 6000 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.RegionN(0) != 3000 || s.RegionN(1) != 3000 {
+		t.Errorf("region counts %d/%d", s.RegionN(0), s.RegionN(1))
+	}
+
+	// Each region hull covers its own disk, not the other.
+	h0 := s.RegionHull(0)
+	if !h0.Contains(geom.Pt(-5, 0)) || h0.Contains(geom.Pt(5, 0)) {
+		t.Error("region 0 hull wrong")
+	}
+	// The global hull spans both clusters; a single-cluster hull would
+	// also cover the empty middle — per-region hulls do not.
+	global := s.Hull()
+	if !global.Contains(geom.Pt(0, 0)) {
+		t.Error("global hull should cover the middle")
+	}
+	mid := geom.Pt(0, 0)
+	if h0.Contains(mid) || s.RegionHull(1).Contains(mid) {
+		t.Error("per-region hulls must expose the gap between clusters")
+	}
+
+	// Closest pair of regions ≈ distance between the inner disk edges.
+	i, j, d, ok := s.ClosestRegions()
+	if !ok || i == j {
+		t.Fatalf("ClosestRegions = %d,%d,%v", i, j, ok)
+	}
+	if math.Abs(d-8) > 0.3 {
+		t.Errorf("closest region distance %v, want ≈ 8", d)
+	}
+
+	// Sample budget: each region obeys its own 2r+1 bound.
+	if s.SampleSize() > 2*(2*8+1) {
+		t.Errorf("total sample size %d", s.SampleSize())
+	}
+}
+
+func TestPartitionedValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero regions", func() { NewPartitioned(0, func(geom.Point) int { return 0 }, 8) })
+	mustPanic("nil assign", func() { NewPartitioned(1, nil, 8) })
+	mustPanic("bad grid", func() { GridRegions(0, 1, 0, 0, 1, 1) })
+
+	s := NewPartitioned(2, func(geom.Point) int { return 7 }, 8)
+	if err := s.Insert(geom.Pt(0, 0)); err == nil {
+		t.Error("out-of-range region accepted")
+	}
+	if err := s.Insert(geom.Pt(math.NaN(), 0)); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestGridRegionsClamping(t *testing.T) {
+	assign, n := GridRegions(3, 3, 0, 0, 3, 3)
+	if n != 9 {
+		t.Fatalf("n = %d", n)
+	}
+	cases := []struct {
+		p    geom.Point
+		want int
+	}{
+		{geom.Pt(0.5, 0.5), 0},
+		{geom.Pt(2.5, 2.5), 8},
+		{geom.Pt(-100, -100), 0}, // clamped
+		{geom.Pt(100, 100), 8},   // clamped
+		{geom.Pt(1.5, 0.5), 1},
+		{geom.Pt(0.5, 1.5), 3},
+	}
+	for _, c := range cases {
+		if got := assign(c.p); got != c.want {
+			t.Errorf("assign(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPartitionedEmptyRegions(t *testing.T) {
+	s := NewPartitioned(4, func(p geom.Point) int { return 0 }, 8)
+	if _, _, _, ok := s.ClosestRegions(); ok {
+		t.Error("ClosestRegions on empty summary")
+	}
+	_ = s.Insert(geom.Pt(1, 1))
+	if _, _, _, ok := s.ClosestRegions(); ok {
+		t.Error("ClosestRegions with one region")
+	}
+	idx, hulls := s.Hulls()
+	if len(idx) != 1 || len(hulls) != 1 {
+		t.Errorf("Hulls = %v", idx)
+	}
+	if s.Hull().Len() != 1 {
+		t.Errorf("global hull = %d vertices", s.Hull().Len())
+	}
+}

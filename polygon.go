@@ -1,0 +1,110 @@
+package streamhull
+
+import (
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+)
+
+// Polygon is a convex polygon returned by a summary, supporting the
+// extremal queries of §6. The zero value is the empty polygon.
+type Polygon struct {
+	p convex.Polygon
+}
+
+// HullOf returns the exact convex hull of a point set as a Polygon. It is
+// the entry point for ad-hoc (non-streaming) use of the query machinery.
+func HullOf(pts []geom.Point) Polygon { return Polygon{convex.Hull(pts)} }
+
+// Vertices returns the polygon's vertices in counterclockwise order.
+func (hp Polygon) Vertices() []geom.Point { return hp.p.Vertices() }
+
+// Len returns the number of vertices.
+func (hp Polygon) Len() int { return hp.p.Len() }
+
+// IsEmpty reports whether the polygon has no vertices.
+func (hp Polygon) IsEmpty() bool { return hp.p.IsEmpty() }
+
+// Area returns the enclosed area.
+func (hp Polygon) Area() float64 { return hp.p.Area() }
+
+// Perimeter returns the boundary length.
+func (hp Polygon) Perimeter() float64 { return hp.p.Perimeter() }
+
+// Diameter returns the maximum distance between two hull points and a
+// pair realizing it (rotating calipers, O(n)).
+func (hp Polygon) Diameter() (float64, [2]geom.Point) { return hp.p.Diameter() }
+
+// Width returns the minimum distance between two parallel supporting
+// lines, and the angle of the width direction (the outward normal of the
+// defining edge).
+func (hp Polygon) Width() (float64, float64) { return hp.p.Width() }
+
+// Extent returns the length of the polygon's projection onto the
+// direction at angle theta (radians): the directional extent query of §6.
+func (hp Polygon) Extent(theta float64) float64 { return hp.p.Extent(theta) }
+
+// Support returns the support value max_v v·u for a direction vector u.
+func (hp Polygon) Support(u geom.Point) float64 { return hp.p.Support(u) }
+
+// Contains reports whether q lies inside or on the polygon (O(log n)).
+func (hp Polygon) Contains(q geom.Point) bool { return hp.p.Contains(q) }
+
+// DistToPoint returns the distance from q to the polygon (0 if inside).
+func (hp Polygon) DistToPoint(q geom.Point) float64 { return hp.p.DistToPoint(q) }
+
+// FarthestFrom returns the hull vertex farthest from q and its distance
+// (the farthest-neighbor query of §6).
+func (hp Polygon) FarthestFrom(q geom.Point) (geom.Point, float64) {
+	best, bestD := geom.Point{}, math.Inf(-1)
+	for _, v := range hp.p.Vertices() {
+		if d := v.Dist2(q); d > bestD {
+			best, bestD = v, d
+		}
+	}
+	if bestD < 0 {
+		return geom.Point{}, 0
+	}
+	return best, math.Sqrt(bestD)
+}
+
+// EnclosingCircle returns the smallest circle containing the polygon
+// (Welzl's algorithm over the hull vertices).
+func (hp Polygon) EnclosingCircle() (center geom.Point, radius float64) {
+	c := convex.MinEnclosingCircle(hp.p.Vertices())
+	return c.Center, c.Radius
+}
+
+// ContainsPolygon reports whether every vertex of other lies inside hp
+// (hull containment; the §6 "surrounded by" query).
+func (hp Polygon) ContainsPolygon(other Polygon) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	for _, v := range other.p.Vertices() {
+		if !hp.p.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether two polygons share at least one point.
+func Intersects(a, b Polygon) bool { return convex.Intersects(a.p, b.p) }
+
+// MinDistance returns the minimum distance between two polygons and a
+// witness pair of closest points; intersecting polygons have distance 0.
+func MinDistance(a, b Polygon) (float64, [2]geom.Point) { return convex.MinDist(a.p, b.p) }
+
+// SeparatingLine returns a line strictly separating two disjoint polygons
+// (a on the negative side, b on the positive side) and whether one exists.
+// This is the certificate for the linear-separability tracking of §6.
+func SeparatingLine(a, b Polygon) (geom.Line, bool) { return convex.SeparatingLine(a.p, b.p) }
+
+// Intersection returns the intersection of two polygons (the spatial
+// overlap region of §6).
+func Intersection(a, b Polygon) Polygon { return Polygon{convex.Intersection(a.p, b.p)} }
+
+// OverlapArea returns the area of the intersection of two polygons.
+func OverlapArea(a, b Polygon) float64 { return convex.IntersectionArea(a.p, b.p) }

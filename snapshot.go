@@ -1,0 +1,66 @@
+package streamhull
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Snapshot is a transmissible capture of a summary's sample set: the
+// active directions and their extrema. It is the unit of communication
+// for the sensor-network deployments motivating the paper (§1): nodes
+// ship O(r)-size snapshots instead of raw streams, and an aggregator
+// folds them into a combined summary.
+type Snapshot struct {
+	Kind   string       `json:"kind"`   // "adaptive" or "uniform"
+	R      int          `json:"r"`      // sample parameter
+	N      int          `json:"n"`      // stream points summarized
+	Angles []float64    `json:"angles"` // active sample directions
+	Points []geom.Point `json:"points"` // extrema, parallel to Angles
+}
+
+// MarshalJSON is provided by the standard encoder; Encode/Decode wrap it
+// with validation.
+
+// Encode serializes the snapshot to JSON.
+func (s Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSnapshot parses and validates a snapshot.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("streamhull: decoding snapshot: %w", err)
+	}
+	if len(s.Angles) != len(s.Points) {
+		return Snapshot{}, fmt.Errorf("streamhull: snapshot has %d angles but %d points",
+			len(s.Angles), len(s.Points))
+	}
+	for _, p := range s.Points {
+		if !p.IsFinite() {
+			return Snapshot{}, fmt.Errorf("%w: snapshot point %v", ErrNonFinite, p)
+		}
+	}
+	return s, nil
+}
+
+// Hull returns the convex hull of the snapshot's sample points.
+func (s Snapshot) Hull() Polygon { return HullOf(s.Points) }
+
+// MergeSnapshots folds any number of snapshots into a fresh adaptive
+// summary with parameter r by streaming all their sample points through
+// it. The result approximates the hull of the union of the original
+// streams; the approximation error is the sum of the snapshots' own error
+// and the new summary's O(D/r²) (a two-level error, as when sensor nodes
+// forward summaries to an aggregator).
+func MergeSnapshots(r int, snaps ...Snapshot) (*AdaptiveHull, error) {
+	agg := NewAdaptive(r)
+	for _, s := range snaps {
+		for _, p := range s.Points {
+			if err := agg.Insert(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return agg, nil
+}

@@ -1,0 +1,103 @@
+package streamhull
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Binary snapshot wire format, for sensor nodes where JSON overhead
+// matters (radio time is the battery budget, §1). Little-endian:
+//
+//	magic   uint32  "SHS1" (0x53485331)
+//	kind    uint8   0 = adaptive, 1 = uniform
+//	r       uint32
+//	n       uint64  stream points summarized
+//	count   uint32  number of samples
+//	count × (angle float64, x float64, y float64)
+//
+// A 32-direction snapshot is 21 + 32·24 = 789 bytes.
+const snapshotMagic uint32 = 0x53485331
+
+var kindCodes = map[string]uint8{"adaptive": 0, "uniform": 1}
+var kindNames = map[uint8]string{0: "adaptive", 1: "uniform"}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s Snapshot) MarshalBinary() ([]byte, error) {
+	kind, ok := kindCodes[s.Kind]
+	if !ok {
+		return nil, fmt.Errorf("streamhull: unknown snapshot kind %q", s.Kind)
+	}
+	if len(s.Angles) != len(s.Points) {
+		return nil, fmt.Errorf("streamhull: snapshot has %d angles but %d points",
+			len(s.Angles), len(s.Points))
+	}
+	var buf bytes.Buffer
+	buf.Grow(21 + 24*len(s.Points))
+	le := binary.LittleEndian
+	var scratch [8]byte
+	put32 := func(v uint32) { le.PutUint32(scratch[:4], v); buf.Write(scratch[:4]) }
+	put64 := func(v uint64) { le.PutUint64(scratch[:8], v); buf.Write(scratch[:8]) }
+	putF := func(v float64) { put64(math.Float64bits(v)) }
+
+	put32(snapshotMagic)
+	buf.WriteByte(kind)
+	put32(uint32(s.R))
+	put64(uint64(s.N))
+	put32(uint32(len(s.Points)))
+	for i := range s.Points {
+		putF(s.Angles[i])
+		putF(s.Points[i].X)
+		putF(s.Points[i].Y)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Snapshot) UnmarshalBinary(data []byte) error {
+	le := binary.LittleEndian
+	if len(data) < 21 {
+		return fmt.Errorf("streamhull: snapshot truncated (%d bytes)", len(data))
+	}
+	if le.Uint32(data[0:4]) != snapshotMagic {
+		return fmt.Errorf("streamhull: bad snapshot magic")
+	}
+	kind, ok := kindNames[data[4]]
+	if !ok {
+		return fmt.Errorf("streamhull: unknown snapshot kind code %d", data[4])
+	}
+	r := int(le.Uint32(data[5:9]))
+	n := int(le.Uint64(data[9:17]))
+	count := int(le.Uint32(data[17:21]))
+	if count < 0 || count > 1<<24 {
+		return fmt.Errorf("streamhull: implausible sample count %d", count)
+	}
+	want := 21 + 24*count
+	if len(data) != want {
+		return fmt.Errorf("streamhull: snapshot size %d, want %d for %d samples",
+			len(data), want, count)
+	}
+	out := Snapshot{Kind: kind, R: r, N: n}
+	off := 21
+	rf := func() float64 {
+		v := math.Float64frombits(le.Uint64(data[off : off+8]))
+		off += 8
+		return v
+	}
+	for i := 0; i < count; i++ {
+		angle := rf()
+		x := rf()
+		y := rf()
+		p := geom.Pt(x, y)
+		if !p.IsFinite() || math.IsNaN(angle) || math.IsInf(angle, 0) {
+			return fmt.Errorf("%w: snapshot sample %d", ErrNonFinite, i)
+		}
+		out.Angles = append(out.Angles, angle)
+		out.Points = append(out.Points, p)
+	}
+	*s = out
+	return nil
+}

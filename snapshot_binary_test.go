@@ -1,0 +1,156 @@
+package streamhull
+
+import (
+	"encoding"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = Snapshot{}
+	_ encoding.BinaryUnmarshaler = (*Snapshot)(nil)
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s := NewAdaptive(16)
+	for _, p := range workload.Take(workload.Ellipse(3, 1, 0.2, 0.5), 10000) {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSize := 21 + 24*len(snap.Points)
+	if len(data) != wantSize {
+		t.Errorf("encoded size %d, want %d", len(data), wantSize)
+	}
+	var back Snapshot
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != snap.Kind || back.R != snap.R || back.N != snap.N {
+		t.Errorf("header mismatch: %+v vs %+v", back, snap)
+	}
+	if len(back.Points) != len(snap.Points) {
+		t.Fatalf("sample count mismatch")
+	}
+	for i := range snap.Points {
+		if back.Angles[i] != snap.Angles[i] || !back.Points[i].Eq(snap.Points[i]) {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	err := quick.Check(func(r uint8, n uint32, raw []struct{ A, X, Y float64 }) bool {
+		snap := Snapshot{Kind: "uniform", R: int(r), N: int(n)}
+		for _, s := range raw {
+			if math.IsNaN(s.A) || math.IsInf(s.A, 0) ||
+				math.IsNaN(s.X) || math.IsInf(s.X, 0) ||
+				math.IsNaN(s.Y) || math.IsInf(s.Y, 0) {
+				return true
+			}
+			snap.Angles = append(snap.Angles, s.A)
+			snap.Points = append(snap.Points, geom.Pt(s.X, s.Y))
+		}
+		data, err := snap.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Snapshot
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if back.R != snap.R || back.N != snap.N || len(back.Points) != len(snap.Points) {
+			return false
+		}
+		for i := range snap.Points {
+			if back.Angles[i] != snap.Angles[i] || !back.Points[i].Eq(snap.Points[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	s := NewAdaptive(8)
+	_ = s.Insert(geom.Pt(1, 2))
+	_ = s.Insert(geom.Pt(-3, 4))
+	data, err := s.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap Snapshot
+	if err := snap.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted empty input")
+	}
+	if err := snap.UnmarshalBinary(data[:10]); err == nil {
+		t.Error("accepted truncated input")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if err := snap.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted bad magic")
+	}
+	kind := append([]byte(nil), data...)
+	kind[4] = 99
+	if err := snap.UnmarshalBinary(kind); err == nil {
+		t.Error("accepted unknown kind")
+	}
+	long := append(append([]byte(nil), data...), 0, 0, 0)
+	if err := snap.UnmarshalBinary(long); err == nil {
+		t.Error("accepted trailing garbage")
+	}
+	// NaN payload.
+	nan := append([]byte(nil), data...)
+	for i := 0; i < 8; i++ {
+		nan[21+8+i] = 0xff // x coordinate of first sample → NaN pattern
+	}
+	if err := snap.UnmarshalBinary(nan); err == nil {
+		t.Error("accepted NaN coordinate")
+	}
+}
+
+func TestBinaryMarshalValidation(t *testing.T) {
+	if _, err := (Snapshot{Kind: "martian"}).MarshalBinary(); err == nil {
+		t.Error("accepted unknown kind")
+	}
+	if _, err := (Snapshot{Kind: "adaptive", Angles: []float64{1}}).MarshalBinary(); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func FuzzSnapshotUnmarshal(f *testing.F) {
+	s := NewAdaptive(8)
+	_ = s.Insert(geom.Pt(1, 2))
+	_ = s.Insert(geom.Pt(3, -1))
+	seed, _ := s.Snapshot().MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x53, 0x48, 0x53})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var snap Snapshot
+		if err := snap.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Decoded snapshots must be internally consistent and re-encode.
+		if len(snap.Angles) != len(snap.Points) {
+			t.Fatal("inconsistent decode")
+		}
+		if _, err := snap.MarshalBinary(); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

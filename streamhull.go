@@ -1,0 +1,66 @@
+// Package streamhull maintains small-space convex-hull summaries of
+// two-dimensional point streams, implementing the adaptive sampling scheme
+// of Hershberger & Suri, "Adaptive Sampling for Geometric Problems over
+// Data Streams" (PODS 2004; Computational Geometry 39 (2008) 191–208).
+//
+// The flagship summary, NewAdaptive, processes each stream point in
+// amortized O(log r) time, stores at most 2r+1 points, and guarantees that
+// the true convex hull of everything ever seen lies within O(D/r²) of the
+// summary's hull, where D is the stream's diameter — the provably optimal
+// trade-off (§5.4). The uniform summary (NewUniform) is the classical
+// Θ(D/r) baseline; NewPartial reproduces the paper's train-then-freeze
+// comparator; NewExact keeps the exact hull for ground truth.
+//
+// All summaries answer the extremal queries of §6 through the Polygon
+// type: diameter, width, directional extent, point containment, smallest
+// enclosing circle, and — across two streams — minimum distance, linear
+// separability with certificates, containment, and spatial overlap.
+//
+// Summaries are safe for concurrent use.
+package streamhull
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// ErrNonFinite is returned when a stream point has a NaN or infinite
+// coordinate.
+var ErrNonFinite = errors.New("streamhull: point has non-finite coordinates")
+
+// Summary is a single-pass summary of a point stream that can stand in
+// for the stream's convex hull.
+type Summary interface {
+	// Insert processes one stream point.
+	Insert(p geom.Point) error
+	// Hull returns the summary's current convex hull.
+	Hull() Polygon
+	// SampleSize returns the number of points currently stored.
+	SampleSize() int
+	// N returns the number of stream points processed.
+	N() int
+}
+
+// checkFinite validates a stream point.
+func checkFinite(p geom.Point) error {
+	if !p.IsFinite() {
+		return fmt.Errorf("%w: %v", ErrNonFinite, p)
+	}
+	return nil
+}
+
+// insertAll feeds a batch through a Summary, stopping at the first error.
+func insertAll(s Summary, pts []geom.Point) error {
+	for _, p := range pts {
+		if err := s.Insert(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertAll feeds a batch of points into a summary in order, stopping at
+// the first invalid point.
+func InsertAll(s Summary, pts []geom.Point) error { return insertAll(s, pts) }

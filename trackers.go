@@ -1,0 +1,180 @@
+package streamhull
+
+import (
+	"sync"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// PairTracker watches two point streams through their summaries and
+// answers the two-stream queries of §6: minimum distance, linear
+// separability (with a certificate line), mutual containment, and spatial
+// overlap. Hull polygons are cached and recomputed only after inserts.
+type PairTracker struct {
+	mu     sync.Mutex
+	a, b   Summary
+	cached bool
+	pa, pb Polygon
+}
+
+// NewPairTracker wraps two summaries. The tracker assumes exclusive
+// ownership: feed points through InsertA/InsertB, not directly through
+// the summaries.
+func NewPairTracker(a, b Summary) *PairTracker {
+	return &PairTracker{a: a, b: b}
+}
+
+// InsertA feeds a point into the first stream.
+func (t *PairTracker) InsertA(p geom.Point) error { return t.insert(t.a, p) }
+
+// InsertB feeds a point into the second stream.
+func (t *PairTracker) InsertB(p geom.Point) error { return t.insert(t.b, p) }
+
+func (t *PairTracker) insert(s Summary, p geom.Point) error {
+	if err := s.Insert(p); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.cached = false
+	t.mu.Unlock()
+	return nil
+}
+
+// hulls returns the cached hull polygons, refreshing them if needed.
+func (t *PairTracker) hulls() (Polygon, Polygon) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.cached {
+		t.pa = t.a.Hull()
+		t.pb = t.b.Hull()
+		t.cached = true
+	}
+	return t.pa, t.pb
+}
+
+// Distance returns the minimum distance between the two stream hulls and
+// a pair of closest points (0 with coincident witnesses if they
+// intersect). The answer is within O(D/r²) of the distance between the
+// true hulls when both summaries are adaptive.
+func (t *PairTracker) Distance() (float64, [2]geom.Point) {
+	pa, pb := t.hulls()
+	return MinDistance(pa, pb)
+}
+
+// Separable reports whether the two stream hulls are linearly separable
+// and, when they are, returns a separating line with the first stream on
+// the negative side.
+func (t *PairTracker) Separable() (geom.Line, bool) {
+	pa, pb := t.hulls()
+	return SeparatingLine(pa, pb)
+}
+
+// AContainsB reports whether the first stream's hull currently contains
+// the second's (the §6 "points of stream B surrounded by points of
+// stream A" query).
+func (t *PairTracker) AContainsB() bool {
+	pa, pb := t.hulls()
+	return pa.ContainsPolygon(pb)
+}
+
+// BContainsA reports the reverse containment.
+func (t *PairTracker) BContainsA() bool {
+	pa, pb := t.hulls()
+	return pb.ContainsPolygon(pa)
+}
+
+// Overlap returns the area of the intersection of the two stream hulls
+// and the fractions of each hull's area it represents (0 ≤ f ≤ 1; the
+// fractions are 0 when the respective hull has zero area).
+func (t *PairTracker) Overlap() (area, fracA, fracB float64) {
+	pa, pb := t.hulls()
+	area = OverlapArea(pa, pb)
+	if aa := pa.Area(); aa > 0 {
+		fracA = area / aa
+	}
+	if ab := pb.Area(); ab > 0 {
+		fracB = area / ab
+	}
+	return area, fracA, fracB
+}
+
+// SeparationEvent describes a transition in the separability of two
+// streams, as reported by a SeparationMonitor.
+type SeparationEvent struct {
+	N         int       // total points processed when the event fired
+	Separable bool      // new state
+	Line      geom.Line // certificate when Separable (§6)
+	Distance  float64   // hull distance at the transition
+}
+
+// SeparationMonitor tracks two streams and emits an event whenever their
+// hulls switch between separable and non-separable — the "report when
+// datasets A and B are no longer linearly separable" query of §1.
+type SeparationMonitor struct {
+	t       *PairTracker
+	mu      sync.Mutex
+	n       int
+	started bool
+	state   bool
+	events  []SeparationEvent
+}
+
+// NewSeparationMonitor wraps two summaries in a separation monitor.
+func NewSeparationMonitor(a, b Summary) *SeparationMonitor {
+	return &SeparationMonitor{t: NewPairTracker(a, b)}
+}
+
+// InsertA feeds a point into the first stream and checks for a
+// transition.
+func (m *SeparationMonitor) InsertA(p geom.Point) error {
+	if err := m.t.InsertA(p); err != nil {
+		return err
+	}
+	m.check()
+	return nil
+}
+
+// InsertB feeds a point into the second stream and checks for a
+// transition.
+func (m *SeparationMonitor) InsertB(p geom.Point) error {
+	if err := m.t.InsertB(p); err != nil {
+		return err
+	}
+	m.check()
+	return nil
+}
+
+func (m *SeparationMonitor) check() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n++
+	// Both streams must be non-empty for separability to be meaningful.
+	if m.t.a.N() == 0 || m.t.b.N() == 0 {
+		return
+	}
+	line, sep := m.t.Separable()
+	if m.started && sep == m.state {
+		return
+	}
+	d, _ := m.t.Distance()
+	m.events = append(m.events, SeparationEvent{N: m.n, Separable: sep, Line: line, Distance: d})
+	m.state = sep
+	m.started = true
+}
+
+// Events returns the transitions observed so far, oldest first.
+func (m *SeparationMonitor) Events() []SeparationEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]SeparationEvent(nil), m.events...)
+}
+
+// Separable returns the current separability state.
+func (m *SeparationMonitor) Separable() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.started && m.state
+}
+
+// Tracker exposes the underlying pair tracker for further queries.
+func (m *SeparationMonitor) Tracker() *PairTracker { return m.t }
