@@ -19,6 +19,7 @@ package streamhull_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
@@ -203,6 +204,63 @@ func BenchmarkSnapshot(b *testing.B) {
 	b.Run("Merge", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_, _ = streamhull.MergeSnapshots(32, snap, snap)
+		}
+	})
+}
+
+// BenchmarkWindowed measures the sliding-window subsystem: amortized
+// insert cost of count- and time-windowed summaries against the lifetime
+// adaptive baseline (the acceptance bar is ~3× on insert), and query
+// cost on the folded window hull. The drift-burst workload is the
+// windowed stress case: transient bursts a lifetime hull keeps forever.
+func BenchmarkWindowed(b *testing.B) {
+	pts := workload.Take(workload.DriftBurst(21, 1, geom.Pt(0.001, 0), 10000, 500, 25), 100000)
+
+	b.Run("Insert/Adaptive", func(b *testing.B) {
+		s := streamhull.NewAdaptive(benchR)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Insert(pts[i%len(pts)])
+		}
+	})
+	for _, win := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("Insert/Windowed-%d", win), func(b *testing.B) {
+			s := streamhull.NewWindowedByCount(benchR, win)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Insert(pts[i%len(pts)])
+			}
+		})
+	}
+	b.Run("Insert/WindowedByTime", func(b *testing.B) {
+		s := streamhull.NewWindowedByTime(benchR, time.Minute, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Insert(pts[i%len(pts)])
+		}
+	})
+
+	b.Run("Query/Diameter", func(b *testing.B) {
+		s := streamhull.NewWindowedByCount(benchR, 10000)
+		for _, p := range pts {
+			_ = s.Insert(p)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = s.Hull().Diameter()
+		}
+	})
+	b.Run("Query/HullAfterInsert", func(b *testing.B) {
+		// Worst case: every query re-folds because an insert invalidated
+		// the cached hull.
+		s := streamhull.NewWindowedByCount(benchR, 10000)
+		for _, p := range pts {
+			_ = s.Insert(p)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Insert(pts[i%len(pts)])
+			_ = s.Hull()
 		}
 	})
 }

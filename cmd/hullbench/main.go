@@ -9,6 +9,7 @@
 //	hullbench -all                # everything, paper-scale (n = 100000)
 //	hullbench -table1 -n 20000    # just Table 1, smaller stream
 //	hullbench -sweep -lowerbound -diameter -timing
+//	hullbench -windowed           # sliding-window cost/fidelity sweep
 package main
 
 import (
@@ -29,13 +30,14 @@ func main() {
 		lowerBound = flag.Bool("lowerbound", false, "circle lower bound (§5.4, Fig. 9)")
 		diameter   = flag.Bool("diameter", false, "diameter approximation (Lemma 3.1)")
 		timing     = flag.Bool("timing", false, "per-point processing cost (§3.1/§5.3)")
+		windowed   = flag.Bool("windowed", false, "sliding-window cost and fidelity on a drift-burst stream")
 		n          = flag.Int("n", 100000, "stream length per experiment")
 		r          = flag.Int("r", 16, "adaptive sample parameter (uniform uses 2r)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
-	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing {
+	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -79,6 +81,15 @@ func main() {
 	if *all || *timing {
 		fmt.Println("=== Per-point processing cost (§3.1/§5.3) ===")
 		fmt.Print(experiments.FormatTiming(experiments.TimeSweep(diskGen, *n, []int{16, 32, 64, 128, 256, 512}, *seed)))
+		fmt.Println()
+	}
+	if *all || *windowed {
+		fmt.Println("=== Sliding-window summaries (count windows over a drift-burst stream) ===")
+		burstGen := func(s int64) workload.Generator {
+			return workload.DriftBurst(s, 1, geom.Pt(0.001, 0), *n/10, *n/200, 25)
+		}
+		windows := []int{max(1, *n/100), max(1, *n/20), max(1, *n/4)}
+		fmt.Print(experiments.FormatWindowed(experiments.WindowedSweep(burstGen, *n, windows, *r, *seed)))
 		fmt.Println()
 	}
 }

@@ -6,6 +6,13 @@
 //
 //	generate-points | hullcli -algo adaptive -r 32 -query diameter,width
 //	hullcli -algo uniform -r 64 -hull < points.csv
+//	tail -f telemetry.csv | hullcli -window 10000 -query diameter
+//
+// With -window the summary covers only the most recent points: a count
+// like "-window 10000" keeps the last 10000 points, a duration like
+// "-window 30s" keeps the points of the last 30 seconds of wall time
+// (windowed summaries always use adaptive buckets, so -algo must be
+// adaptive).
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
@@ -25,22 +33,16 @@ func main() {
 	var (
 		algo    = flag.String("algo", "adaptive", "summary: adaptive, uniform, or exact")
 		r       = flag.Int("r", 32, "sample parameter")
+		window  = flag.String("window", "", "sliding window: a point count (e.g. 10000) or a duration (e.g. 30s)")
 		queries = flag.String("query", "diameter,width", "comma-separated: diameter,width,extent,area,circle")
 		theta   = flag.Float64("theta", 0, "direction (radians) for the extent query")
 		hull    = flag.Bool("hull", false, "print hull vertices")
 	)
 	flag.Parse()
 
-	var sum streamhull.Summary
-	switch *algo {
-	case "adaptive":
-		sum = streamhull.NewAdaptive(*r)
-	case "uniform":
-		sum = streamhull.NewUniform(*r)
-	case "exact":
-		sum = streamhull.NewExact()
-	default:
-		log.Fatalf("unknown algo %q", *algo)
+	sum, err := newSummary(*algo, *r, *window)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -65,7 +67,15 @@ func main() {
 	}
 
 	h := sum.Hull()
-	fmt.Printf("points=%d stored=%d hull-vertices=%d\n", sum.N(), sum.SampleSize(), h.Len())
+	fmt.Printf("points=%d stored=%d hull-vertices=%d", sum.N(), sum.SampleSize(), h.Len())
+	if w, ok := sum.(*streamhull.WindowedHull); ok {
+		count, age := w.WindowSpan()
+		fmt.Printf(" window=%s live=%d", *window, count)
+		if age > 0 {
+			fmt.Printf(" span=%s", age.Round(time.Millisecond))
+		}
+	}
+	fmt.Println()
 	for _, q := range strings.Split(*queries, ",") {
 		switch strings.TrimSpace(q) {
 		case "":
@@ -90,6 +100,28 @@ func main() {
 		for _, v := range h.Vertices() {
 			fmt.Printf("%g,%g\n", v.X, v.Y)
 		}
+	}
+}
+
+// newSummary builds the stream summary for the flag combination: a
+// windowed summary when window is a count or duration, else the named
+// lifetime algorithm.
+func newSummary(algo string, r int, window string) (streamhull.Summary, error) {
+	if window != "" {
+		if algo != "adaptive" {
+			return nil, fmt.Errorf("-window requires -algo adaptive, got %q", algo)
+		}
+		return streamhull.NewWindowedFromSpec(r, window, nil)
+	}
+	switch algo {
+	case "adaptive":
+		return streamhull.NewAdaptive(r), nil
+	case "uniform":
+		return streamhull.NewUniform(r), nil
+	case "exact":
+		return streamhull.NewExact(), nil
+	default:
+		return nil, fmt.Errorf("unknown algo %q", algo)
 	}
 }
 

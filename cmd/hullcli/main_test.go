@@ -32,3 +32,31 @@ func TestParsePoint(t *testing.T) {
 		}
 	}
 }
+
+func TestNewSummary(t *testing.T) {
+	cases := []struct {
+		algo, window string
+		ok           bool
+	}{
+		{"adaptive", "", true},
+		{"uniform", "", true},
+		{"exact", "", true},
+		{"wizard", "", false},
+		{"adaptive", "1000", true},
+		{"adaptive", "30s", true},
+		{"adaptive", "0", false},
+		{"adaptive", "-5s", false},
+		{"adaptive", "soon", false},
+		{"uniform", "1000", false},
+	}
+	for _, c := range cases {
+		sum, err := newSummary(c.algo, 16, c.window)
+		if (err == nil) != c.ok {
+			t.Errorf("newSummary(%q, 16, %q) error = %v, want ok=%v", c.algo, c.window, err, c.ok)
+			continue
+		}
+		if c.ok && sum == nil {
+			t.Errorf("newSummary(%q, 16, %q) returned nil summary", c.algo, c.window)
+		}
+	}
+}

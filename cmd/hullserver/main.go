@@ -23,15 +23,18 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		r    = flag.Int("r", 32, "default sample parameter for auto-created streams")
-		maxS = flag.Int("max-streams", 1024, "maximum number of live streams")
+		addr  = flag.String("addr", ":8080", "listen address")
+		r     = flag.Int("r", 32, "default sample parameter for auto-created streams")
+		maxS  = flag.Int("max-streams", 1024, "maximum number of live streams")
+		sweep = flag.Duration("sweep", 2*time.Second, "expiry sweep interval for time-windowed streams")
 	)
 	flag.Parse()
 
+	api := server.New(server.Config{DefaultR: *r, MaxStreams: *maxS, SweepInterval: *sweep})
+	defer api.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(server.Config{DefaultR: *r, MaxStreams: *maxS}),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -1,0 +1,3 @@
+module github.com/streamgeom/streamhull
+
+go 1.24

@@ -205,3 +205,33 @@ func TestScaled(t *testing.T) {
 		t.Errorf("Scaled(0) = %d", Scaled(0))
 	}
 }
+
+func TestWindowedSweep(t *testing.T) {
+	gen := func(s int64) workload.Generator {
+		return workload.DriftBurst(s, 1, geom.Pt(0.001, 0), 1000, 50, 25)
+	}
+	rows := WindowedSweep(gen, 8000, []int{500, 2000}, 16, 1)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if row.Covered < row.Window {
+			t.Errorf("window %d: covered %d < window", row.Window, row.Covered)
+		}
+		if row.WindowedNsPt <= 0 || row.AdaptiveNsPt <= 0 {
+			t.Errorf("window %d: non-positive timings %+v", row.Window, row)
+		}
+		if row.Buckets <= 0 || row.SampleSize <= 0 {
+			t.Errorf("window %d: empty structure %+v", row.Window, row)
+		}
+		// The windowed hull must track the covered suffix closely: the
+		// drift-burst stream has diameter >> 1, so a stale hull would
+		// show distances of many units.
+		if row.MaxDist > 0.5 {
+			t.Errorf("window %d: max distance %g from covered suffix", row.Window, row.MaxDist)
+		}
+	}
+	if out := FormatWindowed(rows); !strings.Contains(out, "window") {
+		t.Errorf("FormatWindowed output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/internal/convex"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// WindowedPoint is one row of the sliding-window experiment: insertion
+// cost of the windowed summary against the lifetime adaptive baseline,
+// and the windowed hull's fidelity to the exact hull of the stream
+// suffix it covers.
+type WindowedPoint struct {
+	Window       int     // configured count window
+	Covered      int     // points the live buckets actually cover
+	WindowedNsPt float64 // windowed insert cost, ns/point
+	AdaptiveNsPt float64 // lifetime adaptive insert cost, ns/point
+	MaxDist      float64 // max distance of a covered point outside the windowed hull
+	PctOutside   float64 // % of covered points strictly outside the windowed hull
+	SampleSize   int     // points stored across live buckets
+	Buckets      int     // live exponential-histogram buckets
+}
+
+// WindowedSweep runs a stream of n points through count-windowed
+// summaries of the given window sizes (per-bucket parameter r) and a
+// lifetime adaptive summary, comparing per-point cost and measuring the
+// windowed hull against the covered stream suffix. Pair it with
+// workload.DriftBurst, whose transient bursts a lifetime hull keeps
+// forever but a window forgets.
+func WindowedSweep(gen func(seed int64) workload.Generator, n int, windows []int, r int, seed int64) []WindowedPoint {
+	pts := workload.Take(gen(seed), n)
+	adaptiveNs := timeIt(func() {
+		s := streamhull.NewAdaptive(r)
+		for _, p := range pts {
+			_ = s.Insert(p)
+		}
+	}) / float64(len(pts))
+
+	out := make([]WindowedPoint, 0, len(windows))
+	for _, win := range windows {
+		w := streamhull.NewWindowedByCount(r, win)
+		ns := timeIt(func() {
+			for _, p := range pts {
+				_ = w.Insert(p)
+			}
+		}) / float64(len(pts))
+		covered, _ := w.WindowSpan()
+		hull := w.Hull()
+		maxDist, pct := 0.0, 0.0
+		if covered > 0 {
+			maxDist, pct = distanceStats(hullPoly(hull), pts[len(pts)-covered:])
+		}
+		out = append(out, WindowedPoint{
+			Window: win, Covered: covered, WindowedNsPt: ns, AdaptiveNsPt: adaptiveNs,
+			MaxDist: maxDist, PctOutside: pct,
+			SampleSize: w.SampleSize(), Buckets: w.Buckets(),
+		})
+	}
+	return out
+}
+
+// hullPoly rebuilds the internal polygon for distanceStats from a public
+// Polygon's vertices.
+func hullPoly(p streamhull.Polygon) convex.Polygon { return convex.Hull(p.Vertices()) }
+
+// FormatWindowed renders the sliding-window sweep.
+func FormatWindowed(pts []WindowedPoint) string {
+	var b strings.Builder
+	b.WriteString("Sliding-window cost and fidelity (count windows, drift-burst stream)\n")
+	fmt.Fprintf(&b, "  %8s  %8s  %10s  %10s  %8s  %10s  %8s  %8s\n",
+		"window", "covered", "win ns/pt", "ada ns/pt", "ratio", "max-dist", "%out", "buckets")
+	for _, p := range pts {
+		ratio := 0.0
+		if p.AdaptiveNsPt > 0 {
+			ratio = p.WindowedNsPt / p.AdaptiveNsPt
+		}
+		fmt.Fprintf(&b, "  %8d  %8d  %10.1f  %10.1f  %8.2f  %10.4g  %8.2f  %8d\n",
+			p.Window, p.Covered, p.WindowedNsPt, p.AdaptiveNsPt, ratio, p.MaxDist, p.PctOutside, p.Buckets)
+	}
+	return b.String()
+}

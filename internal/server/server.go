@@ -6,7 +6,7 @@
 //
 // Endpoints:
 //
-//	PUT    /v1/streams/{id}?algo=adaptive|uniform|exact&r=32   create
+//	PUT    /v1/streams/{id}?algo=adaptive|uniform|exact&r=32&window=<n|dur>  create
 //	DELETE /v1/streams/{id}                                    drop
 //	GET    /v1/streams                                         list
 //	POST   /v1/streams/{id}/points   {"points": [[x,y], ...]}  ingest
@@ -15,17 +15,29 @@
 //	GET    /v1/pairs/query?a=id&b=id&type=distance|separable|overlap|contains
 //	GET    /v1/streams/{id}/snapshot                           sample snapshot
 //
+// A window=<count> or window=<duration> on create makes the stream a
+// sliding-window summary (adaptive buckets): queries then cover only the
+// last count points or the last duration of wall time. Time-windowed
+// streams are swept in the background so idle streams age out too.
+//
 // Streams are auto-created on first ingest with the default algorithm
 // when not explicitly configured.
+//
+// Errors are structured JSON ({"error": "..."}): 404 for unknown
+// streams, 400 for bad input, 409 for duplicate creates, 413 for
+// oversized bodies or batches, 507 when the stream limit is reached.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
@@ -40,21 +52,35 @@ type Config struct {
 	MaxStreams int
 	// MaxBatch bounds the number of points per ingest request (0 = 65536).
 	MaxBatch int
+	// MaxBodyBytes bounds the size of ingest request bodies (0 = 16 MiB).
+	MaxBodyBytes int64
+	// SweepInterval is how often the background sweeper expires idle
+	// time-windowed streams (0 = 2s). The sweeper starts lazily with the
+	// first windowed stream; call Close to stop it.
+	SweepInterval time.Duration
 }
 
 // Server is an HTTP handler managing named stream summaries.
 type Server struct {
-	cfg     Config
-	mu      sync.RWMutex
-	streams map[string]*stream
-	mux     *http.ServeMux
+	cfg       Config
+	mu        sync.RWMutex
+	streams   map[string]*stream
+	mux       *http.ServeMux
+	sweepOnce sync.Once
+	closeOnce sync.Once
+	sweepStop chan struct{}
 }
 
 type stream struct {
-	sum  streamhull.Summary
-	algo string
-	r    int
+	sum    streamhull.Summary
+	algo   string
+	r      int
+	window string // "" for lifetime streams, else the window spec
 }
+
+// errStreamLimit distinguishes capacity exhaustion from unknown-stream
+// lookups so handlers can return 507 instead of 404.
+var errStreamLimit = errors.New("stream limit reached")
 
 // New returns a ready-to-serve Server.
 func New(cfg Config) *Server {
@@ -67,7 +93,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch == 0 {
 		cfg.MaxBatch = 65536
 	}
-	s := &Server{cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux()}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = 2 * time.Second
+	}
+	s := &Server{
+		cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux(),
+		sweepStop: make(chan struct{}),
+	}
 	s.mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreate)
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/streams", s.handleList)
@@ -81,6 +116,48 @@ func New(cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the background expiry sweeper, if it was started. The
+// handler itself remains usable.
+func (s *Server) Close() {
+	s.sweepOnce.Do(func() {}) // ensure a later windowed create cannot start it
+	s.closeOnce.Do(func() { close(s.sweepStop) })
+}
+
+// startSweeper launches the background expiry loop (once, lazily, when
+// the first windowed stream appears).
+func (s *Server) startSweeper() {
+	s.sweepOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(s.cfg.SweepInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.sweepStop:
+					return
+				case <-t.C:
+					s.sweep()
+				}
+			}
+		}()
+	})
+}
+
+// sweep expires every time-windowed stream once (count windows expire
+// on insert and need no sweeping).
+func (s *Server) sweep() {
+	s.mu.RLock()
+	whs := make([]*streamhull.WindowedHull, 0, len(s.streams))
+	for _, st := range s.streams {
+		if wh, ok := st.sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
+			whs = append(whs, wh)
+		}
+	}
+	s.mu.RUnlock()
+	for _, wh := range whs {
+		wh.Expire()
+	}
+}
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -96,8 +173,15 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// newSummary builds a summary for an algorithm name.
-func newSummary(algo string, r int) (streamhull.Summary, error) {
+// newSummary builds a summary for an algorithm name and an optional
+// window spec (a point count like "5000" or a duration like "30s").
+func newSummary(algo string, r int, window string) (streamhull.Summary, error) {
+	if window != "" {
+		if algo != "" && algo != "adaptive" {
+			return nil, fmt.Errorf("window requires algo=adaptive, got %q", algo)
+		}
+		return streamhull.NewWindowedFromSpec(r, window, nil)
+	}
 	switch algo {
 	case "", "adaptive":
 		if r < 4 {
@@ -117,11 +201,15 @@ func newSummary(algo string, r int) (streamhull.Summary, error) {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
+	// Creation is configured by query parameters; any body is discarded
+	// through a bounded reader so a client cannot stream unbounded data.
+	_, _ = io.Copy(io.Discard, http.MaxBytesReader(w, req.Body, 1<<20))
 	id := req.PathValue("id")
 	algo := req.URL.Query().Get("algo")
 	if algo == "" {
 		algo = "adaptive"
 	}
+	window := req.URL.Query().Get("window")
 	r := s.cfg.DefaultR
 	if rs := req.URL.Query().Get("r"); rs != "" {
 		v, err := strconv.Atoi(rs)
@@ -131,23 +219,34 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 		}
 		r = v
 	}
-	sum, err := newSummary(algo, r)
+	sum, err := newSummary(algo, r, window)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, exists := s.streams[id]; exists {
+		s.mu.Unlock()
 		writeErr(w, http.StatusConflict, "stream %q already exists", id)
 		return
 	}
 	if len(s.streams) >= s.cfg.MaxStreams {
+		s.mu.Unlock()
 		writeErr(w, http.StatusInsufficientStorage, "stream limit %d reached", s.cfg.MaxStreams)
 		return
 	}
-	s.streams[id] = &stream{sum: sum, algo: algo, r: r}
-	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "algo": algo, "r": r})
+	s.streams[id] = &stream{sum: sum, algo: algo, r: r, window: window}
+	s.mu.Unlock()
+	// Only time windows age out between inserts and need the background
+	// sweeper; count windows expire on insert.
+	if wh, ok := sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
+		s.startSweeper()
+	}
+	resp := map[string]any{"id": id, "algo": algo, "r": r}
+	if window != "" {
+		resp["window"] = window
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
@@ -163,20 +262,27 @@ func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
 }
 
 type streamInfo struct {
-	ID         string `json:"id"`
-	Algo       string `json:"algo"`
-	R          int    `json:"r"`
-	N          int    `json:"n"`
-	SampleSize int    `json:"sample_size"`
+	ID          string `json:"id"`
+	Algo        string `json:"algo"`
+	R           int    `json:"r"`
+	N           int    `json:"n"`
+	SampleSize  int    `json:"sample_size"`
+	Window      string `json:"window,omitempty"`
+	WindowCount int    `json:"window_count,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	infos := make([]streamInfo, 0, len(s.streams))
 	for id, st := range s.streams {
-		infos = append(infos, streamInfo{
+		info := streamInfo{
 			ID: id, Algo: st.algo, R: st.r, N: st.sum.N(), SampleSize: st.sum.SampleSize(),
-		})
+			Window: st.window,
+		}
+		if wh, ok := st.sum.(*streamhull.WindowedHull); ok {
+			info.WindowCount = wh.WindowCount()
+		}
+		infos = append(infos, info)
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
@@ -194,9 +300,9 @@ func (s *Server) get(id string, autocreate bool) (*stream, error) {
 		return nil, fmt.Errorf("no stream %q", id)
 	}
 	if len(s.streams) >= s.cfg.MaxStreams {
-		return nil, fmt.Errorf("stream limit %d reached", s.cfg.MaxStreams)
+		return nil, fmt.Errorf("%w (%d)", errStreamLimit, s.cfg.MaxStreams)
 	}
-	sum, err := newSummary("adaptive", s.cfg.DefaultR)
+	sum, err := newSummary("adaptive", s.cfg.DefaultR, "")
 	if err != nil {
 		return nil, err
 	}
@@ -212,8 +318,13 @@ type pointsBody struct {
 func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	var body pointsBody
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 16<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(&body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
 		return
 	}
@@ -228,7 +339,12 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	}
 	st, err := s.get(id, true)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		// Auto-creation only fails on capacity, not on a missing stream.
+		if errors.Is(err, errStreamLimit) {
+			writeErr(w, http.StatusInsufficientStorage, "%v", err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	for i, xy := range body.Points {
@@ -308,6 +424,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 
 func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
 	q := req.URL.Query()
+	if q.Get("a") == "" || q.Get("b") == "" {
+		writeErr(w, http.StatusBadRequest, "pair query requires both a and b stream ids")
+		return
+	}
 	sa, err := s.get(q.Get("a"), false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)

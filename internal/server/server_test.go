@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/workload"
@@ -251,5 +252,140 @@ func TestBatchLimit(t *testing.T) {
 	code, _ := do(t, "POST", ts.URL+"/v1/streams/s/points", map[string]any{"points": toPairs(pts)})
 	if code != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized batch: %d", code)
+	}
+}
+
+func TestWindowedStream(t *testing.T) {
+	srv := New(Config{DefaultR: 16})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, resp := do(t, "PUT", ts.URL+"/v1/streams/w1?window=500&r=8", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("create windowed: %d %v", code, resp)
+	}
+	if resp["window"] != "500" {
+		t.Fatalf("create response lacks window: %v", resp)
+	}
+
+	// An early faraway phase followed by a long local phase: the windowed
+	// hull must forget the early phase.
+	ingest(t, ts, "w1", workload.Take(workload.Disk(1, geom.Pt(1000, 0), 1), 1000))
+	ingest(t, ts, "w1", workload.Take(workload.Disk(2, geom.Pt(0, 0), 1), 2000))
+
+	code, hull := do(t, "GET", ts.URL+"/v1/streams/w1/hull", nil)
+	if code != http.StatusOK {
+		t.Fatalf("hull: %d %v", code, hull)
+	}
+	for _, v := range hull["vertices"].([]any) {
+		x := v.([]any)[0].(float64)
+		if x > 100 {
+			t.Fatalf("windowed hull kept expired vertex at x=%g", x)
+		}
+	}
+
+	// List reports the window spec and a live count near the window.
+	_, listed := do(t, "GET", ts.URL+"/v1/streams", nil)
+	info := listed["streams"].([]any)[0].(map[string]any)
+	if info["window"] != "500" {
+		t.Fatalf("list lacks window spec: %v", info)
+	}
+	wc := int(info["window_count"].(float64))
+	if wc < 500 || wc > 2000 {
+		t.Fatalf("window_count = %d, want near 500", wc)
+	}
+	if n := int(info["n"].(float64)); n != 3000 {
+		t.Fatalf("n = %d, want lifetime 3000", n)
+	}
+
+	// Windowed streams still serve snapshots and single-stream queries.
+	if code, _ := do(t, "GET", ts.URL+"/v1/streams/w1/snapshot", nil); code != http.StatusOK {
+		t.Errorf("windowed snapshot: %d", code)
+	}
+	code, q := do(t, "GET", ts.URL+"/v1/streams/w1/query?type=diameter", nil)
+	if code != http.StatusOK {
+		t.Fatalf("windowed diameter: %d %v", code, q)
+	}
+	if d := q["diameter"].(float64); d > 10 {
+		t.Errorf("windowed diameter %g still spans the expired phase", d)
+	}
+}
+
+func TestWindowedCreateValidation(t *testing.T) {
+	ts := newTestServer(t)
+	for path, want := range map[string]int{
+		"/v1/streams/bad1?window=abc":              http.StatusBadRequest,
+		"/v1/streams/bad2?window=0":                http.StatusBadRequest,
+		"/v1/streams/bad3?window=-5s":              http.StatusBadRequest,
+		"/v1/streams/bad4?window=100&algo=uniform": http.StatusBadRequest,
+		"/v1/streams/bad5?window=100&algo=exact":   http.StatusBadRequest,
+		"/v1/streams/ok1?window=100":               http.StatusCreated,
+		"/v1/streams/ok2?window=30s&algo=adaptive": http.StatusCreated,
+	} {
+		if code, resp := do(t, "PUT", ts.URL+path, nil); code != want {
+			t.Errorf("PUT %s: got %d (%v), want %d", path, code, resp, want)
+		}
+	}
+}
+
+func TestTimeWindowSweep(t *testing.T) {
+	srv := New(Config{DefaultR: 16, SweepInterval: 10 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if code, resp := do(t, "PUT", ts.URL+"/v1/streams/tw?window=50ms&r=8", nil); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, resp)
+	}
+	ingest(t, ts, "tw", workload.Take(workload.Disk(1, geom.Point{}, 1), 200))
+
+	// With no further inserts, the background sweeper must age the whole
+	// window out.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, listed := do(t, "GET", ts.URL+"/v1/streams", nil)
+		info := listed["streams"].([]any)[0].(map[string]any)
+		if _, has := info["window_count"]; !has { // omitempty: count reached 0
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper never expired the idle window: %v", info)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	code, hull := do(t, "GET", ts.URL+"/v1/streams/tw/hull", nil)
+	if code != http.StatusOK {
+		t.Fatalf("hull: %d", code)
+	}
+	if vs, ok := hull["vertices"].([]any); ok && len(vs) != 0 {
+		t.Fatalf("hull still has %d vertices after expiry", len(vs))
+	}
+}
+
+func TestPairQueryValidation(t *testing.T) {
+	ts := newTestServer(t)
+	ingest(t, ts, "pa", workload.Take(workload.Disk(1, geom.Point{}, 1), 10))
+	if code, _ := do(t, "GET", ts.URL+"/v1/pairs/query?a=pa&type=distance", nil); code != http.StatusBadRequest {
+		t.Errorf("missing b: got %d, want 400", code)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/v1/pairs/query?a=pa&b=ghost&type=distance", nil); code != http.StatusNotFound {
+		t.Errorf("unknown b: got %d, want 404", code)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	srv := New(Config{DefaultR: 16, MaxBodyBytes: 1024})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	big := workload.Take(workload.Disk(1, geom.Point{}, 1), 1000)
+	body := map[string]any{"points": toPairs(big)}
+	code, resp := do(t, "POST", ts.URL+"/v1/streams/big/points", body)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %d (%v), want 413", code, resp)
+	}
+	if _, ok := resp["error"]; !ok {
+		t.Fatalf("oversized body error is not structured JSON: %v", resp)
 	}
 }

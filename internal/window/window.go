@@ -1,0 +1,442 @@
+// Package window implements exponential-histogram bucketing for
+// sliding-window hull summaries (count- or time-bounded), in the spirit
+// of Datar–Gionis–Indyk–Motwani exponential histograms adapted to
+// mergeable geometric summaries: the window is covered by O(log n)
+// buckets, each holding a small-space sub-summary of a contiguous run of
+// the stream. Expired buckets are dropped whole; adjacent same-class
+// buckets are merged by the caller-supplied extrema-union; queries fold
+// the live buckets' samples into one point set.
+//
+// The open head bucket buffers raw points and is converted to a
+// sub-summary only when sealed, so the amortized per-point cost is an
+// append plus an O(1/HeadCap) share of one Seal and the merge cascade.
+//
+// The window guarantee is one-sided slack at the old end: the folded
+// sample always covers at least the configured window and at most the
+// window plus the span of the single oldest live bucket (the bucket
+// straddling the expiry boundary). PerClass controls that slack — more
+// buckets per size class means smaller classes survive longer before
+// merging, so the straddling bucket is finer.
+package window
+
+import (
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Sub is a sealed bucket's summary: a small-space capture of one
+// contiguous stream run, able to surface its stored sample directions
+// and extrema. Sealed buckets never receive further points.
+type Sub interface {
+	// Samples returns the active direction angles and their stored
+	// extrema, parallel slices.
+	Samples() (thetas []float64, points []geom.Point)
+	// Size returns the number of points currently stored.
+	Size() int
+}
+
+// Config parameterizes an EH. Exactly one of MaxCount and MaxAge must be
+// positive.
+type Config struct {
+	// Seal summarizes a full head bucket's raw points into a Sub.
+	// Required.
+	Seal func(pts []geom.Point) Sub
+	// Merge combines two sealed buckets' sub-summaries into one (the
+	// extrema-union). Nil falls back to Seal over the union of both
+	// buckets' sample points.
+	Merge func(a, b Sub) Sub
+	// MaxCount, when positive, selects a count window: queries cover at
+	// least the last MaxCount stream points.
+	MaxCount int
+	// MaxAge, when positive, selects a time window: queries cover at
+	// least the points of the last MaxAge.
+	MaxAge time.Duration
+	// PerClass is the number of same-class buckets tolerated before the
+	// two oldest merge (the EH parameter k). Zero selects 4.
+	PerClass int
+	// HeadCap seals the open head bucket after this many points. Zero
+	// selects max(min(32, MaxCount), MaxCount/64) for count windows and
+	// 4096 for time windows (where it is the safety valve keeping the
+	// raw head buffer bounded under burst ingest). Sealing — and hence
+	// all summarization work — happens at most once per that many
+	// inserts, keeping amortized maintenance cost negligible next to the
+	// raw-point append.
+	HeadCap int
+	// HeadAge seals the open head bucket once it spans this much time
+	// (time windows). Zero selects MaxAge/64.
+	HeadAge time.Duration
+	// Now is the clock for time windows. Zero selects time.Now.
+	Now func() time.Time
+}
+
+// bucket covers the contiguous stream run [start, end). Sealed buckets
+// hold a sub-summary; the open head instead buffers its raw points.
+// class is the merge generation: sealed heads are class 0, merging two
+// class-c buckets yields class c+1, so a sealed bucket's covered count
+// is roughly HeadCap·2^class.
+type bucket struct {
+	sub        Sub          // nil for the open head
+	raw        []geom.Point // head only
+	count      int
+	class      int
+	start, end int
+	tmin, tmax time.Time
+}
+
+// EH is the exponential-histogram window. Not safe for concurrent use;
+// wrap it (the root package's WindowedHull adds the lock).
+type EH struct {
+	cfg     Config
+	n       int       // total stream points processed
+	sealed  []*bucket // oldest first; classes non-increasing toward the newest
+	head    *bucket   // open bucket receiving inserts, nil when empty
+	expired int       // buckets dropped whole so far
+	merges  int       // bucket merges performed so far
+}
+
+// New validates cfg and returns an empty window.
+func New(cfg Config) *EH {
+	if cfg.Seal == nil {
+		panic("window: Config.Seal is required")
+	}
+	if (cfg.MaxCount > 0) == (cfg.MaxAge > 0) {
+		panic("window: exactly one of MaxCount and MaxAge must be positive")
+	}
+	if cfg.PerClass <= 0 {
+		cfg.PerClass = 4
+	}
+	if cfg.MaxCount > 0 && cfg.HeadCap <= 0 {
+		cfg.HeadCap = cfg.MaxCount / 64
+		if floor := min(32, cfg.MaxCount); cfg.HeadCap < floor {
+			cfg.HeadCap = floor
+		}
+	}
+	if cfg.MaxAge > 0 {
+		if cfg.HeadAge <= 0 {
+			cfg.HeadAge = cfg.MaxAge / 64
+		}
+		if cfg.HeadCap <= 0 {
+			cfg.HeadCap = 4096
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &EH{cfg: cfg}
+}
+
+// ByTime reports whether the window is time-bounded.
+func (w *EH) ByTime() bool { return w.cfg.MaxAge > 0 }
+
+// Insert folds one stream point into the window, expiring and merging
+// buckets as needed. Amortized cost: a raw-point append plus an
+// O(1/HeadCap) share of one Seal and its merge cascade.
+func (w *EH) Insert(p geom.Point) {
+	var now time.Time
+	if w.ByTime() {
+		now = w.cfg.Now()
+		w.expireTime(now)
+	} else {
+		w.expireCount()
+	}
+	if w.head == nil {
+		w.head = &bucket{start: w.n, tmin: now}
+	}
+	w.head.raw = append(w.head.raw, p)
+	w.head.count++
+	w.n++
+	w.head.end = w.n
+	w.head.tmax = now
+	if w.headFull(now) {
+		w.seal()
+	}
+}
+
+func (w *EH) headFull(now time.Time) bool {
+	if w.ByTime() {
+		return now.Sub(w.head.tmin) >= w.cfg.HeadAge || w.head.count >= w.cfg.HeadCap
+	}
+	return w.head.count >= w.cfg.HeadCap
+}
+
+// seal summarizes the head's raw buffer into a class-0 sealed bucket and
+// restores the ≤ PerClass-per-class invariant by cascading merges.
+func (w *EH) seal() {
+	w.head.sub = w.cfg.Seal(w.head.raw)
+	w.head.raw = nil
+	w.head.class = 0
+	w.sealed = append(w.sealed, w.head)
+	w.head = nil
+	for class := 0; ; class++ {
+		first, n := -1, 0
+		for i, b := range w.sealed {
+			if b.class == class {
+				if first < 0 {
+					first = i
+				}
+				n++
+			}
+		}
+		if n <= w.cfg.PerClass {
+			if n == 0 && class > w.maxClass() {
+				return
+			}
+			continue
+		}
+		// Same-class buckets are contiguous (classes are non-increasing
+		// oldest→newest), so the two oldest of this class are adjacent.
+		w.mergeAt(first)
+	}
+}
+
+func (w *EH) maxClass() int {
+	m := -1
+	for _, b := range w.sealed {
+		if b.class > m {
+			m = b.class
+		}
+	}
+	return m
+}
+
+// mergeAt replaces sealed[i] and sealed[i+1] with their extrema-union,
+// one class up.
+func (w *EH) mergeAt(i int) {
+	a, b := w.sealed[i], w.sealed[i+1]
+	var sub Sub
+	if w.cfg.Merge != nil {
+		sub = w.cfg.Merge(a.sub, b.sub)
+	} else {
+		_, pa := a.sub.Samples()
+		_, pb := b.sub.Samples()
+		sub = w.cfg.Seal(append(append(make([]geom.Point, 0, len(pa)+len(pb)), pa...), pb...))
+	}
+	merged := &bucket{
+		sub:   sub,
+		count: a.count + b.count,
+		class: a.class + 1,
+		start: a.start,
+		end:   b.end,
+		tmin:  a.tmin,
+		tmax:  b.tmax,
+	}
+	w.sealed[i] = merged
+	w.sealed = append(w.sealed[:i+1], w.sealed[i+2:]...)
+	w.merges++
+}
+
+// expireCount drops sealed buckets that lie entirely outside the last
+// MaxCount points.
+func (w *EH) expireCount() {
+	cut := w.n - w.cfg.MaxCount
+	i := 0
+	for i < len(w.sealed) && w.sealed[i].end <= cut {
+		i++
+	}
+	if i > 0 {
+		w.expired += i
+		w.sealed = append(w.sealed[:0], w.sealed[i:]...)
+	}
+}
+
+// expireTime drops buckets whose newest point is older than MaxAge.
+func (w *EH) expireTime(now time.Time) {
+	cut := now.Add(-w.cfg.MaxAge)
+	i := 0
+	for i < len(w.sealed) && w.sealed[i].tmax.Before(cut) {
+		i++
+	}
+	if i > 0 {
+		w.expired += i
+		w.sealed = append(w.sealed[:0], w.sealed[i:]...)
+	}
+	if w.head != nil && w.head.tmax.Before(cut) {
+		w.head = nil
+		w.expired++
+	}
+}
+
+// Expire drops every fully expired bucket now and reports how many were
+// dropped. Count windows expire on insert anyway; time windows also age
+// out between inserts, so idle streams need this called (the server's
+// sweeper does).
+func (w *EH) Expire() int {
+	before := w.expired
+	if w.ByTime() {
+		w.expireTime(w.cfg.Now())
+	} else {
+		w.expireCount()
+	}
+	return w.expired - before
+}
+
+// live iterates the live buckets oldest-first, head last.
+func (w *EH) live(f func(*bucket)) {
+	for _, b := range w.sealed {
+		f(b)
+	}
+	if w.head != nil {
+		f(w.head)
+	}
+}
+
+// Samples folds the sealed buckets' stored directions and extrema into
+// parallel slices (duplicate directions across buckets are kept). The
+// open head's raw points are NOT included — fetch them with HeadPoints.
+func (w *EH) Samples() (thetas []float64, points []geom.Point) {
+	for _, b := range w.sealed {
+		ts, ps := b.sub.Samples()
+		thetas = append(thetas, ts...)
+		points = append(points, ps...)
+	}
+	return thetas, points
+}
+
+// HeadPoints returns the open head bucket's raw point buffer (nil when
+// the head is empty). The returned slice is shared; do not mutate.
+func (w *EH) HeadPoints() []geom.Point {
+	if w.head == nil {
+		return nil
+	}
+	return w.head.raw
+}
+
+// Points folds the live buckets into one point set: every sealed
+// bucket's stored extrema plus the head's raw buffer. The convex hull of
+// the result is the window's sampled hull.
+func (w *EH) Points() []geom.Point {
+	var pts []geom.Point
+	w.live(func(b *bucket) {
+		if b.sub != nil {
+			_, ps := b.sub.Samples()
+			pts = append(pts, ps...)
+			return
+		}
+		pts = append(pts, b.raw...)
+	})
+	return pts
+}
+
+// N returns the total number of stream points processed over the
+// window's lifetime.
+func (w *EH) N() int { return w.n }
+
+// Count returns the number of stream points the live buckets cover: at
+// least min(N, window) and at most window plus the oldest bucket's span.
+func (w *EH) Count() int {
+	c := 0
+	w.live(func(b *bucket) { c += b.count })
+	return c
+}
+
+// Start returns the stream index of the oldest covered point (== N when
+// the window is empty), so the covered run is [Start, N).
+func (w *EH) Start() int {
+	start := w.n
+	first := true
+	w.live(func(b *bucket) {
+		if first {
+			start = b.start
+			first = false
+		}
+	})
+	return start
+}
+
+// TimeSpan returns the timestamps of the oldest and newest covered
+// points (zero times for count windows or empty windows).
+func (w *EH) TimeSpan() (oldest, newest time.Time) {
+	first := true
+	w.live(func(b *bucket) {
+		if first {
+			oldest = b.tmin
+			first = false
+		}
+		newest = b.tmax
+	})
+	return oldest, newest
+}
+
+// SampleSize returns the total number of points stored across live
+// buckets (the head counts its raw buffer): O(r log n + HeadCap) for
+// count windows.
+func (w *EH) SampleSize() int {
+	s := 0
+	w.live(func(b *bucket) {
+		if b.sub != nil {
+			s += b.sub.Size()
+			return
+		}
+		s += len(b.raw)
+	})
+	return s
+}
+
+// Buckets returns the number of live buckets (including the open head).
+func (w *EH) Buckets() int {
+	n := len(w.sealed)
+	if w.head != nil {
+		n++
+	}
+	return n
+}
+
+// Stats reports lifetime maintenance counters.
+type Stats struct {
+	Expired int // buckets dropped whole
+	Merges  int // bucket merges performed
+}
+
+// Stats returns the window's maintenance counters.
+func (w *EH) Stats() Stats { return Stats{Expired: w.expired, Merges: w.merges} }
+
+// checkInvariants validates the bucket structure; used by tests.
+func (w *EH) checkInvariants() error {
+	prevEnd := -1
+	prevClass := int(^uint(0) >> 1)
+	perClass := make(map[int]int)
+	var err error
+	w.live(func(b *bucket) {
+		if err != nil {
+			return
+		}
+		if b.count <= 0 || b.end-b.start != b.count {
+			err = errInvariant("bucket count/interval mismatch")
+			return
+		}
+		if (b.sub == nil) != (b == w.head) {
+			err = errInvariant("sealed bucket without sub or head with sub")
+			return
+		}
+		if prevEnd >= 0 && b.start != prevEnd {
+			err = errInvariant("buckets not contiguous")
+			return
+		}
+		prevEnd = b.end
+		if b != w.head {
+			if b.class > prevClass {
+				err = errInvariant("classes increase toward newest")
+				return
+			}
+			prevClass = b.class
+			perClass[b.class]++
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if prevEnd >= 0 && prevEnd != w.n {
+		return errInvariant("newest bucket does not end at N")
+	}
+	for _, n := range perClass {
+		if n > w.cfg.PerClass+1 {
+			return errInvariant("too many buckets in one class")
+		}
+	}
+	return nil
+}
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return "window: invariant violated: " + string(e) }

@@ -1,0 +1,229 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// exactSub stores every sealed point, so EH structure can be checked
+// without sampling error: the fold must equal exactly the union of the
+// covered stream run.
+type exactSub struct{ pts []geom.Point }
+
+func (s *exactSub) Size() int { return len(s.pts) }
+func (s *exactSub) Samples() ([]float64, []geom.Point) {
+	return make([]float64, len(s.pts)), s.pts
+}
+
+func sealExact(pts []geom.Point) Sub {
+	return &exactSub{pts: append([]geom.Point(nil), pts...)}
+}
+
+func seq(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i), 0)
+	}
+	return pts
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no sub":         {MaxCount: 10},
+		"neither window": {Seal: sealExact},
+		"both windows":   {Seal: sealExact, MaxCount: 10, MaxAge: time.Second},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestCountWindowCoverage(t *testing.T) {
+	const win = 100
+	w := New(Config{Seal: sealExact, MaxCount: win, PerClass: 2, HeadCap: 4})
+	pts := seq(1000)
+	for i, p := range pts {
+		w.Insert(p)
+		if err := w.checkInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+		if got := w.N(); got != i+1 {
+			t.Fatalf("N = %d, want %d", got, i+1)
+		}
+		// The covered run [Start, N) must include the whole window once
+		// enough points have arrived.
+		covered := w.N() - w.Start()
+		if w.N() >= win && covered < win {
+			t.Fatalf("after insert %d: covered %d < window %d", i, covered, win)
+		}
+		if got := w.Count(); got != covered {
+			t.Fatalf("Count = %d, want covered span %d", got, covered)
+		}
+		// With exact subs the fold is exactly the covered suffix.
+		if got := len(w.Points()); got != covered {
+			t.Fatalf("fold has %d points, want %d", got, covered)
+		}
+	}
+	// Slack stays bounded: the straddling bucket's span is at most the
+	// largest class size, far below the full stream.
+	if c := w.Count(); c > 3*win {
+		t.Fatalf("covered span %d way past window %d", c, win)
+	}
+	st := w.Stats()
+	if st.Expired == 0 || st.Merges == 0 {
+		t.Fatalf("expected both expiry and merges, got %+v", st)
+	}
+}
+
+func TestCountWindowFoldMatchesSuffix(t *testing.T) {
+	w := New(Config{Seal: sealExact, MaxCount: 64, HeadCap: 4})
+	pts := seq(500)
+	for _, p := range pts {
+		w.Insert(p)
+	}
+	got := w.Points()
+	want := pts[w.Start():]
+	if len(got) != len(want) {
+		t.Fatalf("fold has %d points, want %d", len(got), len(want))
+	}
+	seen := make(map[float64]bool, len(got))
+	for _, p := range got {
+		seen[p.X] = true
+	}
+	for _, p := range want {
+		if !seen[p.X] {
+			t.Fatalf("fold is missing covered point %v", p)
+		}
+	}
+}
+
+func TestLogarithmicBuckets(t *testing.T) {
+	w := New(Config{Seal: sealExact, MaxCount: 1 << 14, HeadCap: 1})
+	for _, p := range seq(1 << 14) {
+		w.Insert(p)
+	}
+	// 2^14 unit inserts with PerClass=4: bucket count must stay O(log n),
+	// nowhere near the 16384 inserts.
+	if b := w.Buckets(); b > 80 {
+		t.Fatalf("got %d buckets for 16384 inserts, want O(log n)", b)
+	}
+	if err := w.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWindowExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	w := New(Config{
+		Seal: sealExact, MaxAge: time.Minute, HeadAge: time.Second, Now: clock,
+	})
+	// One point per second for 10 minutes: coverage must track ~ the last
+	// minute, not the lifetime.
+	for i := 0; i < 600; i++ {
+		now = now.Add(time.Second)
+		w.Insert(geom.Pt(float64(i), 0))
+		if err := w.checkInvariants(); err != nil {
+			t.Fatalf("at t=%v: %v", now, err)
+		}
+	}
+	if c := w.Count(); c < 60 || c > 200 {
+		t.Fatalf("covered %d points, want roughly one minute's worth (60..200)", c)
+	}
+	oldest, newest := w.TimeSpan()
+	if age := newest.Sub(oldest); age > 3*time.Minute {
+		t.Fatalf("covered span %v, want bounded near 1m", age)
+	}
+
+	// Idle expiry: advance the clock far past the window with no inserts;
+	// Expire must empty the structure.
+	now = now.Add(time.Hour)
+	if dropped := w.Expire(); dropped == 0 {
+		t.Fatal("Expire dropped nothing after the window aged out")
+	}
+	if c := w.Count(); c != 0 {
+		t.Fatalf("covered %d points after full expiry, want 0", c)
+	}
+	if got := len(w.Points()); got != 0 {
+		t.Fatalf("fold has %d points after full expiry, want 0", got)
+	}
+	if w.N() != 600 {
+		t.Fatalf("N = %d after expiry, want lifetime 600", w.N())
+	}
+}
+
+func TestTimeWindowBurstSealsHead(t *testing.T) {
+	// A burst faster than HeadAge must not grow the raw head buffer
+	// unboundedly: the count cap seals it.
+	now := time.Unix(0, 0)
+	w := New(Config{
+		Seal: sealExact, MaxAge: time.Hour, HeadCap: 100,
+		Now: func() time.Time { return now },
+	})
+	for _, p := range seq(1000) {
+		w.Insert(p) // clock never advances: a same-instant burst
+	}
+	if err := w.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.HeadPoints()) >= 100 {
+		t.Fatalf("head buffer holds %d raw points, want < HeadCap 100", len(w.HeadPoints()))
+	}
+	if w.Stats().Merges == 0 {
+		t.Fatal("burst produced no sealed-bucket merges")
+	}
+	if c := w.Count(); c != 1000 {
+		t.Fatalf("covered %d, want all 1000 (nothing expired)", c)
+	}
+}
+
+func TestHeadOnlyWindow(t *testing.T) {
+	w := New(Config{Seal: sealExact, MaxCount: 1000, HeadCap: 100})
+	for _, p := range seq(10) {
+		w.Insert(p)
+	}
+	if w.Buckets() != 1 || w.Count() != 10 || w.SampleSize() != 10 {
+		t.Fatalf("head-only window: buckets=%d count=%d size=%d",
+			w.Buckets(), w.Count(), w.SampleSize())
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	w := New(Config{Seal: sealExact, MaxCount: 10})
+	if w.Count() != 0 || w.Buckets() != 0 || len(w.Points()) != 0 || w.Expire() != 0 {
+		t.Fatal("empty window is not empty")
+	}
+	if err := w.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		win := 1 + rng.Intn(300)
+		cap := 1 + rng.Intn(16)
+		per := 1 + rng.Intn(6)
+		w := New(Config{Seal: sealExact, MaxCount: win, HeadCap: cap, PerClass: per})
+		n := 200 + rng.Intn(800)
+		for i := 0; i < n; i++ {
+			w.Insert(geom.Pt(rng.Float64(), rng.Float64()))
+			if err := w.checkInvariants(); err != nil {
+				t.Fatalf("trial %d (win=%d cap=%d per=%d) insert %d: %v",
+					trial, win, cap, per, i, err)
+			}
+		}
+		if covered := w.Count(); covered < win && covered != w.N() {
+			t.Fatalf("trial %d: covered %d < window %d with N=%d", trial, covered, win, w.N())
+		}
+	}
+}

@@ -155,3 +155,37 @@ func Drift(seed int64, radius float64, velocity geom.Point) Generator {
 		return disk.Next().Add(velocity.Scale(float64(i)))
 	}}
 }
+
+// DriftBurst is the sliding-window stress workload: a drifting disk
+// (as Drift) that every burstEvery points emits a burst of burstLen
+// outliers at burstScale times the disk radius, in a seeded random
+// direction per burst. The bursts are transient extremes — they dominate
+// a lifetime hull forever but should age out of a windowed summary once
+// the window passes them.
+func DriftBurst(seed int64, radius float64, velocity geom.Point, burstEvery, burstLen int, burstScale float64) Generator {
+	if burstEvery < 1 {
+		burstEvery = 1
+	}
+	if burstLen < 0 {
+		burstLen = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	disk := Disk(seed+1, geom.Point{}, radius)
+	i := 0
+	burstLeft := 0
+	var burstDir geom.Point
+	return &funcGen{name: "drift-burst", next: func() geom.Point {
+		i++
+		center := velocity.Scale(float64(i))
+		if burstLeft == 0 && burstLen > 0 && i%burstEvery == 0 {
+			burstLeft = burstLen
+			burstDir = geom.Unit(rng.Float64() * geom.TwoPi)
+		}
+		if burstLeft > 0 {
+			burstLeft--
+			jitter := disk.Next().Scale(0.1)
+			return center.Add(burstDir.Scale(radius * burstScale)).Add(jitter)
+		}
+		return center.Add(disk.Next())
+	}}
+}

@@ -130,6 +130,33 @@ func TestDriftMoves(t *testing.T) {
 	}
 }
 
+func TestDriftBurst(t *testing.T) {
+	radius, scale := 0.5, 40.0
+	g := DriftBurst(10, radius, geom.Pt(0.001, 0), 200, 5, scale)
+	bursts, base := 0, 0
+	for i := 1; i <= 2000; i++ {
+		p := g.Next()
+		center := geom.Pt(0.001*float64(i), 0)
+		d := p.Dist(center)
+		switch {
+		case d <= radius+1e-9:
+			base++
+		case d > radius*scale*0.5:
+			bursts++
+		default:
+			t.Fatalf("point %d at distance %g: neither base disk nor burst", i, d)
+		}
+	}
+	// Bursts fire at i = 200, 400, …, 2000: nine full 5-point bursts plus
+	// the single point of the burst the stream end cuts off.
+	if bursts != 46 {
+		t.Errorf("got %d burst points, want 46", bursts)
+	}
+	if base != 1954 {
+		t.Errorf("got %d base points, want 1954", base)
+	}
+}
+
 func TestClustersNearCenters(t *testing.T) {
 	g := Clusters(9, 4, 10, 0.1)
 	for i := 0; i < 1000; i++ {
@@ -146,6 +173,7 @@ func TestNames(t *testing.T) {
 		Disk(1, geom.Point{}, 1), Square(1, 1, 0), Ellipse(1, 1, 1, 0),
 		ChangingEllipse(1, 10, 0), Circle(1, 8, 1), Gaussian(1, geom.Point{}, 1),
 		Clusters(1, 2, 1, 0.1), Spiral(1, 0.1), Drift(1, 1, geom.Pt(1, 0)),
+		DriftBurst(1, 1, geom.Pt(1, 0), 10, 2, 5),
 	}
 	seen := map[string]bool{}
 	for _, g := range gens {

@@ -13,7 +13,7 @@ import (
 // ship O(r)-size snapshots instead of raw streams, and an aggregator
 // folds them into a combined summary.
 type Snapshot struct {
-	Kind   string       `json:"kind"`   // "adaptive" or "uniform"
+	Kind   string       `json:"kind"`   // "adaptive", "uniform", or "windowed"
 	R      int          `json:"r"`      // sample parameter
 	N      int          `json:"n"`      // stream points summarized
 	Angles []float64    `json:"angles"` // active sample directions

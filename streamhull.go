@@ -11,6 +11,15 @@
 // Θ(D/r) baseline; NewPartial reproduces the paper's train-then-freeze
 // comparator; NewExact keeps the exact hull for ground truth.
 //
+// Beyond the paper's lifetime summaries, two deployment-oriented modes
+// build on the same machinery. The sliding-window summaries
+// (NewWindowedByCount, NewWindowedByTime) cover only the recent stream —
+// the last n points or the last d of wall time — via exponential-histogram
+// buckets of adaptive sub-summaries, so transient extremes age out. The
+// partitioned summary (NewPartitioned) shards a stream across spatial
+// regions, each with its own adaptive summary, for per-region queries and
+// parallel ingest.
+//
 // All summaries answer the extremal queries of §6 through the Polygon
 // type: diameter, width, directional extent, point containment, smallest
 // enclosing circle, and — across two streams — minimum distance, linear
