@@ -24,6 +24,7 @@ import (
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/experiments"
+	"github.com/streamgeom/streamhull/internal/wal"
 	"github.com/streamgeom/streamhull/internal/workload"
 )
 
@@ -263,4 +264,51 @@ func BenchmarkWindowed(b *testing.B) {
 			_ = s.Hull()
 		}
 	})
+}
+
+// BenchmarkDurableIngest quantifies the WAL overhead of durable ingest
+// against the pure in-memory insert path, at the server's default batch
+// shape (256-point batches, adaptive r = 32). "WAL/sync=none" and
+// "WAL/sync=interval" cost one unsynced write syscall per batch —
+// the acceptance bar is ≤ ~2× in-memory; "WAL/sync=always" adds a
+// group-commit fsync per batch and is the durability ceiling.
+func BenchmarkDurableIngest(b *testing.B) {
+	const batchSize = 256
+	pts := workload.Take(workload.Gaussian(20, geom.Point{}, 1), 100000)
+	batches := make([][]geom.Point, 0, len(pts)/batchSize)
+	for i := 0; i+batchSize <= len(pts); i += batchSize {
+		batches = append(batches, pts[i:i+batchSize])
+	}
+
+	ingest := func(b *testing.B, log *wal.Log) {
+		b.Helper()
+		s := streamhull.NewAdaptive(32)
+		b.SetBytes(batchSize * 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch := batches[i%len(batches)]
+			if log != nil {
+				if err := log.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, p := range batch {
+				_ = s.Insert(p)
+			}
+		}
+	}
+
+	b.Run("Memory", func(b *testing.B) { ingest(b, nil) })
+	for name, sync := range map[string]wal.SyncPolicy{
+		"sync=none": wal.SyncNone, "sync=interval": wal.SyncInterval, "sync=always": wal.SyncAlways,
+	} {
+		b.Run("WAL/"+name, func(b *testing.B) {
+			log, err := wal.Open(b.TempDir(), wal.Options{Sync: sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			ingest(b, log)
+		})
+	}
 }

@@ -10,6 +10,7 @@
 //	hullbench -table1 -n 20000    # just Table 1, smaller stream
 //	hullbench -sweep -lowerbound -diameter -timing
 //	hullbench -windowed           # sliding-window cost/fidelity sweep
+//	hullbench -durable            # WAL ingest overhead vs in-memory
 package main
 
 import (
@@ -31,13 +32,14 @@ func main() {
 		diameter   = flag.Bool("diameter", false, "diameter approximation (Lemma 3.1)")
 		timing     = flag.Bool("timing", false, "per-point processing cost (§3.1/§5.3)")
 		windowed   = flag.Bool("windowed", false, "sliding-window cost and fidelity on a drift-burst stream")
+		durable    = flag.Bool("durable", false, "durable-ingest overhead: WAL append + insert vs in-memory insert")
 		n          = flag.Int("n", 100000, "stream length per experiment")
 		r          = flag.Int("r", 16, "adaptive sample parameter (uniform uses 2r)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
-	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed {
+	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed && !*durable {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -90,6 +92,16 @@ func main() {
 		}
 		windows := []int{max(1, *n/100), max(1, *n/20), max(1, *n/4)}
 		fmt.Print(experiments.FormatWindowed(experiments.WindowedSweep(burstGen, *n, windows, *r, *seed)))
+		fmt.Println()
+	}
+	if *all || *durable {
+		fmt.Println("=== Durable ingest (WAL overhead vs in-memory insert) ===")
+		rows, err := experiments.DurableSweep(diskGen, *n, []int{64, 256, 1024, 4096}, *r, *seed, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "durable sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatDurable(rows))
 		fmt.Println()
 	}
 }

@@ -7,12 +7,19 @@
 //	generate-points | hullcli -algo adaptive -r 32 -query diameter,width
 //	hullcli -algo uniform -r 64 -hull < points.csv
 //	tail -f telemetry.csv | hullcli -window 10000 -query diameter
+//	hullcli replay -dir /var/lib/hullserver/mystream -query diameter
 //
 // With -window the summary covers only the most recent points: a count
 // like "-window 10000" keeps the last 10000 points, a duration like
 // "-window 30s" keeps the points of the last 30 seconds of wall time
 // (windowed summaries always use adaptive buckets, so -algo must be
 // adaptive).
+//
+// The replay subcommand rebuilds a summary from a durable stream's
+// write-ahead-log directory (as written by hullserver -data): latest
+// checkpoint first, then the log tail, tolerating a record torn by a
+// crash. It answers the same queries, so a stream can be inspected
+// offline — or salvaged from a dead server's disk.
 package main
 
 import (
@@ -30,6 +37,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		runReplay(os.Args[2:])
+		return
+	}
 	var (
 		algo    = flag.String("algo", "adaptive", "summary: adaptive, uniform, or exact")
 		r       = flag.Int("r", 32, "sample parameter")
@@ -66,17 +77,63 @@ func main() {
 		log.Fatalf("reading stdin: %v", err)
 	}
 
+	report(sum, *window, *queries, *theta, *hull)
+}
+
+// runReplay rebuilds a summary from a WAL directory and reports on it.
+func runReplay(args []string) {
+	fs := flag.NewFlagSet("hullcli replay", flag.ExitOnError)
+	var (
+		dir     = fs.String("dir", "", "stream WAL directory (e.g. <data-dir>/<stream>)")
+		queries = fs.String("query", "diameter,width", "comma-separated: diameter,width,extent,area,circle")
+		theta   = fs.Float64("theta", 0, "direction (radians) for the extent query")
+		hull    = fs.Bool("hull", false, "print hull vertices")
+	)
+	_ = fs.Parse(args)
+	if *dir == "" && fs.NArg() == 1 {
+		*dir = fs.Arg(0)
+	}
+	if *dir == "" {
+		log.Fatal("replay: need a WAL directory (-dir or positional)")
+	}
+
+	rec, err := replaySummary(*dir)
+	if err != nil {
+		log.Fatalf("replay %s: %v", *dir, err)
+	}
+	fmt.Printf("replayed %s: checkpoint=%v segments=%d records=%d points=%d",
+		*dir, rec.HasCheckpoint, rec.Segments, rec.Records, rec.Points)
+	if rec.Torn {
+		fmt.Printf(" (dropped a torn tail record)")
+	}
+	fmt.Println()
+	report(rec.Summary, "", *queries, *theta, *hull)
+}
+
+// replaySummary restores a stream summary from its WAL directory —
+// the same recovery path the server runs at startup.
+func replaySummary(dir string) (*streamhull.WALRecovery, error) {
+	rec, err := streamhull.RecoverFromWAL(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%w (is this a stream directory under hullserver's -data?)", err)
+	}
+	return rec, nil
+}
+
+// report prints the summary line, the requested queries, and optionally
+// the hull vertices.
+func report(sum streamhull.Summary, window, queries string, theta float64, hull bool) {
 	h := sum.Hull()
 	fmt.Printf("points=%d stored=%d hull-vertices=%d", sum.N(), sum.SampleSize(), h.Len())
 	if w, ok := sum.(*streamhull.WindowedHull); ok {
 		count, age := w.WindowSpan()
-		fmt.Printf(" window=%s live=%d", *window, count)
+		fmt.Printf(" window=%s live=%d", window, count)
 		if age > 0 {
 			fmt.Printf(" span=%s", age.Round(time.Millisecond))
 		}
 	}
 	fmt.Println()
-	for _, q := range strings.Split(*queries, ",") {
+	for _, q := range strings.Split(queries, ",") {
 		switch strings.TrimSpace(q) {
 		case "":
 		case "diameter":
@@ -86,7 +143,7 @@ func main() {
 			w, ang := h.Width()
 			fmt.Printf("width=%g at angle %g\n", w, ang)
 		case "extent":
-			fmt.Printf("extent(theta=%g)=%g\n", *theta, h.Extent(*theta))
+			fmt.Printf("extent(theta=%g)=%g\n", theta, h.Extent(theta))
 		case "area":
 			fmt.Printf("area=%g perimeter=%g\n", h.Area(), h.Perimeter())
 		case "circle":
@@ -96,7 +153,7 @@ func main() {
 			log.Fatalf("unknown query %q", q)
 		}
 	}
-	if *hull {
+	if hull {
 		for _, v := range h.Vertices() {
 			fmt.Printf("%g,%g\n", v.X, v.Y)
 		}

@@ -3,7 +3,9 @@ package main
 import (
 	"testing"
 
+	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/wal"
 )
 
 func TestParsePoint(t *testing.T) {
@@ -30,6 +32,91 @@ func TestParsePoint(t *testing.T) {
 		if c.ok && !got.Eq(c.want) {
 			t.Errorf("parsePoint(%q) = %v, want %v", c.in, got, c.want)
 		}
+	}
+}
+
+// TestReplaySummary writes a checkpoint + tail through the wal package
+// and checks the replay subcommand's core rebuilds the same stream.
+func TestReplaySummary(t *testing.T) {
+	dir := t.TempDir()
+	if err := wal.SaveMeta(dir, wal.Meta{Algo: "adaptive", R: 16}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := streamhull.NewAdaptive(16)
+	batch := func(start int) []geom.Point {
+		pts := make([]geom.Point, 100)
+		for i := range pts {
+			x := float64(start+i) / 50
+			pts[i] = geom.Pt(x, x*x-3*x)
+		}
+		return pts
+	}
+	for b := 0; b < 5; b++ {
+		pts := batch(b * 100)
+		if err := l.Append(pts); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if err := ref.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Checkpoint mid-stream, exactly as the server does: seal the
+	// snapshot and re-base the reference on it.
+	snap := ref.Snapshot()
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	if ref, err = streamhull.NewAdaptiveFromSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	tail := batch(500)
+	if err := l.Append(tail); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tail {
+		if err := ref.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := replaySummary(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.HasCheckpoint || rec.Points != 100 || rec.Torn {
+		t.Fatalf("replay info = %+v, want checkpoint + 100 tail points", rec)
+	}
+	sum := rec.Summary
+	if sum.N() != ref.N() {
+		t.Fatalf("replayed n = %d, want %d", sum.N(), ref.N())
+	}
+	got, want := sum.Hull().Vertices(), ref.Hull().Vertices()
+	if len(got) != len(want) {
+		t.Fatalf("replayed hull has %d vertices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplaySummaryRejectsNonStreamDir(t *testing.T) {
+	if _, err := replaySummary(t.TempDir()); err == nil {
+		t.Fatal("replay of an empty directory should fail (no meta)")
 	}
 }
 

@@ -3,9 +3,17 @@
 // stream, and clients query diameters, extents, separation, containment
 // and overlap at any time. See internal/server for the API.
 //
+// With -data the streams are durable: every ingest is written to a
+// per-stream write-ahead log before it is acknowledged, summaries are
+// checkpointed so logs stay O(r)-sized, and a restart (clean or not)
+// recovers every stream. -fsync picks the durability/latency trade-off:
+// "always" group-commits an fsync per batch, "interval" (default) syncs
+// on a timer, "none" leaves syncing to the OS.
+//
 // Usage:
 //
 //	hullserver -addr :8080 -r 32
+//	hullserver -addr :8080 -data /var/lib/hullserver -fsync always
 package main
 
 import (
@@ -16,29 +24,47 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/streamgeom/streamhull/internal/server"
+	"github.com/streamgeom/streamhull/internal/wal"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		r     = flag.Int("r", 32, "default sample parameter for auto-created streams")
-		maxS  = flag.Int("max-streams", 1024, "maximum number of live streams")
-		sweep = flag.Duration("sweep", 2*time.Second, "expiry sweep interval for time-windowed streams")
+		addr     = flag.String("addr", ":8080", "listen address")
+		r        = flag.Int("r", 32, "default sample parameter for auto-created streams")
+		maxS     = flag.Int("max-streams", 1024, "maximum number of live streams")
+		sweep    = flag.Duration("sweep", 2*time.Second, "expiry sweep interval for time-windowed streams")
+		data     = flag.String("data", "", "data directory for durable streams (empty = in-memory only)")
+		fsync    = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or none")
+		fsyncInt = flag.Duration("fsync-interval", 50*time.Millisecond, "fsync timer period for -fsync interval")
+		ckpt     = flag.Int("checkpoint", 65536, "points ingested per stream between snapshot checkpoints")
 	)
 	flag.Parse()
 
-	api := server.New(server.Config{DefaultR: *r, MaxStreams: *maxS, SweepInterval: *sweep})
-	defer api.Close()
+	sync, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	api, err := server.New(server.Config{
+		DefaultR: *r, MaxStreams: *maxS, SweepInterval: *sweep,
+		DataDir: *data, Sync: sync, FsyncInterval: *fsyncInt,
+		CheckpointEvery: *ckpt, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM too, so container orchestrators get the same graceful,
+	// WAL-flushing shutdown as a ^C.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	go func() {
@@ -48,8 +74,16 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
+	if *data != "" {
+		log.Printf("hullserver durable mode: data=%s fsync=%s", *data, *fsync)
+	}
 	log.Printf("hullserver listening on %s (default r = %d)", *addr, *r)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	// Flush WALs after the listener drains so every acknowledged batch
+	// is on disk before exit.
+	if err := api.Close(); err != nil {
+		log.Fatalf("closing stream store: %v", err)
 	}
 }

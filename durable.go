@@ -1,0 +1,82 @@
+package streamhull
+
+import (
+	"fmt"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/wal"
+)
+
+// WALRecovery is the result of rebuilding a summary from a durable
+// stream directory (as written by the HTTP server's write-ahead log).
+type WALRecovery struct {
+	Summary Summary
+	Algo    string // summary algorithm from the stream's meta
+	R       int    // sample parameter from the stream's meta
+
+	HasCheckpoint bool // a checkpoint snapshot seeded the summary
+	Segments      int  // log segments replayed after the checkpoint
+	Records       int  // log records replayed
+	Points        int  // log points replayed
+	Torn          bool // a record torn by a crash was dropped
+}
+
+// RecoverFromWAL rebuilds a stream summary from its write-ahead-log
+// directory: the latest checkpoint snapshot first, then the surviving
+// log tail, tolerating a final record torn by a crash. It is the one
+// recovery path — the HTTP server uses it at startup and hullcli's
+// replay subcommand uses it offline, so both always agree on what a
+// directory contains.
+func RecoverFromWAL(dir string) (*WALRecovery, error) {
+	meta, err := wal.LoadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := wal.StartRecovery(dir)
+	if err != nil {
+		return nil, err
+	}
+	var sum Summary
+	if data := rec.Snapshot(); data != nil {
+		var snap Snapshot
+		if err := snap.UnmarshalBinary(data); err != nil {
+			return nil, fmt.Errorf("decoding checkpoint: %w", err)
+		}
+		if sum, err = SummaryFromSnapshot(snap); err != nil {
+			return nil, fmt.Errorf("restoring checkpoint: %w", err)
+		}
+	} else {
+		switch meta.Algo {
+		case "adaptive":
+			if meta.R < 4 {
+				return nil, fmt.Errorf("stream meta: adaptive requires r ≥ 4, got %d", meta.R)
+			}
+			sum = NewAdaptive(meta.R)
+		case "uniform":
+			if meta.R < 3 {
+				return nil, fmt.Errorf("stream meta: uniform requires r ≥ 3, got %d", meta.R)
+			}
+			sum = NewUniform(meta.R)
+		case "exact":
+			sum = NewExact()
+		default:
+			return nil, fmt.Errorf("stream meta: unknown algo %q", meta.Algo)
+		}
+	}
+	info, err := rec.Replay(func(pts []geom.Point) error {
+		for _, p := range pts {
+			if err := sum.Insert(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WALRecovery{
+		Summary: sum, Algo: meta.Algo, R: meta.R,
+		HasCheckpoint: info.HasSnapshot, Segments: info.Segments,
+		Records: info.Records, Points: info.Points, Torn: info.Torn,
+	}, nil
+}

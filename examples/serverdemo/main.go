@@ -16,7 +16,11 @@ import (
 )
 
 func main() {
-	ts := httptest.NewServer(server.New(server.Config{DefaultR: 24}))
+	api, err := server.New(server.Config{DefaultR: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(api)
 	defer ts.Close()
 	fmt.Println("hull-summary service at", ts.URL)
 

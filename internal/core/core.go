@@ -160,6 +160,11 @@ func (h *Hull) HeightLimit() uint { return h.height }
 // N returns the number of stream points processed.
 func (h *Hull) N() int { return h.stats.Points }
 
+// SetN overrides the processed-point counter. Summaries rebuilt from a
+// persisted snapshot use it so N keeps counting the whole stream, not
+// just the replayed sample.
+func (h *Hull) SetN(n int) { h.stats.Points = n }
+
 // Stats returns operation counters.
 func (h *Hull) Stats() Stats { return h.stats }
 

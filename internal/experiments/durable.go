@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/internal/wal"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// DurablePoint is one row of the durable-ingest experiment: the cost of
+// WAL-backed ingest against the pure in-memory insert path at one batch
+// size and sync policy.
+type DurablePoint struct {
+	Batch    int     // points per appended batch
+	Policy   string  // "none", "interval", or "always"
+	MemNsPt  float64 // in-memory insert cost, ns/point
+	WalNsPt  float64 // WAL append + insert cost, ns/point
+	Overhead float64 // WalNsPt / MemNsPt
+}
+
+// DurableSweep measures WAL ingest overhead across batch sizes and
+// fsync policies: each cell streams n points through an adaptive
+// summary (parameter r), with the durable cells writing every batch to
+// a fresh write-ahead log first — the hullserver ingest path. Logs live
+// in a throwaway directory under dir (os.TempDir() when empty).
+func DurableSweep(gen func(seed int64) workload.Generator, n int, batches []int, r int, seed int64, dir string) ([]DurablePoint, error) {
+	pts := workload.Take(gen(seed), n)
+	policies := []struct {
+		name string
+		sync wal.SyncPolicy
+	}{{"none", wal.SyncNone}, {"interval", wal.SyncInterval}, {"always", wal.SyncAlways}}
+
+	out := make([]DurablePoint, 0, len(batches)*len(policies))
+	for _, batch := range batches {
+		memNs := timeIt(func() {
+			s := streamhull.NewAdaptive(r)
+			for _, p := range pts {
+				_ = s.Insert(p)
+			}
+		}) / float64(len(pts))
+		for _, pol := range policies {
+			tmp, err := os.MkdirTemp(dir, "durable-sweep-*")
+			if err != nil {
+				return nil, err
+			}
+			log, err := wal.Open(tmp, wal.Options{Sync: pol.sync})
+			if err != nil {
+				os.RemoveAll(tmp)
+				return nil, err
+			}
+			var appendErr error
+			walNs := timeIt(func() {
+				s := streamhull.NewAdaptive(r)
+				for i := 0; i < len(pts); i += batch {
+					end := min(i+batch, len(pts))
+					if err := log.Append(pts[i:end]); err != nil {
+						appendErr = err
+						return
+					}
+					for _, p := range pts[i:end] {
+						_ = s.Insert(p)
+					}
+				}
+			}) / float64(len(pts))
+			closeErr := log.Close()
+			os.RemoveAll(tmp)
+			if appendErr != nil {
+				return nil, appendErr
+			}
+			if closeErr != nil {
+				return nil, closeErr
+			}
+			overhead := 0.0
+			if memNs > 0 {
+				overhead = walNs / memNs
+			}
+			out = append(out, DurablePoint{
+				Batch: batch, Policy: pol.name, MemNsPt: memNs, WalNsPt: walNs, Overhead: overhead,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatDurable renders the durable-ingest sweep.
+func FormatDurable(pts []DurablePoint) string {
+	var b strings.Builder
+	b.WriteString("Durable ingest overhead (WAL append + insert vs in-memory insert)\n")
+	fmt.Fprintf(&b, "  %8s  %10s  %10s  %10s  %10s\n",
+		"batch", "fsync", "mem ns/pt", "wal ns/pt", "overhead")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %8d  %10s  %10.1f  %10.1f  %9.2fx\n",
+			p.Batch, p.Policy, p.MemNsPt, p.WalNsPt, p.Overhead)
+	}
+	return b.String()
+}

@@ -110,6 +110,11 @@ func (h *Hull) UnitDir(j int) geom.Point { return h.units[h.wrap(j)] }
 // N returns the number of stream points processed.
 func (h *Hull) N() int { return h.n }
 
+// SetN overrides the processed-point counter. Summaries rebuilt from a
+// persisted snapshot use it so N keeps counting the whole stream, not
+// just the replayed sample.
+func (h *Hull) SetN(n int) { h.n = n }
+
 // HullChanges returns how many inserts modified the hull.
 func (h *Hull) HullChanges() int { return h.hullCh }
 

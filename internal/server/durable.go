@@ -1,0 +1,206 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/internal/wal"
+)
+
+// Durable streams: when Config.DataDir is set, every lifetime stream
+// owns a directory under it holding a write-ahead log of its points
+// plus periodic snapshot checkpoints (see internal/wal). Ingest appends
+// to the log before touching the in-memory summary; every
+// CheckpointEvery points the stream's ≤ 2r+1-point snapshot is sealed
+// and the log prefix it covers is deleted — the paper's space bound is
+// what keeps stored state O(r) per stream regardless of stream length.
+// On New the server scans DataDir and rebuilds each stream from its
+// checkpoint plus the log tail.
+//
+// Sliding-window streams stay memory-only: their state depends on
+// wall-clock arrival times that a replay cannot reproduce.
+
+// durableWindow reports whether a stream with this window spec is
+// persisted.
+func durableWindow(window string) bool { return window == "" }
+
+// checkpointable reports whether an algorithm's snapshots can serve as
+// restart state. Exact streams keep their full log instead (no
+// compaction, exact recovery).
+func checkpointable(algo string) bool { return algo == "adaptive" || algo == "uniform" }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) walOptions() wal.Options {
+	return wal.Options{
+		SegmentBytes: s.cfg.SegmentBytes,
+		Sync:         s.cfg.Sync,
+		Interval:     s.cfg.FsyncInterval,
+	}
+}
+
+func (s *Server) streamDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, encodeStreamDir(id))
+}
+
+// openStorage creates the on-disk state for a new durable stream and
+// returns its log.
+func (s *Server) openStorage(id, algo string, r int) (*wal.Log, error) {
+	dir := s.streamDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("creating stream storage: %w", err)
+	}
+	if err := wal.SaveMeta(dir, wal.Meta{Algo: algo, R: r}); err != nil {
+		return nil, err
+	}
+	return wal.Open(dir, s.walOptions())
+}
+
+// recoverStreams restores every stream directory found under DataDir:
+// latest checkpoint first, then the surviving log tail, tolerating a
+// record torn by the previous crash.
+func (s *Server) recoverStreams() error {
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return fmt.Errorf("scanning data dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id, ok := decodeStreamDir(e.Name())
+		if !ok {
+			s.logf("wal: skipping unrecognized directory %q", e.Name())
+			continue
+		}
+		st, err := s.recoverStream(id, filepath.Join(s.cfg.DataDir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("recovering stream %q: %w", id, err)
+		}
+		s.streams[id] = st
+	}
+	return nil
+}
+
+func (s *Server) recoverStream(id, dir string) (*stream, error) {
+	rec, err := streamhull.RecoverFromWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Torn {
+		s.logf("wal: stream %q: dropped a torn tail record during recovery", id)
+	}
+	log, err := wal.Open(dir, s.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	s.logf("wal: recovered stream %q: algo=%s r=%d n=%d (checkpoint=%v, %d replayed points)",
+		id, rec.Algo, rec.R, rec.Summary.N(), rec.HasCheckpoint, rec.Points)
+	return &stream{sum: rec.Summary, algo: rec.Algo, r: rec.R, log: log}, nil
+}
+
+// maybeCheckpointLocked seals the stream's current snapshot into its
+// log once enough points have accumulated, then re-bases the live
+// summary on that snapshot so a later recovery reproduces the served
+// state exactly. Caller holds st.mu.
+func (s *Server) maybeCheckpointLocked(id string, st *stream) {
+	if st.log == nil || !checkpointable(st.algo) || st.sinceCkpt < s.cfg.CheckpointEvery {
+		return
+	}
+	st.sinceCkpt = 0
+	type snapshotter interface{ Snapshot() streamhull.Snapshot }
+	sn, ok := st.sum.(snapshotter)
+	if !ok {
+		return
+	}
+	snap := sn.Snapshot()
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		s.logf("wal: stream %q: encoding checkpoint: %v", id, err)
+		return
+	}
+	if err := st.log.Checkpoint(data); err != nil {
+		s.logf("wal: stream %q: checkpoint: %v", id, err)
+		return
+	}
+	restored, err := streamhull.SummaryFromSnapshot(snap)
+	if err != nil {
+		s.logf("wal: stream %q: re-basing on checkpoint: %v", id, err)
+		return
+	}
+	st.sum = restored
+}
+
+// dropStorage removes a deleted stream's directory.
+func (s *Server) dropStorage(id string, st *stream) {
+	if st.log == nil {
+		return
+	}
+	if err := st.log.Close(); err != nil {
+		s.logf("wal: stream %q: closing log: %v", id, err)
+	}
+	if err := os.RemoveAll(s.streamDir(id)); err != nil {
+		s.logf("wal: stream %q: removing storage: %v", id, err)
+	}
+}
+
+const dirSafe = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+
+// encodeStreamDir maps a stream id to a filesystem-safe directory name:
+// safe characters pass through, everything else (including '.' so "."
+// and ".." cannot occur) is percent-escaped.
+func encodeStreamDir(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if strings.IndexByte(dirSafe, c) >= 0 {
+			b.WriteByte(c)
+		} else {
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+// decodeStreamDir inverts encodeStreamDir.
+func decodeStreamDir(name string) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '%':
+			if i+2 >= len(name) {
+				return "", false
+			}
+			hi, lo := hexVal(name[i+1]), hexVal(name[i+2])
+			if hi < 0 || lo < 0 {
+				return "", false
+			}
+			b.WriteByte(byte(hi<<4 | lo))
+			i += 2
+		case strings.IndexByte(dirSafe, c) >= 0:
+			b.WriteByte(c)
+		default:
+			return "", false
+		}
+	}
+	return b.String(), true
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}

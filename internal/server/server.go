@@ -14,6 +14,11 @@
 //	GET    /v1/streams/{id}/query?type=diameter|width|extent|circle&theta=rad
 //	GET    /v1/pairs/query?a=id&b=id&type=distance|separable|overlap|contains
 //	GET    /v1/streams/{id}/snapshot                           sample snapshot
+//	POST   /v1/streams/{id}/snapshot                           restore from snapshot
+//
+// The snapshot endpoint negotiates its encoding: with Accept (on GET)
+// or Content-Type (on POST) set to application/octet-stream it speaks
+// the compact binary snapshot format; otherwise JSON.
 //
 // A window=<count> or window=<duration> on create makes the stream a
 // sliding-window summary (adaptive buckets): queries then cover only the
@@ -22,6 +27,14 @@
 //
 // Streams are auto-created on first ingest with the default algorithm
 // when not explicitly configured.
+//
+// With Config.DataDir set, lifetime streams are durable: ingested
+// batches are appended to a per-stream write-ahead log before being
+// applied, summaries are periodically checkpointed (which compacts the
+// log to O(r) bytes), and New recovers every stream from disk — see
+// internal/wal and durable.go. Point batches are atomic: the whole
+// batch is validated before any point is applied, so a 400 response
+// means the stream is unchanged.
 //
 // Errors are structured JSON ({"error": "..."}): 404 for unknown
 // streams, 400 for bad input, 409 for duplicate creates, 413 for
@@ -34,13 +47,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/wal"
 )
 
 // Config parameterizes a Server.
@@ -58,6 +74,24 @@ type Config struct {
 	// time-windowed streams (0 = 2s). The sweeper starts lazily with the
 	// first windowed stream; call Close to stop it.
 	SweepInterval time.Duration
+
+	// DataDir, when non-empty, makes lifetime streams durable: every
+	// ingest is logged to a per-stream WAL under this directory before
+	// it is applied, and New recovers all streams found there.
+	DataDir string
+	// Sync is the WAL fsync policy (zero value = wal.SyncInterval).
+	Sync wal.SyncPolicy
+	// FsyncInterval is the timer period for wal.SyncInterval (0 = 50ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery is how many ingested points a durable stream
+	// accumulates before its snapshot is checkpointed and the log
+	// compacted (0 = 65536).
+	CheckpointEvery int
+	// SegmentBytes caps WAL segment size (0 = 4 MiB).
+	SegmentBytes int64
+	// Logf, when set, receives operational messages (recovery results,
+	// checkpoint failures). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Server is an HTTP handler managing named stream summaries.
@@ -69,21 +103,40 @@ type Server struct {
 	sweepOnce sync.Once
 	closeOnce sync.Once
 	sweepStop chan struct{}
+	closeErr  error
 }
 
 type stream struct {
-	sum    streamhull.Summary
 	algo   string
 	r      int
 	window string // "" for lifetime streams, else the window spec
+
+	mu        sync.Mutex // orders WAL appends with inserts; guards sum swaps
+	sum       streamhull.Summary
+	log       *wal.Log // nil for in-memory streams
+	sinceCkpt int      // points since the last checkpoint
+}
+
+// summary returns the stream's live summary; checkpoints may swap it,
+// so handlers must not cache st.sum across requests.
+func (st *stream) summary() streamhull.Summary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sum
 }
 
 // errStreamLimit distinguishes capacity exhaustion from unknown-stream
 // lookups so handlers can return 507 instead of 404.
 var errStreamLimit = errors.New("stream limit reached")
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// errStorage marks server-side durability failures (500, not 400).
+var errStorage = errors.New("stream storage")
+
+// New returns a ready-to-serve Server. With Config.DataDir set it
+// first recovers every durable stream found on disk; a stream whose
+// state cannot be restored fails startup rather than silently serving
+// partial data.
+func New(cfg Config) (*Server, error) {
 	if cfg.DefaultR == 0 {
 		cfg.DefaultR = 32
 	}
@@ -99,9 +152,20 @@ func New(cfg Config) *Server {
 	if cfg.SweepInterval == 0 {
 		cfg.SweepInterval = 2 * time.Second
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 65536
+	}
 	s := &Server{
 		cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux(),
 		sweepStop: make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("creating data dir: %w", err)
+		}
+		if err := s.recoverStreams(); err != nil {
+			return nil, err
+		}
 	}
 	s.mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreate)
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDelete)
@@ -110,18 +174,34 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/streams/{id}/hull", s.handleHull)
 	s.mux.HandleFunc("GET /v1/streams/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/streams/{id}/snapshot", s.handleRestore)
 	s.mux.HandleFunc("GET /v1/pairs/query", s.handlePairQuery)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the background expiry sweeper, if it was started. The
-// handler itself remains usable.
-func (s *Server) Close() {
+// Close stops the background expiry sweeper and flushes and closes
+// every durable stream's log; after it returns, all acknowledged
+// ingests are on disk. The handler itself remains usable for reads.
+func (s *Server) Close() error {
 	s.sweepOnce.Do(func() {}) // ensure a later windowed create cannot start it
-	s.closeOnce.Do(func() { close(s.sweepStop) })
+	s.closeOnce.Do(func() {
+		close(s.sweepStop)
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		for id, st := range s.streams {
+			st.mu.Lock()
+			if st.log != nil {
+				if err := st.log.Close(); err != nil && s.closeErr == nil {
+					s.closeErr = fmt.Errorf("stream %q: %w", id, err)
+				}
+			}
+			st.mu.Unlock()
+		}
+	})
+	return s.closeErr
 }
 
 // startSweeper launches the background expiry loop (once, lazily, when
@@ -149,7 +229,7 @@ func (s *Server) sweep() {
 	s.mu.RLock()
 	whs := make([]*streamhull.WindowedHull, 0, len(s.streams))
 	for _, st := range s.streams {
-		if wh, ok := st.sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
+		if wh, ok := st.summary().(*streamhull.WindowedHull); ok && wh.ByTime() {
 			whs = append(whs, wh)
 		}
 	}
@@ -171,6 +251,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeStreamErr maps a stream-creation error to its status code:
+// capacity → 507, storage trouble → 500, anything else (duplicate id on
+// create/restore, bad config on ingest) → fallback.
+func writeStreamErr(w http.ResponseWriter, err error, fallback int) {
+	switch {
+	case errors.Is(err, errStreamLimit):
+		writeErr(w, http.StatusInsufficientStorage, "%v", err)
+	case errors.Is(err, errStorage):
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeErr(w, fallback, "%v", err)
+	}
 }
 
 // newSummary builds a summary for an algorithm name and an optional
@@ -200,6 +294,29 @@ func newSummary(algo string, r int, window string) (streamhull.Summary, error) {
 	}
 }
 
+// addStream creates a stream under the server lock, opening its durable
+// storage when configured. Callers pass the already-built summary.
+func (s *Server) addStream(id string, sum streamhull.Summary, algo string, r int, window string) (*stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.streams[id]; exists {
+		return nil, fmt.Errorf("stream %q already exists", id)
+	}
+	if len(s.streams) >= s.cfg.MaxStreams {
+		return nil, fmt.Errorf("%w (%d)", errStreamLimit, s.cfg.MaxStreams)
+	}
+	st := &stream{sum: sum, algo: algo, r: r, window: window}
+	if s.cfg.DataDir != "" && durableWindow(window) {
+		log, err := s.openStorage(id, algo, r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errStorage, err)
+		}
+		st.log = log
+	}
+	s.streams[id] = st
+	return st, nil
+}
+
 func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 	// Creation is configured by query parameters; any body is discarded
 	// through a bounded reader so a client cannot stream unbounded data.
@@ -224,19 +341,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	if _, exists := s.streams[id]; exists {
-		s.mu.Unlock()
-		writeErr(w, http.StatusConflict, "stream %q already exists", id)
+	if _, err := s.addStream(id, sum, algo, r, window); err != nil {
+		writeStreamErr(w, err, http.StatusConflict)
 		return
 	}
-	if len(s.streams) >= s.cfg.MaxStreams {
-		s.mu.Unlock()
-		writeErr(w, http.StatusInsufficientStorage, "stream limit %d reached", s.cfg.MaxStreams)
-		return
-	}
-	s.streams[id] = &stream{sum: sum, algo: algo, r: r, window: window}
-	s.mu.Unlock()
 	// Only time windows age out between inserts and need the background
 	// sweeper; count windows expire on insert.
 	if wh, ok := sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
@@ -252,12 +360,19 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.streams[id]; !ok {
+	st, ok := s.streams[id]
+	if ok {
+		delete(s.streams, id)
+	}
+	s.mu.Unlock()
+	if !ok {
 		writeErr(w, http.StatusNotFound, "no stream %q", id)
 		return
 	}
-	delete(s.streams, id)
+	st.mu.Lock()
+	s.dropStorage(id, st)
+	st.log = nil
+	st.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
@@ -269,17 +384,21 @@ type streamInfo struct {
 	SampleSize  int    `json:"sample_size"`
 	Window      string `json:"window,omitempty"`
 	WindowCount int    `json:"window_count,omitempty"`
+	Durable     bool   `json:"durable,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	infos := make([]streamInfo, 0, len(s.streams))
 	for id, st := range s.streams {
+		st.mu.Lock()
+		sum, durable := st.sum, st.log != nil
+		st.mu.Unlock()
 		info := streamInfo{
-			ID: id, Algo: st.algo, R: st.r, N: st.sum.N(), SampleSize: st.sum.SampleSize(),
-			Window: st.window,
+			ID: id, Algo: st.algo, R: st.r, N: sum.N(), SampleSize: sum.SampleSize(),
+			Window: st.window, Durable: durable,
 		}
-		if wh, ok := st.sum.(*streamhull.WindowedHull); ok {
+		if wh, ok := sum.(*streamhull.WindowedHull); ok {
 			info.WindowCount = wh.WindowCount()
 		}
 		infos = append(infos, info)
@@ -291,24 +410,31 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 
 // get returns the stream, auto-creating it for ingest when allowed.
 func (s *Server) get(id string, autocreate bool) (*stream, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if st, ok := s.streams[id]; ok {
+	s.mu.RLock()
+	st, ok := s.streams[id]
+	s.mu.RUnlock()
+	if ok {
 		return st, nil
 	}
 	if !autocreate {
 		return nil, fmt.Errorf("no stream %q", id)
 	}
-	if len(s.streams) >= s.cfg.MaxStreams {
-		return nil, fmt.Errorf("%w (%d)", errStreamLimit, s.cfg.MaxStreams)
-	}
 	sum, err := newSummary("adaptive", s.cfg.DefaultR, "")
 	if err != nil {
 		return nil, err
 	}
-	st := &stream{sum: sum, algo: "adaptive", r: s.cfg.DefaultR}
-	s.streams[id] = st
-	return st, nil
+	st, err = s.addStream(id, sum, "adaptive", s.cfg.DefaultR, "")
+	if err == nil {
+		return st, nil
+	}
+	// Lost a create race: the stream exists now.
+	s.mu.RLock()
+	st, ok = s.streams[id]
+	s.mu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	return nil, err
 }
 
 type pointsBody struct {
@@ -337,24 +463,47 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 			len(body.Points), s.cfg.MaxBatch)
 		return
 	}
+	// Validate the whole batch before touching the stream, so a 400
+	// response implies nothing was applied.
+	pts := make([]geom.Point, len(body.Points))
+	for i, xy := range body.Points {
+		p := geom.Pt(xy[0], xy[1])
+		if !p.IsFinite() {
+			writeErr(w, http.StatusBadRequest, "point %d: non-finite coordinates %v", i, xy)
+			return
+		}
+		pts[i] = p
+	}
 	st, err := s.get(id, true)
 	if err != nil {
-		// Auto-creation only fails on capacity, not on a missing stream.
-		if errors.Is(err, errStreamLimit) {
-			writeErr(w, http.StatusInsufficientStorage, "%v", err)
-			return
-		}
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeStreamErr(w, err, http.StatusBadRequest)
 		return
 	}
-	for i, xy := range body.Points {
-		if err := st.sum.Insert(geom.Pt(xy[0], xy[1])); err != nil {
-			writeErr(w, http.StatusBadRequest, "point %d: %v", i, err)
+	st.mu.Lock()
+	// Log first: a batch is acknowledged only after the WAL accepted it,
+	// so the durable log is always a superset of served state.
+	if st.log != nil {
+		if err := st.log.Append(pts); err != nil {
+			st.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "logging batch: %v", err)
 			return
 		}
 	}
+	for _, p := range pts {
+		if err := st.sum.Insert(p); err != nil {
+			// Unreachable after validation above; fail loudly if a summary
+			// grows new failure modes.
+			st.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "applying batch: %v", err)
+			return
+		}
+	}
+	st.sinceCkpt += len(pts)
+	s.maybeCheckpointLocked(id, st)
+	n, sampleSize := st.sum.N(), st.sum.SampleSize()
+	st.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ingested": len(body.Points), "n": st.sum.N(), "sample_size": st.sum.SampleSize(),
+		"ingested": len(pts), "n": n, "sample_size": sampleSize,
 	})
 }
 
@@ -364,14 +513,15 @@ func (s *Server) handleHull(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	hull := st.sum.Hull()
+	sum := st.summary()
+	hull := sum.Hull()
 	vs := hull.Vertices()
 	out := make([][2]float64, len(vs))
 	for i, v := range vs {
 		out[i] = [2]float64{v.X, v.Y}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"vertices": out, "area": hull.Area(), "perimeter": hull.Perimeter(), "n": st.sum.N(),
+		"vertices": out, "area": hull.Area(), "perimeter": hull.Perimeter(), "n": sum.N(),
 	})
 }
 
@@ -381,7 +531,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	hull := st.sum.Hull()
+	hull := st.summary().Hull()
 	switch qt := req.URL.Query().Get("type"); qt {
 	case "diameter":
 		d, pair := hull.Diameter()
@@ -407,6 +557,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// wantsBinary reports whether the client asked for the compact binary
+// snapshot encoding.
+func wantsBinary(header string) bool {
+	return strings.Contains(header, "application/octet-stream")
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 	st, err := s.get(req.PathValue("id"), false)
 	if err != nil {
@@ -414,12 +570,77 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	type snapshotter interface{ Snapshot() streamhull.Snapshot }
-	sn, ok := st.sum.(snapshotter)
+	sn, ok := st.summary().(snapshotter)
 	if !ok {
 		writeErr(w, http.StatusBadRequest, "stream algo %q does not support snapshots", st.algo)
 		return
 	}
-	writeJSON(w, http.StatusOK, sn.Snapshot())
+	snap := sn.Snapshot()
+	if wantsBinary(req.Header.Get("Accept")) {
+		data, err := snap.MarshalBinary()
+		if err != nil {
+			writeErr(w, http.StatusNotAcceptable, "no binary encoding: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleRestore creates a stream from a previously captured snapshot —
+// the other half of the snapshot endpoint's content negotiation: JSON
+// or, with Content-Type: application/octet-stream, the binary encoding.
+func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	data, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var snap streamhull.Snapshot
+	if wantsBinary(req.Header.Get("Content-Type")) {
+		err = snap.UnmarshalBinary(data)
+	} else {
+		snap, err = streamhull.DecodeSnapshot(data)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding snapshot: %v", err)
+		return
+	}
+	sum, err := streamhull.SummaryFromSnapshot(snap)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, err := s.addStream(id, sum, snap.Kind, snap.R, "")
+	if err != nil {
+		writeStreamErr(w, err, http.StatusConflict)
+		return
+	}
+	// Durable restores persist the snapshot immediately, so the stream
+	// survives a crash that happens before its first checkpoint.
+	st.mu.Lock()
+	if st.log != nil {
+		bin, err := snap.MarshalBinary()
+		if err == nil {
+			err = st.log.Checkpoint(bin)
+		}
+		if err != nil {
+			s.logf("wal: stream %q: persisting restored snapshot: %v", id, err)
+		}
+	}
+	n := st.sum.N()
+	st.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id": id, "algo": snap.Kind, "r": snap.R, "n": n,
+	})
 }
 
 func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
@@ -438,7 +659,7 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	ha, hb := sa.sum.Hull(), sb.sum.Hull()
+	ha, hb := sa.summary().Hull(), sb.summary().Hull()
 	switch qt := q.Get("type"); qt {
 	case "distance":
 		d, pair := streamhull.MinDistance(ha, hb)

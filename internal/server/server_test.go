@@ -14,9 +14,18 @@ import (
 	"github.com/streamgeom/streamhull/internal/workload"
 )
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv
+}
+
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(Config{DefaultR: 16}))
+	ts := httptest.NewServer(mustNew(t, Config{DefaultR: 16}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -233,7 +242,7 @@ func TestSnapshotEndpoint(t *testing.T) {
 }
 
 func TestStreamLimit(t *testing.T) {
-	ts := httptest.NewServer(New(Config{DefaultR: 8, MaxStreams: 2}))
+	ts := httptest.NewServer(mustNew(t, Config{DefaultR: 8, MaxStreams: 2}))
 	defer ts.Close()
 	for i := 0; i < 2; i++ {
 		if code, _ := do(t, "PUT", fmt.Sprintf("%s/v1/streams/s%d", ts.URL, i), nil); code != http.StatusCreated {
@@ -246,7 +255,7 @@ func TestStreamLimit(t *testing.T) {
 }
 
 func TestBatchLimit(t *testing.T) {
-	ts := httptest.NewServer(New(Config{DefaultR: 8, MaxBatch: 10}))
+	ts := httptest.NewServer(mustNew(t, Config{DefaultR: 8, MaxBatch: 10}))
 	defer ts.Close()
 	pts := workload.Take(workload.Disk(5, geom.Point{}, 1), 11)
 	code, _ := do(t, "POST", ts.URL+"/v1/streams/s/points", map[string]any{"points": toPairs(pts)})
@@ -256,7 +265,7 @@ func TestBatchLimit(t *testing.T) {
 }
 
 func TestWindowedStream(t *testing.T) {
-	srv := New(Config{DefaultR: 16})
+	srv := mustNew(t, Config{DefaultR: 16})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -330,7 +339,7 @@ func TestWindowedCreateValidation(t *testing.T) {
 }
 
 func TestTimeWindowSweep(t *testing.T) {
-	srv := New(Config{DefaultR: 16, SweepInterval: 10 * time.Millisecond})
+	srv := mustNew(t, Config{DefaultR: 16, SweepInterval: 10 * time.Millisecond})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -375,7 +384,7 @@ func TestPairQueryValidation(t *testing.T) {
 }
 
 func TestBodyLimit(t *testing.T) {
-	srv := New(Config{DefaultR: 16, MaxBodyBytes: 1024})
+	srv := mustNew(t, Config{DefaultR: 16, MaxBodyBytes: 1024})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	defer srv.Close()

@@ -1,0 +1,60 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const metaName = "meta.json"
+
+// Meta is the summary configuration stored beside a stream's log, so
+// recovery can rebuild the right kind of summary before replaying.
+type Meta struct {
+	Algo string `json:"algo"`
+	R    int    `json:"r"`
+}
+
+// SaveMeta atomically writes the stream's meta file.
+func SaveMeta(dir string, m Meta) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wal: encoding meta: %w", err)
+	}
+	// Same temp+fsync+rename dance as writeCheckpoint: without the file
+	// fsync, a power loss could install a zero-length meta.json that
+	// permanently fails recovery.
+	tmp := filepath.Join(dir, metaName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating meta temp: %w", err)
+	}
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	for _, e := range []error{werr, serr, cerr} {
+		if e != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("wal: writing meta: %w", e)
+		}
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, metaName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: installing meta: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadMeta reads the stream's meta file.
+func LoadMeta(dir string) (Meta, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaName))
+	if err != nil {
+		return Meta{}, fmt.Errorf("wal: reading meta: %w", err)
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Meta{}, fmt.Errorf("wal: decoding meta: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Record framing. Every record in a segment is
+//
+//	length  uint32  payload bytes (not counting this 8-byte header)
+//	crc     uint32  CRC32 (IEEE) of the payload
+//	payload length bytes
+//
+// and the only payload today is a point batch:
+//
+//	op      uint8   opPoints
+//	count   uint32  number of points
+//	count × (x float64, y float64)
+//
+// all little-endian. The CRC is what lets recovery distinguish a torn
+// tail (the write that was in flight when the process died) from real
+// corruption: a record that fails its checksum but runs to the end of
+// the segment is discarded as torn; one followed by more data is an
+// integrity error.
+const (
+	recordHeaderBytes = 8
+	opPoints          = 0x01
+
+	// maxRecordPoints bounds a single record so a garbage length field
+	// cannot make recovery allocate unbounded memory.
+	maxRecordPoints = 1 << 22
+	maxPayloadBytes = 5 + 16*maxRecordPoints
+)
+
+// ErrTorn marks a record that was cut short by a crash mid-write. It is
+// never returned to callers of Recovery.Replay — torn tails are skipped
+// and reported via Info.Torn — but decodeRecord exposes it for tests.
+var ErrTorn = errors.New("wal: torn record")
+
+// ErrCorrupt marks bytes that cannot be a torn tail: a framed record
+// that fails its checksum or shape checks while more log follows it.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// appendRecord frames a point batch onto buf and returns the extended
+// slice.
+func appendRecord(buf []byte, pts []geom.Point) []byte {
+	payload := 5 + 16*len(pts)
+	start := len(buf)
+	buf = append(buf, make([]byte, recordHeaderBytes+payload)...)
+	le := binary.LittleEndian
+	le.PutUint32(buf[start:], uint32(payload))
+	body := buf[start+recordHeaderBytes:]
+	body[0] = opPoints
+	le.PutUint32(body[1:], uint32(len(pts)))
+	off := 5
+	for _, p := range pts {
+		le.PutUint64(body[off:], math.Float64bits(p.X))
+		le.PutUint64(body[off+8:], math.Float64bits(p.Y))
+		off += 16
+	}
+	le.PutUint32(buf[start+4:], crc32.ChecksumIEEE(body))
+	return buf
+}
+
+// decodeRecord parses the first record of b, where b runs to the end of
+// the segment. It returns the decoded points and the total bytes the
+// record occupies. A record that is malformed but extends to the end of
+// b is reported as ErrTorn (a crash cut it short); a malformed record
+// with more data after it is ErrCorrupt.
+func decodeRecord(b []byte) ([]geom.Point, int, error) {
+	if len(b) < recordHeaderBytes {
+		return nil, 0, ErrTorn
+	}
+	le := binary.LittleEndian
+	length := int(le.Uint32(b[0:4]))
+	if length > maxPayloadBytes {
+		// A length this large is never written; if it also overruns the
+		// segment it is indistinguishable from a torn header.
+		if recordHeaderBytes+length > len(b) {
+			return nil, 0, ErrTorn
+		}
+		return nil, 0, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, length)
+	}
+	if recordHeaderBytes+length > len(b) {
+		return nil, 0, ErrTorn
+	}
+	body := b[recordHeaderBytes : recordHeaderBytes+length]
+	atEOF := recordHeaderBytes+length == len(b)
+	fail := func(format string, args ...any) ([]geom.Point, int, error) {
+		if atEOF {
+			return nil, 0, ErrTorn
+		}
+		return nil, 0, fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+	if le.Uint32(b[4:8]) != crc32.ChecksumIEEE(body) {
+		return fail("crc mismatch")
+	}
+	if length < 5 || body[0] != opPoints {
+		return fail("bad payload header")
+	}
+	count := int(le.Uint32(body[1:5]))
+	if count > maxRecordPoints || 5+16*count != length {
+		return fail("count %d inconsistent with payload length %d", count, length)
+	}
+	pts := make([]geom.Point, count)
+	off := 5
+	for i := range pts {
+		pts[i] = geom.Pt(
+			math.Float64frombits(le.Uint64(body[off:])),
+			math.Float64frombits(le.Uint64(body[off+8:])),
+		)
+		off += 16
+	}
+	return pts, recordHeaderBytes + length, nil
+}

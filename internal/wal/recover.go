@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Checkpoint file format (checkpoint.snap), little-endian:
+//
+//	magic    8 bytes "SHCKPT1\n"
+//	firstSeg uint64  first segment index recovery must replay
+//	snapLen  uint32  snapshot payload bytes
+//	snap     snapLen bytes (opaque to the log)
+//	crc      uint32  CRC32 (IEEE) of everything before it
+//
+// The file is written to a temp name, fsynced, and renamed into place,
+// so it is either absent or complete; the CRC catches bit rot.
+const ckptMagic = "SHCKPT1\n"
+
+// writeCheckpoint atomically replaces the checkpoint file.
+func writeCheckpoint(dir string, firstSeg uint64, snap []byte) error {
+	buf := make([]byte, 0, len(ckptMagic)+12+len(snap)+4)
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, firstSeg)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap)))
+	buf = append(buf, snap...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	tmp := filepath.Join(dir, checkpointName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint temp: %w", err)
+	}
+	_, werr := f.Write(buf)
+	serr := f.Sync()
+	cerr := f.Close()
+	for _, e := range []error{werr, serr, cerr} {
+		if e != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("wal: writing checkpoint: %w", e)
+		}
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: installing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readCheckpoint loads the checkpoint file. ok is false when none
+// exists; a present-but-invalid checkpoint is an error, because the
+// segments it covered are gone.
+func readCheckpoint(dir string) (snap []byte, firstSeg uint64, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, fmt.Errorf("wal: reading checkpoint: %w", err)
+	}
+	if len(data) < len(ckptMagic)+16 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, 0, false, fmt.Errorf("wal: checkpoint has bad header")
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if binary.LittleEndian.Uint32(crcBytes) != crc32.ChecksumIEEE(body) {
+		return nil, 0, false, fmt.Errorf("wal: checkpoint crc mismatch")
+	}
+	le := binary.LittleEndian
+	off := len(ckptMagic)
+	firstSeg = le.Uint64(data[off : off+8])
+	snapLen := int(le.Uint32(data[off+8 : off+12]))
+	if off+12+snapLen != len(body) {
+		return nil, 0, false, fmt.Errorf("wal: checkpoint length mismatch")
+	}
+	return data[off+12 : off+12+snapLen], firstSeg, true, nil
+}
+
+// Info summarizes what a recovery pass found.
+type Info struct {
+	HasSnapshot bool // a checkpoint snapshot was restored
+	Segments    int  // segments replayed
+	Records     int  // records replayed
+	Points      int  // points replayed
+	Torn        bool // a torn tail record was skipped
+}
+
+// Recovery is an in-progress restore of a stream directory: the
+// checkpoint snapshot first, then Replay for the log tail.
+type Recovery struct {
+	dir      string
+	snapshot []byte
+	firstSeg uint64
+	segs     []segFile
+}
+
+// StartRecovery reads dir's checkpoint and locates the segments that
+// follow it. It does not touch segment contents; Replay does.
+func StartRecovery(dir string) (*Recovery, error) {
+	snap, firstSeg, ok, err := readCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		snap, firstSeg = nil, 0
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	live := segs[:0]
+	for _, sf := range segs {
+		if sf.index >= firstSeg {
+			live = append(live, sf)
+		}
+	}
+	return &Recovery{dir: dir, snapshot: snap, firstSeg: firstSeg, segs: live}, nil
+}
+
+// Snapshot returns the latest checkpoint payload, or nil when the
+// stream has never been checkpointed. Restore it before calling Replay.
+func (r *Recovery) Snapshot() []byte { return r.snapshot }
+
+// Replay streams every surviving post-checkpoint record, in order, to
+// fn. A torn tail record — one cut short by a crash at the end of a
+// segment — is skipped and flagged in Info; malformed bytes anywhere
+// else abort with ErrCorrupt.
+func (r *Recovery) Replay(fn func(pts []geom.Point) error) (Info, error) {
+	info := Info{HasSnapshot: r.snapshot != nil}
+	for _, sf := range r.segs {
+		data, err := os.ReadFile(filepath.Join(r.dir, sf.name))
+		if err != nil {
+			return info, fmt.Errorf("wal: reading segment %s: %w", sf.name, err)
+		}
+		if len(data) < len(segMagic) {
+			// A crash between creating the file and writing its header.
+			info.Torn = info.Torn || len(data) > 0
+			continue
+		}
+		if string(data[:len(segMagic)]) != segMagic {
+			return info, fmt.Errorf("%w: segment %s has bad header", ErrCorrupt, sf.name)
+		}
+		info.Segments++
+		rest := data[len(segMagic):]
+		for len(rest) > 0 {
+			pts, n, err := decodeRecord(rest)
+			if err == ErrTorn {
+				info.Torn = true
+				break
+			}
+			if err != nil {
+				return info, fmt.Errorf("segment %s: %w", sf.name, err)
+			}
+			if err := fn(pts); err != nil {
+				return info, err
+			}
+			info.Records++
+			info.Points += len(pts)
+			rest = rest[n:]
+		}
+	}
+	return info, nil
+}

@@ -1,0 +1,495 @@
+// Package wal is the durable stream store: a segmented, CRC32-framed,
+// append-only log of inserted points with batched group-commit fsync,
+// snapshot checkpoints, and crash recovery.
+//
+// The design leans on the central property of the adaptive summaries
+// (Hershberger–Suri §4–§5): a summary of at most 2r+1 points can stand
+// in for the entire stream prefix it has seen. That makes checkpointing
+// essentially free — sealing a stream's current snapshot (≤ ~800 bytes
+// at r = 32) replaces an arbitrarily long log prefix, so compaction is
+// O(r) instead of O(n).
+//
+// # Data layout
+//
+// One directory per stream:
+//
+//	<dir>/meta.json          summary configuration (algo, r)
+//	<dir>/00000000000000000001.wal   segment: header + framed records
+//	<dir>/00000000000000000002.wal   ...
+//	<dir>/checkpoint.snap    latest checkpoint (atomic rename)
+//
+// Segments begin with an 8-byte magic header and then hold framed point
+// batches (see record.go). A segment is sealed when it reaches
+// Options.SegmentBytes or when a checkpoint rotates the log; sealed
+// segments are never written again. Each process run appends to a fresh
+// segment, so a torn record can only ever be the last thing in a
+// segment.
+//
+// The checkpoint file records the first segment index that must still
+// be replayed plus an opaque snapshot payload (the stream summary's
+// binary encoding); it is written to a temp file, fsynced, and renamed,
+// so a crash can never leave a half-written checkpoint in place.
+// Segments older than the checkpoint are deleted.
+//
+// # Durability policies
+//
+// SyncAlways implements group commit: every Append blocks until its
+// record is fsynced, but concurrent appenders share fsyncs — a single
+// background syncer coalesces all writes that arrived while the
+// previous fsync was in flight into one. SyncInterval (the default)
+// fsyncs on a timer: an unclean kill loses at most the last interval,
+// a process crash alone loses nothing (records are written straight to
+// the file, unbuffered). SyncNone leaves syncing to the OS and to
+// rotation/checkpoint/Close.
+//
+// # Recovery
+//
+// StartRecovery reads the checkpoint (if any) and Replay streams every
+// surviving record in order. A record cut short by a crash — truncated
+// or failing its CRC at the very end of a segment — is skipped and
+// reported via Info.Torn; a bad record with more log after it is an
+// integrity error. Recovery of a given directory is deterministic:
+// replaying it twice yields identical summaries.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+const (
+	segMagic       = "SHWAL01\n"
+	segSuffix      = ".wal"
+	checkpointName = "checkpoint.snap"
+
+	defaultSegmentBytes = 4 << 20
+	defaultSyncInterval = 50 * time.Millisecond
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs on a timer (Options.Interval); Append returns
+	// as soon as the record is written to the file.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways makes Append wait until its record is durable, with
+	// concurrent appenders sharing group-commit fsyncs.
+	SyncAlways
+	// SyncNone never fsyncs on the append path; only rotation,
+	// checkpoints, and Close sync.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the user-facing policy names ("interval",
+// "always", "none") to a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "interval", "":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or none)", s)
+	}
+}
+
+// Options parameterizes a Log.
+type Options struct {
+	// SegmentBytes seals a segment once it exceeds this size (0 = 4 MiB).
+	SegmentBytes int64
+	// Sync is the fsync policy (zero value = SyncInterval).
+	Sync SyncPolicy
+	// Interval is the timer period for SyncInterval (0 = 50ms).
+	Interval time.Duration
+}
+
+func (o *Options) fill() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.Interval <= 0 {
+		o.Interval = defaultSyncInterval
+	}
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is an append-only point log for one stream. It is safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when syncGen or syncErr changes
+	f       *os.File   // open segment, nil between segments
+	seg     uint64     // index of the open segment (valid when f != nil)
+	nextSeg uint64     // index the next created segment will use
+	size    int64      // bytes written to the open segment
+	gen     uint64     // bumped on every append
+	syncGen uint64     // highest gen known durable
+	syncErr error      // sticky: an fsync failure poisons the log
+	closed  bool
+
+	wake chan struct{} // nudges the syncer (buffered, capacity 1)
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open creates dir if needed and returns a Log appending to a fresh
+// segment after any existing ones. Call StartRecovery first if the
+// directory may hold prior state to restore.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(segs); n > 0 {
+		next = segs[n-1].index + 1
+	}
+	// A checkpoint may have pruned every segment; numbering must resume
+	// at its horizon or recovery would skip the new tail as pre-checkpoint.
+	if _, firstSeg, ok, err := readCheckpoint(dir); err != nil {
+		return nil, err
+	} else if ok && firstSeg > next {
+		next = firstSeg
+	}
+	l := &Log{
+		dir: dir, opts: opts, nextSeg: next,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	go l.syncer()
+	return l, nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Append frames a point batch and writes it to the log. Under
+// SyncAlways it returns only once the record is fsynced (sharing
+// group-commit fsyncs with concurrent appenders); under the other
+// policies it returns after the write syscall, so a pure process crash
+// loses nothing and an OS crash loses at most the unsynced tail.
+func (l *Log) Append(pts []geom.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	if len(pts) > maxRecordPoints {
+		// The decoder rejects oversized records as corruption; writing one
+		// would make the log unrecoverable.
+		return fmt.Errorf("wal: batch of %d points exceeds the %d-point record limit",
+			len(pts), maxRecordPoints)
+	}
+	for _, p := range pts {
+		if !p.IsFinite() {
+			return fmt.Errorf("wal: non-finite point %v", p)
+		}
+	}
+	frame := appendRecord(nil, pts)
+
+	l.mu.Lock()
+	if err := l.writeLocked(frame); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	myGen := l.gen
+	l.mu.Unlock()
+
+	if l.opts.Sync != SyncAlways {
+		return nil
+	}
+	l.kick()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncGen < myGen && l.syncErr == nil && !l.closed {
+		l.cond.Wait()
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if l.syncGen < myGen {
+		return ErrClosed
+	}
+	return nil
+}
+
+// writeLocked appends a framed record to the open segment, rotating
+// when the segment is full. Caller holds l.mu.
+func (l *Log) writeLocked(frame []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if err := l.ensureSegmentLocked(); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: appending to %s: %w", segName(l.seg), err)
+	}
+	l.size += int64(len(frame))
+	l.gen++
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.sealLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureSegmentLocked opens the next segment when none is open.
+func (l *Log) ensureSegmentLocked() error {
+	if l.f != nil {
+		return nil
+	}
+	name := filepath.Join(l.dir, segName(l.nextSeg))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.seg, l.size = f, l.nextSeg, int64(len(segMagic))
+	l.nextSeg++
+	return nil
+}
+
+// sealLocked fsyncs and closes the open segment; everything written so
+// far becomes durable. Caller holds l.mu.
+func (l *Log) sealLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		l.syncErr = fmt.Errorf("wal: sealing segment %s: %w", segName(l.seg), err)
+		l.cond.Broadcast()
+		return l.syncErr
+	}
+	l.syncGen = l.gen
+	l.cond.Broadcast()
+	return nil
+}
+
+// kick nudges the syncer without blocking; a pending nudge is enough.
+func (l *Log) kick() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// syncer is the single background fsync loop. Group commit falls out of
+// its structure: while one fsync is in flight, any number of appenders
+// write and queue; the next fsync covers them all.
+func (l *Log) syncer() {
+	defer close(l.done)
+	var tick *time.Ticker
+	var tickC <-chan time.Time
+	if l.opts.Sync == SyncInterval {
+		tick = time.NewTicker(l.opts.Interval)
+		tickC = tick.C
+		defer tick.Stop()
+	}
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-l.wake:
+		case <-tickC:
+		}
+		l.syncOnce()
+	}
+}
+
+// syncOnce makes everything appended so far durable. The fsync runs
+// outside l.mu so appenders keep writing while it is in flight; the
+// captured file handle stays valid even if the segment is sealed or the
+// file pruned concurrently (sealing syncs first, and Sync on a closed
+// handle is treated as success).
+func (l *Log) syncOnce() {
+	l.mu.Lock()
+	f, gen := l.f, l.gen
+	synced := l.syncGen
+	l.mu.Unlock()
+	if f == nil || gen == synced {
+		return
+	}
+	err := f.Sync()
+	if err != nil && errors.Is(err, os.ErrClosed) {
+		// The segment was sealed (and synced) underneath us.
+		err = nil
+	}
+	l.mu.Lock()
+	if err != nil {
+		if l.syncErr == nil {
+			l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+		}
+	} else if gen > l.syncGen {
+		l.syncGen = gen
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Sync blocks until everything appended so far is durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	myGen := l.gen
+	l.mu.Unlock()
+	l.kick()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncGen < myGen && l.syncErr == nil && !l.closed {
+		l.cond.Wait()
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if l.syncGen < myGen {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Checkpoint seals the live segment, durably records snap as the
+// stream's restart state, and deletes every segment the snapshot now
+// covers. After it returns, recovery = restore snap + replay segments
+// written after this call. The snapshot payload is opaque to the log.
+func (l *Log) Checkpoint(snap []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if err := l.sealLocked(); err != nil {
+		return err
+	}
+	firstSeg := l.nextSeg
+	if err := writeCheckpoint(l.dir, firstSeg, snap); err != nil {
+		return err
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, sf := range segs {
+		if sf.index < firstSeg {
+			if err := os.Remove(filepath.Join(l.dir, sf.name)); err != nil {
+				return fmt.Errorf("wal: pruning %s: %w", sf.name, err)
+			}
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// Close seals the log, making all appended records durable. The Log is
+// unusable afterwards; Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.closed = true
+	err := l.sealLocked()
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
+}
+
+// segName formats a segment file name; zero-padded decimal keeps
+// lexical and numeric order identical.
+func segName(index uint64) string {
+	return fmt.Sprintf("%020d%s", index, segSuffix)
+}
+
+type segFile struct {
+	index uint64
+	name  string
+}
+
+// listSegments returns the directory's segment files in index order.
+func listSegments(dir string) ([]segFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	var segs []segFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			continue // not a segment file
+		}
+		segs = append(segs, segFile{index: idx, name: name})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+// syncDir fsyncs a directory so renames and creations within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}

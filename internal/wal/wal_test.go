@@ -1,0 +1,386 @@
+package wal
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func mkPts(start, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(start+i), float64(start+i)/2)
+	}
+	return pts
+}
+
+// replayAll recovers a directory into a flat point slice.
+func replayAll(t *testing.T, dir string) ([]byte, []geom.Point, Info) {
+	t.Helper()
+	rec, err := StartRecovery(dir)
+	if err != nil {
+		t.Fatalf("StartRecovery: %v", err)
+	}
+	var pts []geom.Point
+	info, err := rec.Replay(func(batch []geom.Point) error {
+		pts = append(pts, batch...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return rec.Snapshot(), pts, info
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []geom.Point
+	for b := 0; b < 10; b++ {
+		batch := mkPts(b*7, 7)
+		if err := l.Append(batch); err != nil {
+			t.Fatalf("append %d: %v", b, err)
+		}
+		want = append(want, batch...)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, got, info := replayAll(t, dir)
+	if snap != nil {
+		t.Fatalf("unexpected snapshot")
+	}
+	if info.Torn {
+		t.Fatalf("unexpected torn flag")
+	}
+	if info.Records != 10 || info.Points != 70 {
+		t.Fatalf("info = %+v, want 10 records / 70 points", info)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for b := 0; b < 20; b++ {
+		if err := l.Append(mkPts(total, 5)); err != nil {
+			t.Fatal(err)
+		}
+		total += 5
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+	_, got, info := replayAll(t, dir)
+	if len(got) != total || info.Torn {
+		t.Fatalf("replayed %d points (torn=%v), want %d", len(got), info.Torn, total)
+	}
+}
+
+func TestCheckpointCompactsAndRestores(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 10; b++ {
+		if err := l.Append(mkPts(b*5, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := []byte("snapshot-state-v1")
+	if err := l.Checkpoint(snap); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("checkpoint left %d segments behind", len(segs))
+	}
+	// Tail after the checkpoint.
+	if err := l.Append(mkPts(1000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gotSnap, pts, info := replayAll(t, dir)
+	if string(gotSnap) != string(snap) {
+		t.Fatalf("snapshot = %q, want %q", gotSnap, snap)
+	}
+	if !info.HasSnapshot || info.Points != 3 || len(pts) != 3 {
+		t.Fatalf("info = %+v pts = %d, want snapshot + 3 tail points", info, len(pts))
+	}
+	if pts[0] != geom.Pt(1000, 500) {
+		t.Fatalf("tail starts at %v", pts[0])
+	}
+}
+
+func TestTornFinalRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		if err := l.Append(mkPts(b*6, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[0].name)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the last record.
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	_, pts, info := replayAll(t, dir)
+	if !info.Torn {
+		t.Fatalf("torn tail not flagged: %+v", info)
+	}
+	if len(pts) != 18 {
+		t.Fatalf("replayed %d points, want 18 (last record dropped)", len(pts))
+	}
+}
+
+func TestCorruptMidLogFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		if err := l.Append(mkPts(b*4, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[0].name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the middle record; two records follow it,
+	// so this must be corruption, not a torn tail.
+	recBytes := recordHeaderBytes + 5 + 16*4
+	data[len(segMagic)+recBytes/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := StartRecovery(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Replay(func([]geom.Point) error { return nil }); err == nil {
+		t.Fatal("mid-log corruption not detected")
+	}
+}
+
+func TestCorruptCheckpointFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(mkPts(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpointName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartRecovery(dir); err == nil {
+		t.Fatal("corrupt checkpoint not detected")
+	}
+}
+
+func TestReopenAppendsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	for run := 0; run < 3; run++ {
+		l, err := Open(dir, Options{Sync: SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(mkPts(run*2, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, pts, info := replayAll(t, dir)
+	if info.Segments != 3 || len(pts) != 6 {
+		t.Fatalf("info = %+v, points = %d; want 3 segments / 6 points", info, len(pts))
+	}
+}
+
+// TestReopenAfterCheckpointKeepsTail is the restart-after-compaction
+// sequence: a checkpoint prunes every segment, the process restarts,
+// and the next run's appends must land above the checkpoint's segment
+// horizon or recovery would silently skip them.
+func TestReopenAfterCheckpointKeepsTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(mkPts(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart: all segments are pruned, only the checkpoint remains.
+	l2, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(mkPts(100, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, pts, info := replayAll(t, dir)
+	if string(snap) != "state" {
+		t.Fatalf("snapshot = %q", snap)
+	}
+	if len(pts) != 7 || info.Points != 7 {
+		t.Fatalf("replayed %d points (info %+v), want the 7-point tail", len(pts), info)
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := l.Append(mkPts(w*1000+i, 2)); err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, pts, info := replayAll(t, dir)
+	want := workers * perWorker * 2
+	if len(pts) != want || info.Torn {
+		t.Fatalf("replayed %d points (torn=%v), want %d", len(pts), info.Torn, want)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(mkPts(0, 1)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestAppendRejectsNonFinite(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	bad := []geom.Point{geom.Pt(1, 2), geom.Pt(3, math.Inf(1))}
+	if err := l.Append(bad); err == nil {
+		t.Fatal("non-finite point accepted")
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := Meta{Algo: "adaptive", R: 48}
+	if err := SaveMeta(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("meta = %+v, want %+v", got, want)
+	}
+}

@@ -138,6 +138,11 @@ func FuzzSnapshotUnmarshal(f *testing.F) {
 	_ = s.Insert(geom.Pt(3, -1))
 	seed, _ := s.Snapshot().MarshalBinary()
 	f.Add(seed)
+	f.Add(seed[:len(seed)-9]) // truncated mid-sample
+	f.Add(seed[:20])          // truncated header
+	mangled := append([]byte(nil), seed...)
+	mangled[4] = 0xEE // garbage kind code
+	f.Add(mangled)
 	f.Add([]byte{})
 	f.Add([]byte{0x31, 0x53, 0x48, 0x53})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -152,5 +157,8 @@ func FuzzSnapshotUnmarshal(f *testing.F) {
 		if _, err := snap.MarshalBinary(); err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
+		// Accepted snapshots must restore without panicking (error is
+		// fine: e.g. undersized r or non-increasing angles).
+		_, _ = SummaryFromSnapshot(snap)
 	})
 }

@@ -1,0 +1,118 @@
+package streamhull
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Restoring a summary from its own snapshot is the durability story the
+// paper enables (§1, §4–§5): the ≤ 2r+1 sample points are the only
+// state a stream needs to persist, so a checkpoint is O(r) bytes no
+// matter how long the stream ran. The functions here rebuild a live
+// summary from that state; a write-ahead-log tail can then be replayed
+// on top through ordinary Inserts.
+//
+// For uniform summaries the restore is exact: the snapshot records the
+// extremum of every sampled direction, and re-inserting those extrema
+// into a summary with the same directions reproduces the state
+// bit-for-bit. For adaptive summaries the restore is a re-base: the new
+// summary adaptively resamples the snapshot's points, which keeps the
+// hull within the paper's O(D/r²) bound of the original but may drop
+// refinement structure. Restoring the same snapshot is deterministic,
+// so checkpoint-then-recover always converges to one answer.
+
+// NewAdaptiveFromSnapshot rebuilds an adaptive summary from a snapshot
+// captured by (*AdaptiveHull).Snapshot, preserving the stream count N.
+func NewAdaptiveFromSnapshot(s Snapshot, opts ...AdaptiveOption) (*AdaptiveHull, error) {
+	if s.Kind != "adaptive" {
+		return nil, fmt.Errorf("streamhull: restoring adaptive summary from %q snapshot", s.Kind)
+	}
+	if len(s.Angles) != len(s.Points) {
+		return nil, fmt.Errorf("streamhull: snapshot has %d angles but %d points",
+			len(s.Angles), len(s.Points))
+	}
+	if s.R < 4 {
+		return nil, fmt.Errorf("streamhull: adaptive snapshot has r = %d, want ≥ 4", s.R)
+	}
+	h := NewAdaptive(s.R, opts...)
+	for _, p := range s.Points {
+		if err := h.Insert(p); err != nil {
+			return nil, err
+		}
+	}
+	h.setN(s.N)
+	return h, nil
+}
+
+// NewUniformFromSnapshot rebuilds a uniform summary from a snapshot
+// captured by (*UniformHull).Snapshot, preserving the stream count N.
+// The snapshot's own direction set is reused, so summaries built with
+// NewFixedDirections restore exactly too.
+func NewUniformFromSnapshot(s Snapshot) (*UniformHull, error) {
+	if s.Kind != "uniform" {
+		return nil, fmt.Errorf("streamhull: restoring uniform summary from %q snapshot", s.Kind)
+	}
+	if len(s.Angles) != len(s.Points) {
+		return nil, fmt.Errorf("streamhull: snapshot has %d angles but %d points",
+			len(s.Angles), len(s.Points))
+	}
+	var h *UniformHull
+	switch {
+	case len(s.Angles) >= 3:
+		for i, a := range s.Angles {
+			if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 || a >= geom.TwoPi {
+				return nil, fmt.Errorf("streamhull: snapshot angle %d = %v out of [0, 2π)", i, a)
+			}
+			if i > 0 && a <= s.Angles[i-1] {
+				return nil, fmt.Errorf("streamhull: snapshot angles not strictly increasing at %d", i)
+			}
+		}
+		h = NewFixedDirections(s.Angles)
+	case s.R >= 3:
+		// An empty snapshot carries no extrema; rebuild the direction set
+		// from r alone.
+		h = NewUniform(s.R)
+	default:
+		return nil, fmt.Errorf("streamhull: uniform snapshot has r = %d, want ≥ 3", s.R)
+	}
+	for _, p := range s.Points {
+		if err := h.Insert(p); err != nil {
+			return nil, err
+		}
+	}
+	h.setN(s.N)
+	return h, nil
+}
+
+// SummaryFromSnapshot rebuilds the summary a snapshot came from,
+// dispatching on its kind.
+func SummaryFromSnapshot(s Snapshot) (Summary, error) {
+	switch s.Kind {
+	case "adaptive":
+		return NewAdaptiveFromSnapshot(s)
+	case "uniform":
+		return NewUniformFromSnapshot(s)
+	default:
+		return nil, fmt.Errorf("streamhull: snapshot kind %q cannot be restored", s.Kind)
+	}
+}
+
+// setN overrides the stream count after a snapshot restore.
+func (s *AdaptiveHull) setN(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.h.N() {
+		s.h.SetN(n)
+	}
+}
+
+// setN overrides the stream count after a snapshot restore.
+func (s *UniformHull) setN(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.h.N() {
+		s.h.SetN(n)
+	}
+}
