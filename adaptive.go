@@ -12,9 +12,10 @@ import (
 // AdaptiveHull is the paper's adaptive sampling summary (§4–§5): at most
 // 2r+1 stored points, O(D/r²) hull error, amortized O(log r) per point.
 type AdaptiveHull struct {
-	mu sync.Mutex
-	h  *core.Hull
-	r  int
+	mu   sync.Mutex
+	h    *core.Hull
+	r    int
+	spec Spec
 }
 
 // AdaptiveOption customizes NewAdaptive.
@@ -45,32 +46,66 @@ func WithBoundedWork(maxUnrefinements int) AdaptiveOption {
 	return func(c *core.Config) { c.MaxUnrefinePerInsert = maxUnrefinements }
 }
 
-// NewAdaptive returns an adaptive hull summary with parameter r ≥ 4.
+// adaptiveSpec compiles an option-configured core.Config down to the
+// serializable Spec the summary reports and recovery rebuilds from.
+func adaptiveSpec(cfg core.Config) Spec {
+	return Spec{
+		Kind: KindAdaptive, R: cfg.R,
+		HeightLimit: cfg.Height, FixedBudget: cfg.TargetDirs, BoundedWork: cfg.MaxUnrefinePerInsert,
+	}
+}
+
+// adaptiveConfig is the inverse of adaptiveSpec.
+func adaptiveConfig(spec Spec) core.Config {
+	return core.Config{
+		R: spec.R, Height: spec.HeightLimit,
+		TargetDirs: spec.FixedBudget, MaxUnrefinePerInsert: spec.BoundedWork,
+	}
+}
+
+// buildAdaptive constructs an adaptive summary from an already validated
+// Spec (see New).
+func buildAdaptive(spec Spec) *AdaptiveHull {
+	return &AdaptiveHull{h: core.New(adaptiveConfig(spec)), r: spec.R, spec: spec}
+}
+
+// NewAdaptive returns an adaptive hull summary with parameter r ≥ 4. It
+// is a thin wrapper over New(Spec); it panics on invalid parameters
+// where New returns an error.
 func NewAdaptive(r int, opts ...AdaptiveOption) *AdaptiveHull {
 	cfg := core.Config{R: r}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &AdaptiveHull{h: core.New(cfg), r: r}
+	spec := adaptiveSpec(cfg)
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return buildAdaptive(spec)
 }
 
 // NewAdaptiveStatic builds the §4 static adaptive sample of an already
 // collected point set.
 func NewAdaptiveStatic(pts []geom.Point, r int, opts ...AdaptiveOption) (*AdaptiveHull, error) {
-	for _, p := range pts {
-		if err := checkFinite(p); err != nil {
-			return nil, err
-		}
+	if err := checkFiniteBatch(pts); err != nil {
+		return nil, err
 	}
 	cfg := core.Config{R: r}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &AdaptiveHull{h: core.BuildStatic(pts, cfg), r: r}, nil
+	spec := adaptiveSpec(cfg)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &AdaptiveHull{h: core.BuildStatic(pts, cfg), r: r, spec: spec}, nil
 }
 
 // R returns the sample parameter r.
 func (s *AdaptiveHull) R() int { return s.r }
+
+// Spec returns the summary's serializable description.
+func (s *AdaptiveHull) Spec() Spec { return s.spec }
 
 // Insert processes one stream point.
 func (s *AdaptiveHull) Insert(p geom.Point) error {
@@ -81,6 +116,24 @@ func (s *AdaptiveHull) Insert(p geom.Point) error {
 	s.h.Insert(p)
 	s.mu.Unlock()
 	return nil
+}
+
+// InsertBatch processes a batch of stream points under one lock
+// acquisition, prefiltered to the batch's convex hull: interior points
+// are counted but skip the containment and unrefinement machinery
+// entirely (they can never be extreme once the batch is in). The batch
+// is validated first, so an error means nothing was applied.
+func (s *AdaptiveHull) InsertBatch(pts []geom.Point) (int, error) {
+	if err := checkFiniteBatch(pts); err != nil {
+		return 0, err
+	}
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	s.h.InsertBatch(pts)
+	s.mu.Unlock()
+	return len(pts), nil
 }
 
 // Hull returns the current sampled convex hull. The guarantee of
@@ -171,7 +224,8 @@ func (s *AdaptiveHull) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	samples := s.h.Samples()
-	snap := Snapshot{Kind: "adaptive", R: s.r, N: s.h.N()}
+	spec := s.spec
+	snap := Snapshot{Kind: "adaptive", R: s.r, N: s.h.N(), Spec: &spec}
 	for _, sm := range samples {
 		snap.Angles = append(snap.Angles, sm.Theta)
 		snap.Points = append(snap.Points, sm.Point)

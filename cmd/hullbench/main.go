@@ -11,6 +11,7 @@
 //	hullbench -sweep -lowerbound -diameter -timing
 //	hullbench -windowed           # sliding-window cost/fidelity sweep
 //	hullbench -durable            # WAL ingest overhead vs in-memory
+//	hullbench -batch              # InsertBatch (hull-prefiltered) vs Insert
 package main
 
 import (
@@ -33,13 +34,14 @@ func main() {
 		timing     = flag.Bool("timing", false, "per-point processing cost (§3.1/§5.3)")
 		windowed   = flag.Bool("windowed", false, "sliding-window cost and fidelity on a drift-burst stream")
 		durable    = flag.Bool("durable", false, "durable-ingest overhead: WAL append + insert vs in-memory insert")
+		batch      = flag.Bool("batch", false, "batch-first ingest: hull-prefiltered InsertBatch vs per-point Insert")
 		n          = flag.Int("n", 100000, "stream length per experiment")
 		r          = flag.Int("r", 16, "adaptive sample parameter (uniform uses 2r)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
-	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed && !*durable {
+	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed && !*durable && !*batch {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -102,6 +104,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(experiments.FormatDurable(rows))
+		fmt.Println()
+	}
+	if *all || *batch {
+		fmt.Println("=== Batch ingest (InsertBatch vs Insert, clustered Gaussian stream) ===")
+		gaussGen := func(s int64) workload.Generator { return workload.Gaussian(s, geom.Point{}, 1) }
+		rows, err := experiments.BatchSweep(gaussGen, *n, []int{64, 256, 1024, 4096}, *r, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "batch sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatBatch(rows))
 		fmt.Println()
 	}
 }

@@ -7,7 +7,13 @@
 //	generate-points | hullcli -algo adaptive -r 32 -query diameter,width
 //	hullcli -algo uniform -r 64 -hull < points.csv
 //	tail -f telemetry.csv | hullcli -window 10000 -query diameter
+//	hullcli -spec '{"kind":"windowed","r":32,"window":"10000"}' < points.csv
 //	hullcli replay -dir /var/lib/hullserver/mystream -query diameter
+//
+// The flags compile down to a streamhull.Spec; -spec supplies one
+// directly as JSON (overriding -algo/-r/-window) and can describe every
+// summary kind, including option-laden adaptive summaries and
+// grid-partitioned ones that have no dedicated flags.
 //
 // With -window the summary covers only the most recent points: a count
 // like "-window 10000" keeps the last 10000 points, a duration like
@@ -45,17 +51,44 @@ func main() {
 		algo    = flag.String("algo", "adaptive", "summary: adaptive, uniform, or exact")
 		r       = flag.Int("r", 32, "sample parameter")
 		window  = flag.String("window", "", "sliding window: a point count (e.g. 10000) or a duration (e.g. 30s)")
+		spec    = flag.String("spec", "", "summary spec JSON (overrides -algo/-r/-window)")
 		queries = flag.String("query", "diameter,width", "comma-separated: diameter,width,extent,area,circle")
 		theta   = flag.Float64("theta", 0, "direction (radians) for the extent query")
 		hull    = flag.Bool("hull", false, "print hull vertices")
 	)
 	flag.Parse()
 
-	sum, err := newSummary(*algo, *r, *window)
+	sum, err := newSummary(*algo, *r, *window, *spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Points are fed through the batch path: InsertBatch validates each
+	// chunk atomically and prefilters it to its convex hull, so a dense
+	// stream costs far less than per-line Inserts would. Time-windowed
+	// summaries are the exception — their semantics depend on each
+	// point's arrival time, which buffering would quantize to flush
+	// instants — so they keep the per-line Insert.
+	batchSize := 1024
+	if wh, ok := sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
+		batchSize = 1
+	}
+	batch := make([]geom.Point, 0, batchSize)
+	lines := make([]int, 0, batchSize) // input line of each batched point
+	flush := func() {
+		_, err := sum.InsertBatch(batch)
+		if err != nil {
+			// The batch is rejected as a whole; recover the offending
+			// line for the message.
+			for i, p := range batch {
+				if !p.IsFinite() {
+					log.Fatalf("line %d: %v", lines[i], err)
+				}
+			}
+			log.Fatal(err)
+		}
+		batch, lines = batch[:0], lines[:0]
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	line := 0
@@ -69,13 +102,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("line %d: %v", line, err)
 		}
-		if err := sum.Insert(p); err != nil {
-			log.Fatalf("line %d: %v", line, err)
+		batch = append(batch, p)
+		lines = append(lines, line)
+		if len(batch) == batchSize {
+			flush()
 		}
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatalf("reading stdin: %v", err)
 	}
+	flush()
 
 	report(sum, *window, *queries, *theta, *hull)
 }
@@ -124,6 +160,7 @@ func replaySummary(dir string) (*streamhull.WALRecovery, error) {
 // the hull vertices.
 func report(sum streamhull.Summary, window, queries string, theta float64, hull bool) {
 	h := sum.Hull()
+	fmt.Printf("spec=%s\n", sum.Spec())
 	fmt.Printf("points=%d stored=%d hull-vertices=%d", sum.N(), sum.SampleSize(), h.Len())
 	if w, ok := sum.(*streamhull.WindowedHull); ok {
 		count, age := w.WindowSpan()
@@ -160,26 +197,23 @@ func report(sum streamhull.Summary, window, queries string, theta float64, hull 
 	}
 }
 
-// newSummary builds the stream summary for the flag combination: a
-// windowed summary when window is a count or duration, else the named
-// lifetime algorithm.
-func newSummary(algo string, r int, window string) (streamhull.Summary, error) {
-	if window != "" {
-		if algo != "adaptive" {
-			return nil, fmt.Errorf("-window requires -algo adaptive, got %q", algo)
-		}
-		return streamhull.NewWindowedFromSpec(r, window, nil)
+// newSummary builds the stream summary for the flag combination: an
+// explicit -spec JSON document wins, otherwise -algo/-r/-window compile
+// down to a Spec. Either way construction goes through streamhull.New.
+func newSummary(algo string, r int, window, specJSON string) (streamhull.Summary, error) {
+	var (
+		spec streamhull.Spec
+		err  error
+	)
+	if specJSON != "" {
+		spec, err = streamhull.ParseSpec(specJSON)
+	} else {
+		spec, err = streamhull.SpecFor(algo, r, window)
 	}
-	switch algo {
-	case "adaptive":
-		return streamhull.NewAdaptive(r), nil
-	case "uniform":
-		return streamhull.NewUniform(r), nil
-	case "exact":
-		return streamhull.NewExact(), nil
-	default:
-		return nil, fmt.Errorf("unknown algo %q", algo)
+	if err != nil {
+		return nil, err
 	}
+	return streamhull.New(spec)
 }
 
 func parsePoint(s string) (geom.Point, error) {

@@ -60,10 +60,10 @@ func TestReplaySummary(t *testing.T) {
 		if err := l.Append(pts); err != nil {
 			t.Fatal(err)
 		}
-		for _, p := range pts {
-			if err := ref.Insert(p); err != nil {
-				t.Fatal(err)
-			}
+		// Mirror recovery's batch-at-a-time replay so the reference state
+		// matches bit-for-bit.
+		if _, err := ref.InsertBatch(pts); err != nil {
+			t.Fatal(err)
 		}
 	}
 	// Checkpoint mid-stream, exactly as the server does: seal the
@@ -83,10 +83,8 @@ func TestReplaySummary(t *testing.T) {
 	if err := l.Append(tail); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range tail {
-		if err := ref.Insert(p); err != nil {
-			t.Fatal(err)
-		}
+	if _, err := ref.InsertBatch(tail); err != nil {
+		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
@@ -122,28 +120,35 @@ func TestReplaySummaryRejectsNonStreamDir(t *testing.T) {
 
 func TestNewSummary(t *testing.T) {
 	cases := []struct {
-		algo, window string
-		ok           bool
+		algo, window, spec string
+		ok                 bool
 	}{
-		{"adaptive", "", true},
-		{"uniform", "", true},
-		{"exact", "", true},
-		{"wizard", "", false},
-		{"adaptive", "1000", true},
-		{"adaptive", "30s", true},
-		{"adaptive", "0", false},
-		{"adaptive", "-5s", false},
-		{"adaptive", "soon", false},
-		{"uniform", "1000", false},
+		{"adaptive", "", "", true},
+		{"uniform", "", "", true},
+		{"exact", "", "", true},
+		{"wizard", "", "", false},
+		{"adaptive", "1000", "", true},
+		{"adaptive", "30s", "", true},
+		{"adaptive", "0", "", false},
+		{"adaptive", "-5s", "", false},
+		{"adaptive", "soon", "", false},
+		{"uniform", "1000", "", false},
+		// -spec overrides the other flags entirely.
+		{"", "", `{"kind":"windowed","r":8,"window":"100"}`, true},
+		{"", "", `{"kind":"partial","r":8,"train_n":50}`, true},
+		{"", "", `{"kind":"partitioned","r":8,"grid":{"cols":2,"rows":2,"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`, true},
+		{"", "", `{"kind":"adaptive"}`, false},
+		{"", "", `{"kind":"nope","r":8}`, false},
+		{"", "", `not json`, false},
 	}
 	for _, c := range cases {
-		sum, err := newSummary(c.algo, 16, c.window)
+		sum, err := newSummary(c.algo, 16, c.window, c.spec)
 		if (err == nil) != c.ok {
-			t.Errorf("newSummary(%q, 16, %q) error = %v, want ok=%v", c.algo, c.window, err, c.ok)
+			t.Errorf("newSummary(%q, 16, %q, %q) error = %v, want ok=%v", c.algo, c.window, c.spec, err, c.ok)
 			continue
 		}
 		if c.ok && sum == nil {
-			t.Errorf("newSummary(%q, 16, %q) returned nil summary", c.algo, c.window)
+			t.Errorf("newSummary(%q, 16, %q, %q) returned nil summary", c.algo, c.window, c.spec)
 		}
 	}
 }

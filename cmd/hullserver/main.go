@@ -35,6 +35,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		r        = flag.Int("r", 32, "default sample parameter for auto-created streams")
+		defSpec  = flag.String("default-spec", "", "spec JSON for auto-created streams (overrides -r)")
 		maxS     = flag.Int("max-streams", 1024, "maximum number of live streams")
 		sweep    = flag.Duration("sweep", 2*time.Second, "expiry sweep interval for time-windowed streams")
 		data     = flag.String("data", "", "data directory for durable streams (empty = in-memory only)")
@@ -49,7 +50,7 @@ func main() {
 		log.Fatal(err)
 	}
 	api, err := server.New(server.Config{
-		DefaultR: *r, MaxStreams: *maxS, SweepInterval: *sweep,
+		DefaultR: *r, DefaultSpec: *defSpec, MaxStreams: *maxS, SweepInterval: *sweep,
 		DataDir: *data, Sync: sync, FsyncInterval: *fsyncInt,
 		CheckpointEvery: *ckpt, Logf: log.Printf,
 	})

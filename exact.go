@@ -19,8 +19,14 @@ type ExactHull struct {
 	n     int
 }
 
+// buildExact constructs an exact summary (see New).
+func buildExact() *ExactHull { return &ExactHull{} }
+
 // NewExact returns an exact hull summary.
-func NewExact() *ExactHull { return &ExactHull{} }
+func NewExact() *ExactHull { return buildExact() }
+
+// Spec returns the summary's serializable description.
+func (s *ExactHull) Spec() Spec { return Spec{Kind: KindExact} }
 
 // Insert processes one stream point. Points inside the current hull are
 // dropped immediately; hull-changing points trigger an O(h log h) re-hull
@@ -32,15 +38,54 @@ func (s *ExactHull) Insert(p geom.Point) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.n++
+	s.insertLocked(p)
+	return nil
+}
+
+// insertLocked folds one already-validated point in. Caller holds s.mu.
+func (s *ExactHull) insertLocked(p geom.Point) {
 	if s.dirty {
 		s.rebuild()
 	}
 	if s.poly.Len() >= 3 && s.poly.Contains(p) {
-		return nil
+		return
 	}
 	s.verts = append(s.poly.Vertices(), p)
 	s.dirty = true
-	return nil
+}
+
+// InsertBatch processes a batch of stream points under one lock
+// acquisition, prefiltered to the batch's convex hull and re-hulled at
+// most once (per-point insertion re-hulls after every boundary point).
+// The batch is validated first, so an error means nothing was applied.
+func (s *ExactHull) InsertBatch(pts []geom.Point) (int, error) {
+	if err := checkFiniteBatch(pts); err != nil {
+		return 0, err
+	}
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += len(pts)
+	if s.dirty {
+		s.rebuild()
+	}
+	appended := false
+	for _, p := range batchHull(pts) {
+		if s.poly.Len() >= 3 && s.poly.Contains(p) {
+			continue
+		}
+		if !appended {
+			s.verts = s.poly.Vertices()
+			appended = true
+		}
+		s.verts = append(s.verts, p)
+	}
+	if appended {
+		s.dirty = true
+	}
+	return len(pts), nil
 }
 
 func (s *ExactHull) rebuild() {

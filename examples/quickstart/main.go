@@ -20,25 +20,45 @@ func main() {
 	)
 	rng := rand.New(rand.NewSource(7))
 
-	// The summary keeps at most 2r+1 points no matter how long the stream
+	// The v2 API: one constructor, driven by a serializable Spec. The
+	// summary keeps at most 2r+1 points no matter how long the stream
 	// runs; the exact hull is kept here only to measure the error.
-	adaptive := streamhull.NewAdaptive(r)
+	sum, err := streamhull.New(streamhull.Spec{Kind: streamhull.KindAdaptive, R: r})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// New returns the Summary interface; the concrete type is the kind
+	// the spec named, with its extra accessors (ErrorBound below).
+	adaptive := sum.(*streamhull.AdaptiveHull)
 	exact := streamhull.NewExact()
 
+	// Ingest is batch-first: InsertBatch validates each batch atomically
+	// and prefilters it to its own convex hull before touching the
+	// summary — only a batch's extreme points can change anything.
+	const batchSize = 1024
+	batch := make([]geom.Point, 0, batchSize)
+	flush := func() {
+		if _, err := adaptive.InsertBatch(batch); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := exact.InsertBatch(batch); err != nil {
+			log.Fatal(err)
+		}
+		batch = batch[:0]
+	}
 	for i := 0; i < n; i++ {
 		// An elongated, tilted cloud: the adversary for uniform sampling.
 		p := geom.Pt(rng.NormFloat64()*3, rng.NormFloat64()*0.2).Rotate(0.4)
-		if err := adaptive.Insert(p); err != nil {
-			log.Fatal(err)
-		}
-		if err := exact.Insert(p); err != nil {
-			log.Fatal(err)
+		if batch = append(batch, p); len(batch) == batchSize {
+			flush()
 		}
 	}
+	flush()
 
 	hull := adaptive.Hull()
 	truth := exact.Hull()
 
+	fmt.Printf("summary spec:         %s\n", adaptive.Spec())
 	fmt.Printf("stream length:        %d points\n", adaptive.N())
 	fmt.Printf("summary size:         %d points (bound 2r+1 = %d)\n",
 		adaptive.SampleSize(), 2*r+1)

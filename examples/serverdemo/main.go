@@ -24,12 +24,28 @@ func main() {
 	defer ts.Close()
 	fmt.Println("hull-summary service at", ts.URL)
 
+	// fleet-a is created explicitly with a spec JSON document (the v2
+	// create API — any summary kind, one request body); fleet-b is
+	// auto-created on first ingest with the server default.
+	createSpec(ts.URL+"/v1/streams/fleet-a", `{"kind":"adaptive","r":24}`)
+
 	// Two vehicle fleets report positions in batches.
 	rng := rand.New(rand.NewSource(42))
 	for batch := 0; batch < 20; batch++ {
 		post(ts.URL+"/v1/streams/fleet-a/points", fleet(rng, -6+0.5*float64(batch), 0))
 		post(ts.URL+"/v1/streams/fleet-b/points", fleet(rng, +6-0.5*float64(batch), 0.5))
 	}
+
+	// The detail endpoint reports each stream's spec — enough to
+	// recreate the stream anywhere.
+	var detail struct {
+		Spec       json.RawMessage `json:"spec"`
+		N          float64         `json:"n"`
+		SampleSize float64         `json:"sample_size"`
+	}
+	get(ts.URL+"/v1/streams/fleet-a", &detail)
+	fmt.Printf("fleet-a spec: %s (n=%d, stored %d points)\n",
+		detail.Spec, int(detail.N), int(detail.SampleSize))
 
 	var hull struct {
 		N        float64      `json:"n"`
@@ -70,6 +86,23 @@ func fleet(rng *rand.Rand, cx, cy float64) [][2]float64 {
 		out[i] = [2]float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()}
 	}
 	return out
+}
+
+// createSpec PUTs a spec JSON document as the create body.
+func createSpec(url, spec string) {
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader([]byte(spec)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		log.Fatalf("PUT %s: %s", url, resp.Status)
+	}
 }
 
 func post(url string, points [][2]float64) {

@@ -1,0 +1,134 @@
+package convex
+
+import (
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/robust"
+)
+
+// ExtremeCandidates prunes a point set to a superset of its convex-hull
+// vertices using the Akl–Toussaint heuristic: find the support points
+// of eight fixed directions (a linear scan of cheap comparisons), and
+// drop every point certainly strictly inside their octagon — such a
+// point is strictly inside the set's hull and can never be extreme in
+// any direction. The inside test is a conservatively filtered float
+// computation: a point is dropped only when its orientation against
+// every octagon edge clears a forward error bound, so no potential
+// hull vertex is ever dropped; what survives may include interior
+// points near the octagon boundary, which downstream exact processing
+// discards anyway.
+//
+// Unlike Hull this never sorts: cost is two linear passes over pts.
+// Input order is preserved in the output, so feeding the candidates to
+// an order-sensitive consumer (a streaming summary) stays deterministic
+// for a given input. The returned slice aliases fresh memory, never
+// pts.
+func ExtremeCandidates(pts []geom.Point) []geom.Point {
+	if len(pts) <= 8 {
+		return append([]geom.Point(nil), pts...)
+	}
+	// Support points of the eight directions at 0°, 45°, …, 315°, in
+	// CCW direction order — which lists them in CCW order around the
+	// hull. Ties keep the first point scanned; any choice yields a
+	// valid (possibly smaller) octagon.
+	var oct [8]geom.Point
+	var best [8]float64
+	p0 := pts[0]
+	for d := range oct {
+		oct[d] = p0
+	}
+	best[0], best[2], best[4], best[6] = p0.X, p0.Y, -p0.X, -p0.Y
+	best[1], best[3], best[5], best[7] = p0.X+p0.Y, p0.Y-p0.X, -p0.X-p0.Y, p0.X-p0.Y
+	for _, p := range pts[1:] {
+		x, y := p.X, p.Y
+		s, t := x+y, y-x
+		if x > best[0] {
+			best[0], oct[0] = x, p
+		}
+		if s > best[1] {
+			best[1], oct[1] = s, p
+		}
+		if y > best[2] {
+			best[2], oct[2] = y, p
+		}
+		if t > best[3] {
+			best[3], oct[3] = t, p
+		}
+		if -x > best[4] {
+			best[4], oct[4] = -x, p
+		}
+		if -s > best[5] {
+			best[5], oct[5] = -s, p
+		}
+		if -y > best[6] {
+			best[6], oct[6] = -y, p
+		}
+		if -t > best[7] {
+			best[7], oct[7] = -t, p
+		}
+	}
+	// Dedup coincident octagon vertices (cyclically).
+	verts := make([]geom.Point, 0, 8)
+	for _, v := range oct[:] {
+		if len(verts) == 0 || !v.Eq(verts[len(verts)-1]) {
+			verts = append(verts, v)
+		}
+	}
+	if len(verts) > 1 && verts[0].Eq(verts[len(verts)-1]) {
+		verts = verts[:len(verts)-1]
+	}
+	// The support points of rounded scores are batch points but, through
+	// float ties, not always true hull supports — so verify the cycle is
+	// strictly convex CCW (dropping collinear middles) before trusting
+	// the inside test; conv(verts) ⊆ conv(pts) holds regardless, so a
+	// verified octagon never over-prunes. Bail to "no pruning" on any
+	// irregularity — correctness first, the filter is only a fast path.
+	for i := 0; i < len(verts) && len(verts) >= 3; {
+		n := len(verts)
+		switch robust.Orient2D(verts[i], verts[(i+1)%n], verts[(i+2)%n]) {
+		case 0:
+			verts = append(verts[:(i+1)%n], verts[(i+1)%n+1:]...)
+			i = 0 // re-verify from the top after a removal
+		case -1:
+			return append([]geom.Point(nil), pts...)
+		default:
+			i++
+		}
+	}
+	if len(verts) < 3 {
+		// Degenerate spread (all points collinear or coincident up to the
+		// eight probes): nothing can be pruned safely.
+		return append([]geom.Point(nil), pts...)
+	}
+
+	// Per-edge data for the filtered inside test: a point is strictly
+	// left of edge (v, v+e) when e × (p − v) > 0; the float evaluation
+	// is trusted only beyond a forward error bound (same shape as the
+	// robust package's filter, with a lazily generous coefficient —
+	// borderline points are kept, never dropped).
+	const errCoef = 16 * 1.1102230246251565e-16
+	type edge struct{ vx, vy, ex, ey float64 }
+	edges := make([]edge, len(verts))
+	for i, v := range verts {
+		w := verts[(i+1)%len(verts)]
+		edges[i] = edge{vx: v.X, vy: v.Y, ex: w.X - v.X, ey: w.Y - v.Y}
+	}
+
+	out := make([]geom.Point, 0, len(pts)/4+8)
+	for _, p := range pts {
+		inside := true
+		for _, e := range edges {
+			dx, dy := p.X-e.vx, p.Y-e.vy
+			l, r := e.ex*dy, e.ey*dx
+			if l-r <= errCoef*(math.Abs(l)+math.Abs(r)) {
+				inside = false
+				break
+			}
+		}
+		if !inside {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package convex
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// TestExtremeCandidatesKeepsHull: the candidate set must contain every
+// hull vertex of the input — the filter may under-prune, never
+// over-prune.
+func TestExtremeCandidatesKeepsHull(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shapes := map[string]func() geom.Point{
+		"gaussian": func() geom.Point { return geom.Pt(rng.NormFloat64(), rng.NormFloat64()) },
+		"square":   func() geom.Point { return geom.Pt(rng.Float64(), rng.Float64()) },
+		"thin":     func() geom.Point { return geom.Pt(rng.NormFloat64()*100, rng.NormFloat64()*1e-9) },
+		"collinear": func() geom.Point {
+			x := rng.Float64()
+			return geom.Pt(x, 2*x)
+		},
+		"clustered": func() geom.Point {
+			c := float64(rng.Intn(3)) * 10
+			return geom.Pt(c+rng.Float64()*1e-3, c+rng.Float64()*1e-3)
+		},
+		"tiny-coords": func() geom.Point {
+			return geom.Pt(rng.NormFloat64()*1e-300, rng.NormFloat64()*1e-300)
+		},
+	}
+	for name, gen := range shapes {
+		for _, n := range []int{1, 7, 9, 64, 500} {
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = gen()
+			}
+			cand := ExtremeCandidates(pts)
+			inCand := make(map[geom.Point]bool, len(cand))
+			for _, p := range cand {
+				inCand[p] = true
+			}
+			for _, v := range Hull(pts).Vertices() {
+				if !inCand[v] {
+					t.Fatalf("%s n=%d: hull vertex %v pruned", name, n, v)
+				}
+			}
+			// The candidate hull must equal the full hull.
+			hc, hf := Hull(cand).Vertices(), Hull(pts).Vertices()
+			if len(hc) != len(hf) {
+				t.Fatalf("%s n=%d: candidate hull has %d vertices, want %d", name, n, len(hc), len(hf))
+			}
+			for i := range hf {
+				if !hc[i].Eq(hf[i]) {
+					t.Fatalf("%s n=%d: candidate hull differs at %d", name, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestExtremeCandidatesDuplicates: heavy exact duplication (the float-tie
+// path) must not break the filter.
+func TestExtremeCandidatesDuplicates(t *testing.T) {
+	pts := make([]geom.Point, 0, 400)
+	for i := 0; i < 100; i++ {
+		pts = append(pts, geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1))
+	}
+	cand := ExtremeCandidates(pts)
+	if got, want := len(Hull(cand).Vertices()), 4; got != want {
+		t.Fatalf("candidate hull has %d vertices, want %d", got, want)
+	}
+}
+
+func BenchmarkExtremeCandidates(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pts := make([]geom.Point, 256)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtremeCandidates(pts)
+	}
+}

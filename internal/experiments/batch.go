@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// BatchPoint is one row of the batch-ingest experiment: per-point
+// Insert against hull-prefiltered InsertBatch at one batch size.
+type BatchPoint struct {
+	Batch      int     // points per InsertBatch call
+	InsertNsPt float64 // per-point Insert cost, ns/point
+	BatchNsPt  float64 // InsertBatch cost, ns/point
+	Speedup    float64 // InsertNsPt / BatchNsPt
+}
+
+// BatchSweep measures the v2 batch-first ingest path: each cell streams
+// n points through an adaptive summary built from a Spec (parameter r),
+// once point-at-a-time and once in batches. InsertBatch prefilters
+// every batch to its own convex hull — only the batch's extreme points
+// can change the summary — so clustered workloads, where most of a
+// batch is interior, see multi-x speedups.
+func BatchSweep(gen func(seed int64) workload.Generator, n int, batches []int, r int, seed int64) ([]BatchPoint, error) {
+	pts := workload.Take(gen(seed), n)
+	spec := streamhull.Spec{Kind: streamhull.KindAdaptive, R: r}
+
+	out := make([]BatchPoint, 0, len(batches))
+	for _, batch := range batches {
+		s, err := streamhull.New(spec)
+		if err != nil {
+			return nil, err
+		}
+		insertNs := timeIt(func() {
+			for _, p := range pts {
+				_ = s.Insert(p)
+			}
+		}) / float64(len(pts))
+
+		if s, err = streamhull.New(spec); err != nil {
+			return nil, err
+		}
+		var batchErr error
+		batchNs := timeIt(func() {
+			for i := 0; i < len(pts); i += batch {
+				end := min(i+batch, len(pts))
+				if _, err := s.InsertBatch(pts[i:end]); err != nil {
+					batchErr = err
+					return
+				}
+			}
+		}) / float64(len(pts))
+		if batchErr != nil {
+			return nil, batchErr
+		}
+
+		speedup := 0.0
+		if batchNs > 0 {
+			speedup = insertNs / batchNs
+		}
+		out = append(out, BatchPoint{
+			Batch: batch, InsertNsPt: insertNs, BatchNsPt: batchNs, Speedup: speedup,
+		})
+	}
+	return out, nil
+}
+
+// FormatBatch renders the batch-ingest sweep.
+func FormatBatch(pts []BatchPoint) string {
+	var b strings.Builder
+	b.WriteString("Batch ingest (hull-prefiltered InsertBatch vs per-point Insert, adaptive)\n")
+	fmt.Fprintf(&b, "  %8s  %13s  %13s  %9s\n", "batch", "insert ns/pt", "batch ns/pt", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %8d  %13.1f  %13.1f  %8.2fx\n",
+			p.Batch, p.InsertNsPt, p.BatchNsPt, p.Speedup)
+	}
+	return b.String()
+}

@@ -100,12 +100,20 @@ func uniformTriangles(h *fixeddir.Hull) []uncert.Triangle {
 	return out
 }
 
+// measureBatch is the chunk size MeasureAdaptive streams with: the v2
+// batch-first ingest path (hull-prefiltered InsertBatch), at the
+// server's typical batch granularity, so Table 1 measures what
+// production ingest actually produces.
+const measureBatch = 512
+
 // MeasureAdaptive feeds the stream through the adaptive hull (fixed-budget
-// variant when budget > 0, as in the paper's equal-size comparison) and
-// reports its metrics.
+// variant when budget > 0, as in the paper's equal-size comparison) in
+// measureBatch-point batches and reports its metrics.
 func MeasureAdaptive(pts []geom.Point, r, budget int) Metrics {
 	h := core.New(core.Config{R: r, TargetDirs: budget})
-	h.InsertAll(pts)
+	for i := 0; i < len(pts); i += measureBatch {
+		h.InsertBatch(pts[i:min(i+measureBatch, len(pts))])
+	}
 	maxH, avgH := triangleStats(h.Triangles())
 	maxD, pct := distanceStats(h.Polygon(), pts)
 	return Metrics{

@@ -10,27 +10,36 @@ import (
 	"github.com/streamgeom/streamhull/internal/wal"
 )
 
-// Durable streams: when Config.DataDir is set, every lifetime stream
-// owns a directory under it holding a write-ahead log of its points
-// plus periodic snapshot checkpoints (see internal/wal). Ingest appends
-// to the log before touching the in-memory summary; every
-// CheckpointEvery points the stream's ≤ 2r+1-point snapshot is sealed
-// and the log prefix it covers is deleted — the paper's space bound is
-// what keeps stored state O(r) per stream regardless of stream length.
-// On New the server scans DataDir and rebuilds each stream from its
-// checkpoint plus the log tail.
+// Durable streams: when Config.DataDir is set, every stream owns a
+// directory under it holding a write-ahead log of its points plus
+// periodic checkpoints (see internal/wal). Ingest appends to the log
+// before touching the in-memory summary; the meta sidecar stores the
+// stream's Spec, so recovery can rebuild any summary kind — New scans
+// DataDir and restores each stream from its checkpoint plus the log
+// tail, replaying the same batches InsertBatch originally applied.
 //
-// Sliding-window streams stay memory-only: their state depends on
-// wall-clock arrival times that a replay cannot reproduce.
+// Checkpoints compact the log to the summary's live state:
+//
+//   - adaptive and uniform streams seal their O(r) Snapshot and re-base
+//     the live summary on it, so recovery reproduces the served state
+//     exactly;
+//   - windowed streams seal their full exponential-histogram bucket
+//     structure (O(r log n + HeadCap) points, see
+//     streamhull.WindowedHull.MarshalState) — bit-exact without
+//     re-basing, since nothing is lost in the capture;
+//   - exact, partial and partitioned streams have no faithful compact
+//     capture and keep their whole log instead (replay from the start
+//     is deterministic, so recovery is still exact).
 
-// durableWindow reports whether a stream with this window spec is
-// persisted.
-func durableWindow(window string) bool { return window == "" }
-
-// checkpointable reports whether an algorithm's snapshots can serve as
-// restart state. Exact streams keep their full log instead (no
-// compaction, exact recovery).
-func checkpointable(algo string) bool { return algo == "adaptive" || algo == "uniform" }
+// checkpointable reports whether a summary kind has a faithful
+// checkpoint representation; other kinds retain their full log.
+func checkpointable(kind streamhull.Kind) bool {
+	switch kind {
+	case streamhull.KindAdaptive, streamhull.KindUniform, streamhull.KindWindowed:
+		return true
+	}
+	return false
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -52,12 +61,16 @@ func (s *Server) streamDir(id string) string {
 
 // openStorage creates the on-disk state for a new durable stream and
 // returns its log.
-func (s *Server) openStorage(id, algo string, r int) (*wal.Log, error) {
+func (s *Server) openStorage(id string, spec streamhull.Spec) (*wal.Log, error) {
+	meta, err := streamhull.MetaForSpec(spec)
+	if err != nil {
+		return nil, err
+	}
 	dir := s.streamDir(id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("creating stream storage: %w", err)
 	}
-	if err := wal.SaveMeta(dir, wal.Meta{Algo: algo, R: r}); err != nil {
+	if err := wal.SaveMeta(dir, meta); err != nil {
 		return nil, err
 	}
 	return wal.Open(dir, s.walOptions())
@@ -101,20 +114,45 @@ func (s *Server) recoverStream(id, dir string) (*stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.logf("wal: recovered stream %q: algo=%s r=%d n=%d (checkpoint=%v, %d replayed points)",
-		id, rec.Algo, rec.R, rec.Summary.N(), rec.HasCheckpoint, rec.Points)
-	return &stream{sum: rec.Summary, algo: rec.Algo, r: rec.R, log: log}, nil
+	s.logf("wal: recovered stream %q: spec=%s n=%d (checkpoint=%v, %d replayed points)",
+		id, rec.Spec, rec.Summary.N(), rec.HasCheckpoint, rec.Points)
+	return &stream{sum: rec.Summary, spec: rec.Spec, log: log}, nil
 }
 
-// maybeCheckpointLocked seals the stream's current snapshot into its
-// log once enough points have accumulated, then re-bases the live
-// summary on that snapshot so a later recovery reproduces the served
-// state exactly. Caller holds st.mu.
+// maybeCheckpointLocked seals the stream's current state into its log
+// once enough points have accumulated. For adaptive and uniform streams
+// the payload is the O(r) Snapshot and the live summary is re-based on
+// it so a later recovery reproduces the served state exactly; windowed
+// streams seal their full bucket structure, which loses nothing and
+// needs no re-base. Caller holds st.mu.
 func (s *Server) maybeCheckpointLocked(id string, st *stream) {
-	if st.log == nil || !checkpointable(st.algo) || st.sinceCkpt < s.cfg.CheckpointEvery {
+	if st.sinceCkpt < s.cfg.CheckpointEvery {
+		return
+	}
+	s.checkpointLocked(id, st)
+}
+
+// checkpointLocked seals a checkpoint now (see maybeCheckpointLocked).
+// Close also calls it directly, so a graceful shutdown leaves every
+// checkpointable stream compacted — in particular a time-windowed
+// stream's bucket timestamps are sealed, and a routine restart does not
+// re-stamp its log tail at recovery time. Caller holds st.mu.
+func (s *Server) checkpointLocked(id string, st *stream) {
+	if st.log == nil || !checkpointable(st.spec.Kind) {
 		return
 	}
 	st.sinceCkpt = 0
+	if wh, ok := st.sum.(*streamhull.WindowedHull); ok {
+		data, err := wh.MarshalState()
+		if err != nil {
+			s.logf("wal: stream %q: encoding windowed checkpoint: %v", id, err)
+			return
+		}
+		if err := st.log.Checkpoint(data); err != nil {
+			s.logf("wal: stream %q: checkpoint: %v", id, err)
+		}
+		return
+	}
 	type snapshotter interface{ Snapshot() streamhull.Snapshot }
 	sn, ok := st.sum.(snapshotter)
 	if !ok {

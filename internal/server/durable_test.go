@@ -75,7 +75,7 @@ func TestDurableRecoveryAfterKill(t *testing.T) {
 	ingest(t, tsA, "auto1", pts[:1000]) // auto-created durable stream
 
 	wantHulls := map[string][]any{}
-	for _, id := range []string{"d1", "u1", "ex1", "auto1"} {
+	for _, id := range []string{"d1", "u1", "ex1", "w1", "auto1"} {
 		vs, _ := hullVertices(t, tsA, id)
 		wantHulls[id] = vs
 	}
@@ -86,7 +86,7 @@ func TestDurableRecoveryAfterKill(t *testing.T) {
 	tsB := httptest.NewServer(srvB)
 	defer tsB.Close()
 
-	wantN := map[string]float64{"d1": 3000, "u1": 3000, "ex1": 3000, "auto1": 1000}
+	wantN := map[string]float64{"d1": 3000, "u1": 3000, "ex1": 3000, "w1": 3000, "auto1": 1000}
 	for id, want := range wantHulls {
 		got, n := hullVertices(t, tsB, id)
 		if n != wantN[id] {
@@ -94,9 +94,137 @@ func TestDurableRecoveryAfterKill(t *testing.T) {
 		}
 		sameVertices(t, got, want)
 	}
-	// Windowed streams are memory-only and must not resurrect.
-	if code, _ := do(t, "GET", tsB.URL+"/v1/streams/w1/hull", nil); code != http.StatusNotFound {
-		t.Fatalf("windowed stream survived restart: %d", code)
+	// The recovered windowed stream keeps its spec and window coverage,
+	// not just its hull.
+	code, detail := do(t, "GET", tsB.URL+"/v1/streams/w1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("windowed detail after recovery: %d %v", code, detail)
+	}
+	if detail["window"] != "100" {
+		t.Fatalf("recovered windowed stream lost its window: %v", detail)
+	}
+	if wc := detail["window_count"].(float64); wc < 100 || wc > 300 {
+		t.Fatalf("recovered window_count = %v, want near 100", wc)
+	}
+}
+
+// TestDurableWindowedKillRecover is the windowed half of the
+// durability story: a count-windowed stream is driven through several
+// windowed-state checkpoints (which compact the WAL), the server dies
+// without Close — the kill -9 shape — and a second server must rebuild
+// the window bit-exactly: same hull vertices, same live coverage, same
+// spec.
+func TestDurableWindowedKillRecover(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.CheckpointEvery = 500
+	srvA := mustNew(t, cfg)
+	tsA := httptest.NewServer(srvA)
+
+	code, resp := do(t, "PUT", tsA.URL+"/v1/streams/wd",
+		map[string]any{"kind": "windowed", "r": 8, "window": "300"})
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, resp)
+	}
+	// A drifting stream: the window must forget the early positions, and
+	// the checkpointed bucket structure is what keeps expiry exact.
+	pts := workload.Take(workload.DriftBurst(23, 1, geom.Pt(0.01, 0), 800, 100, 5), 2600)
+	for i := 0; i < len(pts); i += 200 {
+		ingest(t, tsA, "wd", pts[i:i+200])
+	}
+	wantVs, wantN := hullVertices(t, tsA, "wd")
+	_, wantDetail := do(t, "GET", tsA.URL+"/v1/streams/wd", nil)
+	tsA.Close() // srvA.Close() deliberately never runs
+
+	// The windowed checkpoints must have compacted the log.
+	streamDir := filepath.Join(dir, "wd")
+	if _, err := os.Stat(filepath.Join(streamDir, "checkpoint.snap")); err != nil {
+		t.Fatalf("no windowed checkpoint written: %v", err)
+	}
+	entries, err := os.ReadDir(streamDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			segs++
+		}
+	}
+	if segs > 2 {
+		t.Fatalf("windowed checkpointing left %d segments; compaction is not pruning", segs)
+	}
+
+	srvB := mustNew(t, cfg)
+	defer srvB.Close()
+	tsB := httptest.NewServer(srvB)
+	defer tsB.Close()
+
+	gotVs, gotN := hullVertices(t, tsB, "wd")
+	if gotN != wantN {
+		t.Fatalf("recovered n = %v, want %v", gotN, wantN)
+	}
+	sameVertices(t, gotVs, wantVs)
+	_, gotDetail := do(t, "GET", tsB.URL+"/v1/streams/wd", nil)
+	for _, key := range []string{"window", "window_count", "sample_size", "algo", "r"} {
+		if gotDetail[key] != wantDetail[key] {
+			t.Errorf("detail %q: recovered %v, want %v", key, gotDetail[key], wantDetail[key])
+		}
+	}
+	if gotDetail["durable"] != true {
+		t.Error("recovered stream not marked durable")
+	}
+}
+
+// TestGracefulCloseSealsCheckpoint: a clean shutdown must leave every
+// checkpointable stream compacted even below CheckpointEvery — in
+// particular a windowed stream's bucket state — and a restart must
+// recover from it, including after a windowed snapshot restore.
+func TestGracefulCloseSealsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir) // CheckpointEvery defaults to 65536, far above ingest
+	srvA := mustNew(t, cfg)
+	tsA := httptest.NewServer(srvA)
+
+	if code, _ := do(t, "PUT", tsA.URL+"/v1/streams/gw",
+		map[string]any{"kind": "windowed", "r": 8, "window": "200"}); code != http.StatusCreated {
+		t.Fatal("create gw")
+	}
+	pts := workload.Take(workload.Disk(41, geom.Pt(3, 3), 1), 600)
+	for i := 0; i < 600; i += 150 {
+		ingest(t, tsA, "gw", pts[i:i+150])
+	}
+	// A windowed snapshot restored onto a new durable stream must seal a
+	// windowed-state checkpoint, not a snapshot binary.
+	code, snap := do(t, "GET", tsA.URL+"/v1/streams/gw/snapshot", nil)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", code, snap)
+	}
+	if code, resp := do(t, "POST", tsA.URL+"/v1/streams/gw2/snapshot", snap); code != http.StatusCreated {
+		t.Fatalf("windowed snapshot restore: %d %v", code, resp)
+	}
+	wantVs, wantN := hullVertices(t, tsA, "gw")
+	tsA.Close()
+	if err := srvA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"gw", "gw2"} {
+		if _, err := os.Stat(filepath.Join(dir, id, "checkpoint.snap")); err != nil {
+			t.Fatalf("stream %q: no checkpoint after graceful close: %v", id, err)
+		}
+	}
+
+	srvB := mustNew(t, cfg)
+	defer srvB.Close()
+	tsB := httptest.NewServer(srvB)
+	defer tsB.Close()
+	gotVs, gotN := hullVertices(t, tsB, "gw")
+	if gotN != wantN {
+		t.Fatalf("recovered n = %v, want %v", gotN, wantN)
+	}
+	sameVertices(t, gotVs, wantVs)
+	if code, _ := do(t, "GET", tsB.URL+"/v1/streams/gw2/hull", nil); code != http.StatusOK {
+		t.Fatal("restored windowed stream did not survive restart")
 	}
 }
 
@@ -161,10 +289,10 @@ func TestDurableTornTail(t *testing.T) {
 	for i := 0; i < 500; i += 50 {
 		ingest(t, tsA, "torn", pts[i:i+50])
 	}
+	// Abandon without Close — the crash shape. (A graceful Close would
+	// seal a final checkpoint and compact away the segments this test
+	// wants to damage.)
 	tsA.Close()
-	if err := srvA.Close(); err != nil {
-		t.Fatal(err)
-	}
 
 	streamDir := filepath.Join(dir, "torn")
 	segs, err := os.ReadDir(streamDir)
@@ -193,12 +321,9 @@ func TestDurableTornTail(t *testing.T) {
 	}
 	ref := streamhull.NewAdaptive(16)
 	info, err := rec.Replay(func(batch []geom.Point) error {
-		for _, p := range batch {
-			if err := ref.Insert(p); err != nil {
-				return err
-			}
-		}
-		return nil
+		// Batch-at-a-time, as the server both ingests and recovers.
+		_, err := ref.InsertBatch(batch)
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)

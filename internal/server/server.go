@@ -6,9 +6,11 @@
 //
 // Endpoints:
 //
-//	PUT    /v1/streams/{id}?algo=adaptive|uniform|exact&r=32&window=<n|dur>  create
+//	PUT    /v1/streams/{id}          create — spec JSON body, or
+//	       ?algo=adaptive|uniform|exact&r=32&window=<n|dur> query params
 //	DELETE /v1/streams/{id}                                    drop
 //	GET    /v1/streams                                         list
+//	GET    /v1/streams/{id}          detail: spec, n, sample size, durability
 //	POST   /v1/streams/{id}/points   {"points": [[x,y], ...]}  ingest
 //	GET    /v1/streams/{id}/hull                               hull polygon
 //	GET    /v1/streams/{id}/query?type=diameter|width|extent|circle&theta=rad
@@ -16,25 +18,35 @@
 //	GET    /v1/streams/{id}/snapshot                           sample snapshot
 //	POST   /v1/streams/{id}/snapshot                           restore from snapshot
 //
+// Streams are spec-driven: a create request may carry a streamhull.Spec
+// JSON document ({"kind": "windowed", "r": 32, "window": "10000"}) as
+// its body, which can describe every summary kind — adaptive (with
+// height-limit/fixed-budget/bounded-work options), uniform, exact,
+// partial, windowed, and grid-partitioned. The legacy query parameters
+// compile down to a Spec; create, list, detail and snapshot responses
+// all report the stream's spec, so any stream can be recreated
+// elsewhere from what the API returns.
+//
 // The snapshot endpoint negotiates its encoding: with Accept (on GET)
 // or Content-Type (on POST) set to application/octet-stream it speaks
-// the compact binary snapshot format; otherwise JSON.
+// the compact binary snapshot format; otherwise JSON. Either way the
+// snapshot embeds the stream's spec.
 //
-// A window=<count> or window=<duration> on create makes the stream a
-// sliding-window summary (adaptive buckets): queries then cover only the
-// last count points or the last duration of wall time. Time-windowed
-// streams are swept in the background so idle streams age out too.
+// A windowed stream covers only the last count points or the last
+// duration of wall time. Time-windowed streams are swept in the
+// background so idle streams age out too.
 //
-// Streams are auto-created on first ingest with the default algorithm
+// Streams are auto-created on first ingest with Config.DefaultSpec
 // when not explicitly configured.
 //
-// With Config.DataDir set, lifetime streams are durable: ingested
-// batches are appended to a per-stream write-ahead log before being
-// applied, summaries are periodically checkpointed (which compacts the
-// log to O(r) bytes), and New recovers every stream from disk — see
-// internal/wal and durable.go. Point batches are atomic: the whole
-// batch is validated before any point is applied, so a 400 response
-// means the stream is unchanged.
+// With Config.DataDir set, every stream is durable regardless of kind:
+// ingested batches are appended to a per-stream write-ahead log before
+// being applied, the stream's spec is persisted in the WAL meta,
+// summaries are periodically checkpointed (which compacts the log —
+// see durable.go for which kinds support it), and New recovers every
+// stream from disk. Point batches are atomic: the whole batch is
+// validated before any point is applied, so a 400 response means the
+// stream is unchanged.
 //
 // Errors are structured JSON ({"error": "..."}): 404 for unknown
 // streams, 400 for bad input, 409 for duplicate creates, 413 for
@@ -42,6 +54,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -64,6 +77,9 @@ type Config struct {
 	// DefaultR is the sample parameter used for auto-created streams.
 	// Zero selects 32.
 	DefaultR int
+	// DefaultSpec, when non-empty, is the spec JSON used for
+	// auto-created streams instead of an adaptive summary with DefaultR.
+	DefaultSpec string
 	// MaxStreams bounds the number of live streams (0 = 1024).
 	MaxStreams int
 	// MaxBatch bounds the number of points per ingest request (0 = 65536).
@@ -96,20 +112,19 @@ type Config struct {
 
 // Server is an HTTP handler managing named stream summaries.
 type Server struct {
-	cfg       Config
-	mu        sync.RWMutex
-	streams   map[string]*stream
-	mux       *http.ServeMux
-	sweepOnce sync.Once
-	closeOnce sync.Once
-	sweepStop chan struct{}
-	closeErr  error
+	cfg         Config
+	defaultSpec streamhull.Spec // auto-create spec, from DefaultSpec/DefaultR
+	mu          sync.RWMutex
+	streams     map[string]*stream
+	mux         *http.ServeMux
+	sweepOnce   sync.Once
+	closeOnce   sync.Once
+	sweepStop   chan struct{}
+	closeErr    error
 }
 
 type stream struct {
-	algo   string
-	r      int
-	window string // "" for lifetime streams, else the window spec
+	spec streamhull.Spec // self-description; persisted in the WAL meta
 
 	mu        sync.Mutex // orders WAL appends with inserts; guards sum swaps
 	sum       streamhull.Summary
@@ -159,6 +174,19 @@ func New(cfg Config) (*Server, error) {
 		cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux(),
 		sweepStop: make(chan struct{}),
 	}
+	if cfg.DefaultSpec != "" {
+		spec, err := streamhull.ParseSpec(cfg.DefaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("default spec: %w", err)
+		}
+		s.defaultSpec = spec
+	} else {
+		spec, err := streamhull.SpecFor("adaptive", cfg.DefaultR, "")
+		if err != nil {
+			return nil, fmt.Errorf("default r: %w", err)
+		}
+		s.defaultSpec = spec
+	}
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("creating data dir: %w", err)
@@ -166,10 +194,19 @@ func New(cfg Config) (*Server, error) {
 		if err := s.recoverStreams(); err != nil {
 			return nil, err
 		}
+		// Recovered time-windowed streams need the expiry sweeper just
+		// like freshly created ones.
+		for _, st := range s.streams {
+			if wh, ok := st.summary().(*streamhull.WindowedHull); ok && wh.ByTime() {
+				s.startSweeper()
+				break
+			}
+		}
 	}
 	s.mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreate)
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/streams", s.handleList)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleDetail)
 	s.mux.HandleFunc("POST /v1/streams/{id}/points", s.handlePoints)
 	s.mux.HandleFunc("GET /v1/streams/{id}/hull", s.handleHull)
 	s.mux.HandleFunc("GET /v1/streams/{id}/query", s.handleQuery)
@@ -182,9 +219,13 @@ func New(cfg Config) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the background expiry sweeper and flushes and closes
-// every durable stream's log; after it returns, all acknowledged
-// ingests are on disk. The handler itself remains usable for reads.
+// Close stops the background expiry sweeper, seals a final checkpoint
+// for every checkpointable stream with un-checkpointed ingest (so a
+// routine restart recovers instantly from O(r) state — and a
+// time-windowed stream's bucket timestamps survive instead of the log
+// tail being re-stamped at recovery), then flushes and closes every
+// durable stream's log; after it returns, all acknowledged ingests are
+// on disk. The handler itself remains usable for reads.
 func (s *Server) Close() error {
 	s.sweepOnce.Do(func() {}) // ensure a later windowed create cannot start it
 	s.closeOnce.Do(func() {
@@ -194,6 +235,9 @@ func (s *Server) Close() error {
 		for id, st := range s.streams {
 			st.mu.Lock()
 			if st.log != nil {
+				if st.sinceCkpt > 0 {
+					s.checkpointLocked(id, st)
+				}
 				if err := st.log.Close(); err != nil && s.closeErr == nil {
 					s.closeErr = fmt.Errorf("stream %q: %w", id, err)
 				}
@@ -267,36 +311,37 @@ func writeStreamErr(w http.ResponseWriter, err error, fallback int) {
 	}
 }
 
-// newSummary builds a summary for an algorithm name and an optional
-// window spec (a point count like "5000" or a duration like "30s").
-func newSummary(algo string, r int, window string) (streamhull.Summary, error) {
-	if window != "" {
-		if algo != "" && algo != "adaptive" {
-			return nil, fmt.Errorf("window requires algo=adaptive, got %q", algo)
-		}
-		return streamhull.NewWindowedFromSpec(r, window, nil)
+// specFromRequest compiles a create request down to a Spec: a non-empty
+// body must be a spec JSON document (the v2 way, able to describe every
+// summary kind); otherwise the legacy algo/r/window query parameters
+// are compiled through streamhull.SpecFor. An oversized body surfaces
+// as *http.MaxBytesError for the caller's 413 mapping.
+func (s *Server) specFromRequest(w http.ResponseWriter, req *http.Request) (streamhull.Spec, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return streamhull.Spec{}, fmt.Errorf("reading body: %w", err)
 	}
-	switch algo {
-	case "", "adaptive":
-		if r < 4 {
-			return nil, fmt.Errorf("adaptive requires r ≥ 4, got %d", r)
-		}
-		return streamhull.NewAdaptive(r), nil
-	case "uniform":
-		if r < 3 {
-			return nil, fmt.Errorf("uniform requires r ≥ 3, got %d", r)
-		}
-		return streamhull.NewUniform(r), nil
-	case "exact":
-		return streamhull.NewExact(), nil
-	default:
-		return nil, fmt.Errorf("unknown algo %q (want adaptive, uniform, or exact)", algo)
+	if len(bytes.TrimSpace(body)) > 0 {
+		return streamhull.ParseSpec(string(body))
 	}
+	algo := req.URL.Query().Get("algo")
+	window := req.URL.Query().Get("window")
+	r := s.cfg.DefaultR
+	if rs := req.URL.Query().Get("r"); rs != "" {
+		v, err := strconv.Atoi(rs)
+		if err != nil {
+			return streamhull.Spec{}, fmt.Errorf("invalid r: %v", err)
+		}
+		r = v
+	}
+	return streamhull.SpecFor(algo, r, window)
 }
 
 // addStream creates a stream under the server lock, opening its durable
-// storage when configured. Callers pass the already-built summary.
-func (s *Server) addStream(id string, sum streamhull.Summary, algo string, r int, window string) (*stream, error) {
+// storage when configured. Callers pass the already-built summary; the
+// stream's stored spec is the summary's own self-description.
+func (s *Server) addStream(id string, sum streamhull.Summary) (*stream, error) {
+	spec := sum.Spec()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.streams[id]; exists {
@@ -305,9 +350,9 @@ func (s *Server) addStream(id string, sum streamhull.Summary, algo string, r int
 	if len(s.streams) >= s.cfg.MaxStreams {
 		return nil, fmt.Errorf("%w (%d)", errStreamLimit, s.cfg.MaxStreams)
 	}
-	st := &stream{sum: sum, algo: algo, r: r, window: window}
-	if s.cfg.DataDir != "" && durableWindow(window) {
-		log, err := s.openStorage(id, algo, r)
+	st := &stream{sum: sum, spec: spec}
+	if s.cfg.DataDir != "" {
+		log, err := s.openStorage(id, spec)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", errStorage, err)
 		}
@@ -318,30 +363,23 @@ func (s *Server) addStream(id string, sum streamhull.Summary, algo string, r int
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
-	// Creation is configured by query parameters; any body is discarded
-	// through a bounded reader so a client cannot stream unbounded data.
-	_, _ = io.Copy(io.Discard, http.MaxBytesReader(w, req.Body, 1<<20))
 	id := req.PathValue("id")
-	algo := req.URL.Query().Get("algo")
-	if algo == "" {
-		algo = "adaptive"
-	}
-	window := req.URL.Query().Get("window")
-	r := s.cfg.DefaultR
-	if rs := req.URL.Query().Get("r"); rs != "" {
-		v, err := strconv.Atoi(rs)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "invalid r: %v", err)
+	spec, err := s.specFromRequest(w, req)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
 			return
 		}
-		r = v
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	sum, err := newSummary(algo, r, window)
+	sum, err := streamhull.New(spec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if _, err := s.addStream(id, sum, algo, r, window); err != nil {
+	if _, err := s.addStream(id, sum); err != nil {
 		writeStreamErr(w, err, http.StatusConflict)
 		return
 	}
@@ -350,11 +388,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 	if wh, ok := sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
 		s.startSweeper()
 	}
-	resp := map[string]any{"id": id, "algo": algo, "r": r}
-	if window != "" {
-		resp["window"] = window
+	writeJSON(w, http.StatusCreated, createResponse(id, sum.Spec()))
+}
+
+// createResponse reports a created stream: the spec plus the legacy
+// algo/r/window head fields.
+func createResponse(id string, spec streamhull.Spec) map[string]any {
+	resp := map[string]any{"id": id, "spec": spec, "algo": string(spec.Kind), "r": spec.R}
+	if spec.Window != "" {
+		resp["window"] = spec.Window
 	}
-	writeJSON(w, http.StatusCreated, resp)
+	return resp
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
@@ -377,35 +421,57 @@ func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
 }
 
 type streamInfo struct {
-	ID          string `json:"id"`
-	Algo        string `json:"algo"`
-	R           int    `json:"r"`
-	N           int    `json:"n"`
-	SampleSize  int    `json:"sample_size"`
-	Window      string `json:"window,omitempty"`
-	WindowCount int    `json:"window_count,omitempty"`
-	Durable     bool   `json:"durable,omitempty"`
+	ID          string           `json:"id"`
+	Spec        *streamhull.Spec `json:"spec,omitempty"`
+	Algo        string           `json:"algo"`
+	R           int              `json:"r"`
+	N           int              `json:"n"`
+	SampleSize  int              `json:"sample_size"`
+	Window      string           `json:"window,omitempty"`
+	WindowCount int              `json:"window_count,omitempty"`
+	Durable     bool             `json:"durable,omitempty"`
+}
+
+// infoFor captures one stream's listing entry.
+func infoFor(id string, st *stream) streamInfo {
+	st.mu.Lock()
+	sum, durable := st.sum, st.log != nil
+	st.mu.Unlock()
+	spec := st.spec
+	info := streamInfo{
+		ID: id, Spec: &spec, Algo: string(spec.Kind), R: spec.R,
+		N: sum.N(), SampleSize: sum.SampleSize(),
+		Window: spec.Window, Durable: durable,
+	}
+	if wh, ok := sum.(*streamhull.WindowedHull); ok {
+		info.WindowCount = wh.WindowCount()
+	}
+	return info
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	infos := make([]streamInfo, 0, len(s.streams))
 	for id, st := range s.streams {
-		st.mu.Lock()
-		sum, durable := st.sum, st.log != nil
-		st.mu.Unlock()
-		info := streamInfo{
-			ID: id, Algo: st.algo, R: st.r, N: sum.N(), SampleSize: sum.SampleSize(),
-			Window: st.window, Durable: durable,
-		}
-		if wh, ok := sum.(*streamhull.WindowedHull); ok {
-			info.WindowCount = wh.WindowCount()
-		}
-		infos = append(infos, info)
+		infos = append(infos, infoFor(id, st))
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
 	writeJSON(w, http.StatusOK, map[string]any{"streams": infos})
+}
+
+// handleDetail reports one stream: its spec (enough to recreate it
+// anywhere), counters and durability status.
+func (s *Server) handleDetail(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	s.mu.RLock()
+	st, ok := s.streams[id]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no stream %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoFor(id, st))
 }
 
 // get returns the stream, auto-creating it for ingest when allowed.
@@ -419,12 +485,15 @@ func (s *Server) get(id string, autocreate bool) (*stream, error) {
 	if !autocreate {
 		return nil, fmt.Errorf("no stream %q", id)
 	}
-	sum, err := newSummary("adaptive", s.cfg.DefaultR, "")
+	sum, err := streamhull.New(s.defaultSpec)
 	if err != nil {
 		return nil, err
 	}
-	st, err = s.addStream(id, sum, "adaptive", s.cfg.DefaultR, "")
+	st, err = s.addStream(id, sum)
 	if err == nil {
+		if wh, ok := sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
+			s.startSweeper()
+		}
 		return st, nil
 	}
 	// Lost a create race: the stream exists now.
@@ -481,7 +550,9 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	}
 	st.mu.Lock()
 	// Log first: a batch is acknowledged only after the WAL accepted it,
-	// so the durable log is always a superset of served state.
+	// so the durable log is always a superset of served state. Recovery
+	// replays the log with the same per-record InsertBatch the live path
+	// uses below, so the rebuilt state matches bit-for-bit.
 	if st.log != nil {
 		if err := st.log.Append(pts); err != nil {
 			st.mu.Unlock()
@@ -489,14 +560,12 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
-	for _, p := range pts {
-		if err := st.sum.Insert(p); err != nil {
-			// Unreachable after validation above; fail loudly if a summary
-			// grows new failure modes.
-			st.mu.Unlock()
-			writeErr(w, http.StatusInternalServerError, "applying batch: %v", err)
-			return
-		}
+	if _, err := st.sum.InsertBatch(pts); err != nil {
+		// Unreachable after validation above; fail loudly if a summary
+		// grows new failure modes.
+		st.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "applying batch: %v", err)
+		return
 	}
 	st.sinceCkpt += len(pts)
 	s.maybeCheckpointLocked(id, st)
@@ -572,7 +641,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 	type snapshotter interface{ Snapshot() streamhull.Snapshot }
 	sn, ok := st.summary().(snapshotter)
 	if !ok {
-		writeErr(w, http.StatusBadRequest, "stream algo %q does not support snapshots", st.algo)
+		writeErr(w, http.StatusBadRequest, "stream kind %q does not support snapshots", st.spec.Kind)
 		return
 	}
 	snap := sn.Snapshot()
@@ -619,16 +688,25 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st, err := s.addStream(id, sum, snap.Kind, snap.R, "")
+	st, err := s.addStream(id, sum)
 	if err != nil {
 		writeStreamErr(w, err, http.StatusConflict)
 		return
 	}
-	// Durable restores persist the snapshot immediately, so the stream
-	// survives a crash that happens before its first checkpoint.
+	// Durable restores persist a checkpoint immediately, so the stream
+	// survives a crash that happens before its first regular
+	// checkpoint. The payload must match what recovery expects for the
+	// kind: windowed streams checkpoint their bucket state, the rest
+	// the snapshot binary.
 	st.mu.Lock()
 	if st.log != nil {
-		bin, err := snap.MarshalBinary()
+		var bin []byte
+		var err error
+		if wh, ok := st.sum.(*streamhull.WindowedHull); ok {
+			bin, err = wh.MarshalState()
+		} else {
+			bin, err = snap.MarshalBinary()
+		}
 		if err == nil {
 			err = st.log.Checkpoint(bin)
 		}
@@ -638,9 +716,9 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 	}
 	n := st.sum.N()
 	st.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]any{
-		"id": id, "algo": snap.Kind, "r": snap.R, "n": n,
-	})
+	resp := createResponse(id, sum.Spec())
+	resp["n"] = n
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {

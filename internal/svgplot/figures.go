@@ -19,9 +19,9 @@ func Fig10(n, r int, seed int64) string {
 	pts := workload.Take(workload.Ellipse(seed, 1, 1/float64(r), rot), n)
 
 	adaptive := core.New(core.Config{R: r, TargetDirs: 2 * r})
-	adaptive.InsertAll(pts)
+	adaptive.InsertBatch(pts)
 	uniform := core.New(core.Config{R: 2 * r, TargetDirs: 2 * r})
-	uniform.InsertAll(pts)
+	uniform.InsertBatch(pts)
 
 	// Rotate everything back so the ellipse is axis-aligned, as the paper
 	// does "for convenience of presentation". The two panels stack
@@ -96,7 +96,7 @@ func drawHullPanel(c *Canvas, pts []geom.Point, h *core.Hull, rot float64, offse
 func Fig9(r int, seed int64) string {
 	pts := workload.Take(workload.Circle(seed, 2*r, 1), 2*r)
 	h := core.New(core.Config{R: r})
-	h.InsertAll(pts)
+	h.InsertBatch(pts)
 
 	canvas := FitCanvas(640, 640, pts, 0.15)
 	canvas.Points(pts, 3, "#1f77b4", 1)

@@ -11,9 +11,17 @@ const metaName = "meta.json"
 
 // Meta is the summary configuration stored beside a stream's log, so
 // recovery can rebuild the right kind of summary before replaying.
+//
+// Spec is the summary's full self-description (streamhull.Spec JSON,
+// kept opaque here so this package stays import-free of the root); it
+// is what makes every stream kind — windowed, partitioned, option-laden
+// adaptive — recoverable. Algo and R survive as a redundant head so
+// directories written before the spec era still recover, and so a human
+// poking at meta.json sees the essentials without parsing the spec.
 type Meta struct {
-	Algo string `json:"algo"`
-	R    int    `json:"r"`
+	Algo string          `json:"algo"`
+	R    int             `json:"r"`
+	Spec json.RawMessage `json:"spec,omitempty"`
 }
 
 // SaveMeta atomically writes the stream's meta file.

@@ -372,7 +372,7 @@ func TestAppendRejectsNonFinite(t *testing.T) {
 
 func TestMetaRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	want := Meta{Algo: "adaptive", R: 48}
+	want := Meta{Algo: "windowed", R: 48, Spec: []byte(`{"kind":"windowed","r":48,"window":"1000"}`)}
 	if err := SaveMeta(dir, want); err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +380,7 @@ func TestMetaRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if got.Algo != want.Algo || got.R != want.R || string(got.Spec) != string(want.Spec) {
 		t.Fatalf("meta = %+v, want %+v", got, want)
 	}
 }

@@ -1,0 +1,165 @@
+package window
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// State is a serializable capture of an EH's complete bucket structure:
+// enough to rebuild the window bit-exactly (for count windows) and
+// resume both ingest and expiry where the original left off. It is the
+// payload of a durable windowed stream's checkpoint: unlike the
+// lifetime summaries, a window cannot be restored from its folded
+// sample alone — the per-bucket boundaries are what make future expiry
+// and merging deterministic.
+//
+// Size is the window's live storage, O(r log n + HeadCap) points.
+type State struct {
+	N       int           `json:"n"`       // lifetime stream points processed
+	Expired int           `json:"expired"` // buckets dropped whole so far
+	Merges  int           `json:"merges"`  // bucket merges performed so far
+	Buckets []BucketState `json:"buckets"` // oldest first; open head last when present
+}
+
+// BucketState is one live bucket. Sealed buckets carry their stored
+// sample (Thetas/Points); the open head instead carries its raw buffer.
+type BucketState struct {
+	Class int `json:"class"`
+	Count int `json:"count"`
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Tmin/Tmax are UnixNano timestamps (0 for count windows, whose
+	// buckets are not timestamped).
+	Tmin int64 `json:"tmin,omitempty"`
+	Tmax int64 `json:"tmax,omitempty"`
+
+	Head   bool         `json:"head,omitempty"`   // open head bucket
+	Thetas []float64    `json:"thetas,omitempty"` // sealed: sample directions
+	Points []geom.Point `json:"points,omitempty"` // sealed: sample extrema
+	Raw    []geom.Point `json:"raw,omitempty"`    // head: raw buffer
+}
+
+// importedSub is a sealed bucket rebuilt from a State. Sealed buckets
+// never receive further points, so a plain sample set stands in for
+// whatever live structure produced it; merges only ever read Samples().
+// size is the number of DISTINCT sample points: live adaptive buckets
+// report distinct stored points (several directions can share one
+// extremum), and a restored window must report the same storage as the
+// one it was exported from.
+type importedSub struct {
+	thetas []float64
+	points []geom.Point
+	size   int
+}
+
+func (s importedSub) Size() int                          { return s.size }
+func (s importedSub) Samples() ([]float64, []geom.Point) { return s.thetas, s.points }
+
+func newImportedSub(thetas []float64, points []geom.Point) importedSub {
+	distinct := make(map[geom.Point]struct{}, len(points))
+	for _, p := range points {
+		distinct[p] = struct{}{}
+	}
+	return importedSub{
+		thetas: append([]float64(nil), thetas...),
+		points: append([]geom.Point(nil), points...),
+		size:   len(distinct),
+	}
+}
+
+func stateTime(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+func timeFromState(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// ExportState captures the window's full live structure.
+func (w *EH) ExportState() State {
+	st := State{N: w.n, Expired: w.expired, Merges: w.merges}
+	w.live(func(b *bucket) {
+		bs := BucketState{
+			Class: b.class, Count: b.count, Start: b.start, End: b.end,
+			Tmin: stateTime(b.tmin), Tmax: stateTime(b.tmax),
+		}
+		if b.sub != nil {
+			thetas, points := b.sub.Samples()
+			bs.Thetas = append([]float64(nil), thetas...)
+			bs.Points = append([]geom.Point(nil), points...)
+		} else {
+			bs.Head = true
+			bs.Raw = append([]geom.Point(nil), b.raw...)
+		}
+		st.Buckets = append(st.Buckets, bs)
+	})
+	return st
+}
+
+// ImportState restores a previously exported structure into a freshly
+// constructed (empty) window with the same Config. The imported buckets
+// are validated against the EH invariants; a state that could not have
+// been produced by this package is rejected.
+func (w *EH) ImportState(st State) error {
+	if w.n != 0 || w.head != nil || len(w.sealed) != 0 {
+		return fmt.Errorf("window: ImportState on a non-empty window")
+	}
+	if st.N < 0 || st.Expired < 0 || st.Merges < 0 {
+		return fmt.Errorf("window: state has negative counters")
+	}
+	var sealed []*bucket
+	var head *bucket
+	for i, bs := range st.Buckets {
+		b := &bucket{
+			class: bs.Class, count: bs.Count, start: bs.Start, end: bs.End,
+			tmin: timeFromState(bs.Tmin), tmax: timeFromState(bs.Tmax),
+		}
+		if bs.Head {
+			if i != len(st.Buckets)-1 {
+				return fmt.Errorf("window: state head bucket is not last")
+			}
+			if len(bs.Raw) != bs.Count {
+				return fmt.Errorf("window: state head has %d raw points for count %d",
+					len(bs.Raw), bs.Count)
+			}
+			for _, p := range bs.Raw {
+				if !p.IsFinite() {
+					return fmt.Errorf("window: state head has a non-finite point")
+				}
+			}
+			b.raw = append([]geom.Point(nil), bs.Raw...)
+			head = b
+			continue
+		}
+		if len(bs.Thetas) != len(bs.Points) {
+			return fmt.Errorf("window: state bucket %d has %d thetas but %d points",
+				i, len(bs.Thetas), len(bs.Points))
+		}
+		if len(bs.Points) == 0 {
+			return fmt.Errorf("window: state bucket %d has no samples", i)
+		}
+		for _, p := range bs.Points {
+			if !p.IsFinite() {
+				return fmt.Errorf("window: state bucket %d has a non-finite point", i)
+			}
+		}
+		b.sub = newImportedSub(bs.Thetas, bs.Points)
+		sealed = append(sealed, b)
+	}
+	w.n, w.expired, w.merges = st.N, st.Expired, st.Merges
+	w.sealed, w.head = sealed, head
+	if err := w.checkInvariants(); err != nil {
+		w.n, w.expired, w.merges = 0, 0, 0
+		w.sealed, w.head = nil, nil
+		return err
+	}
+	return nil
+}

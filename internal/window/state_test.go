@@ -1,0 +1,70 @@
+package window
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// TestStateRoundTrip: ExportState → ImportState on a fresh EH with the
+// same config reproduces the bucket structure and counters.
+func TestStateRoundTrip(t *testing.T) {
+	w := New(Config{Seal: sealExact, MaxCount: 100, HeadCap: 8})
+	for i := 0; i < 250; i++ {
+		w.Insert(geom.Pt(float64(i), float64(i%13)))
+	}
+	st := w.ExportState()
+	back := New(Config{Seal: sealExact, MaxCount: 100, HeadCap: 8})
+	if err := back.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != w.N() || back.Count() != w.Count() ||
+		back.Buckets() != w.Buckets() || back.SampleSize() != w.SampleSize() {
+		t.Fatalf("restored n=%d count=%d buckets=%d size=%d, want n=%d count=%d buckets=%d size=%d",
+			back.N(), back.Count(), back.Buckets(), back.SampleSize(),
+			w.N(), w.Count(), w.Buckets(), w.SampleSize())
+	}
+}
+
+// TestImportStateRejectsBadState: structural and numeric corruption —
+// including non-finite points in sealed buckets AND the head's raw
+// buffer — must be rejected, leaving the window empty.
+func TestImportStateRejectsBadState(t *testing.T) {
+	nan := math.NaN()
+	cases := map[string]State{
+		"negative n": {N: -1},
+		"head not last": {N: 2, Buckets: []BucketState{
+			{Count: 1, Start: 0, End: 1, Head: true, Raw: []geom.Point{{X: 1, Y: 1}}},
+			{Count: 1, Start: 1, End: 2, Thetas: []float64{0}, Points: []geom.Point{{X: 2, Y: 2}}},
+		}},
+		"head count mismatch": {N: 2, Buckets: []BucketState{
+			{Count: 2, Start: 0, End: 2, Head: true, Raw: []geom.Point{{X: 1, Y: 1}}},
+		}},
+		"non-finite sealed point": {N: 1, Buckets: []BucketState{
+			{Count: 1, Start: 0, End: 1, Thetas: []float64{0}, Points: []geom.Point{{X: nan, Y: 0}}},
+		}},
+		"non-finite head point": {N: 1, Buckets: []BucketState{
+			{Count: 1, Start: 0, End: 1, Head: true, Raw: []geom.Point{{X: nan, Y: 0}}},
+		}},
+		"non-contiguous buckets": {N: 5, Buckets: []BucketState{
+			{Count: 1, Start: 0, End: 1, Thetas: []float64{0}, Points: []geom.Point{{X: 1, Y: 1}}},
+			{Count: 1, Start: 4, End: 5, Thetas: []float64{0}, Points: []geom.Point{{X: 2, Y: 2}}},
+		}},
+	}
+	for name, st := range cases {
+		w := New(Config{Seal: sealExact, MaxCount: 100})
+		if err := w.ImportState(st); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if w.N() != 0 || w.Buckets() != 0 {
+			t.Errorf("%s: rejected import left residue (n=%d buckets=%d)", name, w.N(), w.Buckets())
+		}
+	}
+	// Import over a non-empty window is refused.
+	w := New(Config{Seal: sealExact, MaxCount: 100})
+	w.Insert(geom.Pt(1, 1))
+	if err := w.ImportState(State{}); err == nil {
+		t.Error("import over a non-empty window accepted")
+	}
+}

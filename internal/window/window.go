@@ -56,12 +56,13 @@ type Config struct {
 	// two oldest merge (the EH parameter k). Zero selects 4.
 	PerClass int
 	// HeadCap seals the open head bucket after this many points. Zero
-	// selects max(min(32, MaxCount), MaxCount/64) for count windows and
-	// 4096 for time windows (where it is the safety valve keeping the
-	// raw head buffer bounded under burst ingest). Sealing — and hence
-	// all summarization work — happens at most once per that many
-	// inserts, keeping amortized maintenance cost negligible next to the
-	// raw-point append.
+	// selects max(min(32, MaxCount), MaxCount/64) for count windows —
+	// clamped to 65536 so a huge window can never hold an unbounded raw
+	// buffer — and 4096 for time windows (where it is the safety valve
+	// keeping the raw head buffer bounded under burst ingest). Sealing —
+	// and hence all summarization work — happens at most once per that
+	// many inserts, keeping amortized maintenance cost negligible next
+	// to the raw-point append.
 	HeadCap int
 	// HeadAge seals the open head bucket once it spans this much time
 	// (time windows). Zero selects MaxAge/64.
@@ -111,6 +112,9 @@ func New(cfg Config) *EH {
 		if floor := min(32, cfg.MaxCount); cfg.HeadCap < floor {
 			cfg.HeadCap = floor
 		}
+		if cfg.HeadCap > 65536 {
+			cfg.HeadCap = 65536
+		}
 	}
 	if cfg.MaxAge > 0 {
 		if cfg.HeadAge <= 0 {
@@ -150,6 +154,58 @@ func (w *EH) Insert(p geom.Point) {
 	w.head.tmax = now
 	if w.headFull(now) {
 		w.seal()
+	}
+}
+
+// InsertBatch folds a batch of stream points into the window under one
+// expiry check and one clock read, appending in head-capacity-aligned
+// chunks: heads still seal at the same size as under per-point
+// insertion (so bucket spans — and hence the window's one-sided slack
+// bound — do not grow with batch size), at most ⌈len(pts)/HeadCap⌉
+// seals per batch. Given the same batch boundaries the result is
+// bit-deterministic, which is what WAL replay relies on; it may differ
+// from per-point insertion only in when fully expired buckets are
+// dropped, never in what the window covers. Time windows stamp the
+// whole batch with a single arrival time.
+func (w *EH) InsertBatch(pts []geom.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	var now time.Time
+	if w.ByTime() {
+		// One clock read per batch; time expiry cannot progress mid-batch.
+		now = w.cfg.Now()
+		w.expireTime(now)
+	}
+	for len(pts) > 0 {
+		if !w.ByTime() {
+			// Count expiry progresses as the batch lands: expire per chunk
+			// so buckets pushed out mid-batch don't linger into queries or
+			// get dragged into seal-cascade merges.
+			w.expireCount()
+		}
+		if w.head == nil {
+			w.head = &bucket{start: w.n, tmin: now}
+		}
+		take := len(pts)
+		if room := w.cfg.HeadCap - w.head.count; take > room {
+			take = room
+		}
+		if take < 1 {
+			// Defensive: a live head always seals at HeadCap, but an
+			// imported State is not validated against the cap — keep
+			// making progress rather than looping on a full head.
+			take = 1
+		}
+		w.head.raw = append(w.head.raw, pts[:take]...)
+		w.head.count += take
+		w.n += take
+		w.head.end = w.n
+		w.head.tmax = now
+		pts = pts[take:]
+		if w.headFull(now) {
+			w.seal()
+		}
 	}
 }
 

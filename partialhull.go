@@ -11,17 +11,32 @@ import (
 // during a training prefix, then frozen. It exists to demonstrate why
 // continuous adaptation matters; prefer AdaptiveHull for real use.
 type PartialHull struct {
-	mu sync.Mutex
-	h  *partial.Hull
+	mu   sync.Mutex
+	h    *partial.Hull
+	spec Spec
+}
+
+// buildPartial constructs a partial summary from an already validated
+// Spec (see New).
+func buildPartial(spec Spec) *PartialHull {
+	return &PartialHull{h: partial.New(spec.R, spec.TrainN, spec.FixedBudget), spec: spec}
 }
 
 // NewPartial returns a partially adaptive summary with parameter r that
 // freezes its sample directions after trainN points. If fixedBudget > 0
 // the training phase uses the fixed-budget adaptive variant with that many
-// total directions.
+// total directions. It is a thin wrapper over New(Spec); it panics on
+// invalid parameters where New returns an error.
 func NewPartial(r, trainN, fixedBudget int) *PartialHull {
-	return &PartialHull{h: partial.New(r, trainN, fixedBudget)}
+	spec := Spec{Kind: KindPartial, R: r, TrainN: trainN, FixedBudget: fixedBudget}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return buildPartial(spec)
 }
+
+// Spec returns the summary's serializable description.
+func (s *PartialHull) Spec() Spec { return s.spec }
 
 // Insert processes one stream point.
 func (s *PartialHull) Insert(p geom.Point) error {
@@ -32,6 +47,24 @@ func (s *PartialHull) Insert(p geom.Point) error {
 	s.h.Insert(p)
 	s.mu.Unlock()
 	return nil
+}
+
+// InsertBatch processes a batch of stream points under one lock
+// acquisition. Unlike the other kinds the batch is NOT prefiltered to
+// its convex hull: the train-then-freeze semantics depend on exactly
+// which points arrive during the training prefix, and a batch may
+// straddle the freeze boundary. The batch is validated first, so an
+// error means nothing was applied.
+func (s *PartialHull) InsertBatch(pts []geom.Point) (int, error) {
+	if err := checkFiniteBatch(pts); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	for _, p := range pts {
+		s.h.Insert(p)
+	}
+	s.mu.Unlock()
+	return len(pts), nil
 }
 
 // Hull returns the current sampled convex hull.

@@ -25,11 +25,32 @@ type Partitioned struct {
 	regions []*AdaptiveHull
 	r       int
 	n       int
+	spec    Spec
+}
+
+// buildPartitioned constructs a grid-partitioned summary from an
+// already validated Spec (see New).
+func buildPartitioned(spec Spec) *Partitioned {
+	g := spec.Grid
+	assign, regions := GridRegions(g.Cols, g.Rows, g.MinX, g.MinY, g.MaxX, g.MaxY)
+	p := newPartitioned(regions, assign, spec.R)
+	p.spec = spec
+	return p
 }
 
 // NewPartitioned returns a summary with the given number of regions, an
-// assignment function, and per-region adaptive parameter r.
+// assignment function, and per-region adaptive parameter r. An arbitrary
+// RegionFunc has no serializable description, so the resulting summary's
+// Spec carries no grid and cannot rebuild it — construct through
+// New(Spec) with a GridSpec when the stream must be self-describing
+// (the durable server does).
 func NewPartitioned(regions int, assign RegionFunc, r int) *Partitioned {
+	p := newPartitioned(regions, assign, r)
+	p.spec = Spec{Kind: KindPartitioned, R: r}
+	return p
+}
+
+func newPartitioned(regions int, assign RegionFunc, r int) *Partitioned {
 	if regions < 1 {
 		panic("streamhull: regions must be ≥ 1")
 	}
@@ -42,6 +63,11 @@ func NewPartitioned(regions int, assign RegionFunc, r int) *Partitioned {
 	}
 	return &Partitioned{assign: assign, regions: hs, r: r}
 }
+
+// Spec returns the summary's serializable description. Only summaries
+// built from a GridSpec (through New) round-trip; NewPartitioned with a
+// custom RegionFunc reports a gridless spec that Validate rejects.
+func (s *Partitioned) Spec() Spec { return s.spec }
 
 // GridRegions returns a RegionFunc and region count for a uniform
 // cols×rows grid over the rectangle [minX,maxX]×[minY,maxY]; points
@@ -86,6 +112,48 @@ func (s *Partitioned) Insert(p geom.Point) error {
 	region := s.regions[idx]
 	s.mu.Unlock()
 	return region.Insert(p)
+}
+
+// InsertBatch routes a batch to its regions in one partition pass: the
+// whole batch is validated and assigned first (an assignment error means
+// nothing was applied), then each region receives its sub-batch through
+// the region's own prefiltered InsertBatch — so a batch spread over k
+// regions costs k lock acquisitions and k convex-hull prefilters instead
+// of len(pts) of each. Distinct regions have independent locks, so
+// concurrent InsertBatch calls whose points land in different regions
+// proceed in parallel.
+func (s *Partitioned) InsertBatch(pts []geom.Point) (int, error) {
+	if err := checkFiniteBatch(pts); err != nil {
+		return 0, err
+	}
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	// Group by region, tracking only the regions this batch touches —
+	// a small batch into a huge grid must not pay O(grid cells).
+	groups := make(map[int][]geom.Point, 8)
+	touched := make([]int, 0, 8) // insertion order keeps replay deterministic
+	for _, p := range pts {
+		idx := s.assign(p)
+		if idx < 0 || idx >= len(s.regions) {
+			return 0, fmt.Errorf("streamhull: RegionFunc returned %d for %v (have %d regions)",
+				idx, p, len(s.regions))
+		}
+		if _, ok := groups[idx]; !ok {
+			touched = append(touched, idx)
+		}
+		groups[idx] = append(groups[idx], p)
+	}
+	s.mu.Lock()
+	s.n += len(pts)
+	s.mu.Unlock()
+	for _, idx := range touched {
+		if _, err := s.regions[idx].InsertBatch(groups[idx]); err != nil {
+			// Unreachable: the batch was validated above.
+			return 0, err
+		}
+	}
+	return len(pts), nil
 }
 
 // N returns the number of stream points processed.

@@ -18,6 +18,13 @@ type Snapshot struct {
 	N      int          `json:"n"`      // stream points summarized
 	Angles []float64    `json:"angles"` // active sample directions
 	Points []geom.Point `json:"points"` // extrema, parallel to Angles
+
+	// Spec, when present, is the full self-description of the summary
+	// the snapshot was captured from (Kind and R repeat its head fields
+	// for compatibility with pre-spec consumers). Restores use it to
+	// reproduce configuration the flat fields cannot carry — a height
+	// limit, a fixed budget, a window bound.
+	Spec *Spec `json:"spec,omitempty"`
 }
 
 // MarshalJSON is provided by the standard encoder; Encode/Decode wrap it
@@ -39,6 +46,15 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	for _, p := range s.Points {
 		if !p.IsFinite() {
 			return Snapshot{}, fmt.Errorf("%w: snapshot point %v", ErrNonFinite, p)
+		}
+	}
+	if s.Spec != nil {
+		if err := s.Spec.Validate(); err != nil {
+			return Snapshot{}, err
+		}
+		if string(s.Spec.Kind) != s.Kind {
+			return Snapshot{}, fmt.Errorf("streamhull: snapshot kind %q does not match its spec kind %q",
+				s.Kind, s.Spec.Kind)
 		}
 	}
 	return s, nil

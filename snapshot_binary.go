@@ -3,6 +3,7 @@ package streamhull
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -10,20 +11,33 @@ import (
 )
 
 // Binary snapshot wire format, for sensor nodes where JSON overhead
-// matters (radio time is the battery budget, §1). Little-endian:
+// matters (radio time is the battery budget, §1). Little-endian, two
+// versions:
 //
-//	magic   uint32  "SHS1" (0x53485331)
-//	kind    uint8   0 = adaptive, 1 = uniform
+//	magic   uint32  "SHS1" (0x53485331) or "SHS2" (0x53485332)
+//	kind    uint8   0 = adaptive, 1 = uniform, 2 = exact, 3 = windowed,
+//	                4 = partial, 5 = partitioned
 //	r       uint32
 //	n       uint64  stream points summarized
+//	[v2 only] speclen uint32, speclen bytes of spec JSON
 //	count   uint32  number of samples
 //	count × (angle float64, x float64, y float64)
 //
-// A 32-direction snapshot is 21 + 32·24 = 789 bytes.
-const snapshotMagic uint32 = 0x53485331
+// v2 embeds the summary's Spec so a snapshot is self-describing; a
+// snapshot without a Spec encodes as v1, and both versions decode. A
+// 32-direction v1 snapshot is 21 + 32·24 = 789 bytes.
+const (
+	snapshotMagicV1 uint32 = 0x53485331
+	snapshotMagicV2 uint32 = 0x53485332
+	maxSpecBytes           = 1 << 20
+)
 
-var kindCodes = map[string]uint8{"adaptive": 0, "uniform": 1}
-var kindNames = map[uint8]string{0: "adaptive", 1: "uniform"}
+var kindCodes = map[string]uint8{
+	"adaptive": 0, "uniform": 1, "exact": 2, "windowed": 3, "partial": 4, "partitioned": 5,
+}
+var kindNames = map[uint8]string{
+	0: "adaptive", 1: "uniform", 2: "exact", 3: "windowed", 4: "partial", 5: "partitioned",
+}
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (s Snapshot) MarshalBinary() ([]byte, error) {
@@ -35,18 +49,33 @@ func (s Snapshot) MarshalBinary() ([]byte, error) {
 		return nil, fmt.Errorf("streamhull: snapshot has %d angles but %d points",
 			len(s.Angles), len(s.Points))
 	}
+	var specJSON []byte
+	if s.Spec != nil {
+		var err error
+		if specJSON, err = json.Marshal(s.Spec); err != nil {
+			return nil, fmt.Errorf("streamhull: encoding snapshot spec: %w", err)
+		}
+	}
 	var buf bytes.Buffer
-	buf.Grow(21 + 24*len(s.Points))
+	buf.Grow(25 + len(specJSON) + 24*len(s.Points))
 	le := binary.LittleEndian
 	var scratch [8]byte
 	put32 := func(v uint32) { le.PutUint32(scratch[:4], v); buf.Write(scratch[:4]) }
 	put64 := func(v uint64) { le.PutUint64(scratch[:8], v); buf.Write(scratch[:8]) }
 	putF := func(v float64) { put64(math.Float64bits(v)) }
 
-	put32(snapshotMagic)
+	if s.Spec != nil {
+		put32(snapshotMagicV2)
+	} else {
+		put32(snapshotMagicV1)
+	}
 	buf.WriteByte(kind)
 	put32(uint32(s.R))
 	put64(uint64(s.N))
+	if s.Spec != nil {
+		put32(uint32(len(specJSON)))
+		buf.Write(specJSON)
+	}
 	put32(uint32(len(s.Points)))
 	for i := range s.Points {
 		putF(s.Angles[i])
@@ -62,7 +91,8 @@ func (s *Snapshot) UnmarshalBinary(data []byte) error {
 	if len(data) < 21 {
 		return fmt.Errorf("streamhull: snapshot truncated (%d bytes)", len(data))
 	}
-	if le.Uint32(data[0:4]) != snapshotMagic {
+	magic := le.Uint32(data[0:4])
+	if magic != snapshotMagicV1 && magic != snapshotMagicV2 {
 		return fmt.Errorf("streamhull: bad snapshot magic")
 	}
 	kind, ok := kindNames[data[4]]
@@ -71,17 +101,41 @@ func (s *Snapshot) UnmarshalBinary(data []byte) error {
 	}
 	r := int(le.Uint32(data[5:9]))
 	n := int(le.Uint64(data[9:17]))
-	count := int(le.Uint32(data[17:21]))
+	off := 17
+	var spec *Spec
+	if magic == snapshotMagicV2 {
+		if len(data) < off+4 {
+			return fmt.Errorf("streamhull: snapshot truncated (%d bytes)", len(data))
+		}
+		specLen := int(le.Uint32(data[off : off+4]))
+		off += 4
+		if specLen < 0 || specLen > maxSpecBytes || len(data) < off+specLen {
+			return fmt.Errorf("streamhull: implausible snapshot spec length %d", specLen)
+		}
+		parsed, err := ParseSpec(string(data[off : off+specLen]))
+		if err != nil {
+			return fmt.Errorf("streamhull: snapshot spec: %w", err)
+		}
+		if string(parsed.Kind) != kind {
+			return fmt.Errorf("streamhull: snapshot kind %q does not match its spec kind %q",
+				kind, parsed.Kind)
+		}
+		spec = &parsed
+		off += specLen
+	}
+	if len(data) < off+4 {
+		return fmt.Errorf("streamhull: snapshot truncated (%d bytes)", len(data))
+	}
+	count := int(le.Uint32(data[off : off+4]))
+	off += 4
 	if count < 0 || count > 1<<24 {
 		return fmt.Errorf("streamhull: implausible sample count %d", count)
 	}
-	want := 21 + 24*count
-	if len(data) != want {
+	if len(data) != off+24*count {
 		return fmt.Errorf("streamhull: snapshot size %d, want %d for %d samples",
-			len(data), want, count)
+			len(data), off+24*count, count)
 	}
-	out := Snapshot{Kind: kind, R: r, N: n}
-	off := 21
+	out := Snapshot{Kind: kind, R: r, N: n, Spec: spec}
 	rf := func() float64 {
 		v := math.Float64frombits(le.Uint64(data[off : off+8]))
 		off += 8

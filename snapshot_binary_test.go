@@ -2,6 +2,7 @@ package streamhull
 
 import (
 	"encoding"
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -27,7 +28,11 @@ func TestBinaryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantSize := 21 + 24*len(snap.Points)
+	specJSON, err := json.Marshal(snap.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSize := 25 + len(specJSON) + 24*len(snap.Points)
 	if len(data) != wantSize {
 		t.Errorf("encoded size %d, want %d", len(data), wantSize)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/core"
 )
 
 // Restoring a summary from its own snapshot is the durability story the
@@ -25,6 +26,8 @@ import (
 
 // NewAdaptiveFromSnapshot rebuilds an adaptive summary from a snapshot
 // captured by (*AdaptiveHull).Snapshot, preserving the stream count N.
+// A snapshot carrying its Spec restores the full configuration (height
+// limit, fixed budget, bounded work); explicit opts override it.
 func NewAdaptiveFromSnapshot(s Snapshot, opts ...AdaptiveOption) (*AdaptiveHull, error) {
 	if s.Kind != "adaptive" {
 		return nil, fmt.Errorf("streamhull: restoring adaptive summary from %q snapshot", s.Kind)
@@ -36,7 +39,30 @@ func NewAdaptiveFromSnapshot(s Snapshot, opts ...AdaptiveOption) (*AdaptiveHull,
 	if s.R < 4 {
 		return nil, fmt.Errorf("streamhull: adaptive snapshot has r = %d, want ≥ 4", s.R)
 	}
-	h := NewAdaptive(s.R, opts...)
+	var spec Spec
+	if s.Spec != nil && len(opts) == 0 {
+		spec = *s.Spec
+		if spec.Kind != KindAdaptive {
+			return nil, fmt.Errorf("streamhull: adaptive snapshot carries %q spec", spec.Kind)
+		}
+		if spec.R != s.R {
+			return nil, fmt.Errorf("streamhull: snapshot r = %d does not match its spec r = %d",
+				s.R, spec.R)
+		}
+	} else {
+		// Validate through the spec even on the legacy path: snapshots
+		// are untrusted input (HTTP restore endpoint, on-disk
+		// checkpoints), and the bare constructors panic on a bad r.
+		cfg := core.Config{R: s.R}
+		for _, o := range opts {
+			o(&cfg)
+		}
+		spec = adaptiveSpec(cfg)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	h := buildAdaptive(spec)
 	for _, p := range s.Points {
 		if err := h.Insert(p); err != nil {
 			return nil, err
@@ -72,8 +98,13 @@ func NewUniformFromSnapshot(s Snapshot) (*UniformHull, error) {
 		h = NewFixedDirections(s.Angles)
 	case s.R >= 3:
 		// An empty snapshot carries no extrema; rebuild the direction set
-		// from r alone.
-		h = NewUniform(s.R)
+		// from r alone. Validate through the spec — snapshots are
+		// untrusted input and NewUniform panics on a bad r.
+		spec := Spec{Kind: KindUniform, R: s.R}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		h = buildUniform(spec)
 	default:
 		return nil, fmt.Errorf("streamhull: uniform snapshot has r = %d, want ≥ 3", s.R)
 	}
@@ -86,14 +117,49 @@ func NewUniformFromSnapshot(s Snapshot) (*UniformHull, error) {
 	return h, nil
 }
 
+// NewWindowedFromSnapshot rebuilds a windowed summary from a snapshot
+// captured by (*WindowedHull).Snapshot. A window's snapshot is its
+// folded recent sample, not its bucket structure (that is MarshalState,
+// the durability path), so the restore is approximate: the sample seeds
+// a fresh window built from the snapshot's embedded Spec, standing in
+// for the sender's recent data with the same two-level error as
+// MergeSnapshots; window coverage restarts from the sample.
+func NewWindowedFromSnapshot(s Snapshot) (*WindowedHull, error) {
+	if s.Kind != "windowed" {
+		return nil, fmt.Errorf("streamhull: restoring windowed summary from %q snapshot", s.Kind)
+	}
+	if s.Spec == nil {
+		return nil, fmt.Errorf("streamhull: windowed snapshot carries no spec; cannot size the window")
+	}
+	spec := *s.Spec
+	if spec.Kind != KindWindowed {
+		return nil, fmt.Errorf("streamhull: windowed snapshot carries %q spec", spec.Kind)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := buildWindowed(spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.InsertBatch(s.Points); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
 // SummaryFromSnapshot rebuilds the summary a snapshot came from,
-// dispatching on its kind.
+// dispatching on its kind. Windowed restores are approximate (see
+// NewWindowedFromSnapshot); exact, partial and partitioned summaries
+// have no snapshot form at all.
 func SummaryFromSnapshot(s Snapshot) (Summary, error) {
 	switch s.Kind {
 	case "adaptive":
 		return NewAdaptiveFromSnapshot(s)
 	case "uniform":
 		return NewUniformFromSnapshot(s)
+	case "windowed":
+		return NewWindowedFromSnapshot(s)
 	default:
 		return nil, fmt.Errorf("streamhull: snapshot kind %q cannot be restored", s.Kind)
 	}

@@ -1,0 +1,251 @@
+package streamhull
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// validSpecs is one constructible Spec per kind, shared by the
+// construction, round-trip and fuzz-seed tests.
+func validSpecs() []Spec {
+	return []Spec{
+		{Kind: KindAdaptive, R: 16},
+		{Kind: KindAdaptive, R: 16, HeightLimit: 2, FixedBudget: 32, BoundedWork: 4},
+		{Kind: KindUniform, R: 12},
+		{Kind: KindExact},
+		{Kind: KindPartial, R: 8, TrainN: 100, FixedBudget: 16},
+		{Kind: KindWindowed, R: 8, Window: "500"},
+		{Kind: KindWindowed, R: 8, Window: "30s"},
+		{Kind: KindPartitioned, R: 8,
+			Grid: &GridSpec{Cols: 2, Rows: 3, MinX: -1, MinY: -1, MaxX: 1, MaxY: 1}},
+	}
+}
+
+// TestNewConstructsAllKinds: New builds every kind, the summary reports
+// the spec it was built from, and the spec round-trips through JSON.
+func TestNewConstructsAllKinds(t *testing.T) {
+	kinds := map[Kind]bool{}
+	for _, spec := range validSpecs() {
+		sum, err := New(spec)
+		if err != nil {
+			t.Fatalf("New(%s): %v", spec, err)
+		}
+		kinds[spec.Kind] = true
+		if got := sum.Spec(); !equalSpec(got, spec) {
+			t.Errorf("New(%s).Spec() = %s", spec, got)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%s): %v", spec, err)
+		}
+		if !equalSpec(back, spec) {
+			t.Errorf("round trip %s → %s", spec, back)
+		}
+		// Every kind must ingest and answer queries through the interface.
+		pts := workload.Take(workload.Disk(9, geom.Pt(0.5, 0.5), 0.4), 200)
+		if n, err := sum.InsertBatch(pts); err != nil || n != 200 {
+			t.Fatalf("%s: InsertBatch = (%d, %v)", spec.Kind, n, err)
+		}
+		if sum.N() != 200 {
+			t.Errorf("%s: N = %d after 200 points", spec.Kind, sum.N())
+		}
+		if sum.Hull().IsEmpty() {
+			t.Errorf("%s: empty hull after 200 points", spec.Kind)
+		}
+		if sum.SampleSize() <= 0 {
+			t.Errorf("%s: sample size %d", spec.Kind, sum.SampleSize())
+		}
+	}
+	if len(kinds) != len(Kinds()) {
+		t.Errorf("constructed %d kinds, want %d", len(kinds), len(Kinds()))
+	}
+}
+
+// TestSpecValidationErrors: malformed kinds, bad parameters and
+// conflicting cross-kind fields must all error (and never panic).
+func TestSpecValidationErrors(t *testing.T) {
+	grid := &GridSpec{Cols: 2, Rows: 2, MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"no kind", Spec{R: 16}},
+		{"unknown kind", Spec{Kind: "wizard", R: 16}},
+		{"adaptive r too small", Spec{Kind: KindAdaptive, R: 3}},
+		{"adaptive negative r", Spec{Kind: KindAdaptive, R: -16}},
+		{"uniform r too small", Spec{Kind: KindUniform, R: 2}},
+		{"exact with r", Spec{Kind: KindExact, R: 16}},
+		{"negative height", Spec{Kind: KindAdaptive, R: 16, HeightLimit: -1}},
+		{"budget below r", Spec{Kind: KindAdaptive, R: 16, FixedBudget: 8}},
+		{"negative bounded work", Spec{Kind: KindAdaptive, R: 16, BoundedWork: -2}},
+		{"height on uniform", Spec{Kind: KindUniform, R: 12, HeightLimit: 2}},
+		{"budget on windowed", Spec{Kind: KindWindowed, R: 8, Window: "10", FixedBudget: 16}},
+		{"train_n on adaptive", Spec{Kind: KindAdaptive, R: 16, TrainN: 10}},
+		{"partial without train_n", Spec{Kind: KindPartial, R: 8}},
+		{"windowed without window", Spec{Kind: KindWindowed, R: 8}},
+		{"windowed bad window", Spec{Kind: KindWindowed, R: 8, Window: "soon"}},
+		{"windowed zero window", Spec{Kind: KindWindowed, R: 8, Window: "0"}},
+		{"windowed negative duration", Spec{Kind: KindWindowed, R: 8, Window: "-5s"}},
+		{"window on adaptive", Spec{Kind: KindAdaptive, R: 16, Window: "100"}},
+		{"window and grid conflict", Spec{Kind: KindWindowed, R: 8, Window: "100", Grid: grid}},
+		{"grid on windowed kindless window", Spec{Kind: KindPartitioned, R: 8, Window: "100", Grid: grid}},
+		{"partitioned without grid", Spec{Kind: KindPartitioned, R: 8}},
+		{"empty grid", Spec{Kind: KindPartitioned, R: 8,
+			Grid: &GridSpec{Cols: 2, Rows: 2, MinX: 1, MinY: 0, MaxX: 0, MaxY: 1}}},
+		{"zero grid cells", Spec{Kind: KindPartitioned, R: 8,
+			Grid: &GridSpec{Cols: 0, Rows: 2, MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %s", c.name, c.spec)
+		}
+		if _, err := New(c.spec); err == nil {
+			t.Errorf("%s: New accepted %s", c.name, c.spec)
+		}
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"", "null", "42", `"adaptive"`, "[]", "not json",
+		`{"kind":"adaptive","r":16} trailing`,
+		`{"kind":"adaptive","r":16,"bogus":1}`, // unknown field
+		`{"kind":"adaptive","r":1e300}`,        // overflowing int
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", in)
+		}
+	}
+}
+
+// TestSpecFor covers the legacy flag → Spec bridge.
+func TestSpecFor(t *testing.T) {
+	if s, err := SpecFor("", 32, ""); err != nil || s.Kind != KindAdaptive || s.R != 32 {
+		t.Errorf("SpecFor default = %v, %v", s, err)
+	}
+	if s, err := SpecFor("exact", 32, ""); err != nil || s.Kind != KindExact || s.R != 0 {
+		t.Errorf("SpecFor exact = %v, %v (r must be dropped)", s, err)
+	}
+	if s, err := SpecFor("adaptive", 16, "30s"); err != nil || s.Kind != KindWindowed || s.Window != "30s" {
+		t.Errorf("SpecFor windowed = %v, %v", s, err)
+	}
+	for _, bad := range [][3]string{
+		{"uniform", "16", "100"}, {"wizard", "16", ""}, {"windowed", "16", ""},
+	} {
+		if _, err := SpecFor(bad[0], 16, bad[2]); err == nil {
+			t.Errorf("SpecFor(%q, window=%q) accepted", bad[0], bad[2])
+		}
+	}
+}
+
+// TestConstructorsAreSpecWrappers: the v1 constructors produce summaries
+// whose Spec round-trips through New.
+func TestConstructorsAreSpecWrappers(t *testing.T) {
+	sums := []Summary{
+		NewAdaptive(16, WithHeightLimit(3), WithFixedBudget(32)),
+		NewUniform(12),
+		NewExact(),
+		NewPartial(8, 50, 16),
+		NewWindowedByCount(8, 500),
+		NewWindowedByTime(8, 90*time.Minute, nil),
+	}
+	for _, sum := range sums {
+		spec := sum.Spec()
+		rebuilt, err := New(spec)
+		if err != nil {
+			t.Fatalf("New(%s): %v", spec, err)
+		}
+		if !equalSpec(rebuilt.Spec(), spec) {
+			t.Errorf("rebuild of %s reports %s", spec, rebuilt.Spec())
+		}
+	}
+	// A custom RegionFunc has no spec representation; its gridless spec
+	// must be rejected by New, not silently misbuilt.
+	p := NewPartitioned(4, func(geom.Point) int { return 0 }, 8)
+	if _, err := New(p.Spec()); err == nil {
+		t.Error("New accepted the gridless spec of a custom-RegionFunc partition")
+	}
+}
+
+// TestSnapshotRestoreRejectsOversizedR: snapshots are untrusted input
+// (HTTP restore, on-disk checkpoints); an absurd r must error, never
+// panic the constructors' validation.
+func TestSnapshotRestoreRejectsOversizedR(t *testing.T) {
+	for _, snap := range []Snapshot{
+		{Kind: "adaptive", R: MaxR + 1},
+		{Kind: "uniform", R: MaxR + 1},
+	} {
+		if _, err := SummaryFromSnapshot(snap); err == nil {
+			t.Errorf("%s snapshot with r = %d accepted", snap.Kind, snap.R)
+		}
+	}
+	// The v1 binary path carries r as a raw uint32 with no range check;
+	// the restore layer must still reject it gracefully.
+	data, err := Snapshot{Kind: "uniform", R: 1 << 24}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SummaryFromSnapshot(back); err == nil {
+		t.Error("binary snapshot with oversized r accepted")
+	}
+}
+
+// TestCheckpointKindMismatchFailsLoudly: a checkpoint whose kind
+// disagrees with the stream meta must abort recovery, not silently
+// build the wrong summary.
+func TestCheckpointKindMismatchFailsLoudly(t *testing.T) {
+	u := NewUniform(8)
+	_ = u.Insert(geom.Pt(1, 2))
+	data, err := u.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := summaryFromCheckpoint(Spec{Kind: KindAdaptive, R: 8}, data); err == nil {
+		t.Error("uniform checkpoint accepted for an adaptive stream")
+	}
+}
+
+// FuzzParseSpec: any input either errors or yields a spec that is
+// constructible, re-serializable, and stable across one round trip.
+// Never panics.
+func FuzzParseSpec(f *testing.F) {
+	for _, spec := range validSpecs() {
+		f.Add(spec.String())
+	}
+	f.Add(`{"kind":"wizard","r":16}`)
+	f.Add(`{"kind":"adaptive","r":-4}`)
+	f.Add(`{"kind":"windowed","r":8,"window":"100","grid":{"cols":1,"rows":1,"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`)
+	f.Add(`{"kind":"partitioned","r":8,"window":"100"}`)
+	f.Add(`{"kind":"windowed","r":8,"window":"9999999999999999999999"}`)
+	f.Add(`{"kind":"exact","height_limit":1}`)
+	f.Add("{")
+	f.Add(strings.Repeat("[", 64))
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		sum, err := New(spec)
+		if err != nil {
+			t.Fatalf("validated spec %s failed to construct: %v", spec, err)
+		}
+		if !equalSpec(sum.Spec(), spec) {
+			t.Fatalf("summary reports %s for spec %s", sum.Spec(), spec)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse of %s: %v", spec, err)
+		}
+		if !equalSpec(back, spec) {
+			t.Fatalf("round trip %s → %s", spec, back)
+		}
+	})
+}

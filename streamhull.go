@@ -25,6 +25,16 @@
 // enclosing circle, and — across two streams — minimum distance, linear
 // separability with certificates, containment, and spatial overlap.
 //
+// The v2 API is spec-driven and batch-first. Every summary kind is
+// described by a flat, JSON-serializable Spec and constructed through
+// New(Spec); summaries report their Spec back, so a running stream is
+// self-describing — the HTTP server persists the spec in WAL metadata
+// and crash recovery rebuilds any kind from it. Ingest prefers
+// InsertBatch, which validates atomically, locks once per batch, and
+// prefilters each batch to its convex-hull candidates (only a batch's
+// own extreme points can change a summary). The kind-specific
+// constructors (NewAdaptive, NewUniform, …) remain as thin wrappers.
+//
 // Summaries are safe for concurrent use.
 package streamhull
 
@@ -33,6 +43,7 @@ import (
 	"fmt"
 
 	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
 )
 
 // ErrNonFinite is returned when a stream point has a NaN or infinite
@@ -40,16 +51,34 @@ import (
 var ErrNonFinite = errors.New("streamhull: point has non-finite coordinates")
 
 // Summary is a single-pass summary of a point stream that can stand in
-// for the stream's convex hull.
+// for the stream's convex hull. Every summary kind is described by a
+// Spec and constructed by New; ingest is batch-first — InsertBatch is
+// the optimized path, Insert the single-point convenience.
 type Summary interface {
 	// Insert processes one stream point.
 	Insert(p geom.Point) error
+	// InsertBatch processes a batch of stream points atomically: the
+	// whole batch is validated first, and on error nothing is applied
+	// and 0 is returned. On success it returns len(pts). Implementations
+	// take their lock once per batch and exploit the paper's core
+	// observation — only the batch's own extreme points can change a
+	// summary — by prefiltering the batch to its convex hull where the
+	// summary's semantics allow it.
+	InsertBatch(pts []geom.Point) (int, error)
 	// Hull returns the summary's current convex hull.
 	Hull() Polygon
 	// SampleSize returns the number of points currently stored.
 	SampleSize() int
 	// N returns the number of stream points processed.
 	N() int
+	// Spec returns the serializable description this summary was built
+	// from (or is equivalent to): New(s.Spec()) constructs a fresh
+	// summary of the same kind and configuration. Two legacy
+	// constructors escape the round trip: NewPartitioned with a custom
+	// RegionFunc reports a gridless spec that New rejects, and
+	// NewFixedDirections reports a uniform spec that loses the custom
+	// angles — everything built through New itself round-trips exactly.
+	Spec() Spec
 }
 
 // checkFinite validates a stream point.
@@ -60,16 +89,31 @@ func checkFinite(p geom.Point) error {
 	return nil
 }
 
-// insertAll feeds a batch through a Summary, stopping at the first error.
-func insertAll(s Summary, pts []geom.Point) error {
+// checkFiniteBatch validates a whole batch before anything is applied,
+// so batch ingest is atomic.
+func checkFiniteBatch(pts []geom.Point) error {
 	for _, p := range pts {
-		if err := s.Insert(p); err != nil {
-			return err
+		if !p.IsFinite() {
+			return fmt.Errorf("%w: %v", ErrNonFinite, p)
 		}
 	}
 	return nil
 }
 
-// InsertAll feeds a batch of points into a summary in order, stopping at
-// the first invalid point.
-func InsertAll(s Summary, pts []geom.Point) error { return insertAll(s, pts) }
+// batchHull prefilters a batch to a superset of its convex-hull
+// vertices (two linear passes, no sort — see convex.ExtremeCandidates):
+// only those candidates can beat any sample direction once the whole
+// batch is in, so the interior never needs to touch the summary.
+func batchHull(pts []geom.Point) []geom.Point {
+	return convex.ExtremeCandidates(pts)
+}
+
+// InsertAll feeds a batch of points into a summary.
+//
+// Deprecated: use Summary.InsertBatch, which validates the whole batch
+// up front (so an error means nothing was applied) and takes the
+// summary's lock once instead of per point.
+func InsertAll(s Summary, pts []geom.Point) error {
+	_, err := s.InsertBatch(pts)
+	return err
+}

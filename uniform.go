@@ -16,15 +16,36 @@ type UniformHull struct {
 	h  *fixeddir.Hull
 }
 
-// NewUniform returns a uniform summary with r ≥ 3 sample directions.
+// buildUniform constructs a uniform summary from an already validated
+// Spec (see New).
+func buildUniform(spec Spec) *UniformHull {
+	return &UniformHull{h: fixeddir.NewUniform(spec.R)}
+}
+
+// NewUniform returns a uniform summary with r ≥ 3 sample directions. It
+// is a thin wrapper over New(Spec); it panics on invalid parameters
+// where New returns an error.
 func NewUniform(r int) *UniformHull {
-	return &UniformHull{h: fixeddir.NewUniform(r)}
+	spec := Spec{Kind: KindUniform, R: r}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return buildUniform(spec)
 }
 
 // NewFixedDirections returns a summary sampling an arbitrary fixed set of
-// directions (angles in [0, 2π), strictly increasing, at least 3).
+// directions (angles in [0, 2π), strictly increasing, at least 3). An
+// arbitrary direction set has no Spec representation; Spec reports the
+// summary as a uniform summary with the same direction count.
 func NewFixedDirections(angles []float64) *UniformHull {
 	return &UniformHull{h: fixeddir.NewFromAngles(angles)}
+}
+
+// Spec returns the summary's serializable description.
+func (s *UniformHull) Spec() Spec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Spec{Kind: KindUniform, R: s.h.DirCount()}
 }
 
 // Insert processes one stream point.
@@ -36,6 +57,27 @@ func (s *UniformHull) Insert(p geom.Point) error {
 	s.h.Insert(p)
 	s.mu.Unlock()
 	return nil
+}
+
+// InsertBatch processes a batch of stream points under one lock
+// acquisition, prefiltered to the batch's convex hull (the running
+// extrema can only come from the batch's extreme points). The batch is
+// validated first, so an error means nothing was applied.
+func (s *UniformHull) InsertBatch(pts []geom.Point) (int, error) {
+	if err := checkFiniteBatch(pts); err != nil {
+		return 0, err
+	}
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	n := s.h.N()
+	for _, p := range batchHull(pts) {
+		s.h.Insert(p)
+	}
+	s.h.SetN(n + len(pts))
+	s.mu.Unlock()
+	return len(pts), nil
 }
 
 // Hull returns the current sampled convex hull.
@@ -106,7 +148,8 @@ func (s *UniformHull) ErrorBound() float64 {
 func (s *UniformHull) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	snap := Snapshot{Kind: "uniform", R: s.h.DirCount(), N: s.h.N()}
+	spec := Spec{Kind: KindUniform, R: s.h.DirCount()}
+	snap := Snapshot{Kind: "uniform", R: s.h.DirCount(), N: s.h.N(), Spec: &spec}
 	for j := 0; j < s.h.DirCount(); j++ {
 		p, ok := s.h.ExtremumAt(j)
 		if !ok {

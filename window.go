@@ -1,6 +1,7 @@
 package streamhull
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"sync"
@@ -39,6 +40,7 @@ type WindowedHull struct {
 	r      int
 	count  int           // configured count window (0 for time windows)
 	maxAge time.Duration // configured time window (0 for count windows)
+	spec   Spec
 	cached bool
 	hull   Polygon
 }
@@ -113,26 +115,36 @@ func mergeSubs(r int) func(a, b window.Sub) window.Sub {
 	}
 }
 
+// buildWindowed constructs a windowed summary from an already validated
+// Spec (see New). A nil clock selects time.Now for time windows.
+func buildWindowed(spec Spec, clock func() time.Time) (*WindowedHull, error) {
+	count, dur, err := parseWindow(spec.Window)
+	if err != nil {
+		return nil, err
+	}
+	cfg := window.Config{Seal: sealSub(spec.R), Merge: mergeSubs(spec.R)}
+	if count > 0 {
+		cfg.MaxCount = count
+	} else {
+		cfg.MaxAge = dur
+		cfg.Now = clock
+	}
+	return &WindowedHull{
+		eh: window.New(cfg), r: spec.R, count: count, maxAge: dur, spec: spec,
+	}, nil
+}
+
 // NewWindowedByCount returns a summary of the last n stream points
 // (n ≥ 1) with adaptive sample parameter r ≥ 4 per bucket. Like the
 // other summary constructors it panics on invalid parameters; use
-// NewWindowedFromSpec for validated construction from user input.
+// New(Spec) or NewWindowedFromSpec for validated construction from user
+// input.
 func NewWindowedByCount(r, n int) *WindowedHull {
-	if r < 4 {
-		panic(fmt.Sprintf("streamhull: windowed summary requires r ≥ 4, got %d", r))
+	s, err := NewWindowedFromSpec(r, strconv.Itoa(n), nil)
+	if err != nil {
+		panic(err)
 	}
-	if n < 1 {
-		panic(fmt.Sprintf("streamhull: window count must be ≥ 1, got %d", n))
-	}
-	return &WindowedHull{
-		eh: window.New(window.Config{
-			Seal:     sealSub(r),
-			Merge:    mergeSubs(r),
-			MaxCount: n,
-		}),
-		r:     r,
-		count: n,
-	}
+	return s
 }
 
 // NewWindowedByTime returns a summary of the last d of time (d > 0) with
@@ -140,55 +152,37 @@ func NewWindowedByCount(r, n int) *WindowedHull {
 // time; nil selects time.Now. Time windows age out between inserts: call
 // Expire (or just query — queries expire first) to drop stale buckets on
 // an idle stream. Like the other summary constructors it panics on
-// invalid parameters; use NewWindowedFromSpec for validated construction
-// from user input.
+// invalid parameters; use New(Spec) or NewWindowedFromSpec for validated
+// construction from user input.
 func NewWindowedByTime(r int, d time.Duration, clock func() time.Time) *WindowedHull {
-	if r < 4 {
-		panic(fmt.Sprintf("streamhull: windowed summary requires r ≥ 4, got %d", r))
-	}
 	if d <= 0 {
 		panic(fmt.Sprintf("streamhull: window duration must be positive, got %v", d))
 	}
-	return &WindowedHull{
-		eh: window.New(window.Config{
-			Seal:   sealSub(r),
-			Merge:  mergeSubs(r),
-			MaxAge: d,
-			Now:    clock,
-		}),
-		r:      r,
-		maxAge: d,
+	s, err := NewWindowedFromSpec(r, d.String(), clock)
+	if err != nil {
+		panic(err)
 	}
+	return s
 }
 
 // NewWindowedFromSpec builds a windowed summary from a textual window
 // spec — a point count like "5000" or a Go duration like "30s" — with
 // full validation, returning errors instead of panicking. It is the
-// shared entry point for user-supplied specs (the server's window=
-// parameter and hullcli's -window flag). A nil clock selects time.Now
-// for duration specs.
-func NewWindowedFromSpec(r int, spec string, clock func() time.Time) (*WindowedHull, error) {
-	if r < 4 {
-		return nil, fmt.Errorf("streamhull: windowed summary requires r ≥ 4, got %d", r)
+// shared entry point for user-supplied window strings; New(Spec) routes
+// through it too. A nil clock selects time.Now for duration specs.
+func NewWindowedFromSpec(r int, windowSpec string, clock func() time.Time) (*WindowedHull, error) {
+	spec := Spec{Kind: KindWindowed, R: r, Window: windowSpec}
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
-	if n, err := strconv.Atoi(spec); err == nil {
-		if n < 1 {
-			return nil, fmt.Errorf("streamhull: window count must be ≥ 1, got %d", n)
-		}
-		return NewWindowedByCount(r, n), nil
-	}
-	d, err := time.ParseDuration(spec)
-	if err != nil {
-		return nil, fmt.Errorf("streamhull: window %q is neither a point count nor a duration", spec)
-	}
-	if d <= 0 {
-		return nil, fmt.Errorf("streamhull: window duration must be positive, got %v", d)
-	}
-	return NewWindowedByTime(r, d, clock), nil
+	return buildWindowed(spec, clock)
 }
 
 // R returns the per-bucket sample parameter r.
 func (s *WindowedHull) R() int { return s.r }
+
+// Spec returns the summary's serializable description.
+func (s *WindowedHull) Spec() Spec { return s.spec }
 
 // ByTime reports whether the window is time-bounded (as opposed to
 // count-bounded).
@@ -217,6 +211,27 @@ func (s *WindowedHull) Insert(p geom.Point) error {
 	s.cached = false
 	s.mu.Unlock()
 	return nil
+}
+
+// InsertBatch processes a batch of stream points under one lock
+// acquisition and one clock read, sealing head buckets only at capacity
+// boundaries (at most ⌈len/HeadCap⌉ seals per batch — see
+// window.EH.InsertBatch). The batch is validated first, so an error
+// means nothing was applied. Given the same batch boundaries the result
+// is bit-deterministic, which is what durable windowed streams rely on
+// for WAL replay.
+func (s *WindowedHull) InsertBatch(pts []geom.Point) (int, error) {
+	if err := checkFiniteBatch(pts); err != nil {
+		return 0, err
+	}
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	s.eh.InsertBatch(pts)
+	s.cached = false
+	s.mu.Unlock()
+	return len(pts), nil
 }
 
 // Hull returns the convex hull of the window's live samples. Time-based
@@ -304,6 +319,65 @@ func (s *WindowedHull) WindowStats() window.Stats {
 	return s.eh.Stats()
 }
 
+// windowedState is the serialized checkpoint payload of a durable
+// windowed stream: the full exponential-histogram bucket structure (a
+// folded Snapshot cannot restore a window — per-bucket boundaries are
+// what keep future expiry and merging deterministic). JSON with a
+// format discriminator, so recovery can tell it apart from the binary
+// Snapshot checkpoints of the lifetime summaries.
+type windowedState struct {
+	Format string       `json:"format"`
+	State  window.State `json:"state"`
+}
+
+const windowedStateFormat = "streamhull-windowed-state-v1"
+
+// MarshalState captures the window's complete structure — O(r log n +
+// HeadCap) points — for use as a durable checkpoint. NewWindowedFromState
+// inverts it; for count windows the restore is bit-exact.
+func (s *WindowedHull) MarshalState() ([]byte, error) {
+	s.mu.Lock()
+	st := s.eh.ExportState()
+	s.mu.Unlock()
+	data, err := json.Marshal(windowedState{Format: windowedStateFormat, State: st})
+	if err != nil {
+		return nil, fmt.Errorf("streamhull: encoding windowed state: %w", err)
+	}
+	return data, nil
+}
+
+// NewWindowedFromState rebuilds a windowed summary from a MarshalState
+// payload and the stream's Spec (which the WAL meta persists). A nil
+// clock selects time.Now for time windows; restored buckets keep their
+// original timestamps, so everything captured in the state ages out
+// correctly after downtime. Note the caveat for WAL-tail replay on
+// time windows: points replayed on top of the restored state (see
+// RecoverFromWAL) are stamped at replay time, not original arrival
+// time — coverage is one-sidedly conservative, never lost.
+func NewWindowedFromState(spec Spec, data []byte, clock func() time.Time) (*WindowedHull, error) {
+	if spec.Kind != KindWindowed {
+		return nil, fmt.Errorf("streamhull: windowed state requires a windowed spec, got %q", spec.Kind)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var ws windowedState
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return nil, fmt.Errorf("streamhull: decoding windowed state: %w", err)
+	}
+	if ws.Format != windowedStateFormat {
+		return nil, fmt.Errorf("streamhull: unknown windowed state format %q", ws.Format)
+	}
+	s, err := buildWindowed(spec, clock)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.eh.ImportState(ws.State); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // Snapshot captures the live window's sample for transmission. Its N is
 // the covered window count, so MergeSnapshots of windowed snapshots
 // approximates the union of the senders' recent data.
@@ -319,5 +393,6 @@ func (s *WindowedHull) Snapshot() Snapshot {
 		thetas = append(thetas, ht...)
 		points = append(points, hp...)
 	}
-	return Snapshot{Kind: "windowed", R: s.r, N: s.eh.Count(), Angles: thetas, Points: points}
+	spec := s.spec
+	return Snapshot{Kind: "windowed", R: s.r, N: s.eh.Count(), Angles: thetas, Points: points, Spec: &spec}
 }
