@@ -3,6 +3,7 @@ package streamhull
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/core"
@@ -12,10 +13,11 @@ import (
 // AdaptiveHull is the paper's adaptive sampling summary (§4–§5): at most
 // 2r+1 stored points, O(D/r²) hull error, amortized O(log r) per point.
 type AdaptiveHull struct {
-	mu   sync.Mutex
-	h    *core.Hull
-	r    int
-	spec Spec
+	mu    sync.Mutex
+	h     *core.Hull
+	r     int
+	spec  Spec
+	epoch atomic.Uint64
 }
 
 // AdaptiveOption customizes NewAdaptive.
@@ -114,6 +116,7 @@ func (s *AdaptiveHull) Insert(p geom.Point) error {
 	}
 	s.mu.Lock()
 	s.h.Insert(p)
+	s.epoch.Add(1)
 	s.mu.Unlock()
 	return nil
 }
@@ -132,9 +135,13 @@ func (s *AdaptiveHull) InsertBatch(pts []geom.Point) (int, error) {
 	}
 	s.mu.Lock()
 	s.h.InsertBatch(pts)
+	s.epoch.Add(1)
 	s.mu.Unlock()
 	return len(pts), nil
 }
+
+// Epoch returns the summary's mutation counter.
+func (s *AdaptiveHull) Epoch() uint64 { return s.epoch.Load() }
 
 // Hull returns the current sampled convex hull. The guarantee of
 // Theorem 5.4: the true hull of the whole stream contains this polygon

@@ -266,6 +266,80 @@ func BenchmarkWindowed(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedIngest measures the parallel-ingest fan-out: many
+// goroutines pushing clustered 256-point batches into one logical
+// stream, at increasing shard counts. Shards=1 is a plain adaptive
+// summary (the single-mutex baseline every batch serializes on); wider
+// fan-outs deal concurrent batches round-robin across per-shard locks.
+// The acceptance bar is ≥2× aggregate throughput at 4 shards.
+func BenchmarkShardedIngest(b *testing.B) {
+	const batchSize = 256
+	pts := workload.Take(workload.Gaussian(30, geom.Point{}, 1), 100000)
+	batches := make([][]geom.Point, 0, len(pts)/batchSize)
+	for i := 0; i+batchSize <= len(pts); i += batchSize {
+		batches = append(batches, pts[i:i+batchSize])
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var s streamhull.Summary
+			if shards == 1 {
+				s = streamhull.NewAdaptive(32)
+			} else {
+				var err error
+				s, err = streamhull.NewSharded(shards, streamhull.Spec{Kind: streamhull.KindAdaptive, R: 32})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(batchSize * 16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := s.InsertBatch(batches[i%len(batches)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCachedQuery measures the epoch-cached read path the server
+// serves queries from: repeated same-epoch diameter queries against the
+// uncached fold-and-calipers the old handler ran per GET. The
+// acceptance bar is ≥10× for repeat queries between mutations.
+func BenchmarkCachedQuery(b *testing.B) {
+	s := streamhull.NewAdaptive(64)
+	if _, err := s.InsertBatch(workload.Take(workload.Ellipse(31, 1, 0.2, 0.3), 100000)); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = s.Hull().Diameter()
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		qc := streamhull.NewQueryCache(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = qc.Diameter()
+		}
+	})
+	b.Run("Cached/Invalidated", func(b *testing.B) {
+		// Worst case: every query re-materializes because an insert moved
+		// the epoch.
+		qc := streamhull.NewQueryCache(s)
+		pts := workload.Take(workload.Gaussian(32, geom.Point{}, 1), 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Insert(pts[i%len(pts)])
+			_, _ = qc.Diameter()
+		}
+	})
+}
+
 // BenchmarkDurableIngest quantifies the WAL overhead of durable ingest
 // against the pure in-memory insert path, at the server's default batch
 // shape (256-point batches, adaptive r = 32). "WAL/sync=none" and

@@ -12,12 +12,14 @@
 //	hullbench -windowed           # sliding-window cost/fidelity sweep
 //	hullbench -durable            # WAL ingest overhead vs in-memory
 //	hullbench -batch              # InsertBatch (hull-prefiltered) vs Insert
+//	hullbench -serve              # sharded + cached serving under mixed load
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/experiments"
@@ -35,13 +37,15 @@ func main() {
 		windowed   = flag.Bool("windowed", false, "sliding-window cost and fidelity on a drift-burst stream")
 		durable    = flag.Bool("durable", false, "durable-ingest overhead: WAL append + insert vs in-memory insert")
 		batch      = flag.Bool("batch", false, "batch-first ingest: hull-prefiltered InsertBatch vs per-point Insert")
+		serve      = flag.Bool("serve", false, "mixed read/write serving: sharded ingest + epoch-cached queries over the HTTP handler")
 		n          = flag.Int("n", 100000, "stream length per experiment")
 		r          = flag.Int("r", 16, "adaptive sample parameter (uniform uses 2r)")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		serveDur   = flag.Duration("serve-dur", 2*time.Second, "measurement window per shard count for -serve")
 	)
 	flag.Parse()
 
-	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed && !*durable && !*batch {
+	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed && !*durable && !*batch && !*serve {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -115,6 +119,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(experiments.FormatBatch(rows))
+		fmt.Println()
+	}
+	if *all || *serve {
+		fmt.Println("=== Serving under mixed load (sharded ingest + epoch-cached queries) ===")
+		gaussGen := func(s int64) workload.Generator { return workload.Gaussian(s, geom.Point{}, 1) }
+		rows, err := experiments.ServeSweep(gaussGen, *n, []int{1, 2, 4, 8}, 32, 256, 4, 4, *serveDur, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatServe(rows))
 		fmt.Println()
 	}
 }

@@ -7,6 +7,7 @@
 //	generate-points | hullcli -algo adaptive -r 32 -query diameter,width
 //	hullcli -algo uniform -r 64 -hull < points.csv
 //	tail -f telemetry.csv | hullcli -window 10000 -query diameter
+//	hullcli -r 32 -shards 4 < points.csv
 //	hullcli -spec '{"kind":"windowed","r":32,"window":"10000"}' < points.csv
 //	hullcli replay -dir /var/lib/hullserver/mystream -query diameter
 //
@@ -51,14 +52,15 @@ func main() {
 		algo    = flag.String("algo", "adaptive", "summary: adaptive, uniform, or exact")
 		r       = flag.Int("r", 32, "sample parameter")
 		window  = flag.String("window", "", "sliding window: a point count (e.g. 10000) or a duration (e.g. 30s)")
-		spec    = flag.String("spec", "", "summary spec JSON (overrides -algo/-r/-window)")
+		shards  = flag.Int("shards", 1, "fan the summary out over this many parallel-ingest shards (adaptive/uniform/exact only)")
+		spec    = flag.String("spec", "", "summary spec JSON (overrides -algo/-r/-window/-shards)")
 		queries = flag.String("query", "diameter,width", "comma-separated: diameter,width,extent,area,circle")
 		theta   = flag.Float64("theta", 0, "direction (radians) for the extent query")
 		hull    = flag.Bool("hull", false, "print hull vertices")
 	)
 	flag.Parse()
 
-	sum, err := newSummary(*algo, *r, *window, *spec)
+	sum, err := newSummary(*algo, *r, *window, *spec, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -199,8 +201,9 @@ func report(sum streamhull.Summary, window, queries string, theta float64, hull 
 
 // newSummary builds the stream summary for the flag combination: an
 // explicit -spec JSON document wins, otherwise -algo/-r/-window compile
-// down to a Spec. Either way construction goes through streamhull.New.
-func newSummary(algo string, r int, window, specJSON string) (streamhull.Summary, error) {
+// down to a Spec, optionally wrapped in a -shards fan-out. Either way
+// construction goes through streamhull.New.
+func newSummary(algo string, r int, window, specJSON string, shards int) (streamhull.Summary, error) {
 	var (
 		spec streamhull.Spec
 		err  error
@@ -209,6 +212,11 @@ func newSummary(algo string, r int, window, specJSON string) (streamhull.Summary
 		spec, err = streamhull.ParseSpec(specJSON)
 	} else {
 		spec, err = streamhull.SpecFor(algo, r, window)
+		if err == nil && shards > 1 {
+			inner := spec
+			spec = streamhull.Spec{Kind: streamhull.KindSharded, Shards: shards, Inner: &inner}
+			err = spec.Validate()
+		}
 	}
 	if err != nil {
 		return nil, err

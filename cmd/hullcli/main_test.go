@@ -121,34 +121,41 @@ func TestReplaySummaryRejectsNonStreamDir(t *testing.T) {
 func TestNewSummary(t *testing.T) {
 	cases := []struct {
 		algo, window, spec string
+		shards             int
 		ok                 bool
 	}{
-		{"adaptive", "", "", true},
-		{"uniform", "", "", true},
-		{"exact", "", "", true},
-		{"wizard", "", "", false},
-		{"adaptive", "1000", "", true},
-		{"adaptive", "30s", "", true},
-		{"adaptive", "0", "", false},
-		{"adaptive", "-5s", "", false},
-		{"adaptive", "soon", "", false},
-		{"uniform", "1000", "", false},
+		{"adaptive", "", "", 1, true},
+		{"uniform", "", "", 1, true},
+		{"exact", "", "", 1, true},
+		{"wizard", "", "", 1, false},
+		{"adaptive", "1000", "", 1, true},
+		{"adaptive", "30s", "", 1, true},
+		{"adaptive", "0", "", 1, false},
+		{"adaptive", "-5s", "", 1, false},
+		{"adaptive", "soon", "", 1, false},
+		{"uniform", "1000", "", 1, false},
+		// -shards wraps the compiled spec in a sharded fan-out.
+		{"adaptive", "", "", 4, true},
+		{"uniform", "", "", 4, true},
+		{"exact", "", "", 4, true},
+		{"adaptive", "1000", "", 4, false}, // windowed summaries cannot shard
 		// -spec overrides the other flags entirely.
-		{"", "", `{"kind":"windowed","r":8,"window":"100"}`, true},
-		{"", "", `{"kind":"partial","r":8,"train_n":50}`, true},
-		{"", "", `{"kind":"partitioned","r":8,"grid":{"cols":2,"rows":2,"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`, true},
-		{"", "", `{"kind":"adaptive"}`, false},
-		{"", "", `{"kind":"nope","r":8}`, false},
-		{"", "", `not json`, false},
+		{"", "", `{"kind":"windowed","r":8,"window":"100"}`, 1, true},
+		{"", "", `{"kind":"partial","r":8,"train_n":50}`, 1, true},
+		{"", "", `{"kind":"partitioned","r":8,"grid":{"cols":2,"rows":2,"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`, 1, true},
+		{"", "", `{"kind":"sharded","shards":4,"inner":{"kind":"adaptive","r":16}}`, 1, true},
+		{"", "", `{"kind":"adaptive"}`, 1, false},
+		{"", "", `{"kind":"nope","r":8}`, 1, false},
+		{"", "", `not json`, 1, false},
 	}
 	for _, c := range cases {
-		sum, err := newSummary(c.algo, 16, c.window, c.spec)
+		sum, err := newSummary(c.algo, 16, c.window, c.spec, c.shards)
 		if (err == nil) != c.ok {
-			t.Errorf("newSummary(%q, 16, %q, %q) error = %v, want ok=%v", c.algo, c.window, c.spec, err, c.ok)
+			t.Errorf("newSummary(%q, 16, %q, %q, %d) error = %v, want ok=%v", c.algo, c.window, c.spec, c.shards, err, c.ok)
 			continue
 		}
 		if c.ok && sum == nil {
-			t.Errorf("newSummary(%q, 16, %q, %q) returned nil summary", c.algo, c.window, c.spec)
+			t.Errorf("newSummary(%q, 16, %q, %q, %d) returned nil summary", c.algo, c.window, c.spec, c.shards)
 		}
 	}
 }

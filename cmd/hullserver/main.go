@@ -10,9 +10,16 @@
 // "always" group-commits an fsync per batch, "interval" (default) syncs
 // on a timer, "none" leaves syncing to the OS.
 //
+// With -shards the default stream kind becomes a sharded summary:
+// ingest batches are dealt round-robin across that many independent
+// sub-summaries (one lock each, so concurrent batches to one stream
+// ingest in parallel) and reads merge the shard hulls. -shards wraps
+// -r's adaptive summary, or whatever -default-spec names.
+//
 // Usage:
 //
 //	hullserver -addr :8080 -r 32
+//	hullserver -addr :8080 -shards 8
 //	hullserver -addr :8080 -data /var/lib/hullserver -fsync always
 package main
 
@@ -27,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/internal/server"
 	"github.com/streamgeom/streamhull/internal/wal"
 )
@@ -36,6 +44,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		r        = flag.Int("r", 32, "default sample parameter for auto-created streams")
 		defSpec  = flag.String("default-spec", "", "spec JSON for auto-created streams (overrides -r)")
+		shards   = flag.Int("shards", 1, "fan auto-created streams out over this many parallel-ingest shards")
 		maxS     = flag.Int("max-streams", 1024, "maximum number of live streams")
 		sweep    = flag.Duration("sweep", 2*time.Second, "expiry sweep interval for time-windowed streams")
 		data     = flag.String("data", "", "data directory for durable streams (empty = in-memory only)")
@@ -48,6 +57,23 @@ func main() {
 	sync, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *shards > 1 {
+		// Wrap the default stream spec in a sharded fan-out. The inner
+		// spec is -default-spec when given, else -r's adaptive summary.
+		inner := streamhull.Spec{Kind: streamhull.KindAdaptive, R: *r}
+		if *defSpec != "" {
+			parsed, err := streamhull.ParseSpec(*defSpec)
+			if err != nil {
+				log.Fatalf("-default-spec: %v", err)
+			}
+			inner = parsed
+		}
+		wrapped := streamhull.Spec{Kind: streamhull.KindSharded, Shards: *shards, Inner: &inner}
+		if err := wrapped.Validate(); err != nil {
+			log.Fatalf("-shards %d: %v", *shards, err)
+		}
+		*defSpec = wrapped.String()
 	}
 	api, err := server.New(server.Config{
 		DefaultR: *r, DefaultSpec: *defSpec, MaxStreams: *maxS, SweepInterval: *sweep,

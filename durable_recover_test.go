@@ -58,6 +58,10 @@ func TestRecoverFromWALAllKinds(t *testing.T) {
 		{Kind: streamhull.KindWindowed, R: 8, Window: "800"},
 		{Kind: streamhull.KindPartitioned, R: 8,
 			Grid: &streamhull.GridSpec{Cols: 2, Rows: 2, MinX: -2, MinY: -2, MaxX: 2, MaxY: 2}},
+		{Kind: streamhull.KindSharded, Shards: 4,
+			Inner: &streamhull.Spec{Kind: streamhull.KindAdaptive, R: 16}},
+		{Kind: streamhull.KindSharded, Shards: 3,
+			Inner: &streamhull.Spec{Kind: streamhull.KindExact}},
 	}
 	for _, spec := range specs {
 		t.Run(string(spec.Kind), func(t *testing.T) {

@@ -2,6 +2,7 @@ package streamhull
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/convex"
@@ -17,6 +18,7 @@ type ExactHull struct {
 	poly  convex.Polygon
 	dirty bool
 	n     int
+	epoch atomic.Uint64
 }
 
 // buildExact constructs an exact summary (see New).
@@ -39,6 +41,7 @@ func (s *ExactHull) Insert(p geom.Point) error {
 	defer s.mu.Unlock()
 	s.n++
 	s.insertLocked(p)
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -85,8 +88,12 @@ func (s *ExactHull) InsertBatch(pts []geom.Point) (int, error) {
 	if appended {
 		s.dirty = true
 	}
+	s.epoch.Add(1)
 	return len(pts), nil
 }
+
+// Epoch returns the summary's mutation counter.
+func (s *ExactHull) Epoch() uint64 { return s.epoch.Load() }
 
 func (s *ExactHull) rebuild() {
 	s.poly = convex.Hull(s.verts)

@@ -80,6 +80,62 @@ func ExampleMergeSnapshots() {
 	// combined extent: 12.0
 }
 
+// The v2 entry point: a Spec describes any summary kind, New builds it,
+// and the summary reports the spec back — a running stream is always
+// self-describing.
+func ExampleNew() {
+	s, err := streamhull.New(streamhull.Spec{Kind: streamhull.KindAdaptive, R: 16})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := s.InsertBatch([]geom.Point{
+		{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 2}, {X: 0, Y: 2},
+	}); err != nil {
+		panic(err)
+	}
+	d, _ := s.Hull().Diameter()
+	fmt.Printf("spec %s diameter %.3f\n", s.Spec(), d)
+	// Output:
+	// spec {"kind":"adaptive","r":16} diameter 4.472
+}
+
+// ParseSpec validates untrusted spec JSON: malformed documents error,
+// they never panic, so specs can come straight off the wire.
+func ExampleParseSpec() {
+	spec, err := streamhull.ParseSpec(`{"kind":"windowed","r":32,"window":"30s"}`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ok: kind=%s r=%d window=%s\n", spec.Kind, spec.R, spec.Window)
+
+	_, err = streamhull.ParseSpec(`{"kind":"windowed","r":32}`)
+	fmt.Println("missing window:", err)
+	// Output:
+	// ok: kind=windowed r=32 window=30s
+	// missing window: streamhull: windowed summary requires a window (a count or a duration)
+}
+
+// Batch-first ingest: the whole batch is validated up front (an error
+// means nothing was applied), the summary locks once, and only the
+// batch's own extreme points touch the sampling machinery.
+func ExampleSummary_InsertBatch() {
+	s, err := streamhull.New(streamhull.Spec{Kind: streamhull.KindAdaptive, R: 16})
+	if err != nil {
+		panic(err)
+	}
+	batch := []geom.Point{
+		{X: -1, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1},
+		{X: 0.1, Y: 0.1}, {X: -0.1, Y: 0.2}, // interior: filtered before sampling
+	}
+	n, err := s.InsertBatch(batch)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ingested %d, n=%d, extent along x: %.1f\n", n, s.N(), s.Hull().Extent(0))
+	// Output:
+	// ingested 6, n=6, extent along x: 2.0
+}
+
 // Per-region hulls for clustered streams (the §8 extension).
 func ExampleNewPartitioned() {
 	assign, n := streamhull.GridRegions(2, 1, -10, -1, 10, 1)

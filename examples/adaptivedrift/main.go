@@ -22,8 +22,20 @@ const (
 
 func main() {
 	rng := rand.New(rand.NewSource(5))
-	adaptive := streamhull.NewAdaptive(r, streamhull.WithFixedBudget(2*r))
-	partial := streamhull.NewPartial(r, half, 2*r)
+	aSum, err := streamhull.New(streamhull.Spec{
+		Kind: streamhull.KindAdaptive, R: r, FixedBudget: 2 * r,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pSum, err := streamhull.New(streamhull.Spec{
+		Kind: streamhull.KindPartial, R: r, TrainN: half, FixedBudget: 2 * r,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive := aSum.(*streamhull.AdaptiveHull)
+	partial := pSum.(*streamhull.PartialHull)
 
 	stream := make([]geom.Point, 0, 2*half)
 	for i := 0; i < half; i++ {

@@ -30,7 +30,11 @@ func main() {
 	// New returns the Summary interface; the concrete type is the kind
 	// the spec named, with its extra accessors (ErrorBound below).
 	adaptive := sum.(*streamhull.AdaptiveHull)
-	exact := streamhull.NewExact()
+	truthSum, err := streamhull.New(streamhull.Spec{Kind: streamhull.KindExact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := truthSum.(*streamhull.ExactHull)
 
 	// Ingest is batch-first: InsertBatch validates each batch atomically
 	// and prefilters it to its own convex hull before touching the

@@ -32,7 +32,11 @@ func main() {
 	// center and drifts north-east while spreading.
 	nodes := make([]*streamhull.AdaptiveHull, sensors)
 	for i := range nodes {
-		nodes[i] = streamhull.NewAdaptive(r)
+		sum, err := streamhull.New(streamhull.Spec{Kind: streamhull.KindAdaptive, R: r})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = sum.(*streamhull.AdaptiveHull)
 	}
 	cell := func(p geom.Point) int {
 		col := clamp(int((p.X+5)/2), 0, 4)

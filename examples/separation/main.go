@@ -15,10 +15,16 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(2024))
-	monitor := streamhull.NewSeparationMonitor(
-		streamhull.NewAdaptive(12),
-		streamhull.NewAdaptive(12),
-	)
+	spec := streamhull.Spec{Kind: streamhull.KindAdaptive, R: 12}
+	convoyA, err := streamhull.New(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	convoyB, err := streamhull.New(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor := streamhull.NewSeparationMonitor(convoyA, convoyB)
 
 	const steps = 600
 	for i := 0; i < steps; i++ {

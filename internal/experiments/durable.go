@@ -28,6 +28,7 @@ type DurablePoint struct {
 // in a throwaway directory under dir (os.TempDir() when empty).
 func DurableSweep(gen func(seed int64) workload.Generator, n int, batches []int, r int, seed int64, dir string) ([]DurablePoint, error) {
 	pts := workload.Take(gen(seed), n)
+	spec := streamhull.Spec{Kind: streamhull.KindAdaptive, R: r}
 	policies := []struct {
 		name string
 		sync wal.SyncPolicy
@@ -36,7 +37,7 @@ func DurableSweep(gen func(seed int64) workload.Generator, n int, batches []int,
 	out := make([]DurablePoint, 0, len(batches)*len(policies))
 	for _, batch := range batches {
 		memNs := timeIt(func() {
-			s := streamhull.NewAdaptive(r)
+			s := mustNew(spec)
 			for _, p := range pts {
 				_ = s.Insert(p)
 			}
@@ -53,7 +54,7 @@ func DurableSweep(gen func(seed int64) workload.Generator, n int, batches []int,
 			}
 			var appendErr error
 			walNs := timeIt(func() {
-				s := streamhull.NewAdaptive(r)
+				s := mustNew(spec)
 				for i := 0; i < len(pts); i += batch {
 					end := min(i+batch, len(pts))
 					if err := log.Append(pts[i:end]); err != nil {

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/internal/server"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// ServePoint is one row of the mixed read/write serving experiment: an
+// in-process HTTP server under concurrent ingest and query load, at one
+// shard count.
+type ServePoint struct {
+	Shards      int     // stream fan-out (1 = a plain adaptive stream)
+	Writers     int     // concurrent ingest goroutines
+	Readers     int     // concurrent query goroutines
+	IngestPtSec float64 // points ingested per second, all writers
+	QueryPerSec float64 // diameter queries answered per second, all readers
+}
+
+// ServeSweep drives the real HTTP handler — mux, JSON codecs, epoch
+// cache and all — with writers goroutines POSTing batch-point batches
+// and readers goroutines issuing diameter queries, for dur per shard
+// count. It measures the two serving-layer changes together: sharded
+// streams let concurrent batches land on different shard locks instead
+// of serializing on one summary mutex, and epoch-cached reads keep the
+// query side from re-folding the hull under load. Shard count 1 builds
+// a plain adaptive stream, the unsharded baseline.
+func ServeSweep(gen func(seed int64) workload.Generator, n int, shardCounts []int, r, batch, writers, readers int, dur time.Duration, seed int64) ([]ServePoint, error) {
+	pts := workload.Take(gen(seed), n)
+	// Pre-encode the ingest bodies once; the handlers re-decode per
+	// request, as in production.
+	type body struct {
+		Points [][2]float64 `json:"points"`
+	}
+	var bodies [][]byte
+	for i := 0; i+batch <= len(pts); i += batch {
+		b := body{Points: make([][2]float64, batch)}
+		for j, p := range pts[i : i+batch] {
+			b.Points[j] = [2]float64{p.X, p.Y}
+		}
+		enc, err := json.Marshal(b)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, enc)
+	}
+	if len(bodies) == 0 {
+		return nil, fmt.Errorf("experiments: n = %d too small for batch %d", n, batch)
+	}
+
+	out := make([]ServePoint, 0, len(shardCounts))
+	for _, shards := range shardCounts {
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			return nil, err
+		}
+		spec := streamhull.Spec{Kind: streamhull.KindAdaptive, R: r}
+		if shards > 1 {
+			spec = streamhull.Spec{Kind: streamhull.KindSharded, Shards: shards, Inner: &streamhull.Spec{Kind: streamhull.KindAdaptive, R: r}}
+		}
+		create := httptest.NewRequest(http.MethodPut, "/v1/streams/bench", strings.NewReader(spec.String()))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, create)
+		if rec.Code != http.StatusCreated {
+			return nil, fmt.Errorf("experiments: creating bench stream: %s", rec.Body)
+		}
+
+		var ingested, queried atomic.Int64
+		deadline := time.Now().Add(dur)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; time.Now().Before(deadline); i++ {
+					req := httptest.NewRequest(http.MethodPost, "/v1/streams/bench/points",
+						bytes.NewReader(bodies[i%len(bodies)]))
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, req)
+					if rec.Code == http.StatusOK {
+						ingested.Add(int64(batch))
+					}
+				}
+			}(w)
+		}
+		for rd := 0; rd < readers; rd++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					req := httptest.NewRequest(http.MethodGet, "/v1/streams/bench/query?type=diameter", nil)
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, req)
+					if rec.Code == http.StatusOK {
+						queried.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := srv.Close(); err != nil {
+			return nil, err
+		}
+		secs := dur.Seconds()
+		out = append(out, ServePoint{
+			Shards: shards, Writers: writers, Readers: readers,
+			IngestPtSec: float64(ingested.Load()) / secs,
+			QueryPerSec: float64(queried.Load()) / secs,
+		})
+	}
+	return out, nil
+}
+
+// FormatServe renders the serving sweep.
+func FormatServe(pts []ServePoint) string {
+	var b strings.Builder
+	b.WriteString("Mixed read/write serving (sharded ingest + epoch-cached queries, in-process HTTP)\n")
+	fmt.Fprintf(&b, "  %8s  %8s  %8s  %14s  %14s\n",
+		"shards", "writers", "readers", "ingest pt/s", "queries/s")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %8d  %8d  %8d  %14.0f  %14.0f\n",
+			p.Shards, p.Writers, p.Readers, p.IngestPtSec, p.QueryPerSec)
+	}
+	return b.String()
+}

@@ -2,12 +2,23 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/internal/convex"
 	"github.com/streamgeom/streamhull/internal/workload"
 )
+
+// mustNew builds a summary from a spec the experiments composed
+// themselves; a failure is a bug in the experiment, not input error.
+func mustNew(spec streamhull.Spec) streamhull.Summary {
+	s, err := streamhull.New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
 
 // WindowedPoint is one row of the sliding-window experiment: insertion
 // cost of the windowed summary against the lifetime adaptive baseline,
@@ -33,7 +44,7 @@ type WindowedPoint struct {
 func WindowedSweep(gen func(seed int64) workload.Generator, n int, windows []int, r int, seed int64) []WindowedPoint {
 	pts := workload.Take(gen(seed), n)
 	adaptiveNs := timeIt(func() {
-		s := streamhull.NewAdaptive(r)
+		s := mustNew(streamhull.Spec{Kind: streamhull.KindAdaptive, R: r})
 		for _, p := range pts {
 			_ = s.Insert(p)
 		}
@@ -41,7 +52,9 @@ func WindowedSweep(gen func(seed int64) workload.Generator, n int, windows []int
 
 	out := make([]WindowedPoint, 0, len(windows))
 	for _, win := range windows {
-		w := streamhull.NewWindowedByCount(r, win)
+		w := mustNew(streamhull.Spec{
+			Kind: streamhull.KindWindowed, R: r, Window: strconv.Itoa(win),
+		}).(*streamhull.WindowedHull)
 		ns := timeIt(func() {
 			for _, p := range pts {
 				_ = w.Insert(p)

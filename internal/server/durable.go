@@ -116,7 +116,9 @@ func (s *Server) recoverStream(id, dir string) (*stream, error) {
 	}
 	s.logf("wal: recovered stream %q: spec=%s n=%d (checkpoint=%v, %d replayed points)",
 		id, rec.Spec, rec.Summary.N(), rec.HasCheckpoint, rec.Points)
-	return &stream{sum: rec.Summary, spec: rec.Spec, log: log}, nil
+	st := &stream{spec: rec.Spec, log: log}
+	st.setSummary(rec.Summary)
+	return st, nil
 }
 
 // maybeCheckpointLocked seals the stream's current state into its log
@@ -173,7 +175,10 @@ func (s *Server) checkpointLocked(id string, st *stream) {
 		s.logf("wal: stream %q: re-basing on checkpoint: %v", id, err)
 		return
 	}
-	st.sum = restored
+	// Swapping the summary also swaps the read cache: the fresh
+	// summary's epoch restarts at zero, so a stale cache keyed on the
+	// old counter must not survive the re-base.
+	st.setSummary(restored)
 }
 
 // dropStorage removes a deleted stream's directory.

@@ -22,10 +22,22 @@
 // JSON document ({"kind": "windowed", "r": 32, "window": "10000"}) as
 // its body, which can describe every summary kind — adaptive (with
 // height-limit/fixed-budget/bounded-work options), uniform, exact,
-// partial, windowed, and grid-partitioned. The legacy query parameters
-// compile down to a Spec; create, list, detail and snapshot responses
-// all report the stream's spec, so any stream can be recreated
-// elsewhere from what the API returns.
+// partial, windowed, grid-partitioned, and sharded (round-robin
+// parallel-ingest fan-out over a nested inner spec). The legacy query
+// parameters compile down to a Spec; create, list, detail and snapshot
+// responses all report the stream's spec, so any stream can be
+// recreated elsewhere from what the API returns.
+//
+// Reads are epoch-cached: each stream keeps a materialized read state
+// (the folded hull plus memoized diameter/width/extent/circle answers)
+// behind an atomic pointer, rebuilt only when the summary's mutation
+// epoch moves, so steady-state hull and query requests are lock-free
+// lookups that never touch the write path. In-memory streams also
+// ingest outside the stream lock — summaries serialize internally, and
+// a sharded stream spreads concurrent batches across shard locks — so
+// parallel POSTs to the same stream scale with its shard count.
+// Durable ingest still serializes per stream to keep WAL order equal to
+// apply order.
 //
 // The snapshot endpoint negotiates its encoding: with Accept (on GET)
 // or Content-Type (on POST) set to application/octet-stream it speaks
@@ -65,6 +77,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	streamhull "github.com/streamgeom/streamhull"
@@ -130,6 +143,12 @@ type stream struct {
 	sum       streamhull.Summary
 	log       *wal.Log // nil for in-memory streams
 	sinceCkpt int      // points since the last checkpoint
+
+	// cache is the stream's epoch-validated read state: hull and query
+	// answers are materialized once per summary epoch and served
+	// lock-free. Swapped (not mutated) whenever the live summary is
+	// swapped, so it always tracks the summary reads should see.
+	cache atomic.Pointer[streamhull.QueryCache]
 }
 
 // summary returns the stream's live summary; checkpoints may swap it,
@@ -139,6 +158,16 @@ func (st *stream) summary() streamhull.Summary {
 	defer st.mu.Unlock()
 	return st.sum
 }
+
+// setSummary installs a (new) live summary and the read cache bound to
+// it. Callers hold st.mu when the stream is already shared.
+func (st *stream) setSummary(sum streamhull.Summary) {
+	st.sum = sum
+	st.cache.Store(streamhull.NewQueryCache(sum))
+}
+
+// queries returns the stream's epoch-cached read state.
+func (st *stream) queries() *streamhull.QueryCache { return st.cache.Load() }
 
 // errStreamLimit distinguishes capacity exhaustion from unknown-stream
 // lookups so handlers can return 507 instead of 404.
@@ -350,7 +379,8 @@ func (s *Server) addStream(id string, sum streamhull.Summary) (*stream, error) {
 	if len(s.streams) >= s.cfg.MaxStreams {
 		return nil, fmt.Errorf("%w (%d)", errStreamLimit, s.cfg.MaxStreams)
 	}
-	st := &stream{sum: sum, spec: spec}
+	st := &stream{spec: spec}
+	st.setSummary(sum)
 	if s.cfg.DataDir != "" {
 		log, err := s.openStorage(id, spec)
 		if err != nil {
@@ -549,20 +579,37 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	st.mu.Lock()
+	if st.log == nil {
+		// In-memory streams need no WAL ordering, so ingest runs outside
+		// the stream lock: summaries serialize internally, and a sharded
+		// summary deals concurrent batches across shard locks — parallel
+		// POSTs to one stream scale with its fan-out instead of queueing
+		// on st.mu.
+		sum := st.sum
+		st.mu.Unlock()
+		if _, err := sum.InsertBatch(pts); err != nil {
+			// Unreachable after validation above; fail loudly if a summary
+			// grows new failure modes.
+			writeErr(w, http.StatusInternalServerError, "applying batch: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ingested": len(pts), "n": sum.N(), "sample_size": sum.SampleSize(),
+		})
+		return
+	}
 	// Log first: a batch is acknowledged only after the WAL accepted it,
 	// so the durable log is always a superset of served state. Recovery
 	// replays the log with the same per-record InsertBatch the live path
-	// uses below, so the rebuilt state matches bit-for-bit.
-	if st.log != nil {
-		if err := st.log.Append(pts); err != nil {
-			st.mu.Unlock()
-			writeErr(w, http.StatusInternalServerError, "logging batch: %v", err)
-			return
-		}
+	// uses below, so the rebuilt state matches bit-for-bit. Durable
+	// ingest holds st.mu across append+apply to keep WAL order equal to
+	// apply order.
+	if err := st.log.Append(pts); err != nil {
+		st.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "logging batch: %v", err)
+		return
 	}
 	if _, err := st.sum.InsertBatch(pts); err != nil {
-		// Unreachable after validation above; fail loudly if a summary
-		// grows new failure modes.
 		st.mu.Unlock()
 		writeErr(w, http.StatusInternalServerError, "applying batch: %v", err)
 		return
@@ -576,21 +623,24 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	})
 }
 
+// handleHull and handleQuery serve from the stream's epoch-cached read
+// state: the hull fold and the rotating-calipers answers run once per
+// summary epoch, and repeat queries between mutations are lock-free
+// lookups that never contend with ingest.
 func (s *Server) handleHull(w http.ResponseWriter, req *http.Request) {
 	st, err := s.get(req.PathValue("id"), false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	sum := st.summary()
-	hull := sum.Hull()
-	vs := hull.Vertices()
+	qc := st.queries()
+	vs := qc.Hull().Vertices()
 	out := make([][2]float64, len(vs))
 	for i, v := range vs {
 		out[i] = [2]float64{v.X, v.Y}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"vertices": out, "area": hull.Area(), "perimeter": hull.Perimeter(), "n": sum.N(),
+		"vertices": out, "area": qc.Area(), "perimeter": qc.Perimeter(), "n": qc.N(),
 	})
 }
 
@@ -600,16 +650,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	hull := st.summary().Hull()
+	qc := st.queries()
 	switch qt := req.URL.Query().Get("type"); qt {
 	case "diameter":
-		d, pair := hull.Diameter()
+		d, pair := qc.Diameter()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"diameter": d,
 			"pair":     [][2]float64{{pair[0].X, pair[0].Y}, {pair[1].X, pair[1].Y}},
 		})
 	case "width":
-		wv, ang := hull.Width()
+		wv, ang := qc.Width()
 		writeJSON(w, http.StatusOK, map[string]any{"width": wv, "angle": ang})
 	case "extent":
 		theta, err := strconv.ParseFloat(req.URL.Query().Get("theta"), 64)
@@ -617,9 +667,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 			writeErr(w, http.StatusBadRequest, "invalid theta: %v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"theta": theta, "extent": hull.Extent(theta)})
+		writeJSON(w, http.StatusOK, map[string]any{"theta": theta, "extent": qc.Extent(theta)})
 	case "circle":
-		c, rad := hull.EnclosingCircle()
+		c, rad := qc.EnclosingCircle()
 		writeJSON(w, http.StatusOK, map[string]any{"center": [2]float64{c.X, c.Y}, "radius": rad})
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown query type %q", qt)
@@ -737,7 +787,9 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	ha, hb := sa.summary().Hull(), sb.summary().Hull()
+	// Pair answers combine two hulls, so they cannot be memoized behind a
+	// single stream's epoch — but both hull folds come from the caches.
+	ha, hb := sa.queries().Hull(), sb.queries().Hull()
 	switch qt := q.Get("type"); qt {
 	case "distance":
 		d, pair := streamhull.MinDistance(ha, hb)

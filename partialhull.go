@@ -2,6 +2,7 @@ package streamhull
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/partial"
@@ -11,9 +12,10 @@ import (
 // during a training prefix, then frozen. It exists to demonstrate why
 // continuous adaptation matters; prefer AdaptiveHull for real use.
 type PartialHull struct {
-	mu   sync.Mutex
-	h    *partial.Hull
-	spec Spec
+	mu    sync.Mutex
+	h     *partial.Hull
+	spec  Spec
+	epoch atomic.Uint64
 }
 
 // buildPartial constructs a partial summary from an already validated
@@ -45,6 +47,7 @@ func (s *PartialHull) Insert(p geom.Point) error {
 	}
 	s.mu.Lock()
 	s.h.Insert(p)
+	s.epoch.Add(1)
 	s.mu.Unlock()
 	return nil
 }
@@ -63,9 +66,13 @@ func (s *PartialHull) InsertBatch(pts []geom.Point) (int, error) {
 	for _, p := range pts {
 		s.h.Insert(p)
 	}
+	s.epoch.Add(1)
 	s.mu.Unlock()
 	return len(pts), nil
 }
+
+// Epoch returns the summary's mutation counter.
+func (s *PartialHull) Epoch() uint64 { return s.epoch.Load() }
 
 // Hull returns the current sampled convex hull.
 func (s *PartialHull) Hull() Polygon {

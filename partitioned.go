@@ -3,6 +3,7 @@ package streamhull
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/streamgeom/streamhull/geom"
 )
@@ -26,6 +27,7 @@ type Partitioned struct {
 	r       int
 	n       int
 	spec    Spec
+	epoch   atomic.Uint64
 }
 
 // buildPartitioned constructs a grid-partitioned summary from an
@@ -111,7 +113,11 @@ func (s *Partitioned) Insert(p geom.Point) error {
 	s.n++
 	region := s.regions[idx]
 	s.mu.Unlock()
-	return region.Insert(p)
+	if err := region.Insert(p); err != nil {
+		return err
+	}
+	s.epoch.Add(1)
+	return nil
 }
 
 // InsertBatch routes a batch to its regions in one partition pass: the
@@ -153,8 +159,12 @@ func (s *Partitioned) InsertBatch(pts []geom.Point) (int, error) {
 			return 0, err
 		}
 	}
+	s.epoch.Add(1)
 	return len(pts), nil
 }
+
+// Epoch returns the summary's mutation counter.
+func (s *Partitioned) Epoch() uint64 { return s.epoch.Load() }
 
 // N returns the number of stream points processed.
 func (s *Partitioned) N() int {

@@ -1,0 +1,164 @@
+package streamhull
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// QueryCache is an epoch-validated materialized view of one summary's
+// read path. The paper's whole pitch is that an O(r) sample answers
+// many extent queries; QueryCache makes the serving side match: the
+// folded hull and the §6 answers derived from it (diameter, width,
+// extent, enclosing circle, area) are computed once per summary epoch
+// and then served as plain loads, so steady-state reads are lock-free
+// O(1) instead of an O(r) hull fold plus an O(r) rotating-calipers run
+// per query — and, crucially, they no longer touch the summary's write
+// lock at all, so readers stop contending with ingest.
+//
+// Freshness: every answer reflects the summary at some epoch at or
+// after the last mutation the caller observed; one atomic epoch load
+// revalidates. Time-windowed summaries are the one exception to
+// lock-free: their state ages out with the clock, so each revalidation
+// drives expiry through the window's lock first (exactly what the
+// uncached read path did) — the derived answers are still memoized. Concurrent rebuilds may race after an insert — both
+// compute the same-epoch view and the last store wins — which costs a
+// duplicated fold, never a stale answer (the epoch is read before the
+// hull, so a view can only be stamped older than its contents, making
+// over-invalidation the failure mode, not staleness).
+//
+// A QueryCache is bound to one Summary instance for its lifetime; if a
+// stream swaps its live summary (the durable server re-bases on
+// checkpoints), install a fresh QueryCache alongside.
+type QueryCache struct {
+	sum Summary
+	cur atomic.Pointer[readView]
+}
+
+// readView is one epoch's materialized read state. The hull is folded
+// eagerly (every query needs it); the derived answers memoize lazily so
+// a stream that is only ever asked for diameters never pays for
+// enclosing circles.
+type readView struct {
+	epoch uint64
+	hull  Polygon
+	n     int
+
+	diamOnce sync.Once
+	diam     float64
+	diamPair [2]geom.Point
+
+	widthOnce  sync.Once
+	width      float64
+	widthAngle float64
+
+	circleOnce   sync.Once
+	circleCenter geom.Point
+	circleRadius float64
+
+	areaOnce  sync.Once
+	area      float64
+	perimeter float64
+
+	extent atomic.Pointer[extentMemo] // most recent extent query
+}
+
+type extentMemo struct {
+	theta  float64
+	extent float64
+}
+
+// NewQueryCache returns a cache serving reads for sum.
+func NewQueryCache(sum Summary) *QueryCache {
+	return &QueryCache{sum: sum}
+}
+
+// Summary returns the summary the cache serves.
+func (c *QueryCache) Summary() Summary { return c.sum }
+
+// expirer matches time-windowed summaries, whose state ages out with
+// the clock rather than only with inserts.
+type expirer interface {
+	ByTime() bool
+	Expire() int
+}
+
+// view returns the current materialized state, rebuilding it only when
+// the summary's epoch has moved since the last build.
+func (c *QueryCache) view() *readView {
+	// Time-windowed summaries mutate with the wall clock, not just with
+	// inserts: an idle window must still shrink. Drive expiry before
+	// revalidating — Expire advances the epoch exactly when buckets
+	// drop, so an unchanged window still reuses the cached view. This
+	// is the one summary kind whose reads touch its lock (as the
+	// uncached path always did); every other kind stays lock-free.
+	if w, ok := c.sum.(expirer); ok && w.ByTime() {
+		w.Expire()
+	}
+	// Epoch before hull: if a mutation lands in between, the view holds
+	// a hull newer than its stamp and the next read rebuilds — never the
+	// reverse.
+	e := c.sum.Epoch()
+	if v := c.cur.Load(); v != nil && v.epoch == e {
+		return v
+	}
+	v := &readView{epoch: e, hull: c.sum.Hull(), n: c.sum.N()}
+	c.cur.Store(v)
+	return v
+}
+
+// Hull returns the summary's hull, folded at most once per epoch.
+func (c *QueryCache) Hull() Polygon { return c.view().hull }
+
+// N returns the stream count as of the cached view.
+func (c *QueryCache) N() int { return c.view().n }
+
+// Diameter returns the hull diameter and its realizing vertex pair.
+func (c *QueryCache) Diameter() (float64, [2]geom.Point) {
+	v := c.view()
+	v.diamOnce.Do(func() { v.diam, v.diamPair = v.hull.Diameter() })
+	return v.diam, v.diamPair
+}
+
+// Width returns the hull width and its realizing direction.
+func (c *QueryCache) Width() (float64, float64) {
+	v := c.view()
+	v.widthOnce.Do(func() { v.width, v.widthAngle = v.hull.Width() })
+	return v.width, v.widthAngle
+}
+
+// EnclosingCircle returns the smallest enclosing circle of the hull.
+func (c *QueryCache) EnclosingCircle() (geom.Point, float64) {
+	v := c.view()
+	v.circleOnce.Do(func() { v.circleCenter, v.circleRadius = v.hull.EnclosingCircle() })
+	return v.circleCenter, v.circleRadius
+}
+
+// Area returns the hull area.
+func (c *QueryCache) Area() float64 {
+	v := c.view()
+	v.areaOnce.Do(func() { v.area, v.perimeter = v.hull.Area(), v.hull.Perimeter() })
+	return v.area
+}
+
+// Perimeter returns the hull perimeter.
+func (c *QueryCache) Perimeter() float64 {
+	v := c.view()
+	v.areaOnce.Do(func() { v.area, v.perimeter = v.hull.Area(), v.hull.Perimeter() })
+	return v.perimeter
+}
+
+// Extent returns the hull's directional extent at theta, memoizing the
+// most recent direction (dashboards poll the same few directions; a
+// changed theta recomputes from the cached hull, still without touching
+// the summary).
+func (c *QueryCache) Extent(theta float64) float64 {
+	v := c.view()
+	if m := v.extent.Load(); m != nil && m.theta == theta {
+		return m.extent
+	}
+	ext := v.hull.Extent(theta)
+	v.extent.Store(&extentMemo{theta: theta, extent: ext})
+	return ext
+}

@@ -1,0 +1,148 @@
+package streamhull_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// TestQueryCacheMatchesDirect: every cached answer equals the direct
+// computation on the same hull.
+func TestQueryCacheMatchesDirect(t *testing.T) {
+	s := streamhull.NewAdaptive(32)
+	if _, err := s.InsertBatch(workload.Take(workload.Ellipse(51, 1, 0.3, 0.4), 10000)); err != nil {
+		t.Fatal(err)
+	}
+	qc := streamhull.NewQueryCache(s)
+	hull := s.Hull()
+
+	d, pair := hull.Diameter()
+	cd, cpair := qc.Diameter()
+	if cd != d || cpair != pair {
+		t.Errorf("Diameter: cache (%g, %v), direct (%g, %v)", cd, cpair, d, pair)
+	}
+	w, ang := hull.Width()
+	cw, cang := qc.Width()
+	if cw != w || cang != ang {
+		t.Errorf("Width: cache (%g, %g), direct (%g, %g)", cw, cang, w, ang)
+	}
+	c, rad := hull.EnclosingCircle()
+	cc, crad := qc.EnclosingCircle()
+	if cc != c || crad != rad {
+		t.Errorf("EnclosingCircle: cache (%v, %g), direct (%v, %g)", cc, crad, c, rad)
+	}
+	for _, theta := range []float64{0, 0.7, math.Pi / 2, 0.7} {
+		if got, want := qc.Extent(theta), hull.Extent(theta); got != want {
+			t.Errorf("Extent(%g): cache %g, direct %g", theta, got, want)
+		}
+	}
+	if qc.Area() != hull.Area() || qc.Perimeter() != hull.Perimeter() {
+		t.Errorf("Area/Perimeter: cache (%g, %g), direct (%g, %g)",
+			qc.Area(), qc.Perimeter(), hull.Area(), hull.Perimeter())
+	}
+	if qc.N() != s.N() {
+		t.Errorf("N: cache %d, direct %d", qc.N(), s.N())
+	}
+}
+
+// TestQueryCacheInvalidatesOnMutation: answers refresh once the epoch
+// moves — a hull-changing insert must show up in the next query.
+func TestQueryCacheInvalidatesOnMutation(t *testing.T) {
+	s := streamhull.NewAdaptive(16)
+	qc := streamhull.NewQueryCache(s)
+	for _, p := range []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}} {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d1, _ := qc.Diameter()
+	if want := math.Sqrt2; math.Abs(d1-want) > 1e-12 {
+		t.Fatalf("diameter = %g, want √2", d1)
+	}
+	// Stretch the stream: the cache must pick the new extreme up.
+	if err := s.Insert(geom.Pt(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := qc.Diameter()
+	if d2 <= d1 {
+		t.Fatalf("diameter stayed %g after a stretching insert", d2)
+	}
+	if qc.N() != 5 {
+		t.Fatalf("cached n = %d, want 5", qc.N())
+	}
+}
+
+// TestQueryCacheWindowExpiry: a time-windowed stream's cached answers
+// shrink as buckets age out — the cache drives expiry itself on every
+// revalidation, so an IDLE stream with no sweeper and no inserts still
+// serves current window semantics, never the stale extreme.
+func TestQueryCacheWindowExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	w := streamhull.NewWindowedByTime(8, time.Minute, clock)
+	for i := 0; i < 50; i++ {
+		if err := w.Insert(geom.Pt(float64(i%7), float64(i%5))); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Second)
+	}
+	// One far-out transient extreme.
+	if err := w.Insert(geom.Pt(1000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	qc := streamhull.NewQueryCache(w)
+	d1, _ := qc.Diameter()
+	if d1 < 900 {
+		t.Fatalf("diameter = %g, want the transient extreme visible", d1)
+	}
+	// Advance past the window and query again with NO explicit Expire
+	// and no insert: the cache must notice the clock on its own.
+	now = now.Add(time.Hour)
+	d2, _ := qc.Diameter()
+	if d2 != 0 {
+		t.Fatalf("diameter = %g after the window elapsed, want 0 (stale cache)", d2)
+	}
+	if n := qc.Hull().Len(); n != 0 {
+		t.Fatalf("cached hull still has %d vertices after expiry", n)
+	}
+}
+
+// TestQueryCacheConcurrent: concurrent readers and a writer must not
+// race (run under -race) and reads must never observe torn answers.
+func TestQueryCacheConcurrent(t *testing.T) {
+	s := streamhull.NewAdaptive(16)
+	qc := streamhull.NewQueryCache(s)
+	pts := workload.Take(workload.Gaussian(52, geom.Point{}, 1), 2000)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(pts); i += 50 {
+			if _, err := s.InsertBatch(pts[i : i+50]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d, _ := qc.Diameter()
+				if math.IsNaN(d) || d < 0 {
+					t.Errorf("torn diameter %g", d)
+					return
+				}
+				_ = qc.Extent(0.3)
+				_, _ = qc.Width()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,314 @@
+package streamhull_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+var _ streamhull.Summary = (*streamhull.ShardedHull)(nil)
+
+func shardedSpec(shards int, inner streamhull.Spec) streamhull.Spec {
+	return streamhull.Spec{Kind: streamhull.KindSharded, Shards: shards, Inner: &inner}
+}
+
+// TestShardedExactMatchesUnsharded: with exact inner summaries the
+// merged hull must equal the exact hull of the whole stream — the hull
+// of a union is the hull of the per-part hulls, so sharding an exact
+// summary loses nothing.
+func TestShardedExactMatchesUnsharded(t *testing.T) {
+	pts := workload.Take(workload.Ellipse(41, 1, 0.4, 0.6), 5000)
+	ref := streamhull.NewExact()
+	sum, err := streamhull.NewSharded(4, streamhull.Spec{Kind: streamhull.KindExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pts); i += 125 {
+		b := pts[i : i+125]
+		if _, err := ref.InsertBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sum.InsertBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sum.N() != ref.N() {
+		t.Fatalf("sharded n = %d, want %d", sum.N(), ref.N())
+	}
+	got, want := sum.Hull().Vertices(), ref.Hull().Vertices()
+	if len(got) != len(want) {
+		t.Fatalf("sharded exact hull has %d vertices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedAdaptiveApproximation: a sharded adaptive summary stays an
+// inner approximation (its hull is contained in the exact hull) and its
+// error stays small — each shard carries the O(D/r²) guarantee for its
+// own subset.
+func TestShardedAdaptiveApproximation(t *testing.T) {
+	pts := workload.Take(workload.Disk(42, geom.Point{}, 1), 20000)
+	exact := streamhull.NewExact()
+	sum, err := streamhull.NewSharded(4, streamhull.Spec{Kind: streamhull.KindAdaptive, R: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pts); i += 250 {
+		b := pts[i : i+250]
+		if _, err := exact.InsertBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sum.InsertBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hull, truth := sum.Hull(), exact.Hull()
+	for _, v := range hull.Vertices() {
+		if !truth.Contains(v) && truth.DistToPoint(v) > 1e-9 {
+			t.Fatalf("sharded hull vertex %v outside the exact hull by %g", v, truth.DistToPoint(v))
+		}
+	}
+	// Every stream point must be near the merged hull: the unit disk has
+	// D = 2, and r = 32 leaves generous slack for the per-shard bound.
+	worst := 0.0
+	for _, p := range pts {
+		if d := hull.DistToPoint(p); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("max distance outside sharded hull = %g, want < 0.05", worst)
+	}
+	if ss := sum.SampleSize(); ss > 4*(2*32+1) {
+		t.Fatalf("sample size %d exceeds shards×(2r+1)", ss)
+	}
+}
+
+// TestShardedRoundRobinDeal: serialized batches rotate across shards,
+// so the per-shard counts are balanced and sum to N.
+func TestShardedRoundRobinDeal(t *testing.T) {
+	sum, err := streamhull.NewSharded(3, streamhull.Spec{Kind: streamhull.KindAdaptive, R: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := workload.Take(workload.Gaussian(43, geom.Point{}, 1), 700)
+	for i := 0; i < 7; i++ {
+		if _, err := sum.InsertBatch(pts[i*100 : (i+1)*100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sum.N() != 700 {
+		t.Fatalf("n = %d, want 700", sum.N())
+	}
+	total := 0
+	for i := 0; i < sum.Shards(); i++ {
+		total += sum.ShardN(i)
+	}
+	if total != 700 {
+		t.Fatalf("shard counts sum to %d, want 700", total)
+	}
+	// 7 batches over 3 shards: 3, 2, 2 in rotation order.
+	for i, want := range []int{300, 200, 200} {
+		if got := sum.ShardN(i); got != want {
+			t.Errorf("shard %d holds %d points, want %d", i, got, want)
+		}
+	}
+}
+
+// TestShardedConcurrentIngest: parallel InsertBatch callers must not
+// race (run under -race in CI) and must not lose points.
+func TestShardedConcurrentIngest(t *testing.T) {
+	sum, err := streamhull.NewSharded(4, streamhull.Spec{Kind: streamhull.KindAdaptive, R: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := workload.Take(workload.Gaussian(44, geom.Point{}, 1), 8000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				b := pts[(w*10+i)*100 : (w*10+i+1)*100]
+				if _, err := sum.InsertBatch(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers against the writers.
+	for rdr := 0; rdr < 2; rdr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = sum.Hull()
+				_ = sum.Epoch()
+				_ = sum.SampleSize()
+			}
+		}()
+	}
+	wg.Wait()
+	if sum.N() != 8000 {
+		t.Fatalf("n = %d after concurrent ingest, want 8000", sum.N())
+	}
+}
+
+// TestShardedRejectsBadBatch: a batch with a non-finite point is
+// rejected whole — nothing applied, rotation not advanced.
+func TestShardedRejectsBadBatch(t *testing.T) {
+	sum, err := streamhull.NewSharded(2, streamhull.Spec{Kind: streamhull.KindAdaptive, R: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), {X: 2, Y: math.NaN()}}
+	if _, err := sum.InsertBatch(bad); err == nil {
+		t.Fatal("non-finite batch accepted")
+	}
+	if sum.N() != 0 || sum.SampleSize() != 0 || sum.Epoch() != 0 {
+		t.Fatalf("rejected batch mutated the summary: n=%d ss=%d epoch=%d",
+			sum.N(), sum.SampleSize(), sum.Epoch())
+	}
+	// The rotation must not have advanced: the next good batch goes to
+	// shard 0.
+	if _, err := sum.InsertBatch([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.ShardN(0) != 2 {
+		t.Fatalf("shard 0 holds %d points after first good batch, want 2", sum.ShardN(0))
+	}
+}
+
+// TestShardedSnapshotRestore: snapshot → binary → restore round-trips
+// the spec and stream count, and the restored hull covers the snapshot
+// hull (the restore re-deals the sample points, which cannot shrink it
+// past the sample's own hull).
+func TestShardedSnapshotRestore(t *testing.T) {
+	sum, err := streamhull.NewSharded(4, streamhull.Spec{Kind: streamhull.KindAdaptive, R: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := workload.Take(workload.Ellipse(45, 1, 0.5, 0.2), 4000)
+	for i := 0; i < len(pts); i += 200 {
+		if _, err := sum.InsertBatch(pts[i : i+200]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sum.Snapshot()
+	if snap.Kind != "sharded" || snap.N != 4000 || snap.Spec == nil {
+		t.Fatalf("snapshot head = kind %q n %d spec %v", snap.Kind, snap.N, snap.Spec)
+	}
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back streamhull.Snapshot
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := streamhull.SummaryFromSnapshot(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != sum.N() {
+		t.Fatalf("restored n = %d, want %d", restored.N(), sum.N())
+	}
+	rs, ok := restored.(*streamhull.ShardedHull)
+	if !ok {
+		t.Fatalf("restored summary is %T, want *ShardedHull", restored)
+	}
+	if rs.Shards() != 4 {
+		t.Fatalf("restored fan-out = %d, want 4", rs.Shards())
+	}
+	// The restore re-ingests the snapshot's sample through fresh
+	// adaptive shards, which re-sample it: the result stays within the
+	// documented two-level O(D/r²) error of the snapshot's own hull
+	// (D ≈ 2 here), not bit-identical to it.
+	want := back.Hull()
+	for _, v := range want.Vertices() {
+		if d := restored.Hull().DistToPoint(v); d > 0.05 {
+			t.Fatalf("restored hull misses snapshot vertex %v by %g", v, d)
+		}
+	}
+}
+
+// TestShardedSnapshotExactInner: exact shards have no sample
+// directions; their hull vertices still travel in the snapshot.
+func TestShardedSnapshotExactInner(t *testing.T) {
+	sum, err := streamhull.NewSharded(2, streamhull.Spec{Kind: streamhull.KindExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := workload.Take(workload.Disk(46, geom.Point{}, 1), 1000)
+	for i := 0; i < len(pts); i += 100 {
+		if _, err := sum.InsertBatch(pts[i : i+100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sum.Snapshot()
+	if len(snap.Points) == 0 || len(snap.Angles) != len(snap.Points) {
+		t.Fatalf("snapshot has %d angles, %d points", len(snap.Angles), len(snap.Points))
+	}
+	restored, err := streamhull.SummaryFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != 1000 {
+		t.Fatalf("restored n = %d, want 1000", restored.N())
+	}
+}
+
+// TestEpochAdvancesOnMutation: every kind's epoch moves on insert and
+// holds still on reads.
+func TestEpochAdvancesOnMutation(t *testing.T) {
+	for _, spec := range []streamhull.Spec{
+		{Kind: streamhull.KindAdaptive, R: 8},
+		{Kind: streamhull.KindUniform, R: 8},
+		{Kind: streamhull.KindExact},
+		{Kind: streamhull.KindPartial, R: 8, TrainN: 10},
+		{Kind: streamhull.KindWindowed, R: 8, Window: "100"},
+		{Kind: streamhull.KindPartitioned, R: 8,
+			Grid: &streamhull.GridSpec{Cols: 2, Rows: 2, MinX: -2, MinY: -2, MaxX: 2, MaxY: 2}},
+		shardedSpec(2, streamhull.Spec{Kind: streamhull.KindAdaptive, R: 8}),
+	} {
+		t.Run(string(spec.Kind), func(t *testing.T) {
+			sum, err := streamhull.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Epoch() != 0 {
+				t.Fatalf("fresh epoch = %d", sum.Epoch())
+			}
+			before := sum.Epoch()
+			if err := sum.Insert(geom.Pt(1, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if sum.Epoch() <= before {
+				t.Fatalf("epoch did not advance on Insert: %d → %d", before, sum.Epoch())
+			}
+			mid := sum.Epoch()
+			if _, err := sum.InsertBatch([]geom.Point{geom.Pt(-1, 0), geom.Pt(0, 1)}); err != nil {
+				t.Fatal(err)
+			}
+			if sum.Epoch() <= mid {
+				t.Fatalf("epoch did not advance on InsertBatch: %d → %d", mid, sum.Epoch())
+			}
+			after := sum.Epoch()
+			_ = sum.Hull()
+			_ = sum.SampleSize()
+			_ = sum.N()
+			if sum.Epoch() != after {
+				t.Fatalf("reads moved the epoch: %d → %d", after, sum.Epoch())
+			}
+		})
+	}
+}

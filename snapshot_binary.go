@@ -16,7 +16,7 @@ import (
 //
 //	magic   uint32  "SHS1" (0x53485331) or "SHS2" (0x53485332)
 //	kind    uint8   0 = adaptive, 1 = uniform, 2 = exact, 3 = windowed,
-//	                4 = partial, 5 = partitioned
+//	                4 = partial, 5 = partitioned, 6 = sharded
 //	r       uint32
 //	n       uint64  stream points summarized
 //	[v2 only] speclen uint32, speclen bytes of spec JSON
@@ -34,9 +34,11 @@ const (
 
 var kindCodes = map[string]uint8{
 	"adaptive": 0, "uniform": 1, "exact": 2, "windowed": 3, "partial": 4, "partitioned": 5,
+	"sharded": 6,
 }
 var kindNames = map[uint8]string{
 	0: "adaptive", 1: "uniform", 2: "exact", 3: "windowed", 4: "partial", 5: "partitioned",
+	6: "sharded",
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.

@@ -149,9 +149,10 @@ func NewWindowedFromSnapshot(s Snapshot) (*WindowedHull, error) {
 }
 
 // SummaryFromSnapshot rebuilds the summary a snapshot came from,
-// dispatching on its kind. Windowed restores are approximate (see
-// NewWindowedFromSnapshot); exact, partial and partitioned summaries
-// have no snapshot form at all.
+// dispatching on its kind. Windowed and sharded restores are
+// approximate (see NewWindowedFromSnapshot, NewShardedFromSnapshot);
+// exact, partial and partitioned summaries have no snapshot form at
+// all.
 func SummaryFromSnapshot(s Snapshot) (Summary, error) {
 	switch s.Kind {
 	case "adaptive":
@@ -160,6 +161,8 @@ func SummaryFromSnapshot(s Snapshot) (Summary, error) {
 		return NewUniformFromSnapshot(s)
 	case "windowed":
 		return NewWindowedFromSnapshot(s)
+	case "sharded":
+		return NewShardedFromSnapshot(s)
 	default:
 		return nil, fmt.Errorf("streamhull: snapshot kind %q cannot be restored", s.Kind)
 	}

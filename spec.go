@@ -53,12 +53,22 @@ type Spec struct {
 	// Grid is the spatial partition of the plane. Required for (and
 	// exclusive to) partitioned summaries.
 	Grid *GridSpec `json:"grid,omitempty"`
+
+	// Shards is the parallel-ingest fan-out: the stream is dealt
+	// round-robin across this many independent sub-summaries, each with
+	// its own lock, and reads merge the shard hulls. Required for (and
+	// exclusive to) sharded summaries.
+	Shards int `json:"shards,omitempty"`
+	// Inner describes each shard's sub-summary. Required for (and
+	// exclusive to) sharded summaries; the inner kind must be adaptive,
+	// uniform, or exact (the mergeable lifetime kinds).
+	Inner *Spec `json:"inner,omitempty"`
 }
 
 // Kind names a summary algorithm.
 type Kind string
 
-// The six summary kinds.
+// The seven summary kinds.
 const (
 	KindAdaptive    Kind = "adaptive"    // §4–§5 adaptive sampling, the flagship
 	KindUniform     Kind = "uniform"     // §3 uniformly sampled baseline
@@ -66,11 +76,12 @@ const (
 	KindPartial     Kind = "partial"     // §7 train-then-freeze comparator
 	KindWindowed    Kind = "windowed"    // sliding-window EH of adaptive buckets
 	KindPartitioned Kind = "partitioned" // §8 per-region adaptive hulls
+	KindSharded     Kind = "sharded"     // round-robin fan-out over mergeable sub-summaries
 )
 
 // Kinds lists every valid summary kind.
 func Kinds() []Kind {
-	return []Kind{KindAdaptive, KindUniform, KindExact, KindPartial, KindWindowed, KindPartitioned}
+	return []Kind{KindAdaptive, KindUniform, KindExact, KindPartial, KindWindowed, KindPartitioned, KindSharded}
 }
 
 // GridSpec is a uniform cols×rows partition of the rectangle
@@ -96,6 +107,10 @@ const (
 	// MaxGridCells is the largest accepted cols×rows product for a
 	// partitioned summary (each cell owns an O(r) adaptive summary).
 	MaxGridCells = 1 << 16
+	// MaxShards is the largest accepted fan-out for a sharded summary
+	// (each shard owns an O(r) sub-summary and its own lock; far past
+	// any core count, lock contention is long gone).
+	MaxShards = 1 << 10
 )
 
 func (g *GridSpec) validate() error {
@@ -143,7 +158,7 @@ func parseWindow(spec string) (count int, dur time.Duration, err error) {
 // here, so Validate == nil implies New succeeds.
 func (s Spec) Validate() error {
 	switch s.Kind {
-	case KindAdaptive, KindUniform, KindExact, KindPartial, KindWindowed, KindPartitioned:
+	case KindAdaptive, KindUniform, KindExact, KindPartial, KindWindowed, KindPartitioned, KindSharded:
 	case "":
 		return fmt.Errorf("streamhull: spec has no kind")
 	default:
@@ -163,6 +178,10 @@ func (s Spec) Validate() error {
 	case KindExact:
 		if s.R != 0 {
 			return fmt.Errorf("streamhull: exact summary has no sample parameter (r = %d)", s.R)
+		}
+	case KindSharded:
+		if s.R != 0 {
+			return fmt.Errorf("streamhull: sharded summary has no sample parameter of its own (r = %d belongs in the inner spec)", s.R)
 		}
 	}
 	if s.R > MaxR {
@@ -220,6 +239,31 @@ func (s Spec) Validate() error {
 		}
 		if err := s.Grid.validate(); err != nil {
 			return err
+		}
+	}
+	if s.Shards != 0 && s.Kind != KindSharded {
+		return fmt.Errorf("streamhull: shards applies only to sharded summaries, not %s", s.Kind)
+	}
+	if s.Inner != nil && s.Kind != KindSharded {
+		return fmt.Errorf("streamhull: inner applies only to sharded summaries, not %s", s.Kind)
+	}
+	if s.Kind == KindSharded {
+		if s.Shards < 1 {
+			return fmt.Errorf("streamhull: sharded summary requires shards ≥ 1, got %d", s.Shards)
+		}
+		if s.Shards > MaxShards {
+			return fmt.Errorf("streamhull: shards = %d exceeds %d", s.Shards, MaxShards)
+		}
+		if s.Inner == nil {
+			return fmt.Errorf("streamhull: sharded spec requires an inner spec for its sub-summaries")
+		}
+		switch s.Inner.Kind {
+		case KindAdaptive, KindUniform, KindExact:
+		default:
+			return fmt.Errorf("streamhull: sharded inner kind must be adaptive, uniform, or exact, got %q", s.Inner.Kind)
+		}
+		if err := s.Inner.Validate(); err != nil {
+			return fmt.Errorf("streamhull: sharded inner spec: %w", err)
 		}
 	}
 	return nil
@@ -309,6 +353,8 @@ func New(spec Spec) (Summary, error) {
 		return buildWindowed(spec, nil)
 	case KindPartitioned:
 		return buildPartitioned(spec), nil
+	case KindSharded:
+		return buildSharded(spec)
 	default:
 		// Unreachable after Validate.
 		return nil, fmt.Errorf("streamhull: unknown summary kind %q", spec.Kind)
@@ -316,17 +362,22 @@ func New(spec Spec) (Summary, error) {
 }
 
 // equalSpec reports whether two specs describe the same summary
-// (comparing Grid by value, not pointer).
+// (comparing Grid and Inner by value, not pointer).
 func equalSpec(a, b Spec) bool {
 	ga, gb := a.Grid, b.Grid
+	ia, ib := a.Inner, b.Inner
 	a.Grid, b.Grid = nil, nil
+	a.Inner, b.Inner = nil, nil
 	if a != b {
 		return false
 	}
-	if (ga == nil) != (gb == nil) {
+	if (ga == nil) != (gb == nil) || (ia == nil) != (ib == nil) {
 		return false
 	}
-	return ga == nil || *ga == *gb
+	if ga != nil && *ga != *gb {
+		return false
+	}
+	return ia == nil || equalSpec(*ia, *ib)
 }
 
 // specJSONPrefix reports whether data plausibly starts a JSON object —

@@ -22,6 +22,8 @@ func validSpecs() []Spec {
 		{Kind: KindWindowed, R: 8, Window: "30s"},
 		{Kind: KindPartitioned, R: 8,
 			Grid: &GridSpec{Cols: 2, Rows: 3, MinX: -1, MinY: -1, MaxX: 1, MaxY: 1}},
+		{Kind: KindSharded, Shards: 4, Inner: &Spec{Kind: KindAdaptive, R: 16}},
+		{Kind: KindSharded, Shards: 2, Inner: &Spec{Kind: KindExact}},
 	}
 }
 
@@ -98,6 +100,16 @@ func TestSpecValidationErrors(t *testing.T) {
 			Grid: &GridSpec{Cols: 2, Rows: 2, MinX: 1, MinY: 0, MaxX: 0, MaxY: 1}}},
 		{"zero grid cells", Spec{Kind: KindPartitioned, R: 8,
 			Grid: &GridSpec{Cols: 0, Rows: 2, MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}},
+		{"sharded without inner", Spec{Kind: KindSharded, Shards: 4}},
+		{"sharded without shards", Spec{Kind: KindSharded, Inner: &Spec{Kind: KindAdaptive, R: 16}}},
+		{"sharded with own r", Spec{Kind: KindSharded, R: 16, Shards: 4, Inner: &Spec{Kind: KindAdaptive, R: 16}}},
+		{"sharded too wide", Spec{Kind: KindSharded, Shards: MaxShards + 1, Inner: &Spec{Kind: KindAdaptive, R: 16}}},
+		{"sharded windowed inner", Spec{Kind: KindSharded, Shards: 4, Inner: &Spec{Kind: KindWindowed, R: 8, Window: "100"}}},
+		{"sharded nested sharded", Spec{Kind: KindSharded, Shards: 2,
+			Inner: &Spec{Kind: KindSharded, Shards: 2, Inner: &Spec{Kind: KindAdaptive, R: 16}}}},
+		{"sharded invalid inner", Spec{Kind: KindSharded, Shards: 4, Inner: &Spec{Kind: KindAdaptive, R: 2}}},
+		{"shards on adaptive", Spec{Kind: KindAdaptive, R: 16, Shards: 4}},
+		{"inner on adaptive", Spec{Kind: KindAdaptive, R: 16, Inner: &Spec{Kind: KindAdaptive, R: 16}}},
 	}
 	for _, c := range cases {
 		if err := c.spec.Validate(); err == nil {

@@ -79,6 +79,17 @@ type Summary interface {
 	// NewFixedDirections reports a uniform spec that loses the custom
 	// angles — everything built through New itself round-trips exactly.
 	Spec() Spec
+	// Epoch returns a cheap monotone mutation counter: it advances on
+	// every state change (inserts; window expiry too) and holds still
+	// otherwise, so a reader can cache derived answers — the hull, its
+	// diameter — and revalidate with one atomic load instead of
+	// recomputing (see QueryCache). An unchanged epoch means unchanged
+	// answers; the converse need not hold (an insert that adds an
+	// interior point advances the epoch without moving the hull).
+	// Implementations advance the counter before releasing the lock the
+	// mutation held, so a Hull() call observing epoch e reflects at
+	// least the mutations counted by e.
+	Epoch() uint64
 }
 
 // checkFinite validates a stream point.

@@ -2,6 +2,7 @@ package streamhull
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/fixeddir"
@@ -12,8 +13,9 @@ import (
 // extrema in r evenly spaced directions, Θ(D/r) hull error. It is the
 // baseline the adaptive summary improves on by an order of magnitude.
 type UniformHull struct {
-	mu sync.Mutex
-	h  *fixeddir.Hull
+	mu    sync.Mutex
+	h     *fixeddir.Hull
+	epoch atomic.Uint64
 }
 
 // buildUniform constructs a uniform summary from an already validated
@@ -55,6 +57,7 @@ func (s *UniformHull) Insert(p geom.Point) error {
 	}
 	s.mu.Lock()
 	s.h.Insert(p)
+	s.epoch.Add(1)
 	s.mu.Unlock()
 	return nil
 }
@@ -76,9 +79,13 @@ func (s *UniformHull) InsertBatch(pts []geom.Point) (int, error) {
 		s.h.Insert(p)
 	}
 	s.h.SetN(n + len(pts))
+	s.epoch.Add(1)
 	s.mu.Unlock()
 	return len(pts), nil
 }
+
+// Epoch returns the summary's mutation counter.
+func (s *UniformHull) Epoch() uint64 { return s.epoch.Load() }
 
 // Hull returns the current sampled convex hull.
 func (s *UniformHull) Hull() Polygon {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/streamgeom/streamhull/geom"
@@ -43,6 +44,7 @@ type WindowedHull struct {
 	spec   Spec
 	cached bool
 	hull   Polygon
+	epoch  atomic.Uint64
 }
 
 // coreSub adapts internal/core's adaptive hull to the per-bucket
@@ -194,6 +196,7 @@ func (s *WindowedHull) ByTime() bool { return s.maxAge > 0 }
 func (s *WindowedHull) expireLocked() {
 	if s.eh.ByTime() && s.eh.Expire() > 0 {
 		s.cached = false
+		s.epoch.Add(1)
 	}
 }
 
@@ -209,6 +212,7 @@ func (s *WindowedHull) Insert(p geom.Point) error {
 	s.mu.Lock()
 	s.eh.Insert(p)
 	s.cached = false
+	s.epoch.Add(1)
 	s.mu.Unlock()
 	return nil
 }
@@ -230,9 +234,14 @@ func (s *WindowedHull) InsertBatch(pts []geom.Point) (int, error) {
 	s.mu.Lock()
 	s.eh.InsertBatch(pts)
 	s.cached = false
+	s.epoch.Add(1)
 	s.mu.Unlock()
 	return len(pts), nil
 }
+
+// Epoch returns the summary's mutation counter; window expiry advances
+// it too, so cached reads of a time window refresh as buckets age out.
+func (s *WindowedHull) Epoch() uint64 { return s.epoch.Load() }
 
 // Hull returns the convex hull of the window's live samples. Time-based
 // windows expire stale buckets first, so the hull is current even on an
@@ -299,6 +308,7 @@ func (s *WindowedHull) Expire() int {
 	dropped := s.eh.Expire()
 	if dropped > 0 {
 		s.cached = false
+		s.epoch.Add(1)
 	}
 	return dropped
 }
