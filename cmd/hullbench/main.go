@@ -13,6 +13,7 @@
 //	hullbench -durable            # WAL ingest overhead vs in-memory
 //	hullbench -batch              # InsertBatch (hull-prefiltered) vs Insert
 //	hullbench -serve              # sharded + cached serving under mixed load
+//	hullbench -fanin              # multi-node fan-in error vs push interval
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		durable    = flag.Bool("durable", false, "durable-ingest overhead: WAL append + insert vs in-memory insert")
 		batch      = flag.Bool("batch", false, "batch-first ingest: hull-prefiltered InsertBatch vs per-point Insert")
 		serve      = flag.Bool("serve", false, "mixed read/write serving: sharded ingest + epoch-cached queries over the HTTP handler")
+		faninF     = flag.Bool("fanin", false, "continuous multi-node fan-in: aggregate error vs push interval and source count")
 		n          = flag.Int("n", 100000, "stream length per experiment")
 		r          = flag.Int("r", 16, "adaptive sample parameter (uniform uses 2r)")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -45,7 +47,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed && !*durable && !*batch && !*serve {
+	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed && !*durable && !*batch && !*serve && !*faninF {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -130,6 +132,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(experiments.FormatServe(rows))
+		fmt.Println()
+	}
+	if *all || *faninF {
+		fmt.Println("=== Continuous fan-in (aggregate error vs push interval and source count) ===")
+		// A pure drift stream (no bursts), so the newest points are always
+		// the extreme ones: the stale aggregate lags the drift by however
+		// many points each source holds back, which is exactly what the
+		// push interval trades away.
+		driftGen := func(s int64) workload.Generator {
+			return workload.DriftBurst(s, 1, geom.Pt(0.001, 0), *n, 0, 0)
+		}
+		rows, err := experiments.FanInSweep(driftGen, *n,
+			[]int{2, 4, 8}, []int{512, 2048, 8192}, *r, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fanin sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatFanIn(rows))
 		fmt.Println()
 	}
 }

@@ -10,6 +10,7 @@
 //	hullcli -r 32 -shards 4 < points.csv
 //	hullcli -spec '{"kind":"windowed","r":32,"window":"10000"}' < points.csv
 //	hullcli replay -dir /var/lib/hullserver/mystream -query diameter
+//	hullcli push -to http://agg:8080 -stream clicks -source node7 < points.csv
 //
 // The flags compile down to a streamhull.Spec; -spec supplies one
 // directly as JSON (overriding -algo/-r/-window) and can describe every
@@ -27,13 +28,20 @@
 // checkpoint first, then the log tail, tolerating a record torn by a
 // crash. It answers the same queries, so a stream can be inspected
 // offline — or salvaged from a dead server's disk.
+//
+// The push subcommand summarizes stdin the same way, then pushes the
+// O(r) snapshot to a fan-in aggregate stream on an upstream hullserver
+// (creating it on first contact) — the scriptable one-shot counterpart
+// of hullserver's -push-to follower loop.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -41,11 +49,16 @@ import (
 
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/fanin"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "replay" {
 		runReplay(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "push" {
+		runPush(os.Args[2:])
 		return
 	}
 	var (
@@ -64,13 +77,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	consumeStdin(sum)
+	report(sum, *window, *queries, *theta, *hull)
+}
 
-	// Points are fed through the batch path: InsertBatch validates each
-	// chunk atomically and prefilters it to its convex hull, so a dense
-	// stream costs far less than per-line Inserts would. Time-windowed
-	// summaries are the exception — their semantics depend on each
-	// point's arrival time, which buffering would quantize to flush
-	// instants — so they keep the per-line Insert.
+// consumeStdin feeds the stdin point stream into sum, exiting with the
+// offending line on bad input. Points are fed through the batch path:
+// InsertBatch validates each chunk atomically and prefilters it to its
+// convex hull, so a dense stream costs far less than per-line Inserts
+// would. Time-windowed summaries are the exception — their semantics
+// depend on each point's arrival time, which buffering would quantize
+// to flush instants — so they keep the per-line Insert.
+func consumeStdin(sum streamhull.Summary) {
 	batchSize := 1024
 	if wh, ok := sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
 		batchSize = 1
@@ -114,8 +132,57 @@ func main() {
 		log.Fatalf("reading stdin: %v", err)
 	}
 	flush()
+}
 
-	report(sum, *window, *queries, *theta, *hull)
+// runPush summarizes stdin like the main command, then pushes the
+// summary's snapshot to a fan-in aggregate stream on an upstream
+// hullserver — a one-shot, scriptable version of hullserver's -push-to
+// follower loop (cron jobs, batch exports, ad-hoc backfills).
+func runPush(args []string) {
+	fs := flag.NewFlagSet("hullcli push", flag.ExitOnError)
+	var (
+		to     = fs.String("to", "", "aggregator base URL (e.g. http://agg:8080)")
+		stream = fs.String("stream", "", "aggregate stream id on the upstream server")
+		source = fs.String("source", "", "source name this contribution is keyed by")
+		epoch  = fs.Uint64("epoch", 0, "push epoch (0 = wall-clock nanoseconds; must increase across pushes for one source)")
+		algo   = fs.String("algo", "adaptive", "summary: adaptive, uniform, or exact")
+		r      = fs.Int("r", 32, "sample parameter")
+		window = fs.String("window", "", "sliding window: a point count or a duration")
+		shards = fs.Int("shards", 1, "fan the summary out over this many shards")
+		spec   = fs.String("spec", "", "summary spec JSON (overrides -algo/-r/-window/-shards)")
+	)
+	_ = fs.Parse(args)
+	if *to == "" || *stream == "" || *source == "" {
+		log.Fatal("push: need -to, -stream and -source")
+	}
+	sum, err := newSummary(*algo, *r, *window, *spec, *shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consumeStdin(sum)
+	sn, ok := sum.(streamhull.Snapshotter)
+	if !ok {
+		log.Fatalf("push: summary kind %q has no snapshot form", sum.Spec().Kind)
+	}
+	snap := sn.Snapshot()
+	data, err := snap.Encode()
+	if err != nil {
+		log.Fatalf("push: encoding snapshot: %v", err)
+	}
+	e := *epoch
+	if e == 0 {
+		e = uint64(time.Now().UnixNano())
+	}
+	ctx := context.Background()
+	client := &http.Client{Timeout: 10 * time.Second}
+	if err := fanin.EnsureAggregate(ctx, client, *to, *stream, snap.R); err != nil {
+		log.Fatal(err)
+	}
+	if err := fanin.Push(ctx, client, *to, *stream, *source, e, data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pushed %s as source %q epoch %d: %d points summarized, %d sample points\n",
+		*stream, *source, e, snap.N, len(snap.Points))
 }
 
 // runReplay rebuilds a summary from a WAL directory and reports on it.

@@ -144,6 +144,10 @@ func TestNewSummary(t *testing.T) {
 		{"", "", `{"kind":"partial","r":8,"train_n":50}`, 1, true},
 		{"", "", `{"kind":"partitioned","r":8,"grid":{"cols":2,"rows":2,"min_x":0,"min_y":0,"max_x":1,"max_y":1}}`, 1, true},
 		{"", "", `{"kind":"sharded","shards":4,"inner":{"kind":"adaptive","r":16}}`, 1, true},
+		// Fan-in aggregates are constructible (to inspect their merge
+		// behavior offline) but reject stdin ingest; the CLI only builds
+		// them via an explicit -spec.
+		{"", "", `{"kind":"fanin","r":16}`, 1, true},
 		{"", "", `{"kind":"adaptive"}`, 1, false},
 		{"", "", `{"kind":"nope","r":8}`, 1, false},
 		{"", "", `not json`, 1, false},

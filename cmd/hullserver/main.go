@@ -16,11 +16,20 @@
 // ingest in parallel) and reads merge the shard hulls. -shards wraps
 // -r's adaptive summary, or whatever -default-spec names.
 //
+// With -push-to the server additionally runs as a fan-in follower:
+// every -push-every it snapshots each of its streams (O(r) bytes each)
+// and pushes the deltas to the same-named aggregate streams on the
+// upstream server, tagged with -push-source and a wall-clock epoch —
+// so the aggregator can drop a stale contribution when this follower
+// restarts and re-syncs. The aggregate streams are created (kind
+// "fanin") on first contact.
+//
 // Usage:
 //
 //	hullserver -addr :8080 -r 32
 //	hullserver -addr :8080 -shards 8
 //	hullserver -addr :8080 -data /var/lib/hullserver -fsync always
+//	hullserver -addr :8081 -push-to http://agg:8080 -push-every 5s -push-source node1
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"time"
 
 	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/internal/fanin"
 	"github.com/streamgeom/streamhull/internal/server"
 	"github.com/streamgeom/streamhull/internal/wal"
 )
@@ -51,6 +61,9 @@ func main() {
 		fsync    = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or none")
 		fsyncInt = flag.Duration("fsync-interval", 50*time.Millisecond, "fsync timer period for -fsync interval")
 		ckpt     = flag.Int("checkpoint", 65536, "points ingested per stream between snapshot checkpoints")
+		pushTo   = flag.String("push-to", "", "aggregator base URL: run as a fan-in follower pushing snapshot deltas upstream")
+		pushInt  = flag.Duration("push-every", 5*time.Second, "push period for -push-to")
+		pushSrc  = flag.String("push-source", "", "source name for -push-to (default hostname+addr)")
 	)
 	flag.Parse()
 
@@ -93,6 +106,29 @@ func main() {
 	// WAL-flushing shutdown as a ^C.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pushTo != "" {
+		source := *pushSrc
+		if source == "" {
+			// Stable across restarts (the epoch rules depend on that) and
+			// unique per follower process on a shared host.
+			hn, err := os.Hostname()
+			if err != nil {
+				hn = "follower"
+			}
+			source = hn + *addr
+		}
+		pusher, err := fanin.NewPusher(fanin.PusherConfig{
+			Target: *pushTo, Source: source, Interval: *pushInt,
+			Collect: api.StreamSnapshots, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("-push-to: %v", err)
+		}
+		go pusher.Run(ctx)
+		log.Printf("fan-in follower: pushing snapshot deltas to %s every %v as source %q",
+			*pushTo, *pushInt, source)
+	}
 
 	go func() {
 		<-ctx.Done()

@@ -1,0 +1,167 @@
+package streamhull
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/fanin"
+)
+
+// ErrFanInIngest is returned when points are inserted directly into a
+// fan-in aggregate: an aggregate is fed by source-tagged snapshot
+// pushes, not by its own point stream.
+var ErrFanInIngest = errors.New("streamhull: fan-in aggregate accepts snapshot pushes, not direct point ingest")
+
+// ErrStaleEpoch is returned by FanInHull.Push when a push carries an
+// epoch older than the source's last accepted one.
+var ErrStaleEpoch = fanin.ErrStaleEpoch
+
+// FanInHull is the continuous multi-node version of MergeSnapshots: an
+// aggregate summary fed by per-source snapshot pushes instead of a point
+// stream. Each source's latest accepted snapshot is held whole (see
+// internal/fanin.Table), stamped with the source's push epoch; a push
+// with an older epoch is rejected, and a newer one replaces the source's
+// previous contribution entirely — so a follower that lagged, crashed
+// mid-push, or restarted re-syncs by simply pushing again with a higher
+// epoch, and its stale contribution vanishes rather than poisoning the
+// aggregate.
+//
+// Reads re-merge the live contributions exactly as a one-shot
+// MergeSnapshots of the same snapshots would: the sample points are
+// streamed, in deterministic source-name order, through a fresh adaptive
+// summary with the aggregate's parameter r. The merge is rebuilt lazily,
+// at most once per accepted mutation, so steady-state reads are as cheap
+// as any other summary's. The usual two-level error applies: each
+// source's own O(D/r²) plus the merge's.
+//
+// A FanInHull satisfies Summary so the serving stack (query caching,
+// hull and extent endpoints, pair queries) works on aggregates
+// unchanged — but Insert and InsertBatch return ErrFanInIngest; points
+// belong on the followers.
+type FanInHull struct {
+	spec Spec
+	tab  *fanin.Table
+
+	mu       sync.Mutex // guards the memoized merge only
+	merged   *AdaptiveHull
+	mergedAt uint64
+	mergedOK bool
+}
+
+// SourceInfo describes one contributing source of a fan-in aggregate.
+type SourceInfo struct {
+	Name         string    // source name, unique per aggregate
+	Epoch        uint64    // last accepted push epoch
+	N            int       // stream points the source's snapshot summarizes
+	SamplePoints int       // extremum points contributed to the merge
+	LastPush     time.Time // when the last accepted push landed
+}
+
+// buildFanIn constructs a fan-in aggregate from an already validated
+// Spec (see New).
+func buildFanIn(spec Spec) *FanInHull {
+	return &FanInHull{spec: spec, tab: fanin.NewTable(nil)}
+}
+
+// NewFanIn returns a fan-in aggregate whose merge re-samples with
+// parameter r ≥ 4. It is a thin wrapper over New(Spec).
+func NewFanIn(r int) (*FanInHull, error) {
+	s, err := New(Spec{Kind: KindFanIn, R: r})
+	if err != nil {
+		return nil, err
+	}
+	return s.(*FanInHull), nil
+}
+
+// Spec returns the summary's serializable description.
+func (f *FanInHull) Spec() Spec { return f.spec }
+
+// Push replaces source's contribution with snap, stamped with epoch.
+// It returns ErrStaleEpoch (unwrapped by errors.Is) when epoch is older
+// than the source's last accepted push; an equal epoch is accepted as an
+// idempotent retry. The snapshot's points are validated and copied.
+func (f *FanInHull) Push(source string, epoch uint64, snap Snapshot) error {
+	if err := checkFiniteBatch(snap.Points); err != nil {
+		return err
+	}
+	// The snapshot's Points are per-direction extrema (duplicates
+	// allowed), so its N — not len(Points) — is the stream count; a
+	// negative N from a hand-built snapshot is clamped out.
+	return f.tab.Push(source, epoch, max(snap.N, 0), snap.Points)
+}
+
+// DropSource removes a source's contribution entirely (it re-joins with
+// its next push). Reports whether the source existed.
+func (f *FanInHull) DropSource(source string) bool { return f.tab.Drop(source) }
+
+// Sources lists the live sources sorted by name.
+func (f *FanInHull) Sources() []SourceInfo {
+	srcs := f.tab.Sources()
+	out := make([]SourceInfo, len(srcs))
+	for i, s := range srcs {
+		out[i] = SourceInfo{
+			Name: s.Name, Epoch: s.Epoch, N: s.N,
+			SamplePoints: s.SamplePoints, LastPush: s.LastPush,
+		}
+	}
+	return out
+}
+
+// Insert rejects direct point ingest (see ErrFanInIngest).
+func (f *FanInHull) Insert(geom.Point) error { return ErrFanInIngest }
+
+// InsertBatch rejects direct point ingest (see ErrFanInIngest).
+func (f *FanInHull) InsertBatch([]geom.Point) (int, error) { return 0, ErrFanInIngest }
+
+// mergedSummary returns the merged adaptive summary, rebuilding it only
+// when a push or drop has landed since the last build. The rebuild
+// streams the contributions point-by-point in source-name order —
+// exactly MergeSnapshots over the same snapshots — so a re-synced
+// aggregate converges bit-for-bit with the one-shot merge. The epoch is
+// read before the points: a push landing in between yields a view newer
+// than its stamp, so the next read rebuilds (over-invalidation, never
+// staleness).
+func (f *FanInHull) mergedSummary() *AdaptiveHull {
+	e := f.tab.Epoch()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mergedOK && f.mergedAt == e {
+		return f.merged
+	}
+	agg := NewAdaptive(f.spec.R)
+	for _, p := range f.tab.MergedPoints() {
+		// Points were validated at push time; Insert cannot fail.
+		_ = agg.Insert(p)
+	}
+	f.merged, f.mergedAt, f.mergedOK = agg, e, true
+	return agg
+}
+
+// Hull returns the merged hull of all live contributions.
+func (f *FanInHull) Hull() Polygon { return f.mergedSummary().Hull() }
+
+// SampleSize returns the merged summary's stored point count.
+func (f *FanInHull) SampleSize() int { return f.mergedSummary().SampleSize() }
+
+// N returns the total number of stream points the live contributions
+// summarize (the sum of the sources' reported counts).
+func (f *FanInHull) N() int { return f.tab.TotalN() }
+
+// Epoch returns the aggregate's mutation counter: it advances on every
+// accepted push or drop.
+func (f *FanInHull) Epoch() uint64 { return f.tab.Epoch() }
+
+// Snapshot captures the merged summary's sample — an adaptive snapshot,
+// so an aggregate can itself be pushed one tier further up (cascaded
+// fan-in) or restored elsewhere as a plain adaptive summary. N reports
+// the aggregate's logical stream count rather than the merge's sample
+// count.
+func (f *FanInHull) Snapshot() Snapshot {
+	snap := f.mergedSummary().Snapshot()
+	if n := f.N(); n > snap.N {
+		snap.N = n
+	}
+	return snap
+}

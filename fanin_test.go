@@ -1,0 +1,226 @@
+package streamhull
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// donorSnapshot summarizes a slice of a stream with an adaptive summary
+// and captures its snapshot — a follower node's contribution.
+func donorSnapshot(t *testing.T, r int, pts []geom.Point) Snapshot {
+	t.Helper()
+	d := NewAdaptive(r)
+	if _, err := d.InsertBatch(pts); err != nil {
+		t.Fatalf("donor ingest: %v", err)
+	}
+	return d.Snapshot()
+}
+
+// samePolygon compares two hulls vertex-for-vertex (bit-exact).
+func samePolygon(a, b Polygon) bool {
+	va, vb := a.Vertices(), b.Vertices()
+	if len(va) != len(vb) {
+		return false
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFanInMatchesOneShotMerge: the continuously maintained aggregate
+// must converge bit-for-bit with a one-shot MergeSnapshots of the same
+// inputs (fed in the same source-name order) — the mergeability argument
+// the whole fan-in design rests on.
+func TestFanInMatchesOneShotMerge(t *testing.T) {
+	const r = 16
+	pts := workload.Take(workload.Disk(3, geom.Pt(0, 0), 1), 3000)
+	snapA := donorSnapshot(t, r, pts[:1000])
+	snapB := donorSnapshot(t, r, pts[1000:2000])
+	snapC := donorSnapshot(t, r, pts[2000:])
+
+	agg, err := NewFanIn(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pushed out of name order; the merge must not care.
+	for _, p := range []struct {
+		name string
+		snap Snapshot
+	}{{"c", snapC}, {"a", snapA}, {"b", snapB}} {
+		if err := agg.Push(p.name, 1, p.snap); err != nil {
+			t.Fatalf("push %s: %v", p.name, err)
+		}
+	}
+
+	oneShot, err := MergeSnapshots(r, snapA, snapB, snapC) // name order a, b, c
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePolygon(agg.Hull(), oneShot.Hull()) {
+		t.Errorf("aggregate hull diverges from one-shot merge:\n  fanin  %v\n  oneshot %v",
+			agg.Hull().Vertices(), oneShot.Hull().Vertices())
+	}
+	if got, want := agg.N(), 3000; got != want {
+		t.Errorf("N = %d, want %d", got, want)
+	}
+	if agg.SampleSize() != oneShot.SampleSize() {
+		t.Errorf("sample size %d, one-shot %d", agg.SampleSize(), oneShot.SampleSize())
+	}
+}
+
+// TestFanInReSyncDropsStaleContribution: a source that crashed after
+// pushing a partial snapshot is superseded by its restarted
+// incarnation's higher-epoch push — the aggregate must converge to the
+// same state as if the partial push never happened.
+func TestFanInReSyncDropsStaleContribution(t *testing.T) {
+	const r = 16
+	pts := workload.Take(workload.Ellipse(7, 1, 0.25, 0.01), 2000)
+	partial := donorSnapshot(t, r, pts[:100]) // killed mid-stream
+	full := donorSnapshot(t, r, pts[:1000])   // restarted, fully caught up
+	other := donorSnapshot(t, r, pts[1000:])
+
+	agg, err := NewFanIn(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Push("node1", 100, partial); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Push("node2", 50, other); err != nil {
+		t.Fatal(err)
+	}
+	// Restarted node1 re-syncs with a higher epoch.
+	if err := agg.Push("node1", 200, full); err != nil {
+		t.Fatal(err)
+	}
+	// A straggling duplicate of the dead incarnation's push is rejected.
+	if err := agg.Push("node1", 150, partial); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale push error = %v, want ErrStaleEpoch", err)
+	}
+
+	oneShot, err := MergeSnapshots(r, full, other) // name order node1, node2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePolygon(agg.Hull(), oneShot.Hull()) {
+		t.Error("aggregate after re-sync diverges from one-shot merge of the live inputs")
+	}
+	if got, want := agg.N(), 2000; got != want {
+		t.Errorf("N = %d, want %d (stale contribution not dropped?)", got, want)
+	}
+}
+
+func TestFanInDropSourceAndEpoch(t *testing.T) {
+	agg, err := NewFanIn(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := donorSnapshot(t, 8, workload.Take(workload.Disk(1, geom.Pt(0, 0), 1), 100))
+	e0 := agg.Epoch()
+	if err := agg.Push("a", 1, snap); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Epoch() == e0 {
+		t.Error("Epoch did not advance on push")
+	}
+	if agg.Hull().IsEmpty() {
+		t.Error("hull empty after push")
+	}
+	if !agg.DropSource("a") {
+		t.Fatal("DropSource(a)")
+	}
+	if agg.DropSource("a") {
+		t.Error("double drop reported true")
+	}
+	if !agg.Hull().IsEmpty() {
+		t.Error("hull not empty after dropping the only source")
+	}
+	if agg.N() != 0 {
+		t.Errorf("N = %d after drop", agg.N())
+	}
+	srcs := agg.Sources()
+	if len(srcs) != 0 {
+		t.Errorf("sources = %+v after drop", srcs)
+	}
+}
+
+func TestFanInRejectsDirectIngest(t *testing.T) {
+	agg, err := NewFanIn(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Insert(geom.Pt(1, 1)); !errors.Is(err, ErrFanInIngest) {
+		t.Errorf("Insert error = %v, want ErrFanInIngest", err)
+	}
+	if n, err := agg.InsertBatch([]geom.Point{geom.Pt(1, 1)}); n != 0 || !errors.Is(err, ErrFanInIngest) {
+		t.Errorf("InsertBatch = (%d, %v), want (0, ErrFanInIngest)", n, err)
+	}
+}
+
+// TestFanInSnapshotCascades: an aggregate's own snapshot is an adaptive
+// snapshot (the merged summary's), so it can be pushed one tier further
+// up or restored as a plain adaptive summary.
+func TestFanInSnapshotCascades(t *testing.T) {
+	const r = 12
+	agg, err := NewFanIn(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := workload.Take(workload.Disk(5, geom.Pt(0, 0), 2), 1000)
+	if err := agg.Push("a", 1, donorSnapshot(t, r, pts[:500])); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Push("b", 1, donorSnapshot(t, r, pts[500:])); err != nil {
+		t.Fatal(err)
+	}
+	snap := agg.Snapshot()
+	if snap.Kind != "adaptive" {
+		t.Fatalf("aggregate snapshot kind %q", snap.Kind)
+	}
+	if snap.N != 1000 {
+		t.Errorf("aggregate snapshot N = %d, want the logical stream count 1000", snap.N)
+	}
+	restored, err := SummaryFromSnapshot(snap)
+	if err != nil {
+		t.Fatalf("restoring aggregate snapshot: %v", err)
+	}
+	if restored.Hull().IsEmpty() {
+		t.Error("restored aggregate hull is empty")
+	}
+	// Cascade: push the tier-1 aggregate's snapshot into a tier-2 one.
+	tier2, err := NewFanIn(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tier2.Push("region-west", 1, snap); err != nil {
+		t.Fatalf("cascaded push: %v", err)
+	}
+	if tier2.N() != 1000 {
+		t.Errorf("tier-2 N = %d", tier2.N())
+	}
+}
+
+func TestFanInPushValidation(t *testing.T) {
+	agg, err := NewFanIn(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Snapshot{Kind: "adaptive", R: 8, N: 1, Points: []geom.Point{{X: 1, Y: geomNaN()}}}
+	if err := agg.Push("a", 1, bad); err == nil {
+		t.Error("push accepted a non-finite point")
+	}
+	if err := agg.Push("", 1, Snapshot{}); err == nil {
+		t.Error("push accepted an empty source name")
+	}
+}
+
+func geomNaN() float64 {
+	var zero float64
+	return zero / zero
+}

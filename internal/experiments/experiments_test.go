@@ -235,3 +235,40 @@ func TestWindowedSweep(t *testing.T) {
 		t.Errorf("FormatWindowed output malformed:\n%s", out)
 	}
 }
+
+func TestFanInSweep(t *testing.T) {
+	gen := func(s int64) workload.Generator {
+		return workload.DriftBurst(s, 1, geom.Pt(0.001, 0), 10000, 0, 0)
+	}
+	rows, err := FanInSweep(gen, 6000, []int{2, 4}, []int{200, 1000}, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if row.Pushes <= 0 {
+			t.Errorf("%d sources @ %d: no pushes", row.Sources, row.PushEvery)
+		}
+		// After the final sync the continuously maintained aggregate is
+		// the one-shot merge, bit for bit — same error.
+		if row.SyncedErr != row.OneShot {
+			t.Errorf("%d sources @ %d: synced err %g != one-shot %g",
+				row.Sources, row.PushEvery, row.SyncedErr, row.OneShot)
+		}
+		if row.StaleErr < row.SyncedErr {
+			t.Errorf("%d sources @ %d: stale err %g below synced err %g",
+				row.Sources, row.PushEvery, row.StaleErr, row.SyncedErr)
+		}
+	}
+	// On a drifting stream, pushing less often must not DECREASE the
+	// worst staleness.
+	if rows[0].StaleErr > rows[1].StaleErr {
+		t.Errorf("stale err shrank with a longer push interval: %g -> %g",
+			rows[0].StaleErr, rows[1].StaleErr)
+	}
+	if out := FormatFanIn(rows); !strings.Contains(out, "push-every") {
+		t.Errorf("FormatFanIn output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/convex"
+	"github.com/streamgeom/streamhull/internal/server"
+	"github.com/streamgeom/streamhull/internal/workload"
+)
+
+// FanInPoint is one row of the continuous fan-in experiment: S follower
+// summaries each push their snapshot to an aggregate stream every P
+// points, through the real HTTP handler.
+type FanInPoint struct {
+	Sources   int     // follower count
+	PushEvery int     // points per source between pushes
+	Pushes    int     // total accepted pushes
+	StaleErr  float64 // worst mid-stream aggregate error vs the points seen so far
+	SyncedErr float64 // error at stream end, after every source's final push
+	OneShot   float64 // one-shot MergeSnapshots of the final snapshots (baseline)
+}
+
+// FanInSweep measures aggregate hull error against push interval and
+// source count. The stream is dealt round-robin across S follower
+// adaptive summaries (parameter r); every pushEvery points a follower
+// pushes its snapshot (with an increasing epoch) to an aggregate stream
+// on an in-process HTTP server — exercising the real source-tagged push
+// path, JSON codecs and all.
+//
+// StaleErr is the serving-relevant number: the worst error a client
+// could have seen mid-stream (the aggregate hull's max distance to any
+// point already ingested somewhere, sampled at regular positions),
+// which grows with the push interval — each source may be holding back
+// up to pushEvery points. SyncedErr (after a final push from every
+// source) should converge to OneShot, the one-shot MergeSnapshots
+// baseline of the same inputs — continuous maintenance costs nothing
+// once synced; the push interval only bounds staleness between deltas.
+func FanInSweep(gen func(seed int64) workload.Generator, n int, sourceCounts, pushEvery []int, r int, seed int64) ([]FanInPoint, error) {
+	pts := workload.Take(gen(seed), n)
+	var out []FanInPoint
+	for _, S := range sourceCounts {
+		for _, P := range pushEvery {
+			row, err := fanInOnce(pts, S, P, r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func fanInOnce(pts []geom.Point, S, P, r int) (FanInPoint, error) {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		return FanInPoint{}, err
+	}
+	defer srv.Close()
+	call := func(method, url string, body []byte) (int, string) {
+		req := httptest.NewRequest(method, url, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	spec := fmt.Sprintf(`{"kind":"fanin","r":%d}`, r)
+	if code, body := call(http.MethodPut, "/v1/streams/agg", []byte(spec)); code != http.StatusCreated {
+		return FanInPoint{}, fmt.Errorf("experiments: creating aggregate: %s", body)
+	}
+
+	followers := make([]*streamhull.AdaptiveHull, S)
+	for i := range followers {
+		followers[i] = streamhull.NewAdaptive(r)
+	}
+	epoch := uint64(0)
+	pushes := 0
+	push := func(i int) error {
+		epoch++
+		data, err := followers[i].Snapshot().Encode()
+		if err != nil {
+			return err
+		}
+		url := fmt.Sprintf("/v1/streams/agg/snapshot?source=node%03d&epoch=%d", i, epoch)
+		if code, body := call(http.MethodPost, url, data); code != http.StatusOK {
+			return fmt.Errorf("experiments: push: %s", body)
+		}
+		pushes++
+		return nil
+	}
+
+	aggErr := func(prefix []geom.Point) (float64, error) {
+		code, body := call(http.MethodGet, "/v1/streams/agg/hull", nil)
+		if code != http.StatusOK {
+			return 0, fmt.Errorf("experiments: aggregate hull: %s", body)
+		}
+		poly, err := parseHullBody(body)
+		if err != nil {
+			return 0, err
+		}
+		maxD, _ := distanceStats(poly, prefix)
+		return maxD, nil
+	}
+
+	// Deal the stream round-robin; each follower pushes every P of its
+	// own points. At staleEvery positions, measure the aggregate's error
+	// against everything ingested so far — the staleness a reader saw.
+	staleEvery := len(pts) / 16
+	if staleEvery < 1 {
+		staleEvery = 1
+	}
+	stale := 0.0
+	since := make([]int, S)
+	for i, p := range pts {
+		f := i % S
+		if err := followers[f].Insert(p); err != nil {
+			return FanInPoint{}, err
+		}
+		since[f]++
+		if since[f] >= P {
+			since[f] = 0
+			if err := push(f); err != nil {
+				return FanInPoint{}, err
+			}
+		}
+		if (i+1)%staleEvery == 0 && pushes > 0 {
+			e, err := aggErr(pts[:i+1])
+			if err != nil {
+				return FanInPoint{}, err
+			}
+			if e > stale {
+				stale = e
+			}
+		}
+	}
+	// Final sync: every follower pushes its complete snapshot.
+	snaps := make([]streamhull.Snapshot, S)
+	for i := range followers {
+		snaps[i] = followers[i].Snapshot()
+		if err := push(i); err != nil {
+			return FanInPoint{}, err
+		}
+	}
+	synced, err := aggErr(pts)
+	if err != nil {
+		return FanInPoint{}, err
+	}
+	oneShot, err := streamhull.MergeSnapshots(r, snaps...)
+	if err != nil {
+		return FanInPoint{}, err
+	}
+	oneMax, _ := distanceStats(convex.Hull(oneShot.Hull().Vertices()), pts)
+	return FanInPoint{
+		Sources: S, PushEvery: P, Pushes: pushes,
+		StaleErr: stale, SyncedErr: synced, OneShot: oneMax,
+	}, nil
+}
+
+// parseHullBody extracts the vertex polygon from a hull response.
+func parseHullBody(body string) (convex.Polygon, error) {
+	var resp struct {
+		Vertices [][2]float64 `json:"vertices"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		return convex.Polygon{}, err
+	}
+	vs := make([]geom.Point, len(resp.Vertices))
+	for i, v := range resp.Vertices {
+		vs[i] = geom.Pt(v[0], v[1])
+	}
+	return convex.Hull(vs), nil
+}
+
+// FormatFanIn renders the fan-in sweep.
+func FormatFanIn(rows []FanInPoint) string {
+	var b strings.Builder
+	b.WriteString("Continuous multi-node fan-in (per-source snapshot pushes over the HTTP handler)\n")
+	fmt.Fprintf(&b, "  %8s  %10s  %8s  %12s  %12s  %12s\n",
+		"sources", "push-every", "pushes", "stale err", "synced err", "one-shot")
+	for _, p := range rows {
+		fmt.Fprintf(&b, "  %8d  %10d  %8d  %12.6g  %12.6g  %12.6g\n",
+			p.Sources, p.PushEvery, p.Pushes, p.StaleErr, p.SyncedErr, p.OneShot)
+	}
+	b.WriteString("  synced err should equal one-shot (bit-exact merge); stale err grows with push-every\n")
+	b.WriteString("  (stale err is the worst mid-stream lag; 0 means no mid-stream sample had pushes yet)\n")
+	return b.String()
+}

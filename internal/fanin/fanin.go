@@ -1,0 +1,172 @@
+// Package fanin is the multi-node aggregation subsystem: follower
+// servers periodically push O(r)-size snapshot deltas for their streams
+// to an aggregator stream on an upstream server, and the aggregator
+// keeps one sub-summary per source, re-merging on read — the composable
+// coreset pattern (cf. MergeSnapshots) maintained continuously over the
+// network instead of one-shot in process.
+//
+// The package has two halves. Table is the aggregator side: a per-source
+// bookkeeping map holding each source's latest accepted sample (its
+// snapshot's extremum points), stamped with a per-source epoch. Pushes
+// carrying an epoch older than the stored one are rejected (ErrStaleEpoch),
+// and a push with an equal-or-newer epoch replaces the source's previous
+// contribution wholesale — so a lagging or restarted source can be
+// dropped and re-synced without poisoning the aggregate: the stale
+// contribution vanishes the moment the re-synced snapshot lands.
+// streamhull.FanInHull wraps a Table into a full Summary whose hull is
+// the deterministic merge of the live contributions.
+//
+// Pusher is the follower side: a loop that collects the local server's
+// stream snapshots (as opaque, already-encoded JSON bodies, so this
+// package stays import-cycle-free below the root package) and pushes
+// each to the same-named aggregate stream on the upstream server,
+// creating the aggregate (kind "fanin") on first contact. Epochs default
+// to wall-clock nanoseconds, which keeps them monotone across follower
+// restarts — the property the re-sync semantics need.
+package fanin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// ErrStaleEpoch is returned by Table.Push when a push carries an epoch
+// older than the source's last accepted one — the push is from a lagging
+// or superseded sender and is dropped whole.
+var ErrStaleEpoch = errors.New("fanin: push epoch is older than the source's last accepted epoch")
+
+// Source describes one contributing source of an aggregate.
+type Source struct {
+	Name         string    // source name, unique per aggregate
+	Epoch        uint64    // last accepted push epoch
+	N            int       // stream points the source's snapshot summarizes
+	SamplePoints int       // extremum points contributed to the merge
+	LastPush     time.Time // when the last accepted push landed
+}
+
+// entry is one source's live contribution.
+type entry struct {
+	epoch  uint64
+	n      int
+	points []geom.Point
+	last   time.Time
+}
+
+// Table is the aggregator-side bookkeeping: one entry per source,
+// replaced wholesale on each accepted push. All methods are safe for
+// concurrent use.
+type Table struct {
+	mu      sync.Mutex
+	sources map[string]*entry
+	epoch   atomic.Uint64 // bumps on every accepted mutation
+	now     func() time.Time
+}
+
+// NewTable returns an empty source table. now overrides the clock for
+// tests; nil selects time.Now.
+func NewTable(now func() time.Time) *Table {
+	if now == nil {
+		now = time.Now
+	}
+	return &Table{sources: make(map[string]*entry), now: now}
+}
+
+// Push replaces source's contribution with the given sample, stamped
+// with epoch. A push whose epoch is older than the stored one returns
+// ErrStaleEpoch and changes nothing; an equal epoch is accepted
+// (idempotent retry of the same delta). The points slice is copied.
+func (t *Table) Push(source string, epoch uint64, n int, points []geom.Point) error {
+	if source == "" {
+		return fmt.Errorf("fanin: push requires a source name")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.sources[source]; ok && epoch < cur.epoch {
+		return fmt.Errorf("%w (source %q: got %d, have %d)", ErrStaleEpoch, source, epoch, cur.epoch)
+	}
+	pts := make([]geom.Point, len(points))
+	copy(pts, points)
+	t.sources[source] = &entry{epoch: epoch, n: n, points: pts, last: t.now()}
+	t.epoch.Add(1)
+	return nil
+}
+
+// Drop removes a source's contribution entirely (an operator dropping a
+// dead source; it re-joins with its next push). Reports whether the
+// source existed.
+func (t *Table) Drop(source string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.sources[source]; !ok {
+		return false
+	}
+	delete(t.sources, source)
+	t.epoch.Add(1)
+	return true
+}
+
+// Epoch returns the table's mutation counter: it advances on every
+// accepted push or drop and holds still otherwise, so readers can cache
+// the merged view per epoch.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// Len returns the number of live sources.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sources)
+}
+
+// Sources lists the live sources sorted by name.
+func (t *Table) Sources() []Source {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Source, 0, len(t.sources))
+	for name, e := range t.sources {
+		out = append(out, Source{
+			Name: name, Epoch: e.epoch, N: e.n,
+			SamplePoints: len(e.points), LastPush: e.last,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MergedPoints concatenates every live contribution in source-name
+// order — a deterministic sequence, so re-merging always converges to
+// one summary (and matches a one-shot merge of the same snapshots fed
+// in the same order). The result is a fresh slice.
+func (t *Table) MergedPoints() []geom.Point {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.sources))
+	total := 0
+	for name, e := range t.sources {
+		names = append(names, name)
+		total += len(e.points)
+	}
+	sort.Strings(names)
+	out := make([]geom.Point, 0, total)
+	for _, name := range names {
+		out = append(out, t.sources[name].points...)
+	}
+	return out
+}
+
+// TotalN sums the stream counts reported by the live sources: the
+// number of stream points the aggregate currently summarizes.
+func (t *Table) TotalN() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for _, e := range t.sources {
+		total += e.n
+	}
+	return total
+}

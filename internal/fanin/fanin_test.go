@@ -1,0 +1,201 @@
+package fanin
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func TestTablePushReplaceAndStale(t *testing.T) {
+	tab := NewTable(nil)
+	if err := tab.Push("a", 5, 10, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if got := tab.TotalN(); got != 10 {
+		t.Errorf("TotalN = %d, want 10", got)
+	}
+	// A newer epoch replaces the contribution wholesale.
+	if err := tab.Push("a", 7, 3, []geom.Point{geom.Pt(2, 2)}); err != nil {
+		t.Fatalf("re-push: %v", err)
+	}
+	if got := tab.TotalN(); got != 3 {
+		t.Errorf("TotalN after replace = %d, want 3", got)
+	}
+	if got := len(tab.MergedPoints()); got != 1 {
+		t.Errorf("merged points after replace = %d, want 1", got)
+	}
+	// An equal epoch is an idempotent retry.
+	if err := tab.Push("a", 7, 3, []geom.Point{geom.Pt(2, 2)}); err != nil {
+		t.Errorf("same-epoch retry: %v", err)
+	}
+	// An older epoch is stale and rejected whole.
+	err := tab.Push("a", 6, 99, []geom.Point{geom.Pt(9, 9)})
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale push error = %v, want ErrStaleEpoch", err)
+	}
+	if got := tab.TotalN(); got != 3 {
+		t.Errorf("stale push mutated the table: TotalN = %d", got)
+	}
+}
+
+func TestTableEpochAdvancesOnMutation(t *testing.T) {
+	tab := NewTable(nil)
+	e0 := tab.Epoch()
+	_ = tab.Push("a", 1, 1, []geom.Point{geom.Pt(0, 0)})
+	if tab.Epoch() == e0 {
+		t.Error("epoch did not advance on push")
+	}
+	e1 := tab.Epoch()
+	if err := tab.Push("a", 0, 1, nil); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("want stale, got %v", err)
+	}
+	if tab.Epoch() != e1 {
+		t.Error("rejected push advanced the epoch")
+	}
+	if !tab.Drop("a") {
+		t.Fatal("drop existing source")
+	}
+	if tab.Epoch() == e1 {
+		t.Error("epoch did not advance on drop")
+	}
+	if tab.Drop("a") {
+		t.Error("drop of absent source reported true")
+	}
+}
+
+func TestTableMergedPointsDeterministicOrder(t *testing.T) {
+	// Whatever the push order, contributions concatenate in source-name
+	// order — the property the bit-exact re-merge rests on.
+	pa := []geom.Point{geom.Pt(1, 0)}
+	pb := []geom.Point{geom.Pt(2, 0), geom.Pt(3, 0)}
+	t1, t2 := NewTable(nil), NewTable(nil)
+	_ = t1.Push("alpha", 1, 1, pa)
+	_ = t1.Push("beta", 1, 2, pb)
+	_ = t2.Push("beta", 1, 2, pb)
+	_ = t2.Push("alpha", 1, 1, pa)
+	m1, m2 := t1.MergedPoints(), t2.MergedPoints()
+	if len(m1) != 3 || len(m2) != 3 {
+		t.Fatalf("merged sizes %d, %d", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("merge order differs at %d: %v vs %v", i, m1[i], m2[i])
+		}
+	}
+	if m1[0] != pa[0] {
+		t.Errorf("merge not in name order: first point %v", m1[0])
+	}
+}
+
+func TestTableSourcesSortedWithClock(t *testing.T) {
+	now := time.Unix(100, 0)
+	tab := NewTable(func() time.Time { return now })
+	_ = tab.Push("z", 2, 5, []geom.Point{geom.Pt(0, 0)})
+	now = now.Add(3 * time.Second)
+	_ = tab.Push("a", 9, 7, nil)
+	srcs := tab.Sources()
+	if len(srcs) != 2 || srcs[0].Name != "a" || srcs[1].Name != "z" {
+		t.Fatalf("sources = %+v", srcs)
+	}
+	if srcs[0].Epoch != 9 || srcs[0].N != 7 || srcs[0].SamplePoints != 0 {
+		t.Errorf("source a = %+v", srcs[0])
+	}
+	if !srcs[1].LastPush.Equal(time.Unix(100, 0)) {
+		t.Errorf("source z LastPush = %v", srcs[1].LastPush)
+	}
+}
+
+// fakeAggregator records the create and push requests a Pusher sends.
+type fakeAggregator struct {
+	mu      sync.Mutex
+	creates []string
+	pushes  []string // "stream|source|epoch"
+	exists  map[string]bool
+}
+
+func (f *fakeAggregator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		id := r.PathValue("id")
+		f.creates = append(f.creates, id)
+		if f.exists[id] {
+			http.Error(w, `{"error":"exists"}`, http.StatusConflict)
+			return
+		}
+		f.exists[id] = true
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/streams/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.pushes = append(f.pushes,
+			r.PathValue("id")+"|"+r.URL.Query().Get("source")+"|"+r.URL.Query().Get("epoch"))
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func TestPusherEnsuresThenPushes(t *testing.T) {
+	fake := &fakeAggregator{exists: map[string]bool{"warm": true}}
+	ts := httptest.NewServer(fake.handler())
+	defer ts.Close()
+
+	epoch := uint64(41)
+	p, err := NewPusher(PusherConfig{
+		Target: ts.URL, Source: "node1",
+		Collect: func() []StreamSnapshot {
+			return []StreamSnapshot{
+				{Stream: "cold", R: 16, Data: []byte(`{"kind":"adaptive","r":16}`)},
+				{Stream: "warm", R: 16, Data: []byte(`{"kind":"adaptive","r":16}`)},
+			}
+		},
+		Epoch: func() uint64 { epoch++; return epoch },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PushOnce(context.Background()); err != nil {
+		t.Fatalf("PushOnce: %v", err)
+	}
+	if err := p.PushOnce(context.Background()); err != nil {
+		t.Fatalf("PushOnce again: %v", err)
+	}
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	// One create per stream (cold 201, warm 409-exists both tolerated),
+	// cached afterwards.
+	if len(fake.creates) != 2 {
+		t.Errorf("creates = %v, want one per stream", fake.creates)
+	}
+	want := []string{"cold|node1|42", "warm|node1|43", "cold|node1|44", "warm|node1|45"}
+	if len(fake.pushes) != len(want) {
+		t.Fatalf("pushes = %v", fake.pushes)
+	}
+	for i, p := range want {
+		if fake.pushes[i] != p {
+			t.Errorf("push %d = %q, want %q", i, fake.pushes[i], p)
+		}
+	}
+}
+
+func TestPusherConfigValidation(t *testing.T) {
+	collect := func() []StreamSnapshot { return nil }
+	cases := []PusherConfig{
+		{Source: "s", Collect: collect},        // no target
+		{Target: "http://x", Collect: collect}, // no source
+		{Target: "http://x", Source: "s"},      // no collect
+	}
+	for i, cfg := range cases {
+		if _, err := NewPusher(cfg); err == nil {
+			t.Errorf("case %d: NewPusher accepted invalid config", i)
+		}
+	}
+}

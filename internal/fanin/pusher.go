@@ -1,0 +1,201 @@
+package fanin
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// StreamSnapshot is one follower stream's push payload: an
+// already-encoded JSON snapshot plus the head fields the pusher needs.
+// Snapshots stay opaque bytes here so the package sits below the root
+// streamhull package in the import graph (the root FanInHull wraps
+// Table).
+type StreamSnapshot struct {
+	Stream string // stream id, same on follower and aggregator
+	R      int    // sample parameter, used to size the aggregate on create
+	Data   []byte // JSON-encoded streamhull.Snapshot
+}
+
+// PusherConfig parameterizes a follower push loop.
+type PusherConfig struct {
+	// Target is the aggregator's base URL (e.g. "http://agg:8080").
+	Target string
+	// Source is this follower's name; the aggregator keys contributions
+	// by it, so it must be stable across restarts and unique per
+	// follower.
+	Source string
+	// Interval is the push period (0 = 5s).
+	Interval time.Duration
+	// Collect returns the current snapshots to push — one per local
+	// stream (the server's StreamSnapshots method).
+	Collect func() []StreamSnapshot
+	// Client is the HTTP client to push with (nil = 10s-timeout client).
+	Client *http.Client
+	// Logf receives push failures; nil discards them. Failures never
+	// stop the loop — a follower keeps retrying on its interval, which
+	// is what re-syncs it after the aggregator restarts.
+	Logf func(format string, args ...any)
+	// Epoch stamps each push. The default — wall-clock nanoseconds — is
+	// monotone across follower restarts, so a restarted follower's first
+	// push supersedes everything its previous incarnation sent. Override
+	// only in tests.
+	Epoch func() uint64
+}
+
+// Pusher runs the follower side of continuous fan-in: every Interval it
+// collects local stream snapshots and pushes each to the same-named
+// aggregate stream on Target, creating the aggregate on first contact.
+type Pusher struct {
+	cfg     PusherConfig
+	created map[string]bool // aggregate streams known to exist
+}
+
+// NewPusher validates the config and returns a ready pusher.
+func NewPusher(cfg PusherConfig) (*Pusher, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("fanin: pusher requires a target URL")
+	}
+	if _, err := url.Parse(cfg.Target); err != nil {
+		return nil, fmt.Errorf("fanin: target URL: %w", err)
+	}
+	if cfg.Source == "" {
+		return nil, fmt.Errorf("fanin: pusher requires a source name")
+	}
+	if cfg.Collect == nil {
+		return nil, fmt.Errorf("fanin: pusher requires a collect function")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.Epoch == nil {
+		cfg.Epoch = func() uint64 { return uint64(time.Now().UnixNano()) }
+	}
+	return &Pusher{cfg: cfg, created: make(map[string]bool)}, nil
+}
+
+// Run pushes once immediately, then on every interval tick until ctx is
+// done. Push failures are logged and retried next tick.
+func (p *Pusher) Run(ctx context.Context) {
+	p.pushAll(ctx)
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.pushAll(ctx)
+		}
+	}
+}
+
+// PushOnce collects and pushes every local stream once, returning the
+// first error (the loop form logs instead).
+func (p *Pusher) PushOnce(ctx context.Context) error {
+	var firstErr error
+	for _, ss := range p.cfg.Collect() {
+		if err := p.pushStream(ctx, ss); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (p *Pusher) pushAll(ctx context.Context) {
+	for _, ss := range p.cfg.Collect() {
+		if err := p.pushStream(ctx, ss); err != nil && p.cfg.Logf != nil {
+			p.cfg.Logf("fanin: pushing stream %q to %s: %v", ss.Stream, p.cfg.Target, err)
+		}
+	}
+}
+
+// pushStream ensures the aggregate exists, then pushes one snapshot.
+// A 409 on create means the aggregate already exists (fine); a failed
+// create is retried on the next push rather than cached. A failed PUSH
+// also clears the created mark: an in-memory aggregator that restarted
+// has forgotten the aggregate, and re-creating it on the next tick is
+// exactly the re-sync the follower loop promises.
+func (p *Pusher) pushStream(ctx context.Context, ss StreamSnapshot) error {
+	if !p.created[ss.Stream] {
+		if err := EnsureAggregate(ctx, p.cfg.Client, p.cfg.Target, ss.Stream, ss.R); err != nil {
+			return err
+		}
+		p.created[ss.Stream] = true
+	}
+	err := Push(ctx, p.cfg.Client, p.cfg.Target, ss.Stream, p.cfg.Source, p.cfg.Epoch(), ss.Data)
+	if err != nil {
+		delete(p.created, ss.Stream)
+	}
+	return err
+}
+
+// aggregateSpec is the create body for an aggregate stream: the fan-in
+// kind with the merge parameter r (clamped to the adaptive minimum).
+func aggregateSpec(r int) string {
+	if r < 4 {
+		r = 4
+	}
+	return fmt.Sprintf(`{"kind":"fanin","r":%d}`, r)
+}
+
+// EnsureAggregate creates the aggregate stream (kind "fanin", merge
+// parameter r) on target if it does not already exist. An existing
+// stream — whatever its kind — is left alone; pushes into a non-fanin
+// stream fail loudly at push time instead.
+func EnsureAggregate(ctx context.Context, client *http.Client, target, stream string, r int) error {
+	u := fmt.Sprintf("%s/v1/streams/%s", target, url.PathEscape(stream))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, bytes.NewReader([]byte(aggregateSpec(r))))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusCreated, http.StatusConflict:
+		// Created, or someone (us, an earlier incarnation, a peer
+		// follower) created it first.
+		return nil
+	default:
+		return fmt.Errorf("fanin: creating aggregate %q: %s", stream, readError(resp))
+	}
+}
+
+// Push sends one source-tagged snapshot delta to the aggregate stream on
+// target. The body is a JSON-encoded streamhull.Snapshot.
+func Push(ctx context.Context, client *http.Client, target, stream, source string, epoch uint64, snapJSON []byte) error {
+	u := fmt.Sprintf("%s/v1/streams/%s/snapshot?source=%s&epoch=%s",
+		target, url.PathEscape(stream), url.QueryEscape(source),
+		strconv.FormatUint(epoch, 10))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(snapJSON))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fanin: push %q as %q: %s", stream, source, readError(resp))
+	}
+	return nil
+}
+
+// readError summarizes a non-2xx response for error messages.
+func readError(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(body))
+}

@@ -155,8 +155,7 @@ func (s *Server) checkpointLocked(id string, st *stream) {
 		}
 		return
 	}
-	type snapshotter interface{ Snapshot() streamhull.Snapshot }
-	sn, ok := st.sum.(snapshotter)
+	sn, ok := st.sum.(streamhull.Snapshotter)
 	if !ok {
 		return
 	}
@@ -177,8 +176,12 @@ func (s *Server) checkpointLocked(id string, st *stream) {
 	}
 	// Swapping the summary also swaps the read cache: the fresh
 	// summary's epoch restarts at zero, so a stale cache keyed on the
-	// old counter must not survive the re-base.
+	// old counter must not survive the re-base. Pair answers keyed on
+	// the retired cache are purged too — they are unreachable (pair keys
+	// carry the cache identity) and would otherwise pin the old summary.
+	old := st.cache.Load()
 	st.setSummary(restored)
+	s.pairs.purge(old)
 }
 
 // dropStorage removes a deleted stream's directory.

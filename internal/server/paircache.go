@@ -1,0 +1,96 @@
+package server
+
+import (
+	"sync"
+
+	streamhull "github.com/streamgeom/streamhull"
+)
+
+// pairCache memoizes pair-query answers on the (epochA, epochB) pair —
+// the ROADMAP's "pair-query caching" item. Single-stream reads are
+// epoch-cached in streamhull.QueryCache; pair answers (distance,
+// separability, overlap, containment) combine two hulls, so they need a
+// two-epoch key: an entry is served only while BOTH streams' read views
+// still carry the epochs the answer was computed at, so any ingest or
+// window expiry on either side invalidates it on the next request.
+//
+// Keys hold the two *QueryCache pointers, not stream ids: a durable
+// stream that re-bases on a checkpoint swaps in a fresh QueryCache whose
+// epochs restart at zero, and keying on the cache identity makes the old
+// entries unreachable instead of colliding with the new epoch counter.
+// Whoever retires a QueryCache (stream delete, checkpoint re-base)
+// calls purge so the orphaned entries — which pin the cache and its
+// summary — are dropped eagerly; the size bound is only the backstop.
+//
+// The cache is a small bounded map (pairCacheCap entries) with
+// evict-anything overflow — pair traffic concentrates on few stream
+// pairs, so anything smarter than "don't grow forever" is wasted.
+type pairCache struct {
+	mu sync.Mutex
+	m  map[pairKey]pairEntry
+}
+
+// pairKey identifies one memoized answer: the two read caches (in query
+// order — a/b asymmetry matters for distance witnesses and contains) and
+// the query type.
+type pairKey struct {
+	qa, qb *streamhull.QueryCache
+	typ    string
+}
+
+// pairEntry is one memoized answer with the view epochs it was computed
+// at. The epochs are captured BEFORE the hulls are read, so an entry can
+// only be stamped older than its contents — a racing mutation causes a
+// spurious recompute on the next request, never a stale answer.
+type pairEntry struct {
+	ea, eb uint64
+	resp   map[string]any
+}
+
+// pairCacheCap bounds the number of memoized pair answers.
+const pairCacheCap = 1024
+
+// get returns the memoized answer for k if it is still current at view
+// epochs (ea, eb).
+func (c *pairCache) get(k pairKey, ea, eb uint64) (map[string]any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok || e.ea != ea || e.eb != eb {
+		return nil, false
+	}
+	return e.resp, true
+}
+
+// put memoizes an answer, evicting an arbitrary entry when full. resp
+// must not be mutated after being handed over.
+func (c *pairCache) put(k pairKey, ea, eb uint64, resp map[string]any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[pairKey]pairEntry)
+	}
+	if _, ok := c.m[k]; !ok && len(c.m) >= pairCacheCap {
+		for victim := range c.m {
+			delete(c.m, victim)
+			break
+		}
+	}
+	c.m[k] = pairEntry{ea: ea, eb: eb, resp: resp}
+}
+
+// purge drops every entry keyed on a retired QueryCache, so a deleted
+// or re-based stream's read state (and the summary it holds) becomes
+// collectable immediately.
+func (c *pairCache) purge(qc *streamhull.QueryCache) {
+	if qc == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.m {
+		if k.qa == qc || k.qb == qc {
+			delete(c.m, k)
+		}
+	}
+}

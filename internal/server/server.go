@@ -7,16 +7,19 @@
 // Endpoints:
 //
 //	PUT    /v1/streams/{id}          create — spec JSON body, or
-//	       ?algo=adaptive|uniform|exact&r=32&window=<n|dur> query params
+//	       ?algo=adaptive|uniform|exact|fanin&r=32&window=<n|dur> query params
 //	DELETE /v1/streams/{id}                                    drop
 //	GET    /v1/streams                                         list
-//	GET    /v1/streams/{id}          detail: spec, n, sample size, durability
+//	GET    /v1/streams/{id}          detail: spec, n, sample size, durability,
+//	                                 fan-in sources with epochs and push lag
 //	POST   /v1/streams/{id}/points   {"points": [[x,y], ...]}  ingest
 //	GET    /v1/streams/{id}/hull                               hull polygon
 //	GET    /v1/streams/{id}/query?type=diameter|width|extent|circle&theta=rad
 //	GET    /v1/pairs/query?a=id&b=id&type=distance|separable|overlap|contains
 //	GET    /v1/streams/{id}/snapshot                           sample snapshot
 //	POST   /v1/streams/{id}/snapshot                           restore from snapshot
+//	POST   /v1/streams/{id}/snapshot?source=<name>&epoch=<n>   fan-in push
+//	DELETE /v1/streams/{id}/sources/{source}                   drop a fan-in source
 //
 // Streams are spec-driven: a create request may carry a streamhull.Spec
 // JSON document ({"kind": "windowed", "r": 32, "window": "10000"}) as
@@ -39,10 +42,30 @@
 // Durable ingest still serializes per stream to keep WAL order equal to
 // apply order.
 //
+// Pair answers (distance, separability, overlap, containment) are
+// memoized on the two streams' epoch pair, so repeat pair queries
+// between mutations are map lookups. A pair query touching an empty
+// stream — never written, or a window whose points just expired — is a
+// deliberate 409 with the offending ids in an "empty" array, never a
+// fabricated [0,0] witness.
+//
 // The snapshot endpoint negotiates its encoding: with Accept (on GET)
 // or Content-Type (on POST) set to application/octet-stream it speaks
 // the compact binary snapshot format; otherwise JSON. Either way the
 // snapshot embeds the stream's spec.
+//
+// Fan-in (continuous multi-node aggregation): a stream created with
+// {"kind":"fanin","r":32} aggregates follower servers. Followers push
+// periodic snapshot deltas with POST …/snapshot?source=<name>&epoch=<n>
+// (see internal/fanin and hullserver's -push-to); the aggregate keeps
+// one contribution per source, replaced wholesale by each accepted push
+// and re-merged on read through the MergeSnapshots machinery. Pushes
+// whose epoch is older than the source's last accepted one get a 409,
+// so a follower that lagged or restarted re-syncs with its next
+// (higher-epoch) push and its stale contribution vanishes. Aggregates
+// reject direct point ingest (409) and hold soft state: with DataDir
+// set their WAL persists only the spec, and a restarted aggregator
+// re-fills from the followers' next pushes.
 //
 // A windowed stream covers only the last count points or the last
 // duration of wall time. Time-windowed streams are swept in the
@@ -82,6 +105,7 @@ import (
 
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/fanin"
 	"github.com/streamgeom/streamhull/internal/wal"
 )
 
@@ -130,6 +154,7 @@ type Server struct {
 	mu          sync.RWMutex
 	streams     map[string]*stream
 	mux         *http.ServeMux
+	pairs       pairCache // memoized pair-query answers (see paircache.go)
 	sweepOnce   sync.Once
 	closeOnce   sync.Once
 	sweepStop   chan struct{}
@@ -241,6 +266,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/streams/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/streams/{id}/snapshot", s.handleRestore)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}/sources/{source}", s.handleDropSource)
 	s.mux.HandleFunc("GET /v1/pairs/query", s.handlePairQuery)
 	return s, nil
 }
@@ -369,7 +395,15 @@ func (s *Server) specFromRequest(w http.ResponseWriter, req *http.Request) (stre
 // addStream creates a stream under the server lock, opening its durable
 // storage when configured. Callers pass the already-built summary; the
 // stream's stored spec is the summary's own self-description.
-func (s *Server) addStream(id string, sum streamhull.Summary) (*stream, error) {
+//
+// checkpoint, when non-nil, is an initial checkpoint payload sealed into
+// the fresh log BEFORE the stream becomes visible (snapshot restores use
+// it so the restored state survives a crash that precedes the first
+// regular checkpoint). Sealing it here, not after publication, matters:
+// wal.Checkpoint compacts the log, so a checkpoint written after a
+// concurrent ingest had already appended to the log would silently drop
+// that batch from recovery.
+func (s *Server) addStream(id string, sum streamhull.Summary, checkpoint []byte) (*stream, error) {
 	spec := sum.Spec()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -385,6 +419,11 @@ func (s *Server) addStream(id string, sum streamhull.Summary) (*stream, error) {
 		log, err := s.openStorage(id, spec)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", errStorage, err)
+		}
+		if checkpoint != nil {
+			if err := log.Checkpoint(checkpoint); err != nil {
+				s.logf("wal: stream %q: persisting restored snapshot: %v", id, err)
+			}
 		}
 		st.log = log
 	}
@@ -409,7 +448,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if _, err := s.addStream(id, sum); err != nil {
+	if _, err := s.addStream(id, sum, nil); err != nil {
 		writeStreamErr(w, err, http.StatusConflict)
 		return
 	}
@@ -447,6 +486,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
 	s.dropStorage(id, st)
 	st.log = nil
 	st.mu.Unlock()
+	// The dead stream's read cache may still key memoized pair answers;
+	// purge them so it (and its summary) can be collected.
+	s.pairs.purge(st.cache.Load())
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
@@ -460,6 +502,21 @@ type streamInfo struct {
 	Window      string           `json:"window,omitempty"`
 	WindowCount int              `json:"window_count,omitempty"`
 	Durable     bool             `json:"durable,omitempty"`
+	// Sources lists a fan-in aggregate's contributors (detail responses
+	// only; the list endpoint stays compact).
+	Sources []sourceInfo `json:"sources,omitempty"`
+}
+
+// sourceInfo is one fan-in contributor in a detail response.
+type sourceInfo struct {
+	Source       string `json:"source"`
+	Epoch        uint64 `json:"epoch"`
+	N            int    `json:"n"`
+	SamplePoints int    `json:"sample_points"`
+	// LagMillis is how long ago the source's last accepted push landed —
+	// the staleness an operator watches to decide a source needs a drop
+	// or a re-sync.
+	LagMillis int64 `json:"lag_ms"`
 }
 
 // infoFor captures one stream's listing entry.
@@ -491,7 +548,8 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleDetail reports one stream: its spec (enough to recreate it
-// anywhere), counters and durability status.
+// anywhere), counters and durability status. Fan-in aggregates
+// additionally list their sources with per-source epochs and push lag.
 func (s *Server) handleDetail(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	s.mu.RLock()
@@ -501,7 +559,20 @@ func (s *Server) handleDetail(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "no stream %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, infoFor(id, st))
+	info := infoFor(id, st)
+	if agg, ok := st.summary().(*streamhull.FanInHull); ok {
+		now := time.Now()
+		srcs := agg.Sources()
+		info.Sources = make([]sourceInfo, len(srcs))
+		for i, src := range srcs {
+			info.Sources[i] = sourceInfo{
+				Source: src.Name, Epoch: src.Epoch, N: src.N,
+				SamplePoints: src.SamplePoints,
+				LagMillis:    now.Sub(src.LastPush).Milliseconds(),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // get returns the stream, auto-creating it for ingest when allowed.
@@ -519,7 +590,7 @@ func (s *Server) get(id string, autocreate bool) (*stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err = s.addStream(id, sum)
+	st, err = s.addStream(id, sum, nil)
 	if err == nil {
 		if wh, ok := sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
 			s.startSweeper()
@@ -573,9 +644,27 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 		}
 		pts[i] = p
 	}
-	st, err := s.get(id, true)
+	// With a fan-in default spec, a point POST to a missing stream would
+	// auto-create an aggregate only to reject the batch below — don't
+	// leave that orphan (or its durable directory) behind.
+	autocreate := s.defaultSpec.Kind != streamhull.KindFanIn
+	st, err := s.get(id, autocreate)
 	if err != nil {
+		if !autocreate {
+			writeErr(w, http.StatusConflict,
+				"default stream kind is a fan-in aggregate; push snapshots to /v1/streams/%s/snapshot?source=<name>&epoch=<n> instead", id)
+			return
+		}
 		writeStreamErr(w, err, http.StatusBadRequest)
+		return
+	}
+	// Fan-in aggregates are fed by snapshot pushes, not point ingest;
+	// reject before the stream lock (and, for durable streams, before a
+	// batch that can never apply reaches the WAL).
+	if st.spec.Kind == streamhull.KindFanIn {
+		writeErr(w, http.StatusConflict,
+			"stream %q is a fan-in aggregate; push snapshots to /v1/streams/%s/snapshot?source=<name>&epoch=<n> instead",
+			id, id)
 		return
 	}
 	st.mu.Lock()
@@ -688,8 +777,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	type snapshotter interface{ Snapshot() streamhull.Snapshot }
-	sn, ok := st.summary().(snapshotter)
+	sn, ok := st.summary().(streamhull.Snapshotter)
 	if !ok {
 		writeErr(w, http.StatusBadRequest, "stream kind %q does not support snapshots", st.spec.Kind)
 		return
@@ -708,20 +796,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
-// handleRestore creates a stream from a previously captured snapshot —
-// the other half of the snapshot endpoint's content negotiation: JSON
-// or, with Content-Type: application/octet-stream, the binary encoding.
-func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
-	id := req.PathValue("id")
+// readSnapshotBody decodes a snapshot request body with the endpoint's
+// content negotiation: binary with Content-Type application/octet-stream,
+// JSON otherwise. On failure it writes the error response itself (413
+// for an oversized body, 400 otherwise) and reports false.
+func (s *Server) readSnapshotBody(w http.ResponseWriter, req *http.Request) (streamhull.Snapshot, bool) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
-			return
+		} else {
+			writeErr(w, http.StatusBadRequest, "reading body: %v", err)
 		}
-		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
-		return
+		return streamhull.Snapshot{}, false
 	}
 	var snap streamhull.Snapshot
 	if wantsBinary(req.Header.Get("Content-Type")) {
@@ -731,6 +819,25 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding snapshot: %v", err)
+		return streamhull.Snapshot{}, false
+	}
+	return snap, true
+}
+
+// handleRestore is the snapshot endpoint's write half, serving two
+// flavors distinguished by the source query parameter. Without it, the
+// body restores a whole stream from a previously captured snapshot (JSON
+// or, with Content-Type: application/octet-stream, the binary encoding).
+// With ?source=<name>&epoch=<n> it is a fan-in push: the body becomes
+// that source's contribution to an existing fan-in aggregate stream.
+func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
+	if source := req.URL.Query().Get("source"); source != "" {
+		s.handleSourcePush(w, req, source)
+		return
+	}
+	id := req.PathValue("id")
+	snap, ok := s.readSnapshotBody(w, req)
+	if !ok {
 		return
 	}
 	sum, err := streamhull.SummaryFromSnapshot(snap)
@@ -738,32 +845,32 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st, err := s.addStream(id, sum)
+	// Durable restores persist a checkpoint immediately, so the stream
+	// survives a crash that happens before its first regular checkpoint.
+	// The payload must match what recovery expects for the kind:
+	// windowed streams checkpoint their bucket state, the rest the
+	// snapshot binary. It is sealed inside addStream, before the stream
+	// becomes visible — a checkpoint written after publication could
+	// race a concurrent ingest and compact its log record away.
+	var checkpoint []byte
+	if s.cfg.DataDir != "" {
+		var cerr error
+		if wh, ok := sum.(*streamhull.WindowedHull); ok {
+			checkpoint, cerr = wh.MarshalState()
+		} else {
+			checkpoint, cerr = snap.MarshalBinary()
+		}
+		if cerr != nil {
+			s.logf("wal: stream %q: encoding restored snapshot: %v", id, cerr)
+			checkpoint = nil
+		}
+	}
+	st, err := s.addStream(id, sum, checkpoint)
 	if err != nil {
 		writeStreamErr(w, err, http.StatusConflict)
 		return
 	}
-	// Durable restores persist a checkpoint immediately, so the stream
-	// survives a crash that happens before its first regular
-	// checkpoint. The payload must match what recovery expects for the
-	// kind: windowed streams checkpoint their bucket state, the rest
-	// the snapshot binary.
 	st.mu.Lock()
-	if st.log != nil {
-		var bin []byte
-		var err error
-		if wh, ok := st.sum.(*streamhull.WindowedHull); ok {
-			bin, err = wh.MarshalState()
-		} else {
-			bin, err = snap.MarshalBinary()
-		}
-		if err == nil {
-			err = st.log.Checkpoint(bin)
-		}
-		if err != nil {
-			s.logf("wal: stream %q: persisting restored snapshot: %v", id, err)
-		}
-	}
 	n := st.sum.N()
 	st.mu.Unlock()
 	resp := createResponse(id, sum.Spec())
@@ -771,32 +878,118 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
-func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
-	q := req.URL.Query()
-	if q.Get("a") == "" || q.Get("b") == "" {
-		writeErr(w, http.StatusBadRequest, "pair query requires both a and b stream ids")
+// handleSourcePush applies one source-tagged snapshot delta to a fan-in
+// aggregate stream: the follower's latest sample replaces that source's
+// previous contribution wholesale, keyed by a per-source epoch. Pushes
+// with an epoch older than the source's last accepted one are rejected
+// with 409 — they are from a lagging or superseded sender — so a
+// follower that crashed mid-push re-syncs by pushing again with a higher
+// epoch, and the aggregate converges as if the stale push never happened.
+func (s *Server) handleSourcePush(w http.ResponseWriter, req *http.Request, source string) {
+	id := req.PathValue("id")
+	epochStr := req.URL.Query().Get("epoch")
+	epoch, err := strconv.ParseUint(epochStr, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "source push requires a numeric epoch, got %q", epochStr)
 		return
 	}
-	sa, err := s.get(q.Get("a"), false)
+	snap, ok := s.readSnapshotBody(w, req)
+	if !ok {
+		return
+	}
+	st, err := s.get(id, false)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v (create the aggregate first: PUT with spec {\"kind\":\"fanin\"})", err)
+		return
+	}
+	agg, ok := st.summary().(*streamhull.FanInHull)
+	if !ok {
+		writeErr(w, http.StatusConflict, "stream %q is %s, not a fan-in aggregate", id, st.spec.Kind)
+		return
+	}
+	if err := agg.Push(source, epoch, snap); err != nil {
+		if errors.Is(err, streamhull.ErrStaleEpoch) {
+			writeErr(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stream": id, "source": source, "epoch": epoch,
+		"source_n": snap.N, "n": agg.N(), "sources": len(agg.Sources()),
+	})
+}
+
+// StreamSnapshots captures every snapshot-capable stream as an encoded
+// JSON snapshot — the collect half of the fan-in follower loop
+// (fanin.Pusher pushes what this returns to the upstream aggregator).
+// Kinds with no snapshot form (exact, partial, partitioned) are skipped,
+// as are fan-in aggregates themselves: a follower forwards its own
+// streams, not state other nodes already pushed to it.
+func (s *Server) StreamSnapshots() []fanin.StreamSnapshot {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.streams))
+	sts := make([]*stream, 0, len(s.streams))
+	for id, st := range s.streams {
+		ids = append(ids, id)
+		sts = append(sts, st)
+	}
+	s.mu.RUnlock()
+	out := make([]fanin.StreamSnapshot, 0, len(ids))
+	for i, st := range sts {
+		if st.spec.Kind == streamhull.KindFanIn {
+			continue
+		}
+		sn, ok := st.summary().(streamhull.Snapshotter)
+		if !ok {
+			continue
+		}
+		snap := sn.Snapshot()
+		data, err := snap.Encode()
+		if err != nil {
+			s.logf("fanin: encoding snapshot of stream %q: %v", ids[i], err)
+			continue
+		}
+		out = append(out, fanin.StreamSnapshot{Stream: ids[i], R: snap.R, Data: data})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
+}
+
+// handleDropSource removes one source's contribution from a fan-in
+// aggregate (an operator retiring a dead follower; a live one simply
+// re-joins with its next push).
+func (s *Server) handleDropSource(w http.ResponseWriter, req *http.Request) {
+	id, source := req.PathValue("id"), req.PathValue("source")
+	st, err := s.get(id, false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	sb, err := s.get(q.Get("b"), false)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+	agg, ok := st.summary().(*streamhull.FanInHull)
+	if !ok {
+		writeErr(w, http.StatusConflict, "stream %q is %s, not a fan-in aggregate", id, st.spec.Kind)
 		return
 	}
-	// Pair answers combine two hulls, so they cannot be memoized behind a
-	// single stream's epoch — but both hull folds come from the caches.
-	ha, hb := sa.queries().Hull(), sb.queries().Hull()
-	switch qt := q.Get("type"); qt {
+	if !agg.DropSource(source) {
+		writeErr(w, http.StatusNotFound, "aggregate %q has no source %q", id, source)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stream": id, "dropped": source, "sources": len(agg.Sources())})
+}
+
+// pairAnswer computes one pair-query response body from two hulls, or
+// ok=false for an unknown type. Factored out of handlePairQuery so the
+// memoized and cold paths share one implementation.
+func pairAnswer(qt string, ha, hb streamhull.Polygon) (map[string]any, bool) {
+	switch qt {
 	case "distance":
 		d, pair := streamhull.MinDistance(ha, hb)
-		writeJSON(w, http.StatusOK, map[string]any{
+		return map[string]any{
 			"distance": d,
 			"pair":     [][2]float64{{pair[0].X, pair[0].Y}, {pair[1].X, pair[1].Y}},
-		})
+		}, true
 	case "separable":
 		line, ok := streamhull.SeparatingLine(ha, hb)
 		resp := map[string]any{"separable": ok}
@@ -805,16 +998,86 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
 				"normal": [2]float64{line.N.X, line.N.Y}, "offset": line.Offset,
 			}
 		}
-		writeJSON(w, http.StatusOK, resp)
+		return resp, true
 	case "overlap":
-		area := streamhull.OverlapArea(ha, hb)
-		writeJSON(w, http.StatusOK, map[string]any{"overlap_area": area})
+		return map[string]any{"overlap_area": streamhull.OverlapArea(ha, hb)}, true
 	case "contains":
-		writeJSON(w, http.StatusOK, map[string]any{
+		return map[string]any{
 			"a_contains_b": ha.ContainsPolygon(hb),
 			"b_contains_a": hb.ContainsPolygon(ha),
-		})
+		}, true
 	default:
-		writeErr(w, http.StatusBadRequest, "unknown pair query type %q", qt)
+		return nil, false
 	}
+}
+
+func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	idA, idB := q.Get("a"), q.Get("b")
+	if idA == "" || idB == "" {
+		writeErr(w, http.StatusBadRequest, "pair query requires both a and b stream ids")
+		return
+	}
+	sa, err := s.get(idA, false)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	sb, err := s.get(idB, false)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	qt := q.Get("type")
+	// Pair answers combine two hulls, so a single stream's epoch cache
+	// cannot hold them; instead they memoize on the (epochA, epochB)
+	// pair. The versions are read BEFORE the hulls so a racing mutation
+	// can only stamp an entry older than its contents — causing a
+	// spurious recompute later, never a stale answer (the same ordering
+	// argument QueryCache itself uses).
+	qa, qb := sa.queries(), sb.queries()
+	ea, eb := qa.Version(), qb.Version()
+	ha, hb := qa.Hull(), qb.Hull()
+	// A summary with no live points has a zero-vertex hull; the geometry
+	// kernels (closest pair, separating line, clipping) have no answer
+	// for it, so surface an explicit error instead of a fabricated
+	// [0,0] witness. This covers never-written streams AND windows whose
+	// last points just expired.
+	if ha.IsEmpty() || hb.IsEmpty() {
+		var empty []string
+		if ha.IsEmpty() {
+			empty = append(empty, idA)
+		}
+		if hb.IsEmpty() {
+			empty = append(empty, idB)
+		}
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": fmt.Sprintf("pair query needs points on both sides; empty stream(s): %s",
+				strings.Join(empty, ", ")),
+			"empty": empty,
+		})
+		return
+	}
+	key := pairKey{qa: qa, qb: qb, typ: qt}
+	if resp, ok := s.pairs.get(key, ea, eb); ok {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp, ok := pairAnswer(qt, ha, hb)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "unknown pair query type %q", qt)
+		return
+	}
+	// Memoize only if both caches are still their streams' live ones: a
+	// concurrent delete or checkpoint re-base purges entries keyed on
+	// retired caches, and a put landing after that purge would re-pin
+	// them. (A delete sliding in between this check and the put leaves
+	// one unservable entry behind — bounded by the cache cap, and gone
+	// the next time anything touches the map's eviction path.)
+	liveA, errA := s.get(idA, false)
+	liveB, errB := s.get(idB, false)
+	if errA == nil && errB == nil && liveA.queries() == qa && liveB.queries() == qb {
+		s.pairs.put(key, ea, eb, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

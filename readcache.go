@@ -111,6 +111,14 @@ func (c *QueryCache) view() *readView {
 // Hull returns the summary's hull, folded at most once per epoch.
 func (c *QueryCache) Hull() Polygon { return c.view().hull }
 
+// Version returns the epoch stamp of the current materialized view —
+// the revalidation token answers derived from this cache (the server's
+// pair-query memoization) can be keyed on. Versions are only comparable
+// between reads of the same *QueryCache: a stream that re-bases its
+// summary installs a fresh cache whose epochs restart, so cross-cache
+// keys must include the cache's identity too.
+func (c *QueryCache) Version() uint64 { return c.view().epoch }
+
 // N returns the stream count as of the cached view.
 func (c *QueryCache) N() int { return c.view().n }
 

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Fan-in smoke test: start an aggregator and one follower, ingest on the
+# follower, let the push loop run once, and assert the aggregator serves
+# the merged stream. CI runs this after the unit tests; it exercises the
+# real binaries end to end (two processes, real HTTP, real JSON).
+set -euo pipefail
+
+AGG_ADDR=127.0.0.1:18080
+FOL_ADDR=127.0.0.1:18081
+BIN=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/hullserver" ./cmd/hullserver
+go build -o "$BIN/hullcli" ./cmd/hullcli
+
+"$BIN/hullserver" -addr "$AGG_ADDR" &
+"$BIN/hullserver" -addr "$FOL_ADDR" \
+  -push-to "http://$AGG_ADDR" -push-every 300ms -push-source node1 &
+
+# Wait for both listeners.
+for addr in "$AGG_ADDR" "$FOL_ADDR"; do
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$addr/v1/streams" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+done
+
+# Ingest on the follower; the push loop forwards the snapshot upstream.
+curl -fsS -X POST "http://$FOL_ADDR/v1/streams/clicks/points" \
+  -d '{"points":[[0,0],[4,1],[2,5]]}' >/dev/null
+sleep 1
+
+detail=$(curl -fsS "http://$AGG_ADDR/v1/streams/clicks")
+echo "aggregator detail: $detail"
+echo "$detail" | grep -q '"algo":"fanin"' || { echo "FAIL: aggregate not fanin"; exit 1; }
+echo "$detail" | grep -q '"n":3' || { echo "FAIL: merged n != 3"; exit 1; }
+echo "$detail" | grep -q '"source":"node1"' || { echo "FAIL: source node1 missing"; exit 1; }
+
+# A second source via the one-shot CLI pusher.
+printf '9,9\n8,8\n' | "$BIN/hullcli" push \
+  -to "http://$AGG_ADDR" -stream clicks -source node2 -r 16
+detail=$(curl -fsS "http://$AGG_ADDR/v1/streams/clicks")
+echo "aggregator detail: $detail"
+echo "$detail" | grep -q '"n":5' || { echo "FAIL: merged n != 5 after CLI push"; exit 1; }
+echo "$detail" | grep -q '"source":"node2"' || { echo "FAIL: source node2 missing"; exit 1; }
+
+# The merged hull answers queries like any other stream.
+curl -fsS "http://$AGG_ADDR/v1/streams/clicks/query?type=diameter" | grep -q diameter \
+  || { echo "FAIL: aggregate diameter query"; exit 1; }
+
+echo "fan-in smoke: OK"

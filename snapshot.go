@@ -63,6 +63,14 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 // Hull returns the convex hull of the snapshot's sample points.
 func (s Snapshot) Hull() Polygon { return HullOf(s.Points) }
 
+// Snapshotter is implemented by the summary kinds with a transmissible
+// snapshot form (adaptive, uniform, windowed, sharded, fanin); exact,
+// partial and partitioned summaries have none and rely on full-log
+// replay for durability instead.
+type Snapshotter interface {
+	Snapshot() Snapshot
+}
+
 // MergeSnapshots folds any number of snapshots into a fresh adaptive
 // summary with parameter r by streaming all their sample points through
 // it. The result approximates the hull of the union of the original

@@ -68,7 +68,7 @@ type Spec struct {
 // Kind names a summary algorithm.
 type Kind string
 
-// The seven summary kinds.
+// The eight summary kinds.
 const (
 	KindAdaptive    Kind = "adaptive"    // §4–§5 adaptive sampling, the flagship
 	KindUniform     Kind = "uniform"     // §3 uniformly sampled baseline
@@ -77,11 +77,12 @@ const (
 	KindWindowed    Kind = "windowed"    // sliding-window EH of adaptive buckets
 	KindPartitioned Kind = "partitioned" // §8 per-region adaptive hulls
 	KindSharded     Kind = "sharded"     // round-robin fan-out over mergeable sub-summaries
+	KindFanIn       Kind = "fanin"       // multi-node aggregate fed by source-tagged snapshot pushes
 )
 
 // Kinds lists every valid summary kind.
 func Kinds() []Kind {
-	return []Kind{KindAdaptive, KindUniform, KindExact, KindPartial, KindWindowed, KindPartitioned, KindSharded}
+	return []Kind{KindAdaptive, KindUniform, KindExact, KindPartial, KindWindowed, KindPartitioned, KindSharded, KindFanIn}
 }
 
 // GridSpec is a uniform cols×rows partition of the rectangle
@@ -158,16 +159,17 @@ func parseWindow(spec string) (count int, dur time.Duration, err error) {
 // here, so Validate == nil implies New succeeds.
 func (s Spec) Validate() error {
 	switch s.Kind {
-	case KindAdaptive, KindUniform, KindExact, KindPartial, KindWindowed, KindPartitioned, KindSharded:
+	case KindAdaptive, KindUniform, KindExact, KindPartial, KindWindowed, KindPartitioned, KindSharded, KindFanIn:
 	case "":
 		return fmt.Errorf("streamhull: spec has no kind")
 	default:
 		return fmt.Errorf("streamhull: unknown summary kind %q", s.Kind)
 	}
 
-	// Sample parameter per kind.
+	// Sample parameter per kind. A fan-in aggregate's r sizes its
+	// adaptive merge, so it obeys the adaptive minimum.
 	switch s.Kind {
-	case KindAdaptive, KindPartial, KindWindowed, KindPartitioned:
+	case KindAdaptive, KindPartial, KindWindowed, KindPartitioned, KindFanIn:
 		if s.R < 4 {
 			return fmt.Errorf("streamhull: %s summary requires r ≥ 4, got %d", s.Kind, s.R)
 		}
@@ -324,10 +326,13 @@ func SpecFor(algo string, r int, window string) (Spec, error) {
 		// Exact summaries have no sample parameter; drop the default r the
 		// caller's flag supplied.
 		return Spec{Kind: KindExact}, nil
+	case string(KindFanIn):
+		s := Spec{Kind: KindFanIn, R: r}
+		return s, s.Validate()
 	case string(KindWindowed):
 		return Spec{}, fmt.Errorf("streamhull: windowed summary requires a window (a count or a duration)")
 	default:
-		return Spec{}, fmt.Errorf("streamhull: unknown algo %q (want adaptive, uniform, or exact)", algo)
+		return Spec{}, fmt.Errorf("streamhull: unknown algo %q (want adaptive, uniform, exact, or fanin)", algo)
 	}
 }
 
@@ -355,6 +360,8 @@ func New(spec Spec) (Summary, error) {
 		return buildPartitioned(spec), nil
 	case KindSharded:
 		return buildSharded(spec)
+	case KindFanIn:
+		return buildFanIn(spec), nil
 	default:
 		// Unreachable after Validate.
 		return nil, fmt.Errorf("streamhull: unknown summary kind %q", spec.Kind)

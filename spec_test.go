@@ -24,6 +24,30 @@ func validSpecs() []Spec {
 			Grid: &GridSpec{Cols: 2, Rows: 3, MinX: -1, MinY: -1, MaxX: 1, MaxY: 1}},
 		{Kind: KindSharded, Shards: 4, Inner: &Spec{Kind: KindAdaptive, R: 16}},
 		{Kind: KindSharded, Shards: 2, Inner: &Spec{Kind: KindExact}},
+		{Kind: KindFanIn, R: 16},
+	}
+}
+
+// feedSummary ingests pts through the interface: fan-in aggregates are
+// fed by snapshot pushes (direct ingest is an error by design), every
+// other kind through InsertBatch.
+func feedSummary(t *testing.T, sum Summary, pts []geom.Point) {
+	t.Helper()
+	if agg, ok := sum.(*FanInHull); ok {
+		if _, err := sum.InsertBatch(pts); err != ErrFanInIngest {
+			t.Fatalf("fanin: InsertBatch error = %v, want ErrFanInIngest", err)
+		}
+		donor := NewAdaptive(agg.Spec().R)
+		if _, err := donor.InsertBatch(pts); err != nil {
+			t.Fatalf("fanin: donor ingest: %v", err)
+		}
+		if err := agg.Push("spec-test", 1, donor.Snapshot()); err != nil {
+			t.Fatalf("fanin: push: %v", err)
+		}
+		return
+	}
+	if n, err := sum.InsertBatch(pts); err != nil || n != len(pts) {
+		t.Fatalf("%s: InsertBatch = (%d, %v)", sum.Spec().Kind, n, err)
 	}
 }
 
@@ -47,11 +71,10 @@ func TestNewConstructsAllKinds(t *testing.T) {
 		if !equalSpec(back, spec) {
 			t.Errorf("round trip %s → %s", spec, back)
 		}
-		// Every kind must ingest and answer queries through the interface.
+		// Every kind must ingest and answer queries through the interface
+		// (fan-in aggregates via snapshot push, their only write path).
 		pts := workload.Take(workload.Disk(9, geom.Pt(0.5, 0.5), 0.4), 200)
-		if n, err := sum.InsertBatch(pts); err != nil || n != 200 {
-			t.Fatalf("%s: InsertBatch = (%d, %v)", spec.Kind, n, err)
-		}
+		feedSummary(t, sum, pts)
 		if sum.N() != 200 {
 			t.Errorf("%s: N = %d after 200 points", spec.Kind, sum.N())
 		}
