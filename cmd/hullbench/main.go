@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,7 @@ func main() {
 		r          = flag.Int("r", 16, "adaptive sample parameter (uniform uses 2r)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		serveDur   = flag.Duration("serve-dur", 2*time.Second, "measurement window per shard count for -serve")
+		jsonOut    = flag.String("json", "", "also write the -serve rows to this file as JSON (a committable baseline)")
 	)
 	flag.Parse()
 
@@ -133,6 +135,24 @@ func main() {
 		}
 		fmt.Print(experiments.FormatServe(rows))
 		fmt.Println()
+		if *jsonOut != "" {
+			doc := map[string]any{
+				"experiment": "serve",
+				"n":          *n,
+				"duration":   serveDur.String(),
+				"rows":       rows,
+			}
+			data, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "encoding -json:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "writing -json:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote serve rows to %s\n", *jsonOut)
+		}
 	}
 	if *all || *faninF {
 		fmt.Println("=== Continuous fan-in (aggregate error vs push interval and source count) ===")

@@ -142,6 +142,7 @@ func runPush(args []string) {
 	fs := flag.NewFlagSet("hullcli push", flag.ExitOnError)
 	var (
 		to     = fs.String("to", "", "aggregator base URL (e.g. http://agg:8080)")
+		token  = fs.String("token", "", "bearer token for an authenticated aggregator (needs the push role)")
 		stream = fs.String("stream", "", "aggregate stream id on the upstream server")
 		source = fs.String("source", "", "source name this contribution is keyed by")
 		epoch  = fs.Uint64("epoch", 0, "push epoch (0 = wall-clock nanoseconds; must increase across pushes for one source)")
@@ -175,10 +176,10 @@ func runPush(args []string) {
 	}
 	ctx := context.Background()
 	client := &http.Client{Timeout: 10 * time.Second}
-	if err := fanin.EnsureAggregate(ctx, client, *to, *stream, snap.R); err != nil {
+	if err := fanin.EnsureAggregate(ctx, client, *to, *token, *stream, snap.R); err != nil {
 		log.Fatal(err)
 	}
-	if err := fanin.Push(ctx, client, *to, *stream, *source, e, data); err != nil {
+	if err := fanin.Push(ctx, client, *to, *token, *stream, *source, e, data); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pushed %s as source %q epoch %d: %d points summarized, %d sample points\n",

@@ -26,10 +26,21 @@
 //
 // Usage:
 //
+// With -auth-tokens the API requires a bearer token on every request;
+// each token maps to a tenant (its own stream namespace) and a role set
+// (read, write, push). -quota-streams/-quota-bytes/-quota-rate cap what
+// each tenant may hold and how fast it may call. Unless -metrics=false,
+// GET /metrics serves Prometheus-format counters, gauges and latency
+// histograms, and /healthz + /readyz serve orchestrator probes (all
+// three unauthenticated).
+//
+// Usage:
+//
 //	hullserver -addr :8080 -r 32
 //	hullserver -addr :8080 -shards 8
 //	hullserver -addr :8080 -data /var/lib/hullserver -fsync always
 //	hullserver -addr :8081 -push-to http://agg:8080 -push-every 5s -push-source node1
+//	hullserver -addr :8080 -auth-tokens @/etc/hullserver/tokens -quota-rate 200
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 	"time"
 
 	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/internal/auth"
 	"github.com/streamgeom/streamhull/internal/fanin"
 	"github.com/streamgeom/streamhull/internal/server"
 	"github.com/streamgeom/streamhull/internal/wal"
@@ -64,8 +76,24 @@ func main() {
 		pushTo   = flag.String("push-to", "", "aggregator base URL: run as a fan-in follower pushing snapshot deltas upstream")
 		pushInt  = flag.Duration("push-every", 5*time.Second, "push period for -push-to")
 		pushSrc  = flag.String("push-source", "", "source name for -push-to (default hostname+addr)")
+		pushTok  = flag.String("push-token", "", "bearer token the follower sends upstream (needs the push role there)")
+		tokens   = flag.String("auth-tokens", "", "bearer tokens: \"tok=tenant:roles;...\" or @file (empty = open access)")
+		metrics  = flag.Bool("metrics", true, "serve GET /metrics, /healthz and /readyz")
+		qStreams = flag.Int("quota-streams", 0, "max live streams per tenant (0 = unlimited)")
+		qBytes   = flag.Int64("quota-bytes", 0, "max resident ingest bytes per tenant (0 = unlimited)")
+		qRate    = flag.Float64("quota-rate", 0, "API requests per second per tenant (0 = unlimited)")
+		qBurst   = flag.Int("quota-burst", 0, "rate-limit burst per tenant (0 = ceil of -quota-rate)")
 	)
 	flag.Parse()
+
+	provider := auth.Provider(auth.None{})
+	if *tokens != "" {
+		p, err := auth.ParseStaticTokens(*tokens)
+		if err != nil {
+			log.Fatalf("-auth-tokens: %v", err)
+		}
+		provider = p
+	}
 
 	sync, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -92,6 +120,12 @@ func main() {
 		DefaultR: *r, DefaultSpec: *defSpec, MaxStreams: *maxS, SweepInterval: *sweep,
 		DataDir: *data, Sync: sync, FsyncInterval: *fsyncInt,
 		CheckpointEvery: *ckpt, Logf: log.Printf,
+		Auth: provider,
+		Quotas: auth.Quotas{
+			MaxStreams: *qStreams, MaxBytes: *qBytes,
+			RatePerSec: *qRate, Burst: *qBurst,
+		},
+		DisableObservability: !*metrics,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -120,11 +154,26 @@ func main() {
 		}
 		pusher, err := fanin.NewPusher(fanin.PusherConfig{
 			Target: *pushTo, Source: source, Interval: *pushInt,
-			Collect: api.StreamSnapshots, Logf: log.Printf,
+			Collect: api.StreamSnapshots, Logf: log.Printf, Token: *pushTok,
 		})
 		if err != nil {
 			log.Fatalf("-push-to: %v", err)
 		}
+		// The follower's own push health, scraped from the same /metrics
+		// page as the API instruments.
+		reg := api.Metrics()
+		reg.NewGaugeFunc("streamhull_fanin_pusher_pushes_total",
+			"stream pushes accepted upstream",
+			func() float64 { return float64(pusher.Stats().Pushes) })
+		reg.NewGaugeFunc("streamhull_fanin_pusher_failures_total",
+			"stream pushes abandoned after retries",
+			func() float64 { return float64(pusher.Stats().Failures) })
+		reg.NewGaugeFunc("streamhull_fanin_pusher_retries_total",
+			"individual push retry attempts",
+			func() float64 { return float64(pusher.Stats().Retries) })
+		reg.NewGaugeFunc("streamhull_fanin_pusher_consecutive_failures",
+			"abandoned pushes since the last success",
+			func() float64 { return float64(pusher.Stats().ConsecutiveFailures) })
 		go pusher.Run(ctx)
 		log.Printf("fan-in follower: pushing snapshot deltas to %s every %v as source %q",
 			*pushTo, *pushInt, source)

@@ -1,0 +1,235 @@
+// Package auth is the identity half of the multi-tenant service layer:
+// pluggable bearer-token authentication plus per-tenant quotas (see
+// quota.go). The server trusts this package's verdicts and nothing
+// else — Ben-Eliezer–Yogev's adversarial-sampling result makes an open
+// sampling endpoint a correctness risk, not just an ops one, so every
+// later robustness feature assumes callers are identified here first.
+//
+// Two providers ship:
+//
+//   - None: today's open behavior, byte-for-byte. Every request —
+//     including an anonymous one — authenticates as the root tenant ""
+//     with all roles, so stream ids stay un-namespaced and existing
+//     deployments see no change.
+//   - StaticTokens: a fixed table of bearer tokens, each bound to a
+//     tenant and a role set (read, write, push). Tokens come from a
+//     flag string or a file; rotation is a restart. An OIDC provider
+//     can slot in later behind the same interface.
+//
+// Roles gate endpoint classes, not individual streams: read covers
+// queries, write covers stream lifecycle and point ingest, push covers
+// fan-in source pushes (a follower's token usually carries only push,
+// so a leaked follower credential cannot read or delete anything).
+package auth
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Role is a bitmask of endpoint-class permissions.
+type Role uint8
+
+const (
+	// RoleRead covers every query endpoint: list, detail, hull, query,
+	// snapshot GET, pair queries.
+	RoleRead Role = 1 << iota
+	// RoleWrite covers stream lifecycle and data mutation: create,
+	// delete, point ingest, snapshot restore, source drop.
+	RoleWrite
+	// RolePush covers fan-in source pushes (POST snapshot?source=) and
+	// creating the fan-in aggregate those pushes land in.
+	RolePush
+
+	// RoleAll grants everything.
+	RoleAll = RoleRead | RoleWrite | RolePush
+)
+
+// Has reports whether r includes all bits of want.
+func (r Role) Has(want Role) bool { return r&want == want }
+
+// String renders the role set in the spec syntax ("read,write,push").
+func (r Role) String() string {
+	var parts []string
+	if r.Has(RoleRead) {
+		parts = append(parts, "read")
+	}
+	if r.Has(RoleWrite) {
+		parts = append(parts, "write")
+	}
+	if r.Has(RolePush) {
+		parts = append(parts, "push")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseRoles parses a comma- or plus-separated role list.
+func ParseRoles(s string) (Role, error) {
+	var r Role
+	for _, part := range strings.FieldsFunc(s, func(c rune) bool { return c == ',' || c == '+' }) {
+		switch strings.TrimSpace(part) {
+		case "read":
+			r |= RoleRead
+		case "write":
+			r |= RoleWrite
+		case "push":
+			r |= RolePush
+		case "all":
+			r |= RoleAll
+		case "":
+		default:
+			return 0, fmt.Errorf("auth: unknown role %q (want read, write, push or all)", part)
+		}
+	}
+	if r == 0 {
+		return 0, errors.New("auth: empty role set")
+	}
+	return r, nil
+}
+
+// Identity is an authenticated caller: the tenant its streams live
+// under and the endpoint classes it may touch.
+type Identity struct {
+	// Tenant namespaces the caller's streams. The root tenant "" (the
+	// None provider) sees the un-namespaced id space.
+	Tenant string
+	// Roles is the caller's permission set.
+	Roles Role
+}
+
+// ErrBadToken is returned by Authenticate for a missing or unknown
+// token; the server maps it to 401. (A known token lacking a role is
+// the server's 403, decided against Identity.Roles.)
+var ErrBadToken = errors.New("auth: missing or unknown bearer token")
+
+// Provider authenticates bearer tokens.
+type Provider interface {
+	// Authenticate maps a bearer token ("" = anonymous) to an identity,
+	// or ErrBadToken.
+	Authenticate(token string) (Identity, error)
+	// Open reports whether anonymous callers are accepted; the server
+	// uses it to keep legacy behaviors (no WWW-Authenticate challenge,
+	// un-namespaced ids) when auth is off.
+	Open() bool
+}
+
+// None is the open provider: everyone — anonymous included — is the
+// root tenant with all roles. The zero-config default.
+type None struct{}
+
+// Authenticate accepts anything.
+func (None) Authenticate(string) (Identity, error) {
+	return Identity{Tenant: "", Roles: RoleAll}, nil
+}
+
+// Open reports true: anonymous callers are fine.
+func (None) Open() bool { return true }
+
+// StaticTokens authenticates against a fixed token table.
+type StaticTokens struct {
+	byToken map[string]Identity
+}
+
+// Authenticate looks the token up, comparing in constant time so the
+// lookup cannot be used as a timing oracle for near-miss tokens.
+func (p *StaticTokens) Authenticate(token string) (Identity, error) {
+	if token == "" {
+		return Identity{}, ErrBadToken
+	}
+	for t, id := range p.byToken {
+		if len(t) == len(token) && subtle.ConstantTimeCompare([]byte(t), []byte(token)) == 1 {
+			return id, nil
+		}
+	}
+	return Identity{}, ErrBadToken
+}
+
+// Open reports false: anonymous callers are rejected.
+func (p *StaticTokens) Open() bool { return false }
+
+// Tenants lists the distinct tenants in the table, sorted-free (callers
+// sort if they care); used by the server to pre-register quota ledgers.
+func (p *StaticTokens) Tenants() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range p.byToken {
+		if !seen[id.Tenant] {
+			seen[id.Tenant] = true
+			out = append(out, id.Tenant)
+		}
+	}
+	return out
+}
+
+// ParseStaticTokens builds a StaticTokens provider from a spec string:
+// entries separated by semicolons or newlines, each
+//
+//	<token>=<tenant>:<roles>
+//
+// with roles a comma- or plus-separated subset of read, write, push,
+// all (inside a semicolon-separated flag value use '+': e.g.
+// "s3cr3t=acme:read+write;f0ll0w3r=acme:push"). Blank lines and
+// #-comments are skipped, so the same syntax works as a tokens file.
+// A spec starting with '@' names such a file.
+func ParseStaticTokens(spec string) (*StaticTokens, error) {
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(strings.TrimPrefix(spec, "@"))
+		if err != nil {
+			return nil, fmt.Errorf("auth: reading tokens file: %w", err)
+		}
+		spec = string(data)
+	}
+	p := &StaticTokens{byToken: make(map[string]Identity)}
+	for _, line := range strings.FieldsFunc(spec, func(c rune) bool { return c == ';' || c == '\n' }) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		token, rest, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("auth: token entry %q: want <token>=<tenant>:<roles>", line)
+		}
+		tenant, roleSpec, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("auth: token entry %q: want <token>=<tenant>:<roles>", line)
+		}
+		token, tenant = strings.TrimSpace(token), strings.TrimSpace(tenant)
+		if token == "" {
+			return nil, fmt.Errorf("auth: token entry %q: empty token", line)
+		}
+		if tenant == "" {
+			return nil, fmt.Errorf("auth: token entry %q: empty tenant (the root tenant is reserved for the open provider)", line)
+		}
+		if strings.Contains(tenant, "/") {
+			return nil, fmt.Errorf("auth: token entry %q: tenant must not contain '/'", line)
+		}
+		roles, err := ParseRoles(roleSpec)
+		if err != nil {
+			return nil, fmt.Errorf("auth: token entry %q: %v", line, err)
+		}
+		if _, dup := p.byToken[token]; dup {
+			return nil, fmt.Errorf("auth: duplicate token %q", token)
+		}
+		p.byToken[token] = Identity{Tenant: tenant, Roles: roles}
+	}
+	if len(p.byToken) == 0 {
+		return nil, errors.New("auth: token spec defines no tokens")
+	}
+	return p, nil
+}
+
+// BearerToken extracts the token from an Authorization header value
+// ("Bearer <token>", case-insensitive scheme); "" when absent.
+func BearerToken(header string) string {
+	const prefix = "bearer "
+	if len(header) > len(prefix) && strings.EqualFold(header[:len(prefix)], prefix) {
+		return strings.TrimSpace(header[len(prefix):])
+	}
+	return ""
+}

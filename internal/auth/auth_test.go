@@ -1,0 +1,226 @@
+package auth
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseRoles(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Role
+		wantErr bool
+	}{
+		{"read", RoleRead, false},
+		{"read,write", RoleRead | RoleWrite, false},
+		{"read+write+push", RoleAll, false},
+		{"all", RoleAll, false},
+		{"push", RolePush, false},
+		{"", 0, true},
+		{"admin", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseRoles(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseRoles(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseRoles(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNoneProviderIsOpen(t *testing.T) {
+	var p None
+	if !p.Open() {
+		t.Fatal("None provider should be open")
+	}
+	id, err := p.Authenticate("")
+	if err != nil {
+		t.Fatalf("anonymous authenticate: %v", err)
+	}
+	if id.Tenant != "" || !id.Roles.Has(RoleAll) {
+		t.Errorf("None identity = %+v, want root tenant with all roles", id)
+	}
+}
+
+func TestParseStaticTokens(t *testing.T) {
+	p, err := ParseStaticTokens("s3cr3t=acme:read+write;f0ll0w3r=acme:push;other=globex:all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Open() {
+		t.Error("StaticTokens should not be open")
+	}
+	id, err := p.Authenticate("s3cr3t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Tenant != "acme" || !id.Roles.Has(RoleRead|RoleWrite) || id.Roles.Has(RolePush) {
+		t.Errorf("identity = %+v, want acme read+write", id)
+	}
+	if _, err := p.Authenticate("wrong"); !errors.Is(err, ErrBadToken) {
+		t.Errorf("unknown token error = %v, want ErrBadToken", err)
+	}
+	if _, err := p.Authenticate(""); !errors.Is(err, ErrBadToken) {
+		t.Errorf("empty token error = %v, want ErrBadToken", err)
+	}
+	if got := len(p.Tenants()); got != 2 {
+		t.Errorf("Tenants() = %d entries, want 2", got)
+	}
+}
+
+func TestParseStaticTokensFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tokens")
+	content := "# follower credentials\nf1=acme:push\n\nadmin=acme:read,write,push\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseStaticTokens("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.Authenticate("admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Tenant != "acme" || id.Roles != RoleAll {
+		t.Errorf("identity = %+v, want acme all", id)
+	}
+}
+
+func TestParseStaticTokensRejectsBadSpecs(t *testing.T) {
+	for _, bad := range []string{
+		"", "justatoken", "t=:read", "t=acme:", "t=acme:admin",
+		"t=a/b:read", "dup=a:read;dup=b:read", "=acme:read",
+	} {
+		if _, err := ParseStaticTokens(bad); err == nil {
+			t.Errorf("ParseStaticTokens(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestBearerToken(t *testing.T) {
+	cases := map[string]string{
+		"Bearer abc":  "abc",
+		"bearer abc":  "abc",
+		"BEARER  a b": "a b",
+		"Basic abc":   "",
+		"":            "",
+		"Bearer":      "",
+	}
+	for header, want := range cases {
+		if got := BearerToken(header); got != want {
+			t.Errorf("BearerToken(%q) = %q, want %q", header, got, want)
+		}
+	}
+}
+
+func TestLedgerStreamAndByteQuotas(t *testing.T) {
+	l := NewLedger(Quotas{MaxStreams: 2, MaxBytes: 100}, nil)
+	if err := l.ReserveStream("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ReserveStream("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ReserveStream("acme"); !errors.Is(err, ErrStreamQuota) {
+		t.Fatalf("third stream error = %v, want ErrStreamQuota", err)
+	}
+	// Tenants are independent.
+	if err := l.ReserveStream("globex"); err != nil {
+		t.Fatalf("other tenant blocked: %v", err)
+	}
+	if err := l.ReserveBytes("acme", 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ReserveBytes("acme", 30); !errors.Is(err, ErrByteQuota) {
+		t.Fatalf("over-quota bytes error = %v, want ErrByteQuota", err)
+	}
+	if err := l.ReserveBytes("globex", 30); err != nil {
+		t.Fatalf("other tenant's bytes blocked: %v", err)
+	}
+	// Deleting a stream returns its slot and bytes.
+	l.ReleaseStream("acme", 80)
+	if err := l.ReserveStream("acme"); err != nil {
+		t.Fatalf("slot not returned: %v", err)
+	}
+	if err := l.ReserveBytes("acme", 90); err != nil {
+		t.Fatalf("bytes not returned: %v", err)
+	}
+}
+
+func TestLedgerRateLimit(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	l := NewLedger(Quotas{RatePerSec: 10, Burst: 3}, clock)
+
+	for i := 0; i < 3; i++ {
+		if err := l.Allow("acme"); err != nil {
+			t.Fatalf("request %d within burst: %v", i, err)
+		}
+	}
+	err := l.Allow("acme")
+	var rl *RateLimitError
+	if !errors.As(err, &rl) || !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("burst-exhausted error = %v, want RateLimitError", err)
+	}
+	if rl.RetryAfter <= 0 || rl.RetryAfter > 100*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want (0, 100ms] at 10 req/s", rl.RetryAfter)
+	}
+	// Another tenant's bucket is untouched.
+	if err := l.Allow("globex"); err != nil {
+		t.Fatalf("other tenant limited: %v", err)
+	}
+	// Tokens drip back with time: 100ms at 10/s is exactly one token.
+	now = now.Add(100 * time.Millisecond)
+	if err := l.Allow("acme"); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if err := l.Allow("acme"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second request after one-token refill = %v, want rate limited", err)
+	}
+}
+
+func TestLedgerUnlimitedByDefault(t *testing.T) {
+	l := NewLedger(Quotas{}, nil)
+	for i := 0; i < 10000; i++ {
+		if err := l.Allow("t"); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.ReserveStream("t"); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.ReserveBytes("t", 1<<40); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger(Quotas{MaxStreams: 1000, MaxBytes: 1 << 40, RatePerSec: 1e9}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = l.Allow("t")
+				if err := l.ReserveStream("t"); err == nil {
+					_ = l.ReserveBytes("t", 10)
+					l.ReleaseStream("t", 10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	streams, bytes := l.Usage("t")
+	if streams != 0 || bytes != 0 {
+		t.Errorf("usage after balanced reserve/release = %d streams, %d bytes; want 0, 0", streams, bytes)
+	}
+}

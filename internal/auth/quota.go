@@ -1,0 +1,230 @@
+package auth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Quotas caps what one tenant may hold and how fast it may call. The
+// zero value means unlimited everywhere, which is what the open (None)
+// provider deployments get by default — quotas opt in per server.
+type Quotas struct {
+	// MaxStreams caps live streams per tenant (0 = unlimited).
+	MaxStreams int
+	// MaxBytes caps a tenant's total resident ingest bytes — the sum of
+	// point-payload bytes its live streams have accepted; deleting a
+	// stream returns its bytes (0 = unlimited).
+	MaxBytes int64
+	// RatePerSec refills the tenant's request token bucket (0 =
+	// unlimited). Every authenticated request spends one token.
+	RatePerSec float64
+	// Burst is the bucket capacity (0 = max(1, ceil(RatePerSec))).
+	Burst int
+}
+
+// unlimited reports whether q constrains nothing, letting the ledger
+// skip all bookkeeping on the open fast path.
+func (q Quotas) unlimited() bool {
+	return q.MaxStreams == 0 && q.MaxBytes == 0 && q.RatePerSec == 0
+}
+
+// Quota-exceeded errors; the server maps them to response codes
+// (429 for rate, 507/413-style conflicts for capacity).
+var (
+	// ErrRateLimited means the tenant's token bucket is empty; see
+	// RateLimitError for the Retry-After hint.
+	ErrRateLimited = errors.New("auth: tenant rate limit exceeded")
+	// ErrStreamQuota means the tenant is at MaxStreams.
+	ErrStreamQuota = errors.New("auth: tenant stream quota exceeded")
+	// ErrByteQuota means the ingest would exceed MaxBytes.
+	ErrByteQuota = errors.New("auth: tenant byte quota exceeded")
+)
+
+// RateLimitError carries the earliest useful retry time alongside
+// ErrRateLimited (errors.Is matches it).
+type RateLimitError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("auth: tenant %q rate limit exceeded, retry in %v", e.Tenant, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrRateLimited) true.
+func (e *RateLimitError) Unwrap() error { return ErrRateLimited }
+
+// tenantUsage is one tenant's live consumption.
+type tenantUsage struct {
+	streams int
+	bytes   int64
+
+	// Token bucket: tokens at time last, refilled lazily on spend.
+	tokens float64
+	last   time.Time
+}
+
+// Ledger tracks per-tenant usage against one Quotas policy. All methods
+// are safe for concurrent use. The zero value is not usable; call
+// NewLedger.
+type Ledger struct {
+	quotas Quotas
+	now    func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenantUsage
+}
+
+// NewLedger returns a ledger enforcing quotas. now overrides the clock
+// for tests; nil selects time.Now.
+func NewLedger(quotas Quotas, now func() time.Time) *Ledger {
+	if now == nil {
+		now = time.Now
+	}
+	return &Ledger{quotas: quotas, now: now, tenants: make(map[string]*tenantUsage)}
+}
+
+// Quotas returns the policy the ledger enforces.
+func (l *Ledger) Quotas() Quotas { return l.quotas }
+
+// usage returns (creating if needed) tenant's usage row. Caller holds l.mu.
+func (l *Ledger) usage(tenant string) *tenantUsage {
+	u, ok := l.tenants[tenant]
+	if !ok {
+		burst := l.quotas.Burst
+		if burst <= 0 {
+			burst = int(math.Ceil(l.quotas.RatePerSec))
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		u = &tenantUsage{tokens: float64(burst), last: l.now()}
+		l.tenants[tenant] = u
+	}
+	return u
+}
+
+// Allow spends one request token for tenant, returning a *RateLimitError
+// (matching ErrRateLimited) with a Retry-After hint when the bucket is
+// empty. With RatePerSec == 0 it is a no-op.
+func (l *Ledger) Allow(tenant string) error {
+	if l.quotas.RatePerSec <= 0 {
+		return nil
+	}
+	burst := l.quotas.Burst
+	if burst <= 0 {
+		burst = int(math.Ceil(l.quotas.RatePerSec))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.usage(tenant)
+	now := l.now()
+	u.tokens = math.Min(float64(burst), u.tokens+now.Sub(u.last).Seconds()*l.quotas.RatePerSec)
+	u.last = now
+	if u.tokens < 1 {
+		// Time until one whole token has dripped in.
+		wait := time.Duration((1 - u.tokens) / l.quotas.RatePerSec * float64(time.Second))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		return &RateLimitError{Tenant: tenant, RetryAfter: wait}
+	}
+	u.tokens--
+	return nil
+}
+
+// ReserveStream claims one stream slot for tenant (ErrStreamQuota when
+// at the cap). Pair with ReleaseStream on delete or failed create.
+func (l *Ledger) ReserveStream(tenant string) error {
+	if l.quotas.MaxStreams <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.usage(tenant)
+	if u.streams >= l.quotas.MaxStreams {
+		return fmt.Errorf("%w (tenant %q at %d streams)", ErrStreamQuota, tenant, l.quotas.MaxStreams)
+	}
+	u.streams++
+	return nil
+}
+
+// ReleaseStream returns a stream slot and its resident bytes.
+func (l *Ledger) ReleaseStream(tenant string, bytes int64) {
+	if l.quotas.unlimited() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.usage(tenant)
+	if u.streams > 0 {
+		u.streams--
+	}
+	u.bytes -= bytes
+	if u.bytes < 0 {
+		u.bytes = 0
+	}
+}
+
+// AdoptStream records a pre-existing stream (WAL recovery at startup)
+// without enforcing the quota: state that already survived a restart is
+// never evicted, it only counts against future reservations.
+func (l *Ledger) AdoptStream(tenant string, bytes int64) {
+	if l.quotas.unlimited() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.usage(tenant)
+	u.streams++
+	u.bytes += bytes
+}
+
+// ReserveBytes claims n ingest bytes for tenant (ErrByteQuota when the
+// claim would exceed MaxBytes). Pair with ReleaseBytes if the ingest
+// fails after the reservation.
+func (l *Ledger) ReserveBytes(tenant string, n int64) error {
+	if l.quotas.MaxBytes <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.usage(tenant)
+	if u.bytes+n > l.quotas.MaxBytes {
+		return fmt.Errorf("%w (tenant %q: %d + %d > %d bytes)",
+			ErrByteQuota, tenant, u.bytes, n, l.quotas.MaxBytes)
+	}
+	u.bytes += n
+	return nil
+}
+
+// ReleaseBytes returns n reserved bytes (a failed ingest, or a deleted
+// stream's share when the caller tracks it separately).
+func (l *Ledger) ReleaseBytes(tenant string, n int64) {
+	if l.quotas.MaxBytes <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.usage(tenant)
+	u.bytes -= n
+	if u.bytes < 0 {
+		u.bytes = 0
+	}
+}
+
+// Usage reports tenant's live consumption (status pages, metrics).
+func (l *Ledger) Usage(tenant string) (streams int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if u, ok := l.tenants[tenant]; ok {
+		return u.streams, u.bytes
+	}
+	return 0, 0
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/internal/auth"
 	"github.com/streamgeom/streamhull/internal/server"
 	"github.com/streamgeom/streamhull/internal/workload"
 )
@@ -35,6 +36,11 @@ type ServePoint struct {
 // of serializing on one summary mutex, and epoch-cached reads keep the
 // query side from re-folding the hull under load. Shard count 1 builds
 // a plain adaptive stream, the unsharded baseline.
+//
+// The sweep runs with bearer authentication enabled, so every measured
+// request pays the full production service layer — token lookup, the
+// tenant rate-limit check (unlimited quotas, so never a 429) and the
+// role gate — on top of the handler itself.
 func ServeSweep(gen func(seed int64) workload.Generator, n int, shardCounts []int, r, batch, writers, readers int, dur time.Duration, seed int64) ([]ServePoint, error) {
 	pts := workload.Take(gen(seed), n)
 	// Pre-encode the ingest bodies once; the handlers re-decode per
@@ -58,9 +64,19 @@ func ServeSweep(gen func(seed int64) workload.Generator, n int, shardCounts []in
 		return nil, fmt.Errorf("experiments: n = %d too small for batch %d", n, batch)
 	}
 
+	const benchToken = "bench-secret"
+	provider, err := auth.ParseStaticTokens(benchToken + "=bench:read+write")
+	if err != nil {
+		return nil, err
+	}
+	authed := func(req *http.Request) *http.Request {
+		req.Header.Set("Authorization", "Bearer "+benchToken)
+		return req
+	}
+
 	out := make([]ServePoint, 0, len(shardCounts))
 	for _, shards := range shardCounts {
-		srv, err := server.New(server.Config{})
+		srv, err := server.New(server.Config{Auth: provider})
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +84,7 @@ func ServeSweep(gen func(seed int64) workload.Generator, n int, shardCounts []in
 		if shards > 1 {
 			spec = streamhull.Spec{Kind: streamhull.KindSharded, Shards: shards, Inner: &streamhull.Spec{Kind: streamhull.KindAdaptive, R: r}}
 		}
-		create := httptest.NewRequest(http.MethodPut, "/v1/streams/bench", strings.NewReader(spec.String()))
+		create := authed(httptest.NewRequest(http.MethodPut, "/v1/streams/bench", strings.NewReader(spec.String())))
 		rec := httptest.NewRecorder()
 		srv.ServeHTTP(rec, create)
 		if rec.Code != http.StatusCreated {
@@ -83,8 +99,8 @@ func ServeSweep(gen func(seed int64) workload.Generator, n int, shardCounts []in
 			go func(w int) {
 				defer wg.Done()
 				for i := w; time.Now().Before(deadline); i++ {
-					req := httptest.NewRequest(http.MethodPost, "/v1/streams/bench/points",
-						bytes.NewReader(bodies[i%len(bodies)]))
+					req := authed(httptest.NewRequest(http.MethodPost, "/v1/streams/bench/points",
+						bytes.NewReader(bodies[i%len(bodies)])))
 					rec := httptest.NewRecorder()
 					srv.ServeHTTP(rec, req)
 					if rec.Code == http.StatusOK {
@@ -98,7 +114,7 @@ func ServeSweep(gen func(seed int64) workload.Generator, n int, shardCounts []in
 			go func() {
 				defer wg.Done()
 				for time.Now().Before(deadline) {
-					req := httptest.NewRequest(http.MethodGet, "/v1/streams/bench/query?type=diameter", nil)
+					req := authed(httptest.NewRequest(http.MethodGet, "/v1/streams/bench/query?type=diameter", nil))
 					rec := httptest.NewRecorder()
 					srv.ServeHTTP(rec, req)
 					if rec.Code == http.StatusOK {

@@ -3,11 +3,14 @@ package fanin
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -46,6 +49,75 @@ type PusherConfig struct {
 	// push supersedes everything its previous incarnation sent. Override
 	// only in tests.
 	Epoch func() uint64
+	// Token is the bearer token sent with every request when the
+	// aggregator runs with authentication ("" = no Authorization header).
+	// It must carry the push role for the tenant whose namespace the
+	// aggregates live in.
+	Token string
+	// MaxRetries bounds in-tick retries of one stream's push after a
+	// transient failure — a network error, 5xx, 429 (whose Retry-After is
+	// honored) or 401 (a token being rolled on the aggregator). 0 = 4;
+	// negative disables retrying. Non-transient rejections (403, 409
+	// stale epoch, 400) never retry: backing off cannot fix them.
+	MaxRetries int
+	// Backoff is the first retry delay; later retries double it up to
+	// 32x, each with ±25% jitter so a fleet of followers that failed
+	// together does not retry together (0 = 200ms).
+	Backoff time.Duration
+}
+
+// PusherStats is a point-in-time snapshot of a pusher's counters.
+type PusherStats struct {
+	// Pushes counts stream pushes accepted by the aggregator.
+	Pushes uint64
+	// Failures counts stream pushes abandoned after retries ran out (the
+	// next interval tick tries again from scratch).
+	Failures uint64
+	// Retries counts individual retry attempts across all pushes.
+	Retries uint64
+	// ConsecutiveFailures counts abandoned pushes since the last success;
+	// a growing value means the aggregator has been unreachable for that
+	// many attempts (exported as a staleness alarm on /metrics).
+	ConsecutiveFailures uint64
+}
+
+// pusherCounters is the atomic backing for PusherStats; Run's loop and
+// Stats() race benignly across goroutines.
+type pusherCounters struct {
+	pushes, failures, retries, consec atomic.Uint64
+}
+
+// HTTPError is a non-2xx aggregator response, carrying what retry logic
+// needs: the status code and any Retry-After hint.
+type HTTPError struct {
+	StatusCode int
+	RetryAfter time.Duration // parsed Retry-After (0 = none)
+	Msg        string        // status line + response body excerpt
+}
+
+func (e *HTTPError) Error() string { return e.Msg }
+
+// Transient reports whether backing off and retrying can help: rate
+// limiting (429), server trouble (5xx), or a 401 from a token rolling
+// over on the aggregator. Role and state rejections (403, 404, 409) are
+// deterministic and never retried.
+func (e *HTTPError) Transient() bool {
+	return e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode == http.StatusUnauthorized ||
+		e.StatusCode >= 500
+}
+
+// httpError builds an HTTPError from a non-2xx response, consuming (a
+// bounded prefix of) its body.
+func httpError(context string, resp *http.Response) *HTTPError {
+	he := &HTTPError{
+		StatusCode: resp.StatusCode,
+		Msg:        fmt.Sprintf("%s: %s", context, readError(resp)),
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		he.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return he
 }
 
 // Pusher runs the follower side of continuous fan-in: every Interval it
@@ -54,6 +126,7 @@ type PusherConfig struct {
 type Pusher struct {
 	cfg     PusherConfig
 	created map[string]bool // aggregate streams known to exist
+	stats   pusherCounters
 }
 
 // NewPusher validates the config and returns a ready pusher.
@@ -79,7 +152,25 @@ func NewPusher(cfg PusherConfig) (*Pusher, error) {
 	if cfg.Epoch == nil {
 		cfg.Epoch = func() uint64 { return uint64(time.Now().UnixNano()) }
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 200 * time.Millisecond
+	}
 	return &Pusher{cfg: cfg, created: make(map[string]bool)}, nil
+}
+
+// Stats returns a snapshot of the pusher's counters; safe to call from
+// any goroutine while Run is looping (hullserver exports them on
+// /metrics).
+func (p *Pusher) Stats() PusherStats {
+	return PusherStats{
+		Pushes:              p.stats.pushes.Load(),
+		Failures:            p.stats.failures.Load(),
+		Retries:             p.stats.retries.Load(),
+		ConsecutiveFailures: p.stats.consec.Load(),
+	}
 }
 
 // Run pushes once immediately, then on every interval tick until ctx is
@@ -118,24 +209,70 @@ func (p *Pusher) pushAll(ctx context.Context) {
 	}
 }
 
-// pushStream ensures the aggregate exists, then pushes one snapshot.
-// A 409 on create means the aggregate already exists (fine); a failed
-// create is retried on the next push rather than cached. A failed PUSH
-// also clears the created mark: an in-memory aggregator that restarted
-// has forgotten the aggregate, and re-creating it on the next tick is
+// pushStream ensures the aggregate exists, then pushes one snapshot,
+// retrying transient failures with backoff (see withRetry). A 409 on
+// create means the aggregate already exists (fine); a failed create is
+// retried on the next push rather than cached. A failed PUSH also
+// clears the created mark: an in-memory aggregator that restarted has
+// forgotten the aggregate, and re-creating it on the next tick is
 // exactly the re-sync the follower loop promises.
 func (p *Pusher) pushStream(ctx context.Context, ss StreamSnapshot) error {
-	if !p.created[ss.Stream] {
-		if err := EnsureAggregate(ctx, p.cfg.Client, p.cfg.Target, ss.Stream, ss.R); err != nil {
-			return err
+	err := p.withRetry(ctx, func() error {
+		if !p.created[ss.Stream] {
+			if err := EnsureAggregate(ctx, p.cfg.Client, p.cfg.Target, p.cfg.Token, ss.Stream, ss.R); err != nil {
+				return err
+			}
+			p.created[ss.Stream] = true
 		}
-		p.created[ss.Stream] = true
-	}
-	err := Push(ctx, p.cfg.Client, p.cfg.Target, ss.Stream, p.cfg.Source, p.cfg.Epoch(), ss.Data)
+		return Push(ctx, p.cfg.Client, p.cfg.Target, p.cfg.Token, ss.Stream, p.cfg.Source, p.cfg.Epoch(), ss.Data)
+	})
 	if err != nil {
 		delete(p.created, ss.Stream)
+		p.stats.failures.Add(1)
+		p.stats.consec.Add(1)
+		return err
 	}
-	return err
+	p.stats.pushes.Add(1)
+	p.stats.consec.Store(0)
+	return nil
+}
+
+// withRetry runs op, retrying transient failures (network errors and
+// HTTPError.Transient statuses) up to MaxRetries times with exponential
+// backoff: the n-th wait is Backoff·2ⁿ capped at 32× — or the server's
+// own Retry-After when it sent one — plus ±25% jitter so followers that
+// failed together spread back out. Deterministic rejections return
+// immediately.
+func (p *Pusher) withRetry(ctx context.Context, op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var he *HTTPError
+		if errors.As(err, &he) && !he.Transient() {
+			return err
+		}
+		if attempt >= p.cfg.MaxRetries {
+			return err
+		}
+		wait := p.cfg.Backoff << min(attempt, 5)
+		if he != nil && he.RetryAfter > wait {
+			wait = he.RetryAfter
+		}
+		// Jitter to wait ± 25%.
+		wait += time.Duration(rand.Int63n(int64(wait)/2+1)) - wait/4
+		p.stats.retries.Add(1)
+		if p.cfg.Logf != nil {
+			p.cfg.Logf("fanin: transient push failure (attempt %d, retrying in %v): %v",
+				attempt+1, wait.Round(time.Millisecond), err)
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(wait):
+		}
+	}
 }
 
 // aggregateSpec is the create body for an aggregate stream: the fan-in
@@ -147,16 +284,25 @@ func aggregateSpec(r int) string {
 	return fmt.Sprintf(`{"kind":"fanin","r":%d}`, r)
 }
 
+// authorize attaches the bearer token when one is configured.
+func authorize(req *http.Request, token string) {
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+}
+
 // EnsureAggregate creates the aggregate stream (kind "fanin", merge
 // parameter r) on target if it does not already exist. An existing
 // stream — whatever its kind — is left alone; pushes into a non-fanin
-// stream fail loudly at push time instead.
-func EnsureAggregate(ctx context.Context, client *http.Client, target, stream string, r int) error {
+// stream fail loudly at push time instead. Failures are *HTTPError so
+// callers can tell transient trouble from deterministic rejection.
+func EnsureAggregate(ctx context.Context, client *http.Client, target, token, stream string, r int) error {
 	u := fmt.Sprintf("%s/v1/streams/%s", target, url.PathEscape(stream))
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, bytes.NewReader([]byte(aggregateSpec(r))))
 	if err != nil {
 		return err
 	}
+	authorize(req, token)
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
@@ -168,13 +314,15 @@ func EnsureAggregate(ctx context.Context, client *http.Client, target, stream st
 		// follower) created it first.
 		return nil
 	default:
-		return fmt.Errorf("fanin: creating aggregate %q: %s", stream, readError(resp))
+		return httpError(fmt.Sprintf("fanin: creating aggregate %q", stream), resp)
 	}
 }
 
 // Push sends one source-tagged snapshot delta to the aggregate stream on
-// target. The body is a JSON-encoded streamhull.Snapshot.
-func Push(ctx context.Context, client *http.Client, target, stream, source string, epoch uint64, snapJSON []byte) error {
+// target. The body is a JSON-encoded streamhull.Snapshot. Failures are
+// *HTTPError so callers can tell transient trouble from deterministic
+// rejection.
+func Push(ctx context.Context, client *http.Client, target, token, stream, source string, epoch uint64, snapJSON []byte) error {
 	u := fmt.Sprintf("%s/v1/streams/%s/snapshot?source=%s&epoch=%s",
 		target, url.PathEscape(stream), url.QueryEscape(source),
 		strconv.FormatUint(epoch, 10))
@@ -183,13 +331,14 @@ func Push(ctx context.Context, client *http.Client, target, stream, source strin
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	authorize(req, token)
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("fanin: push %q as %q: %s", stream, source, readError(resp))
+		return httpError(fmt.Sprintf("fanin: push %q as %q", stream, source), resp)
 	}
 	return nil
 }

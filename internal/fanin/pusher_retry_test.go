@@ -1,0 +1,139 @@
+package fanin
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyAggregator fails the first n snapshot POSTs with status, then
+// accepts everything. Creates always succeed.
+type flakyAggregator struct {
+	failures int32 // remaining failures, decremented atomically
+	status   int
+	hits     atomic.Int32
+}
+
+func (f *flakyAggregator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/streams/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		if atomic.AddInt32(&f.failures, -1) >= 0 {
+			http.Error(w, `{"error":"try later","code":"rate_limited"}`, f.status)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func retryPusher(t *testing.T, target string) *Pusher {
+	t.Helper()
+	p, err := NewPusher(PusherConfig{
+		Target: target, Source: "node1",
+		Backoff: time.Millisecond, // keep the test fast
+		Collect: func() []StreamSnapshot {
+			return []StreamSnapshot{{Stream: "s", R: 16, Data: []byte(`{}`)}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPusherRetriesTransientFailures(t *testing.T) {
+	for _, status := range []int{
+		http.StatusInternalServerError,
+		http.StatusTooManyRequests,
+		http.StatusUnauthorized,
+	} {
+		fake := &flakyAggregator{failures: 2, status: status}
+		ts := httptest.NewServer(fake.handler())
+		p := retryPusher(t, ts.URL)
+		if err := p.PushOnce(context.Background()); err != nil {
+			t.Errorf("status %d: PushOnce after transient failures: %v", status, err)
+		}
+		stats := p.Stats()
+		if stats.Pushes != 1 || stats.Retries != 2 || stats.Failures != 0 || stats.ConsecutiveFailures != 0 {
+			t.Errorf("status %d: stats = %+v, want 1 push, 2 retries, 0 failures", status, stats)
+		}
+		if got := fake.hits.Load(); got != 3 {
+			t.Errorf("status %d: aggregator saw %d pushes, want 3", status, got)
+		}
+		ts.Close()
+	}
+}
+
+func TestPusherDoesNotRetryDeterministicRejection(t *testing.T) {
+	fake := &flakyAggregator{failures: 100, status: http.StatusForbidden}
+	ts := httptest.NewServer(fake.handler())
+	defer ts.Close()
+	p := retryPusher(t, ts.URL)
+	if err := p.PushOnce(context.Background()); err == nil {
+		t.Fatal("PushOnce succeeded against a 403 aggregator")
+	}
+	stats := p.Stats()
+	if stats.Retries != 0 || stats.Failures != 1 || stats.ConsecutiveFailures != 1 {
+		t.Errorf("stats = %+v, want 0 retries and 1 failure", stats)
+	}
+	if got := fake.hits.Load(); got != 1 {
+		t.Errorf("aggregator saw %d pushes, want 1 (no retries)", got)
+	}
+}
+
+func TestPusherGivesUpAfterMaxRetries(t *testing.T) {
+	fake := &flakyAggregator{failures: 100, status: http.StatusServiceUnavailable}
+	ts := httptest.NewServer(fake.handler())
+	defer ts.Close()
+	p := retryPusher(t, ts.URL)
+	if err := p.PushOnce(context.Background()); err == nil {
+		t.Fatal("PushOnce succeeded against an always-503 aggregator")
+	}
+	stats := p.Stats()
+	if stats.Retries != 4 || stats.Failures != 1 {
+		t.Errorf("stats = %+v, want default 4 retries then 1 failure", stats)
+	}
+	// A later success clears the consecutive-failure count.
+	atomic.StoreInt32(&fake.failures, 0)
+	if err := p.PushOnce(context.Background()); err != nil {
+		t.Fatalf("PushOnce after recovery: %v", err)
+	}
+	if stats := p.Stats(); stats.ConsecutiveFailures != 0 || stats.Pushes != 1 {
+		t.Errorf("stats after recovery = %+v, want consecutive failures reset", stats)
+	}
+}
+
+func TestPusherHonorsRetryAfter(t *testing.T) {
+	var sawRetry atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/streams/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if sawRetry.Swap(true) {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"slow down","code":"rate_limited"}`, http.StatusTooManyRequests)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	p := retryPusher(t, ts.URL)
+	start := time.Now()
+	if err := p.PushOnce(context.Background()); err != nil {
+		t.Fatalf("PushOnce: %v", err)
+	}
+	// Backoff is 1ms, so a wait near the header's 1s proves Retry-After
+	// won (minus the 25% jitter floor).
+	if waited := time.Since(start); waited < 700*time.Millisecond {
+		t.Errorf("waited %v, want >= 750ms per the Retry-After header", waited)
+	}
+}

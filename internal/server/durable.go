@@ -88,16 +88,21 @@ func (s *Server) recoverStreams() error {
 		if !e.IsDir() {
 			continue
 		}
-		id, ok := decodeStreamDir(e.Name())
+		// Directory names encode the internal (tenant-qualified) key.
+		key, ok := decodeStreamDir(e.Name())
 		if !ok {
 			s.logf("wal: skipping unrecognized directory %q", e.Name())
 			continue
 		}
-		st, err := s.recoverStream(id, filepath.Join(s.cfg.DataDir, e.Name()))
+		st, err := s.recoverStream(key, filepath.Join(s.cfg.DataDir, e.Name()))
 		if err != nil {
-			return fmt.Errorf("recovering stream %q: %w", id, err)
+			return fmt.Errorf("recovering stream %q: %w", key, err)
 		}
-		s.streams[id] = st
+		st.tenant, _ = splitTenant(key)
+		// Recovered state is adopted, not re-reserved: it must never be
+		// evicted by a quota tightened across the restart.
+		s.ledger.AdoptStream(st.tenant, st.bytes)
+		s.streams[key] = st
 	}
 	return nil
 }
@@ -116,7 +121,8 @@ func (s *Server) recoverStream(id, dir string) (*stream, error) {
 	}
 	s.logf("wal: recovered stream %q: spec=%s n=%d (checkpoint=%v, %d replayed points)",
 		id, rec.Spec, rec.Summary.N(), rec.HasCheckpoint, rec.Points)
-	st := &stream{spec: rec.Spec, log: log}
+	st := &stream{spec: rec.Spec, log: log,
+		bytes: int64(rec.Summary.N()) * bytesPerPoint}
 	st.setSummary(rec.Summary)
 	return st, nil
 }

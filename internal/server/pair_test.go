@@ -456,8 +456,8 @@ func BenchmarkPairQuery(b *testing.B) {
 		}
 	})
 	b.Run("recompute", func(b *testing.B) {
-		sa, _ := srv.get("a", false)
-		sb, _ := srv.get("b", false)
+		sa, _ := srv.get("", "a", false)
+		sb, _ := srv.get("", "b", false)
 		ha, hb := sa.queries().Hull(), sb.queries().Hull()
 		for i := 0; i < b.N; i++ {
 			if resp, ok := pairAnswer("distance", ha, hb); !ok || resp == nil {

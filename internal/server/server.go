@@ -83,9 +83,35 @@
 // validated before any point is applied, so a 400 response means the
 // stream is unchanged.
 //
-// Errors are structured JSON ({"error": "..."}): 404 for unknown
-// streams, 400 for bad input, 409 for duplicate creates, 413 for
-// oversized bodies or batches, 507 when the stream limit is reached.
+// Multi-tenant service layer: every API route passes through the same
+// middleware chain — bearer-token authentication (Config.Auth; the
+// default "none" provider keeps today's open, un-namespaced behavior),
+// a per-tenant token-bucket rate limit (429 + Retry-After), and a role
+// check (read for queries, write for stream lifecycle and ingest, push
+// for fan-in source pushes). Authenticated tenants get namespaced
+// streams: tenant "acme"'s stream "clicks" is keyed "acme/clicks"
+// internally (and on disk), so two tenants' same-named streams never
+// collide and a caller can only ever see or touch its own namespace.
+// Config.Quotas additionally caps each tenant's live stream count and
+// resident ingest bytes.
+//
+// Observability plane (no auth required — probes and scrapers carry no
+// tenant credentials):
+//
+//	GET /metrics   Prometheus text format: request latency histograms
+//	               per endpoint, ingest points per tenant, fan-in push
+//	               accept/reject counters, query/pair cache hit ratios,
+//	               WAL fsync lag, resident streams per tenant, fan-in
+//	               source staleness
+//	GET /healthz   liveness (200 while the process serves)
+//	GET /readyz    readiness (503 until recovery finished, and again
+//	               after Close begins)
+//
+// Errors are a uniform JSON envelope ({"error": "...", "code": "..."}):
+// 404 not_found, 400 bad_request, 401 unauthenticated, 403 forbidden,
+// 409 conflict (stale_epoch / empty_streams for their special cases),
+// 413 too_large, 429 rate_limited, 507 stream_limit or quota_streams,
+// and quota_bytes when a tenant's byte quota rejects an ingest.
 package server
 
 import (
@@ -105,7 +131,9 @@ import (
 
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/auth"
 	"github.com/streamgeom/streamhull/internal/fanin"
+	"github.com/streamgeom/streamhull/internal/telemetry"
 	"github.com/streamgeom/streamhull/internal/wal"
 )
 
@@ -145,14 +173,36 @@ type Config struct {
 	// Logf, when set, receives operational messages (recovery results,
 	// checkpoint failures). Nil discards them.
 	Logf func(format string, args ...any)
+
+	// Auth authenticates bearer tokens (nil = auth.None: every caller,
+	// anonymous included, is the root tenant with all roles — exactly
+	// the pre-tenant behavior).
+	Auth auth.Provider
+	// Quotas caps per-tenant stream count, resident ingest bytes and
+	// request rate (zero value = unlimited).
+	Quotas auth.Quotas
+	// Metrics is the registry the server instruments itself on (nil =
+	// a fresh private registry). Share one registry to merge server
+	// metrics with process-level instruments (the fan-in pusher's) on a
+	// single /metrics page.
+	Metrics *telemetry.Registry
+	// DisableObservability skips registering the /metrics, /healthz and
+	// /readyz routes (instrumentation still runs; the routes are just
+	// not exposed on this handler).
+	DisableObservability bool
 }
 
 // Server is an HTTP handler managing named stream summaries.
 type Server struct {
 	cfg         Config
 	defaultSpec streamhull.Spec // auto-create spec, from DefaultSpec/DefaultR
+	authp       auth.Provider
+	ledger      *auth.Ledger
+	reg         *telemetry.Registry
+	met         metrics
+	health      telemetry.Health
 	mu          sync.RWMutex
-	streams     map[string]*stream
+	streams     map[string]*stream // keyed by tenant-qualified id
 	mux         *http.ServeMux
 	pairs       pairCache // memoized pair-query answers (see paircache.go)
 	sweepOnce   sync.Once
@@ -162,12 +212,14 @@ type Server struct {
 }
 
 type stream struct {
-	spec streamhull.Spec // self-description; persisted in the WAL meta
+	spec   streamhull.Spec // self-description; persisted in the WAL meta
+	tenant string          // owning tenant ("" = root/open namespace)
 
 	mu        sync.Mutex // orders WAL appends with inserts; guards sum swaps
 	sum       streamhull.Summary
 	log       *wal.Log // nil for in-memory streams
 	sinceCkpt int      // points since the last checkpoint
+	bytes     int64    // resident ingest bytes charged to the tenant quota
 
 	// cache is the stream's epoch-validated read state: hull and query
 	// answers are materialized once per summary epoch and served
@@ -224,10 +276,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 65536
 	}
+	if cfg.Auth == nil {
+		cfg.Auth = auth.None{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
 	s := &Server{
 		cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux(),
 		sweepStop: make(chan struct{}),
+		authp:     cfg.Auth,
+		ledger:    auth.NewLedger(cfg.Quotas, nil),
+		reg:       cfg.Metrics,
 	}
+	s.initMetrics(s.reg)
 	if cfg.DefaultSpec != "" {
 		spec, err := streamhull.ParseSpec(cfg.DefaultSpec)
 		if err != nil {
@@ -257,19 +319,52 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
-	s.mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreate)
-	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/streams", s.handleList)
-	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleDetail)
-	s.mux.HandleFunc("POST /v1/streams/{id}/points", s.handlePoints)
-	s.mux.HandleFunc("GET /v1/streams/{id}/hull", s.handleHull)
-	s.mux.HandleFunc("GET /v1/streams/{id}/query", s.handleQuery)
-	s.mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("POST /v1/streams/{id}/snapshot", s.handleRestore)
-	s.mux.HandleFunc("DELETE /v1/streams/{id}/sources/{source}", s.handleDropSource)
-	s.mux.HandleFunc("GET /v1/pairs/query", s.handlePairQuery)
+	// Role requirements per route: reads need read, lifecycle and
+	// ingest need write, fan-in pushes need push. Create is special-
+	// cased in its handler (a push-only follower token may create the
+	// fan-in aggregate it pushes into, nothing else).
+	s.route("PUT /v1/streams/{id}", "create", nil, s.handleCreate)
+	s.route("DELETE /v1/streams/{id}", "delete", needWrite, s.handleDelete)
+	s.route("GET /v1/streams", "list", needRead, s.handleList)
+	s.route("GET /v1/streams/{id}", "detail", needRead, s.handleDetail)
+	s.route("POST /v1/streams/{id}/points", "points", needWrite, s.handlePoints)
+	s.route("GET /v1/streams/{id}/hull", "hull", needRead, s.handleHull)
+	s.route("GET /v1/streams/{id}/query", "query", needRead, s.handleQuery)
+	s.route("GET /v1/streams/{id}/snapshot", "snapshot_get", needRead, s.handleSnapshot)
+	s.route("POST /v1/streams/{id}/snapshot", "snapshot_post", needRestoreRole, s.handleRestore)
+	s.route("DELETE /v1/streams/{id}/sources/{source}", "drop_source", needWrite, s.handleDropSource)
+	s.route("GET /v1/pairs/query", "pair_query", needRead, s.handlePairQuery)
+	if !cfg.DisableObservability {
+		s.registerObservabilityRoutes()
+	}
+	s.health.SetReady(true)
 	return s, nil
 }
+
+// qualifyID maps a tenant-local stream id to its internal map (and
+// on-disk) key. The root tenant "" keeps the bare id, so open-provider
+// deployments see the historical id space unchanged; other tenants get
+// a "tenant/" prefix ('/' cannot appear in a tenant name, so the split
+// is unambiguous, and the WAL's directory encoding escapes it).
+func qualifyID(tenant, id string) string {
+	if tenant == "" {
+		return id
+	}
+	return tenant + "/" + id
+}
+
+// splitTenant inverts qualifyID.
+func splitTenant(key string) (tenant, id string) {
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return "", key
+}
+
+// bytesPerPoint is the quota charge per ingested point (two float64
+// coordinates) — the resident-bytes accounting unit for
+// Quotas.MaxBytes.
+const bytesPerPoint = 16
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -284,6 +379,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Close() error {
 	s.sweepOnce.Do(func() {}) // ensure a later windowed create cannot start it
 	s.closeOnce.Do(func() {
+		s.health.SetReady(false)
 		close(s.sweepStop)
 		s.mu.RLock()
 		defer s.mu.RUnlock()
@@ -338,8 +434,15 @@ func (s *Server) sweep() {
 	}
 }
 
+// errorBody is the uniform error envelope every handler emits: a
+// human-readable message plus a stable machine-readable code, so
+// clients branch on code and log error without parsing either.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
+	// Empty lists the offending stream ids for code "empty_streams"
+	// (pair queries touching point-less streams).
+	Empty []string `json:"empty,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -348,17 +451,54 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// codeForStatus is the default machine-readable code per status; paths
+// with a more specific cause use writeErrCode instead.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnauthorized:
+		return "unauthenticated"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusNotAcceptable:
+		return "not_acceptable"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusInsufficientStorage:
+		return "stream_limit"
+	default:
+		return "internal"
+	}
 }
 
-// writeStreamErr maps a stream-creation error to its status code:
-// capacity → 507, storage trouble → 500, anything else (duplicate id on
-// create/restore, bad config on ingest) → fallback.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErrCode(w, status, codeForStatus(status), format, args...)
+}
+
+func writeErrCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// writeStreamErr maps a stream-creation or quota error to its status
+// and code: capacity → 507 (server-wide stream_limit or per-tenant
+// quota_streams), byte quota → 413 quota_bytes, rate → 429, storage
+// trouble → 500, anything else (duplicate id on create/restore, bad
+// config on ingest) → fallback.
 func writeStreamErr(w http.ResponseWriter, err error, fallback int) {
 	switch {
 	case errors.Is(err, errStreamLimit):
 		writeErr(w, http.StatusInsufficientStorage, "%v", err)
+	case errors.Is(err, auth.ErrStreamQuota):
+		writeErrCode(w, http.StatusInsufficientStorage, "quota_streams", "%v", err)
+	case errors.Is(err, auth.ErrByteQuota):
+		writeErrCode(w, http.StatusRequestEntityTooLarge, "quota_bytes", "%v", err)
 	case errors.Is(err, errStorage):
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 	default:
@@ -403,36 +543,42 @@ func (s *Server) specFromRequest(w http.ResponseWriter, req *http.Request) (stre
 // wal.Checkpoint compacts the log, so a checkpoint written after a
 // concurrent ingest had already appended to the log would silently drop
 // that batch from recovery.
-func (s *Server) addStream(id string, sum streamhull.Summary, checkpoint []byte) (*stream, error) {
+func (s *Server) addStream(tenant, id string, sum streamhull.Summary, checkpoint []byte) (*stream, error) {
 	spec := sum.Spec()
+	key := qualifyID(tenant, id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.streams[id]; exists {
+	if _, exists := s.streams[key]; exists {
 		return nil, fmt.Errorf("stream %q already exists", id)
 	}
 	if len(s.streams) >= s.cfg.MaxStreams {
 		return nil, fmt.Errorf("%w (%d)", errStreamLimit, s.cfg.MaxStreams)
 	}
-	st := &stream{spec: spec}
+	if err := s.ledger.ReserveStream(tenant); err != nil {
+		return nil, err
+	}
+	st := &stream{spec: spec, tenant: tenant}
 	st.setSummary(sum)
 	if s.cfg.DataDir != "" {
-		log, err := s.openStorage(id, spec)
+		log, err := s.openStorage(key, spec)
 		if err != nil {
+			s.ledger.ReleaseStream(tenant, 0)
 			return nil, fmt.Errorf("%w: %v", errStorage, err)
 		}
 		if checkpoint != nil {
 			if err := log.Checkpoint(checkpoint); err != nil {
-				s.logf("wal: stream %q: persisting restored snapshot: %v", id, err)
+				s.logf("wal: stream %q: persisting restored snapshot: %v", key, err)
 			}
 		}
 		st.log = log
 	}
-	s.streams[id] = st
+	s.streams[key] = st
 	return st, nil
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	ident := identityFrom(req)
 	spec, err := s.specFromRequest(w, req)
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -443,12 +589,20 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Creating a stream is a write — except that a push-only follower
+	// token may create the fan-in aggregate its pushes land in (the
+	// Pusher's first-contact EnsureAggregate), and nothing else.
+	allowed := ident.Roles.Has(auth.RoleWrite) ||
+		(spec.Kind == streamhull.KindFanIn && ident.Roles.Has(auth.RolePush))
+	if !s.requireRole(w, ident, auth.RoleWrite, allowed) {
+		return
+	}
 	sum, err := streamhull.New(spec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if _, err := s.addStream(id, sum, nil); err != nil {
+	if _, err := s.addStream(ident.Tenant, id, sum, nil); err != nil {
 		writeStreamErr(w, err, http.StatusConflict)
 		return
 	}
@@ -472,10 +626,12 @@ func createResponse(id string, spec streamhull.Spec) map[string]any {
 
 func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	ident := identityFrom(req)
+	key := qualifyID(ident.Tenant, id)
 	s.mu.Lock()
-	st, ok := s.streams[id]
+	st, ok := s.streams[key]
 	if ok {
-		delete(s.streams, id)
+		delete(s.streams, key)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -483,9 +639,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	st.mu.Lock()
-	s.dropStorage(id, st)
+	s.dropStorage(key, st)
 	st.log = nil
+	bytes := st.bytes
 	st.mu.Unlock()
+	// Return the stream slot and its resident bytes to the tenant quota.
+	s.ledger.ReleaseStream(st.tenant, bytes)
 	// The dead stream's read cache may still key memoized pair answers;
 	// purge them so it (and its summary) can be collected.
 	s.pairs.purge(st.cache.Load())
@@ -536,10 +695,18 @@ func infoFor(id string, st *stream) streamInfo {
 	return info
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// handleList reports the caller's streams — a tenant sees only its own
+// namespace, with the internal tenant prefix stripped, so ids round-trip
+// through every other endpoint unchanged.
+func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
+	ident := identityFrom(req)
 	s.mu.RLock()
 	infos := make([]streamInfo, 0, len(s.streams))
-	for id, st := range s.streams {
+	for key, st := range s.streams {
+		tenant, id := splitTenant(key)
+		if tenant != ident.Tenant {
+			continue
+		}
 		infos = append(infos, infoFor(id, st))
 	}
 	s.mu.RUnlock()
@@ -552,8 +719,9 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 // additionally list their sources with per-source epochs and push lag.
 func (s *Server) handleDetail(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	ident := identityFrom(req)
 	s.mu.RLock()
-	st, ok := s.streams[id]
+	st, ok := s.streams[qualifyID(ident.Tenant, id)]
 	s.mu.RUnlock()
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no stream %q", id)
@@ -575,10 +743,13 @@ func (s *Server) handleDetail(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// get returns the stream, auto-creating it for ingest when allowed.
-func (s *Server) get(id string, autocreate bool) (*stream, error) {
+// get returns the tenant's stream, auto-creating it for ingest when
+// allowed (the auto-created stream lands in — and counts against — the
+// caller's namespace and quota).
+func (s *Server) get(tenant, id string, autocreate bool) (*stream, error) {
+	key := qualifyID(tenant, id)
 	s.mu.RLock()
-	st, ok := s.streams[id]
+	st, ok := s.streams[key]
 	s.mu.RUnlock()
 	if ok {
 		return st, nil
@@ -590,7 +761,7 @@ func (s *Server) get(id string, autocreate bool) (*stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err = s.addStream(id, sum, nil)
+	st, err = s.addStream(tenant, id, sum, nil)
 	if err == nil {
 		if wh, ok := sum.(*streamhull.WindowedHull); ok && wh.ByTime() {
 			s.startSweeper()
@@ -599,7 +770,7 @@ func (s *Server) get(id string, autocreate bool) (*stream, error) {
 	}
 	// Lost a create race: the stream exists now.
 	s.mu.RLock()
-	st, ok = s.streams[id]
+	st, ok = s.streams[key]
 	s.mu.RUnlock()
 	if ok {
 		return st, nil
@@ -647,8 +818,9 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	// With a fan-in default spec, a point POST to a missing stream would
 	// auto-create an aggregate only to reject the batch below — don't
 	// leave that orphan (or its durable directory) behind.
+	ident := identityFrom(req)
 	autocreate := s.defaultSpec.Kind != streamhull.KindFanIn
-	st, err := s.get(id, autocreate)
+	st, err := s.get(ident.Tenant, id, autocreate)
 	if err != nil {
 		if !autocreate {
 			writeErr(w, http.StatusConflict,
@@ -667,6 +839,14 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 			id, id)
 		return
 	}
+	// Charge the batch against the tenant's byte quota before any state
+	// is touched; failed ingests below refund it.
+	charge := int64(len(pts)) * bytesPerPoint
+	if err := s.ledger.ReserveBytes(ident.Tenant, charge); err != nil {
+		writeStreamErr(w, err, http.StatusRequestEntityTooLarge)
+		return
+	}
+	key := qualifyID(ident.Tenant, id)
 	st.mu.Lock()
 	if st.log == nil {
 		// In-memory streams need no WAL ordering, so ingest runs outside
@@ -674,14 +854,20 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 		// summary deals concurrent batches across shard locks — parallel
 		// POSTs to one stream scale with its fan-out instead of queueing
 		// on st.mu.
+		st.bytes += charge
 		sum := st.sum
 		st.mu.Unlock()
 		if _, err := sum.InsertBatch(pts); err != nil {
 			// Unreachable after validation above; fail loudly if a summary
 			// grows new failure modes.
+			st.mu.Lock()
+			st.bytes -= charge
+			st.mu.Unlock()
+			s.ledger.ReleaseBytes(ident.Tenant, charge)
 			writeErr(w, http.StatusInternalServerError, "applying batch: %v", err)
 			return
 		}
+		s.met.ingestPoints.With(ident.Tenant).Add(float64(len(pts)))
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ingested": len(pts), "n": sum.N(), "sample_size": sum.SampleSize(),
 		})
@@ -695,18 +881,22 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	// apply order.
 	if err := st.log.Append(pts); err != nil {
 		st.mu.Unlock()
+		s.ledger.ReleaseBytes(ident.Tenant, charge)
 		writeErr(w, http.StatusInternalServerError, "logging batch: %v", err)
 		return
 	}
 	if _, err := st.sum.InsertBatch(pts); err != nil {
 		st.mu.Unlock()
+		s.ledger.ReleaseBytes(ident.Tenant, charge)
 		writeErr(w, http.StatusInternalServerError, "applying batch: %v", err)
 		return
 	}
+	st.bytes += charge
 	st.sinceCkpt += len(pts)
-	s.maybeCheckpointLocked(id, st)
+	s.maybeCheckpointLocked(key, st)
 	n, sampleSize := st.sum.N(), st.sum.SampleSize()
 	st.mu.Unlock()
+	s.met.ingestPoints.With(ident.Tenant).Add(float64(len(pts)))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ingested": len(pts), "n": n, "sample_size": sampleSize,
 	})
@@ -717,7 +907,7 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 // summary epoch, and repeat queries between mutations are lock-free
 // lookups that never contend with ingest.
 func (s *Server) handleHull(w http.ResponseWriter, req *http.Request) {
-	st, err := s.get(req.PathValue("id"), false)
+	st, err := s.get(identityFrom(req).Tenant, req.PathValue("id"), false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -734,7 +924,7 @@ func (s *Server) handleHull(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
-	st, err := s.get(req.PathValue("id"), false)
+	st, err := s.get(identityFrom(req).Tenant, req.PathValue("id"), false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -772,7 +962,7 @@ func wantsBinary(header string) bool {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
-	st, err := s.get(req.PathValue("id"), false)
+	st, err := s.get(identityFrom(req).Tenant, req.PathValue("id"), false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -835,6 +1025,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 		s.handleSourcePush(w, req, source)
 		return
 	}
+	ident := identityFrom(req)
 	id := req.PathValue("id")
 	snap, ok := s.readSnapshotBody(w, req)
 	if !ok {
@@ -843,6 +1034,13 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 	sum, err := streamhull.SummaryFromSnapshot(snap)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// A restore adopts the snapshot's full point count into the tenant's
+	// byte budget, same accounting as live ingest.
+	charge := int64(sum.N()) * bytesPerPoint
+	if err := s.ledger.ReserveBytes(ident.Tenant, charge); err != nil {
+		writeStreamErr(w, err, http.StatusRequestEntityTooLarge)
 		return
 	}
 	// Durable restores persist a checkpoint immediately, so the stream
@@ -865,12 +1063,14 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 			checkpoint = nil
 		}
 	}
-	st, err := s.addStream(id, sum, checkpoint)
+	st, err := s.addStream(ident.Tenant, id, sum, checkpoint)
 	if err != nil {
+		s.ledger.ReleaseBytes(ident.Tenant, charge)
 		writeStreamErr(w, err, http.StatusConflict)
 		return
 	}
 	st.mu.Lock()
+	st.bytes += charge
 	n := st.sum.N()
 	st.mu.Unlock()
 	resp := createResponse(id, sum.Spec())
@@ -890,31 +1090,37 @@ func (s *Server) handleSourcePush(w http.ResponseWriter, req *http.Request, sour
 	epochStr := req.URL.Query().Get("epoch")
 	epoch, err := strconv.ParseUint(epochStr, 10, 64)
 	if err != nil {
+		s.met.pushRejected.Inc()
 		writeErr(w, http.StatusBadRequest, "source push requires a numeric epoch, got %q", epochStr)
 		return
 	}
 	snap, ok := s.readSnapshotBody(w, req)
 	if !ok {
+		s.met.pushRejected.Inc()
 		return
 	}
-	st, err := s.get(id, false)
+	st, err := s.get(identityFrom(req).Tenant, id, false)
 	if err != nil {
+		s.met.pushRejected.Inc()
 		writeErr(w, http.StatusNotFound, "%v (create the aggregate first: PUT with spec {\"kind\":\"fanin\"})", err)
 		return
 	}
 	agg, ok := st.summary().(*streamhull.FanInHull)
 	if !ok {
+		s.met.pushRejected.Inc()
 		writeErr(w, http.StatusConflict, "stream %q is %s, not a fan-in aggregate", id, st.spec.Kind)
 		return
 	}
 	if err := agg.Push(source, epoch, snap); err != nil {
+		s.met.pushRejected.Inc()
 		if errors.Is(err, streamhull.ErrStaleEpoch) {
-			writeErr(w, http.StatusConflict, "%v", err)
+			writeErrCode(w, http.StatusConflict, "stale_epoch", "%v", err)
 			return
 		}
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.met.pushAccepted.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"stream": id, "source": source, "epoch": epoch,
 		"source_n": snap.N, "n": agg.N(), "sources": len(agg.Sources()),
@@ -927,11 +1133,16 @@ func (s *Server) handleSourcePush(w http.ResponseWriter, req *http.Request, sour
 // Kinds with no snapshot form (exact, partial, partitioned) are skipped,
 // as are fan-in aggregates themselves: a follower forwards its own
 // streams, not state other nodes already pushed to it.
+// Snapshots carry the tenant-local id, not the internal key: the
+// upstream aggregator derives its namespace from the pusher's token, so
+// a follower's "acme/clicks" forwards as "clicks" under whatever tenant
+// the push credential names (for the root tenant the two are the same).
 func (s *Server) StreamSnapshots() []fanin.StreamSnapshot {
 	s.mu.RLock()
 	ids := make([]string, 0, len(s.streams))
 	sts := make([]*stream, 0, len(s.streams))
-	for id, st := range s.streams {
+	for key, st := range s.streams {
+		_, id := splitTenant(key)
 		ids = append(ids, id)
 		sts = append(sts, st)
 	}
@@ -962,7 +1173,7 @@ func (s *Server) StreamSnapshots() []fanin.StreamSnapshot {
 // re-joins with its next push).
 func (s *Server) handleDropSource(w http.ResponseWriter, req *http.Request) {
 	id, source := req.PathValue("id"), req.PathValue("source")
-	st, err := s.get(id, false)
+	st, err := s.get(identityFrom(req).Tenant, id, false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -1018,12 +1229,13 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, "pair query requires both a and b stream ids")
 		return
 	}
-	sa, err := s.get(idA, false)
+	tenant := identityFrom(req).Tenant
+	sa, err := s.get(tenant, idA, false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	sb, err := s.get(idB, false)
+	sb, err := s.get(tenant, idB, false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -1051,18 +1263,21 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
 		if hb.IsEmpty() {
 			empty = append(empty, idB)
 		}
-		writeJSON(w, http.StatusConflict, map[string]any{
-			"error": fmt.Sprintf("pair query needs points on both sides; empty stream(s): %s",
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: fmt.Sprintf("pair query needs points on both sides; empty stream(s): %s",
 				strings.Join(empty, ", ")),
-			"empty": empty,
+			Code:  "empty_streams",
+			Empty: empty,
 		})
 		return
 	}
 	key := pairKey{qa: qa, qb: qb, typ: qt}
 	if resp, ok := s.pairs.get(key, ea, eb); ok {
+		s.met.pairHits.Inc()
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	s.met.pairMisses.Inc()
 	resp, ok := pairAnswer(qt, ha, hb)
 	if !ok {
 		writeErr(w, http.StatusBadRequest, "unknown pair query type %q", qt)
@@ -1074,8 +1289,8 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
 	// them. (A delete sliding in between this check and the put leaves
 	// one unservable entry behind — bounded by the cache cap, and gone
 	// the next time anything touches the map's eviction path.)
-	liveA, errA := s.get(idA, false)
-	liveB, errB := s.get(idB, false)
+	liveA, errA := s.get(tenant, idA, false)
+	liveB, errB := s.get(tenant, idB, false)
 	if errA == nil && errB == nil && liveA.queries() == qa && liveB.queries() == qb {
 		s.pairs.put(key, ea, eb, resp)
 	}

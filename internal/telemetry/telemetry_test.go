@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("ingest_points_total", "points ingested")
+	c.Add(5)
+	c.Inc()
+	c.Add(-3) // ignored: counters are monotone
+	g := r.NewGauge("resident_streams", "live streams")
+	g.Set(4)
+	g.Add(-1)
+
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP ingest_points_total points ingested",
+		"# TYPE ingest_points_total counter",
+		"ingest_points_total 6",
+		"# TYPE resident_streams gauge",
+		"resident_streams 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledFamiliesSortDeterministically(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("http_requests_total", "requests", "endpoint", "code")
+	v.With("points", "200").Add(2)
+	v.With("hull", "200").Inc()
+	v.With("points", "400").Inc()
+
+	out := r.Render()
+	iHull := strings.Index(out, `{endpoint="hull",code="200"} 1`)
+	i200 := strings.Index(out, `{endpoint="points",code="200"} 2`)
+	i400 := strings.Index(out, `{endpoint="points",code="400"} 1`)
+	if iHull < 0 || i200 < 0 || i400 < 0 {
+		t.Fatalf("missing labeled series:\n%s", out)
+	}
+	if !(iHull < i200 && i200 < i400) {
+		t.Errorf("series not sorted by label values:\n%s", out)
+	}
+	if out != r.Render() {
+		t.Error("consecutive renders differ")
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogramVec("latency_seconds", "request latency",
+		[]float64{0.01, 0.1, 1}, "endpoint")
+	obs := h.With("query")
+	obs.Observe(0.005)
+	obs.Observe(0.05)
+	obs.Observe(0.5)
+	obs.Observe(5) // above every bucket: only +Inf sees it
+
+	out := r.Render()
+	for _, want := range []string{
+		`latency_seconds_bucket{endpoint="query",le="0.01"} 1`,
+		`latency_seconds_bucket{endpoint="query",le="0.1"} 2`,
+		`latency_seconds_bucket{endpoint="query",le="1"} 3`,
+		`latency_seconds_bucket{endpoint="query",le="+Inf"} 4`,
+		`latency_seconds_count{endpoint="query"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `latency_seconds_sum{endpoint="query"} 5.555`) {
+		t.Errorf("unexpected sum:\n%s", out)
+	}
+	if obs.Count() != 4 {
+		t.Errorf("Count() = %d, want 4", obs.Count())
+	}
+}
+
+func TestCollectorsEvaluateAtScrape(t *testing.T) {
+	r := NewRegistry()
+	streams := map[string]int{"acme": 2, "globex": 1}
+	var mu sync.Mutex
+	r.NewGaugeCollector("tenant_streams", "streams per tenant", []string{"tenant"},
+		func(emit func([]string, float64)) {
+			mu.Lock()
+			defer mu.Unlock()
+			for tenant, n := range streams {
+				emit([]string{tenant}, float64(n))
+			}
+		})
+	if !strings.Contains(r.Render(), `tenant_streams{tenant="acme"} 2`) {
+		t.Fatalf("collector series missing:\n%s", r.Render())
+	}
+	mu.Lock()
+	streams["acme"] = 7
+	delete(streams, "globex")
+	mu.Unlock()
+	out := r.Render()
+	if !strings.Contains(out, `tenant_streams{tenant="acme"} 7`) {
+		t.Errorf("collector not re-evaluated:\n%s", out)
+	}
+	if strings.Contains(out, "globex") {
+		t.Errorf("vanished series still rendered:\n%s", out)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("ops_total", "ops")
+	h := r.NewHistogramVec("op_seconds", "op latency", []float64{0.001, 1}, "kind")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.With("write").Observe(0.0005)
+				_ = r.Render()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+	if h.With("write").Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.With("write").Count())
+	}
+}
+
+func TestHealthHandlers(t *testing.T) {
+	var h Health
+	live := httptest.NewRecorder()
+	h.LivenessHandler().ServeHTTP(live, httptest.NewRequest("GET", "/healthz", nil))
+	if live.Code != 200 {
+		t.Errorf("healthz = %d, want 200", live.Code)
+	}
+	notReady := httptest.NewRecorder()
+	h.ReadinessHandler().ServeHTTP(notReady, httptest.NewRequest("GET", "/readyz", nil))
+	if notReady.Code != 503 {
+		t.Errorf("readyz before SetReady = %d, want 503", notReady.Code)
+	}
+	h.SetReady(true)
+	ready := httptest.NewRecorder()
+	h.ReadinessHandler().ServeHTTP(ready, httptest.NewRequest("GET", "/readyz", nil))
+	if ready.Code != 200 {
+		t.Errorf("readyz after SetReady = %d, want 200", ready.Code)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("weird_total", "weird labels", "name").With(`a"b\c` + "\nd").Inc()
+	out := r.Render()
+	if !strings.Contains(out, `weird_total{name="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}

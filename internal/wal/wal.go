@@ -144,6 +144,11 @@ type Log struct {
 	syncErr error      // sticky: an fsync failure poisons the log
 	closed  bool
 
+	// pendingSince stamps the oldest append not yet covered by an
+	// fsync; zero when everything written is durable. SyncLag reads it
+	// for the /metrics fsync-lag gauge.
+	pendingSince time.Time
+
 	wake chan struct{} // nudges the syncer (buffered, capacity 1)
 	stop chan struct{}
 	done chan struct{}
@@ -251,6 +256,9 @@ func (l *Log) writeLocked(frame []byte) error {
 	}
 	l.size += int64(len(frame))
 	l.gen++
+	if l.pendingSince.IsZero() {
+		l.pendingSince = time.Now()
+	}
 	if l.size >= l.opts.SegmentBytes {
 		if err := l.sealLocked(); err != nil {
 			return err
@@ -299,6 +307,7 @@ func (l *Log) sealLocked() error {
 		return l.syncErr
 	}
 	l.syncGen = l.gen
+	l.pendingSince = time.Time{}
 	l.cond.Broadcast()
 	return nil
 }
@@ -359,9 +368,25 @@ func (l *Log) syncOnce() {
 		}
 	} else if gen > l.syncGen {
 		l.syncGen = gen
+		if l.syncGen == l.gen {
+			l.pendingSince = time.Time{}
+		}
 	}
 	l.cond.Broadcast()
 	l.mu.Unlock()
+}
+
+// SyncLag reports how long the oldest append not yet covered by an
+// fsync has been waiting — the durability exposure an operator watches
+// on /metrics. Zero when everything appended is durable (including
+// always-sync logs between appends).
+func (l *Log) SyncLag() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pendingSince.IsZero() || l.syncGen >= l.gen {
+		return 0
+	}
+	return time.Since(l.pendingSince)
 }
 
 // Sync blocks until everything appended so far is durable.

@@ -34,6 +34,12 @@ import (
 type QueryCache struct {
 	sum Summary
 	cur atomic.Pointer[readView]
+
+	// reads counts view revalidations, rebuilds the subset that had to
+	// re-fold the hull; the gap between them is the cache's hit count
+	// (served on the server's /metrics as a hit ratio).
+	reads    atomic.Uint64
+	rebuilds atomic.Uint64
 }
 
 // readView is one epoch's materialized read state. The hull is folded
@@ -100,12 +106,21 @@ func (c *QueryCache) view() *readView {
 	// a hull newer than its stamp and the next read rebuilds — never the
 	// reverse.
 	e := c.sum.Epoch()
+	c.reads.Add(1)
 	if v := c.cur.Load(); v != nil && v.epoch == e {
 		return v
 	}
+	c.rebuilds.Add(1)
 	v := &readView{epoch: e, hull: c.sum.Hull(), n: c.sum.N()}
 	c.cur.Store(v)
 	return v
+}
+
+// Stats reports how many reads revalidated against this cache and how
+// many of them had to rebuild the materialized view; reads - rebuilds
+// is the epoch-cache hit count.
+func (c *QueryCache) Stats() (reads, rebuilds uint64) {
+	return c.reads.Load(), c.rebuilds.Load()
 }
 
 // Hull returns the summary's hull, folded at most once per epoch.

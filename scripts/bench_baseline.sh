@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate the committed serving-throughput baseline (BENCH_serve.json):
+# the hullbench -serve sweep — the full HTTP handler with the auth service
+# layer enabled, under concurrent ingest and query load, per shard count —
+# written as JSON so a perf regression shows up as a reviewable diff.
+#
+# Usage: scripts/bench_baseline.sh [output-file]
+# Numbers are machine-dependent; regenerate on comparable hardware before
+# comparing against a change.
+set -euo pipefail
+
+OUT=${1:-BENCH_serve.json}
+cd "$(dirname "$0")/.."
+
+go run ./cmd/hullbench -serve -n 50000 -serve-dur 2s -json "$OUT"
+echo "baseline written to $OUT"

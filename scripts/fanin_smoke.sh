@@ -48,4 +48,45 @@ echo "$detail" | grep -q '"source":"node2"' || { echo "FAIL: source node2 missin
 curl -fsS "http://$AGG_ADDR/v1/streams/clicks/query?type=diameter" | grep -q diameter \
   || { echo "FAIL: aggregate diameter query"; exit 1; }
 
+# Observability plane: both processes serve health probes and a /metrics
+# page whose counters moved with the traffic above.
+curl -fsS "http://$AGG_ADDR/healthz" >/dev/null || { echo "FAIL: healthz"; exit 1; }
+curl -fsS "http://$AGG_ADDR/readyz"  >/dev/null || { echo "FAIL: readyz"; exit 1; }
+
+agg_metrics=$(curl -fsS "http://$AGG_ADDR/metrics")
+echo "$agg_metrics" | grep -q 'streamhull_fanin_pushes_accepted_total [1-9]' \
+  || { echo "FAIL: aggregator accepted-push counter did not move"; exit 1; }
+echo "$agg_metrics" | grep -Eq 'streamhull_http_request_seconds_count\{endpoint="snapshot_post"\} [1-9]' \
+  || { echo "FAIL: aggregator push-latency histogram did not move"; exit 1; }
+echo "$agg_metrics" | grep -q 'streamhull_tenant_streams{tenant=""} 1' \
+  || { echo "FAIL: aggregator tenant stream gauge"; exit 1; }
+
+fol_metrics=$(curl -fsS "http://$FOL_ADDR/metrics")
+echo "$fol_metrics" | grep -q 'streamhull_ingest_points_total{tenant=""} 3' \
+  || { echo "FAIL: follower ingest counter != 3"; exit 1; }
+echo "$fol_metrics" | grep -q 'streamhull_fanin_pusher_pushes_total [1-9]' \
+  || { echo "FAIL: follower pusher counter did not move"; exit 1; }
+
+# Authenticated leg: with -auth-tokens an anonymous push is rejected and
+# the aggregate is untouched; the right token still lands.
+AUTH_ADDR=127.0.0.1:18082
+"$BIN/hullserver" -addr "$AUTH_ADDR" \
+  -auth-tokens 'admin-tok=acme:all;push-tok=acme:push' &
+for _ in $(seq 1 50); do
+  curl -fsS "http://$AUTH_ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+printf '1,1\n2,2\n' | "$BIN/hullcli" push \
+  -to "http://$AUTH_ADDR" -token push-tok -stream clicks -source node3 -r 16 \
+  || { echo "FAIL: authorized CLI push"; exit 1; }
+if printf '3,3\n' | "$BIN/hullcli" push \
+  -to "http://$AUTH_ADDR" -stream clicks -source rogue -r 16 2>/dev/null; then
+  echo "FAIL: anonymous push accepted by authenticated server"; exit 1
+fi
+detail=$(curl -fsS -H 'Authorization: Bearer admin-tok' "http://$AUTH_ADDR/v1/streams/clicks")
+echo "authed aggregator detail: $detail"
+echo "$detail" | grep -q '"n":2' || { echo "FAIL: authed merged n != 2"; exit 1; }
+echo "$detail" | grep -q '"source":"rogue"' && { echo "FAIL: rejected source visible"; exit 1; }
+
 echo "fan-in smoke: OK"
