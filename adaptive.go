@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/core"
@@ -135,6 +136,25 @@ func (s *AdaptiveHull) InsertBatch(pts []geom.Point) (int, error) {
 	}
 	s.mu.Lock()
 	s.h.InsertBatch(pts)
+	s.epoch.Add(1)
+	s.mu.Unlock()
+	return len(pts), nil
+}
+
+// InsertBatchObserved is InsertBatch with per-stage timings — the
+// prefilter pass and the candidate insertions — reported to obs
+// (non-nil); it implements StagedBatchInserter for the server's
+// request-tracing layer. The state transition is identical to
+// InsertBatch, so a traced ingest recovers bit-exact from WAL replay.
+func (s *AdaptiveHull) InsertBatchObserved(pts []geom.Point, obs func(stage string, d time.Duration)) (int, error) {
+	if err := checkFiniteBatch(pts); err != nil {
+		return 0, err
+	}
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	s.h.InsertBatchObserved(pts, obs)
 	s.epoch.Add(1)
 	s.mu.Unlock()
 	return len(pts), nil

@@ -24,15 +24,24 @@
 // restarts and re-syncs. The aggregate streams are created (kind
 // "fanin") on first contact.
 //
-// Usage:
-//
 // With -auth-tokens the API requires a bearer token on every request;
 // each token maps to a tenant (its own stream namespace) and a role set
 // (read, write, push). -quota-streams/-quota-bytes/-quota-rate cap what
 // each tenant may hold and how fast it may call. Unless -metrics=false,
 // GET /metrics serves Prometheus-format counters, gauges and latency
-// histograms, and /healthz + /readyz serve orchestrator probes (all
-// three unauthenticated).
+// histograms (OpenMetrics with trace exemplars when the scraper asks
+// for it), and /healthz + /readyz serve orchestrator probes (all three
+// unauthenticated).
+//
+// Observability: every request is traced — stage-level spans for auth,
+// rate limiting, stream-lock wait, batch prefilter, insert, WAL append,
+// fsync, checkpointing and read-cache materialization — into a bounded
+// in-memory ring served at GET /debug/traces (gated like the write
+// routes; see docs/OBSERVABILITY.md). Traces slower than -trace-slow
+// are logged with their stage breakdown. Logs are structured
+// (log/slog); -log-json switches them from text to JSON. -debug-addr
+// starts a second, ungated listener (bind it to localhost!) serving
+// /debug/traces and the standard /debug/pprof profiling endpoints.
 //
 // Usage:
 //
@@ -41,13 +50,14 @@
 //	hullserver -addr :8080 -data /var/lib/hullserver -fsync always
 //	hullserver -addr :8081 -push-to http://agg:8080 -push-every 5s -push-source node1
 //	hullserver -addr :8080 -auth-tokens @/etc/hullserver/tokens -quota-rate 200
+//	hullserver -addr :8080 -trace-slow 100ms -debug-addr 127.0.0.1:6060 -log-json
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -58,46 +68,61 @@ import (
 	"github.com/streamgeom/streamhull/internal/auth"
 	"github.com/streamgeom/streamhull/internal/fanin"
 	"github.com/streamgeom/streamhull/internal/server"
+	"github.com/streamgeom/streamhull/internal/trace"
 	"github.com/streamgeom/streamhull/internal/wal"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		r        = flag.Int("r", 32, "default sample parameter for auto-created streams")
-		defSpec  = flag.String("default-spec", "", "spec JSON for auto-created streams (overrides -r)")
-		shards   = flag.Int("shards", 1, "fan auto-created streams out over this many parallel-ingest shards")
-		maxS     = flag.Int("max-streams", 1024, "maximum number of live streams")
-		sweep    = flag.Duration("sweep", 2*time.Second, "expiry sweep interval for time-windowed streams")
-		data     = flag.String("data", "", "data directory for durable streams (empty = in-memory only)")
-		fsync    = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or none")
-		fsyncInt = flag.Duration("fsync-interval", 50*time.Millisecond, "fsync timer period for -fsync interval")
-		ckpt     = flag.Int("checkpoint", 65536, "points ingested per stream between snapshot checkpoints")
-		pushTo   = flag.String("push-to", "", "aggregator base URL: run as a fan-in follower pushing snapshot deltas upstream")
-		pushInt  = flag.Duration("push-every", 5*time.Second, "push period for -push-to")
-		pushSrc  = flag.String("push-source", "", "source name for -push-to (default hostname+addr)")
-		pushTok  = flag.String("push-token", "", "bearer token the follower sends upstream (needs the push role there)")
-		tokens   = flag.String("auth-tokens", "", "bearer tokens: \"tok=tenant:roles;...\" or @file (empty = open access)")
-		metrics  = flag.Bool("metrics", true, "serve GET /metrics, /healthz and /readyz")
-		qStreams = flag.Int("quota-streams", 0, "max live streams per tenant (0 = unlimited)")
-		qBytes   = flag.Int64("quota-bytes", 0, "max resident ingest bytes per tenant (0 = unlimited)")
-		qRate    = flag.Float64("quota-rate", 0, "API requests per second per tenant (0 = unlimited)")
-		qBurst   = flag.Int("quota-burst", 0, "rate-limit burst per tenant (0 = ceil of -quota-rate)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		r         = flag.Int("r", 32, "default sample parameter for auto-created streams")
+		defSpec   = flag.String("default-spec", "", "spec JSON for auto-created streams (overrides -r)")
+		shards    = flag.Int("shards", 1, "fan auto-created streams out over this many parallel-ingest shards")
+		maxS      = flag.Int("max-streams", 1024, "maximum number of live streams")
+		sweep     = flag.Duration("sweep", 2*time.Second, "expiry sweep interval for time-windowed streams")
+		data      = flag.String("data", "", "data directory for durable streams (empty = in-memory only)")
+		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or none")
+		fsyncInt  = flag.Duration("fsync-interval", 50*time.Millisecond, "fsync timer period for -fsync interval")
+		ckpt      = flag.Int("checkpoint", 65536, "points ingested per stream between snapshot checkpoints")
+		pushTo    = flag.String("push-to", "", "aggregator base URL: run as a fan-in follower pushing snapshot deltas upstream")
+		pushInt   = flag.Duration("push-every", 5*time.Second, "push period for -push-to")
+		pushSrc   = flag.String("push-source", "", "source name for -push-to (default hostname+addr)")
+		pushTok   = flag.String("push-token", "", "bearer token the follower sends upstream (needs the push role there)")
+		tokens    = flag.String("auth-tokens", "", "bearer tokens: \"tok=tenant:roles;...\" or @file (empty = open access)")
+		metrics   = flag.Bool("metrics", true, "serve GET /metrics, /healthz and /readyz")
+		qStreams  = flag.Int("quota-streams", 0, "max live streams per tenant (0 = unlimited)")
+		qBytes    = flag.Int64("quota-bytes", 0, "max resident ingest bytes per tenant (0 = unlimited)")
+		qRate     = flag.Float64("quota-rate", 0, "API requests per second per tenant (0 = unlimited)")
+		qBurst    = flag.Int("quota-burst", 0, "rate-limit burst per tenant (0 = ceil of -quota-rate)")
+		traceSlow = flag.Duration("trace-slow", 250*time.Millisecond, "log traces at least this slow with their stage breakdown (0 = never)")
+		traceCap  = flag.Int("trace-buffer", 256, "completed traces kept for GET /debug/traces")
+		debugAddr = flag.String("debug-addr", "", "extra ungated listener for /debug/traces and /debug/pprof (bind to localhost)")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	provider := auth.Provider(auth.None{})
 	if *tokens != "" {
 		p, err := auth.ParseStaticTokens(*tokens)
 		if err != nil {
-			log.Fatalf("-auth-tokens: %v", err)
+			fatal("-auth-tokens", "err", err)
 		}
 		provider = p
 	}
 
 	sync, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
-		log.Fatal(err)
+		fatal("-fsync", "err", err)
 	}
 	if *shards > 1 {
 		// Wrap the default stream spec in a sharded fan-out. The inner
@@ -106,20 +131,25 @@ func main() {
 		if *defSpec != "" {
 			parsed, err := streamhull.ParseSpec(*defSpec)
 			if err != nil {
-				log.Fatalf("-default-spec: %v", err)
+				fatal("-default-spec", "err", err)
 			}
 			inner = parsed
 		}
 		wrapped := streamhull.Spec{Kind: streamhull.KindSharded, Shards: *shards, Inner: &inner}
 		if err := wrapped.Validate(); err != nil {
-			log.Fatalf("-shards %d: %v", *shards, err)
+			fatal("-shards", "shards", *shards, "err", err)
 		}
 		*defSpec = wrapped.String()
 	}
+	tracer := trace.New(trace.Config{
+		Capacity:      *traceCap,
+		SlowThreshold: *traceSlow,
+		Logger:        logger,
+	})
 	api, err := server.New(server.Config{
 		DefaultR: *r, DefaultSpec: *defSpec, MaxStreams: *maxS, SweepInterval: *sweep,
 		DataDir: *data, Sync: sync, FsyncInterval: *fsyncInt,
-		CheckpointEvery: *ckpt, Logf: log.Printf,
+		CheckpointEvery: *ckpt, Logger: logger, Tracer: tracer,
 		Auth: provider,
 		Quotas: auth.Quotas{
 			MaxStreams: *qStreams, MaxBytes: *qBytes,
@@ -128,7 +158,7 @@ func main() {
 		DisableObservability: !*metrics,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("startup failed", "err", err)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -140,6 +170,29 @@ func main() {
 	// WAL-flushing shutdown as a ^C.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		// A second, ungated debug listener: trace ring plus pprof with no
+		// bearer token needed. Keep it on localhost — it leaks stream ids
+		// and timings across tenants by design.
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           api.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = dbg.Shutdown(shutdownCtx)
+		}()
+	}
 
 	if *pushTo != "" {
 		source := *pushSrc
@@ -154,10 +207,11 @@ func main() {
 		}
 		pusher, err := fanin.NewPusher(fanin.PusherConfig{
 			Target: *pushTo, Source: source, Interval: *pushInt,
-			Collect: api.StreamSnapshots, Logf: log.Printf, Token: *pushTok,
+			Collect: api.StreamSnapshots, Logger: logger, Token: *pushTok,
+			Tracer: tracer,
 		})
 		if err != nil {
-			log.Fatalf("-push-to: %v", err)
+			fatal("-push-to", "err", err)
 		}
 		// The follower's own push health, scraped from the same /metrics
 		// page as the API instruments.
@@ -175,8 +229,8 @@ func main() {
 			"abandoned pushes since the last success",
 			func() float64 { return float64(pusher.Stats().ConsecutiveFailures) })
 		go pusher.Run(ctx)
-		log.Printf("fan-in follower: pushing snapshot deltas to %s every %v as source %q",
-			*pushTo, *pushInt, source)
+		logger.Info("fan-in follower: pushing snapshot deltas upstream",
+			"target", *pushTo, "interval", *pushInt, "source", source)
 	}
 
 	go func() {
@@ -187,15 +241,15 @@ func main() {
 	}()
 
 	if *data != "" {
-		log.Printf("hullserver durable mode: data=%s fsync=%s", *data, *fsync)
+		logger.Info("durable mode", "data", *data, "fsync", *fsync)
 	}
-	log.Printf("hullserver listening on %s (default r = %d)", *addr, *r)
+	logger.Info("hullserver listening", "addr", *addr, "default_r", *r)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("listener failed", "err", err)
 	}
 	// Flush WALs after the listener drains so every acknowledged batch
 	// is on disk before exit.
 	if err := api.Close(); err != nil {
-		log.Fatalf("closing stream store: %v", err)
+		fatal("closing stream store", "err", err)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/convex"
 	"github.com/streamgeom/streamhull/internal/robust"
@@ -94,6 +96,24 @@ func (h *Hull) InsertBatch(pts []geom.Point) {
 	for _, p := range convex.ExtremeCandidates(pts) {
 		h.Insert(p)
 	}
+	h.stats.Points = n + len(pts)
+}
+
+// InsertBatchObserved is InsertBatch with per-stage timings reported to
+// obs (non-nil): "prefilter" for the ExtremeCandidates pass,
+// "insert" for feeding the surviving candidates through the summary.
+// The state transition is identical to InsertBatch — same filter, same
+// insertion order — so traced ingest stays bit-exact with WAL replay.
+func (h *Hull) InsertBatchObserved(pts []geom.Point, obs func(stage string, d time.Duration)) {
+	n := h.stats.Points
+	start := time.Now()
+	cands := convex.ExtremeCandidates(pts)
+	obs("prefilter", time.Since(start))
+	start = time.Now()
+	for _, p := range cands {
+		h.Insert(p)
+	}
+	obs("insert", time.Since(start))
 	h.stats.Points = n + len(pts)
 }
 

@@ -6,12 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"github.com/streamgeom/streamhull/internal/trace"
 )
 
 // StreamSnapshot is one follower stream's push payload: an
@@ -40,10 +43,16 @@ type PusherConfig struct {
 	Collect func() []StreamSnapshot
 	// Client is the HTTP client to push with (nil = 10s-timeout client).
 	Client *http.Client
-	// Logf receives push failures; nil discards them. Failures never
-	// stop the loop — a follower keeps retrying on its interval, which
-	// is what re-syncs it after the aggregator restarts.
-	Logf func(format string, args ...any)
+	// Logger receives structured push-failure logs with stream/target/
+	// trace-id fields; nil discards them. Failures never stop the loop —
+	// a follower keeps retrying on its interval, which is what re-syncs
+	// it after the aggregator restarts.
+	Logger *slog.Logger
+	// Tracer, when set, starts a "fanin.push" root span per stream push
+	// and propagates its W3C traceparent on the HTTP requests, so the
+	// follower's push and the aggregator's handling of it are one
+	// distributed trace (the aggregator's record is marked remote).
+	Tracer *trace.Tracer
 	// Epoch stamps each push. The default — wall-clock nanoseconds — is
 	// monotone across follower restarts, so a restarted follower's first
 	// push supersedes everything its previous incarnation sent. Override
@@ -158,6 +167,9 @@ func NewPusher(cfg PusherConfig) (*Pusher, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 200 * time.Millisecond
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	return &Pusher{cfg: cfg, created: make(map[string]bool)}, nil
 }
 
@@ -203,8 +215,9 @@ func (p *Pusher) PushOnce(ctx context.Context) error {
 
 func (p *Pusher) pushAll(ctx context.Context) {
 	for _, ss := range p.cfg.Collect() {
-		if err := p.pushStream(ctx, ss); err != nil && p.cfg.Logf != nil {
-			p.cfg.Logf("fanin: pushing stream %q to %s: %v", ss.Stream, p.cfg.Target, err)
+		if err := p.pushStream(ctx, ss); err != nil {
+			p.cfg.Logger.Error("fanin: push failed",
+				"stream", ss.Stream, "target", p.cfg.Target, "err", err)
 		}
 	}
 }
@@ -217,21 +230,32 @@ func (p *Pusher) pushAll(ctx context.Context) {
 // forgotten the aggregate, and re-creating it on the next tick is
 // exactly the re-sync the follower loop promises.
 func (p *Pusher) pushStream(ctx context.Context, ss StreamSnapshot) error {
+	// One root span per stream push; its traceparent travels in the
+	// request context onto the HTTP headers, so the aggregator's handler
+	// continues the same trace id on its side.
+	sp := p.cfg.Tracer.StartSpan("fanin.push", "")
+	sp.SetAttr("stream", ss.Stream)
+	sp.SetAttr("source", p.cfg.Source)
+	pctx := trace.ContextWithSpan(ctx, sp)
 	err := p.withRetry(ctx, func() error {
 		if !p.created[ss.Stream] {
-			if err := EnsureAggregate(ctx, p.cfg.Client, p.cfg.Target, p.cfg.Token, ss.Stream, ss.R); err != nil {
+			if err := EnsureAggregate(pctx, p.cfg.Client, p.cfg.Target, p.cfg.Token, ss.Stream, ss.R); err != nil {
 				return err
 			}
 			p.created[ss.Stream] = true
 		}
-		return Push(ctx, p.cfg.Client, p.cfg.Target, p.cfg.Token, ss.Stream, p.cfg.Source, p.cfg.Epoch(), ss.Data)
+		return Push(pctx, p.cfg.Client, p.cfg.Target, p.cfg.Token, ss.Stream, p.cfg.Source, p.cfg.Epoch(), ss.Data)
 	})
 	if err != nil {
+		sp.SetAttr("status", "error")
+		sp.End()
 		delete(p.created, ss.Stream)
 		p.stats.failures.Add(1)
 		p.stats.consec.Add(1)
 		return err
 	}
+	sp.SetAttr("status", "ok")
+	sp.End()
 	p.stats.pushes.Add(1)
 	p.stats.consec.Store(0)
 	return nil
@@ -263,10 +287,8 @@ func (p *Pusher) withRetry(ctx context.Context, op func() error) error {
 		// Jitter to wait ± 25%.
 		wait += time.Duration(rand.Int63n(int64(wait)/2+1)) - wait/4
 		p.stats.retries.Add(1)
-		if p.cfg.Logf != nil {
-			p.cfg.Logf("fanin: transient push failure (attempt %d, retrying in %v): %v",
-				attempt+1, wait.Round(time.Millisecond), err)
-		}
+		p.cfg.Logger.Warn("fanin: transient push failure, retrying",
+			"attempt", attempt+1, "wait", wait.Round(time.Millisecond), "err", err)
 		select {
 		case <-ctx.Done():
 			return err
@@ -284,10 +306,15 @@ func aggregateSpec(r int) string {
 	return fmt.Sprintf(`{"kind":"fanin","r":%d}`, r)
 }
 
-// authorize attaches the bearer token when one is configured.
+// authorize attaches the bearer token when one is configured, plus the
+// W3C traceparent of any span riding the request context, so the
+// receiving server stitches its handling onto the caller's trace.
 func authorize(req *http.Request, token string) {
 	if token != "" {
 		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if tp := trace.FromContext(req.Context()).Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
 	}
 }
 

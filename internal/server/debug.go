@@ -1,0 +1,79 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"github.com/streamgeom/streamhull/internal/trace"
+)
+
+// The debug plane: the completed-trace ring at /debug/traces and the
+// standard pprof profiling endpoints. Both expose request internals
+// (stream ids, timings, goroutine stacks), so on the main handler they
+// pass through route() gated like the write routes — under auth.None
+// they stay open, preserving the historical single-operator behavior,
+// and under a real provider only write-role (admin) tokens reach them.
+// DebugHandler serves the same routes with no gate for a separate
+// localhost-only listener (hullserver's -debug-addr).
+
+// registerDebugRoutes wires the gated debug routes onto the API mux.
+func (s *Server) registerDebugRoutes() {
+	s.route("GET /debug/traces", "debug_traces", needWrite, s.handleDebugTraces)
+	for pattern, h := range pprofHandlers() {
+		s.route(pattern, "debug_pprof", needWrite, h)
+	}
+}
+
+// pprofHandlers maps the standard net/http/pprof endpoints to mux
+// patterns (shared by the gated routes and DebugHandler).
+func pprofHandlers() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"GET /debug/pprof/":        pprof.Index,
+		"GET /debug/pprof/cmdline": pprof.Cmdline,
+		"GET /debug/pprof/profile": pprof.Profile,
+		"GET /debug/pprof/symbol":  pprof.Symbol,
+		"GET /debug/pprof/trace":   pprof.Trace,
+	}
+}
+
+// handleDebugTraces serves the tracer's completed-trace ring, newest
+// first. ?slow=1 filters to traces at or above the slow threshold;
+// ?limit=N caps the count. With tracing disabled it reports an empty
+// list rather than erroring, so scrapes are safe to leave configured.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, req *http.Request) {
+	recs := s.tracer.Traces()
+	if req.URL.Query().Get("slow") == "1" {
+		slow := recs[:0:0]
+		for _, rec := range recs {
+			if rec.Slow {
+				slow = append(slow, rec)
+			}
+		}
+		recs = slow
+	}
+	if ls := req.URL.Query().Get("limit"); ls != "" {
+		if n, err := strconv.Atoi(ls); err == nil && n >= 0 && n < len(recs) {
+			recs = recs[:n]
+		}
+	}
+	if recs == nil {
+		recs = []*trace.Record{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": recs})
+}
+
+// DebugHandler returns the debug routes (traces + pprof) with no auth
+// gate, for a separate listener bound to localhost only (hullserver's
+// -debug-addr). Mounting this on a public address would expose every
+// tenant's stream ids and timings — it exists precisely so the gated
+// main-handler routes can stay strict while an operator with shell
+// access still gets friction-free profiling.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	for pattern, h := range pprofHandlers() {
+		mux.HandleFunc(pattern, h)
+	}
+	return mux
+}

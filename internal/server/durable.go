@@ -41,17 +41,12 @@ func checkpointable(kind streamhull.Kind) bool {
 	return false
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
 func (s *Server) walOptions() wal.Options {
 	return wal.Options{
 		SegmentBytes: s.cfg.SegmentBytes,
 		Sync:         s.cfg.Sync,
 		Interval:     s.cfg.FsyncInterval,
+		Logger:       s.logger,
 	}
 }
 
@@ -91,7 +86,7 @@ func (s *Server) recoverStreams() error {
 		// Directory names encode the internal (tenant-qualified) key.
 		key, ok := decodeStreamDir(e.Name())
 		if !ok {
-			s.logf("wal: skipping unrecognized directory %q", e.Name())
+			s.logger.Warn("wal: skipping unrecognized directory", "dir", e.Name())
 			continue
 		}
 		st, err := s.recoverStream(key, filepath.Join(s.cfg.DataDir, e.Name()))
@@ -112,15 +107,19 @@ func (s *Server) recoverStream(id, dir string) (*stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	tenant, _ := splitTenant(id)
 	if rec.Torn {
-		s.logf("wal: stream %q: dropped a torn tail record during recovery", id)
+		s.logger.Warn("wal: dropped a torn tail record during recovery",
+			"stream", id, "tenant", tenant)
 	}
 	log, err := wal.Open(dir, s.walOptions())
 	if err != nil {
 		return nil, err
 	}
-	s.logf("wal: recovered stream %q: spec=%s n=%d (checkpoint=%v, %d replayed points)",
-		id, rec.Spec, rec.Summary.N(), rec.HasCheckpoint, rec.Points)
+	s.logger.Info("wal: recovered stream",
+		"stream", id, "tenant", tenant, "spec", fmt.Sprint(rec.Spec),
+		"n", rec.Summary.N(), "checkpoint", rec.HasCheckpoint,
+		"replayed_points", rec.Points)
 	st := &stream{spec: rec.Spec, log: log,
 		bytes: int64(rec.Summary.N()) * bytesPerPoint}
 	st.setSummary(rec.Summary)
@@ -153,11 +152,13 @@ func (s *Server) checkpointLocked(id string, st *stream) {
 	if wh, ok := st.sum.(*streamhull.WindowedHull); ok {
 		data, err := wh.MarshalState()
 		if err != nil {
-			s.logf("wal: stream %q: encoding windowed checkpoint: %v", id, err)
+			s.logger.Error("wal: encoding windowed checkpoint failed",
+				"stream", id, "tenant", st.tenant, "err", err)
 			return
 		}
 		if err := st.log.Checkpoint(data); err != nil {
-			s.logf("wal: stream %q: checkpoint: %v", id, err)
+			s.logger.Error("wal: checkpoint failed",
+				"stream", id, "tenant", st.tenant, "err", err)
 		}
 		return
 	}
@@ -168,16 +169,19 @@ func (s *Server) checkpointLocked(id string, st *stream) {
 	snap := sn.Snapshot()
 	data, err := snap.MarshalBinary()
 	if err != nil {
-		s.logf("wal: stream %q: encoding checkpoint: %v", id, err)
+		s.logger.Error("wal: encoding checkpoint failed",
+			"stream", id, "tenant", st.tenant, "err", err)
 		return
 	}
 	if err := st.log.Checkpoint(data); err != nil {
-		s.logf("wal: stream %q: checkpoint: %v", id, err)
+		s.logger.Error("wal: checkpoint failed",
+			"stream", id, "tenant", st.tenant, "err", err)
 		return
 	}
 	restored, err := streamhull.SummaryFromSnapshot(snap)
 	if err != nil {
-		s.logf("wal: stream %q: re-basing on checkpoint: %v", id, err)
+		s.logger.Error("wal: re-basing on checkpoint failed",
+			"stream", id, "tenant", st.tenant, "err", err)
 		return
 	}
 	// Swapping the summary also swaps the read cache: the fresh
@@ -196,10 +200,12 @@ func (s *Server) dropStorage(id string, st *stream) {
 		return
 	}
 	if err := st.log.Close(); err != nil {
-		s.logf("wal: stream %q: closing log: %v", id, err)
+		s.logger.Error("wal: closing log failed",
+			"stream", id, "tenant", st.tenant, "err", err)
 	}
 	if err := os.RemoveAll(s.streamDir(id)); err != nil {
-		s.logf("wal: stream %q: removing storage: %v", id, err)
+		s.logger.Error("wal: removing storage failed",
+			"stream", id, "tenant", st.tenant, "err", err)
 	}
 }
 

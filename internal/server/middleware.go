@@ -11,6 +11,7 @@ import (
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/internal/auth"
 	"github.com/streamgeom/streamhull/internal/telemetry"
+	"github.com/streamgeom/streamhull/internal/trace"
 )
 
 // The service layer: every API route passes through route(), which
@@ -56,13 +57,22 @@ const anyRole auth.Role = 0
 // route registers pattern with the full service-layer wrapper.
 // endpoint is the metrics label (stable, low-cardinality); roleFor
 // derives the required role from the request (nil = roleNeeded
-// constant).
+// constant). When tracing is on, each request gets a root span named
+// after the endpoint — continuing the caller's traceparent header when
+// it sent one — and the latency histogram's bucket carries the trace
+// id as its exemplar, so a dashboard spike links to a concrete trace.
 func (s *Server) route(pattern, endpoint string, roleFor func(*http.Request) auth.Role, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, req *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sp := s.tracer.StartSpan(endpoint, req.Header.Get("traceparent"))
+		if sp != nil {
+			req = req.WithContext(trace.ContextWithSpan(req.Context(), sp))
+		}
 		s.serveAuthed(sw, req, roleFor, h)
-		s.met.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		sp.SetAttr("status", strconv.Itoa(sw.status))
+		sp.End()
+		s.met.latency.With(endpoint).ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
 		s.met.requests.With(endpoint, strconv.Itoa(sw.status)).Inc()
 	})
 }
@@ -70,13 +80,23 @@ func (s *Server) route(pattern, endpoint string, roleFor func(*http.Request) aut
 // serveAuthed runs authentication, rate limiting and the role check,
 // then the handler with the identity attached.
 func (s *Server) serveAuthed(w http.ResponseWriter, req *http.Request, roleFor func(*http.Request) auth.Role, h http.HandlerFunc) {
+	sp := trace.FromContext(req.Context())
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	ident, err := s.authp.Authenticate(auth.BearerToken(req.Header.Get("Authorization")))
+	if sp != nil {
+		sp.ObserveStage("auth", time.Since(t0))
+		t0 = time.Now()
+	}
 	if err != nil {
 		w.Header().Set("WWW-Authenticate", `Bearer realm="streamhull"`)
 		s.met.denied.With("unauthenticated").Inc()
 		writeErr(w, http.StatusUnauthorized, "%v", err)
 		return
 	}
+	sp.SetAttr("tenant", ident.Tenant)
 	if err := s.ledger.Allow(ident.Tenant); err != nil {
 		var rl *auth.RateLimitError
 		if errors.As(err, &rl) {
@@ -89,6 +109,9 @@ func (s *Server) serveAuthed(w http.ResponseWriter, req *http.Request, roleFor f
 		s.met.denied.With("rate_limited").Inc()
 		writeErr(w, http.StatusTooManyRequests, "%v", err)
 		return
+	}
+	if sp != nil {
+		sp.ObserveStage("ratelimit", time.Since(t0))
 	}
 	if roleFor != nil {
 		if need := roleFor(req); need != anyRole && !ident.Roles.Has(need) {

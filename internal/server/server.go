@@ -120,6 +120,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -134,6 +135,7 @@ import (
 	"github.com/streamgeom/streamhull/internal/auth"
 	"github.com/streamgeom/streamhull/internal/fanin"
 	"github.com/streamgeom/streamhull/internal/telemetry"
+	"github.com/streamgeom/streamhull/internal/trace"
 	"github.com/streamgeom/streamhull/internal/wal"
 )
 
@@ -170,9 +172,17 @@ type Config struct {
 	CheckpointEvery int
 	// SegmentBytes caps WAL segment size (0 = 4 MiB).
 	SegmentBytes int64
-	// Logf, when set, receives operational messages (recovery results,
-	// checkpoint failures). Nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs (recovery results,
+	// checkpoint failures, slow traces) with tenant/stream/trace-id
+	// fields attached. Nil discards them.
+	Logger *slog.Logger
+	// Tracer records per-request traces: one root span per API request
+	// with stage-level child spans on the hot paths (auth, rate limit,
+	// stream-lock wait, prefilter, insert, WAL append, fsync,
+	// checkpoint, cache materialize), continuing an incoming W3C
+	// traceparent so a follower push and its aggregator handling are one
+	// distributed trace. Nil disables tracing at near-zero cost.
+	Tracer *trace.Tracer
 
 	// Auth authenticates bearer tokens (nil = auth.None: every caller,
 	// anonymous included, is the root tenant with all roles — exactly
@@ -199,6 +209,8 @@ type Server struct {
 	authp       auth.Provider
 	ledger      *auth.Ledger
 	reg         *telemetry.Registry
+	logger      *slog.Logger
+	tracer      *trace.Tracer
 	met         metrics
 	health      telemetry.Health
 	mu          sync.RWMutex
@@ -282,12 +294,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux(),
 		sweepStop: make(chan struct{}),
 		authp:     cfg.Auth,
 		ledger:    auth.NewLedger(cfg.Quotas, nil),
 		reg:       cfg.Metrics,
+		logger:    cfg.Logger,
+		tracer:    cfg.Tracer,
 	}
 	s.initMetrics(s.reg)
 	if cfg.DefaultSpec != "" {
@@ -334,6 +351,11 @@ func New(cfg Config) (*Server, error) {
 	s.route("POST /v1/streams/{id}/snapshot", "snapshot_post", needRestoreRole, s.handleRestore)
 	s.route("DELETE /v1/streams/{id}/sources/{source}", "drop_source", needWrite, s.handleDropSource)
 	s.route("GET /v1/pairs/query", "pair_query", needRead, s.handlePairQuery)
+	// The debug plane (trace ring, pprof) exposes request internals and
+	// profiling data, so it is gated like the write routes — admin
+	// tokens only under an authenticating provider. DebugHandler serves
+	// the same routes ungated for a localhost-only listener.
+	s.registerDebugRoutes()
 	if !cfg.DisableObservability {
 		s.registerObservabilityRoutes()
 	}
@@ -567,7 +589,8 @@ func (s *Server) addStream(tenant, id string, sum streamhull.Summary, checkpoint
 		}
 		if checkpoint != nil {
 			if err := log.Checkpoint(checkpoint); err != nil {
-				s.logf("wal: stream %q: persisting restored snapshot: %v", key, err)
+				s.logger.Error("wal: persisting restored snapshot failed",
+					"stream", key, "tenant", tenant, "err", err)
 			}
 		}
 		st.log = log
@@ -847,7 +870,19 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	key := qualifyID(ident.Tenant, id)
+	// Stage spans for the ingest hot path. A nil span (tracing off or
+	// unsampled) skips every clock read, so the untraced path stays the
+	// code that ran before tracing existed.
+	sp := trace.FromContext(req.Context())
+	sp.SetAttr("stream", id)
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	st.mu.Lock()
+	if sp != nil {
+		sp.ObserveStage("lock_wait", time.Since(t0))
+	}
 	if st.log == nil {
 		// In-memory streams need no WAL ordering, so ingest runs outside
 		// the stream lock: summaries serialize internally, and a sharded
@@ -857,7 +892,7 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 		st.bytes += charge
 		sum := st.sum
 		st.mu.Unlock()
-		if _, err := sum.InsertBatch(pts); err != nil {
+		if _, err := insertBatchTraced(sum, pts, sp); err != nil {
 			// Unreachable after validation above; fail loudly if a summary
 			// grows new failure modes.
 			st.mu.Lock()
@@ -879,13 +914,13 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	// uses below, so the rebuilt state matches bit-for-bit. Durable
 	// ingest holds st.mu across append+apply to keep WAL order equal to
 	// apply order.
-	if err := st.log.Append(pts); err != nil {
+	if err := appendTraced(st.log, pts, sp); err != nil {
 		st.mu.Unlock()
 		s.ledger.ReleaseBytes(ident.Tenant, charge)
 		writeErr(w, http.StatusInternalServerError, "logging batch: %v", err)
 		return
 	}
-	if _, err := st.sum.InsertBatch(pts); err != nil {
+	if _, err := insertBatchTraced(st.sum, pts, sp); err != nil {
 		st.mu.Unlock()
 		s.ledger.ReleaseBytes(ident.Tenant, charge)
 		writeErr(w, http.StatusInternalServerError, "applying batch: %v", err)
@@ -893,13 +928,50 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	}
 	st.bytes += charge
 	st.sinceCkpt += len(pts)
+	if sp != nil {
+		t0 = time.Now()
+	}
 	s.maybeCheckpointLocked(key, st)
+	if sp != nil {
+		sp.ObserveStage("checkpoint", time.Since(t0))
+	}
 	n, sampleSize := st.sum.N(), st.sum.SampleSize()
 	st.mu.Unlock()
 	s.met.ingestPoints.With(ident.Tenant).Add(float64(len(pts)))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ingested": len(pts), "n": n, "sample_size": sampleSize,
 	})
+}
+
+// insertBatchTraced applies a batch with prefilter/insert stage spans
+// when a span is live and the summary can report them
+// (streamhull.StagedBatchInserter — same state transition either way);
+// otherwise it is exactly InsertBatch.
+func insertBatchTraced(sum streamhull.Summary, pts []geom.Point, sp *trace.Span) (int, error) {
+	if obs := sp.StageObserver(); obs != nil {
+		if staged, ok := sum.(streamhull.StagedBatchInserter); ok {
+			return staged.InsertBatchObserved(pts, obs)
+		}
+		start := time.Now()
+		n, err := sum.InsertBatch(pts)
+		obs("insert", time.Since(start))
+		return n, err
+	}
+	return sum.InsertBatch(pts)
+}
+
+// appendTraced logs a batch with wal_append/wal_fsync stage spans when
+// a span is live (AppendTimed splits the write from the group-commit
+// fsync wait; the fsync stage is ~0 under non-always sync policies,
+// where Append does not wait for durability).
+func appendTraced(log *wal.Log, pts []geom.Point, sp *trace.Span) error {
+	if sp == nil {
+		return log.Append(pts)
+	}
+	write, syncWait, err := log.AppendTimed(pts)
+	sp.ObserveStage("wal_append", write)
+	sp.ObserveStage("wal_fsync", syncWait)
+	return err
 }
 
 // handleHull and handleQuery serve from the stream's epoch-cached read
@@ -912,15 +984,27 @@ func (s *Server) handleHull(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	sp := trace.FromContext(req.Context())
+	sp.SetAttr("stream", req.PathValue("id"))
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	qc := st.queries()
 	vs := qc.Hull().Vertices()
 	out := make([][2]float64, len(vs))
 	for i, v := range vs {
 		out[i] = [2]float64{v.X, v.Y}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"vertices": out, "area": qc.Area(), "perimeter": qc.Perimeter(), "n": qc.N(),
-	})
+	}
+	if sp != nil {
+		// Epoch-cache revalidation plus (on a miss) the hull fold — the
+		// read path's only real work.
+		sp.ObserveStage("cache_materialize", time.Since(t0))
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
@@ -929,30 +1013,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	sp := trace.FromContext(req.Context())
+	sp.SetAttr("stream", req.PathValue("id"))
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	qc := st.queries()
+	var resp map[string]any
 	switch qt := req.URL.Query().Get("type"); qt {
 	case "diameter":
 		d, pair := qc.Diameter()
-		writeJSON(w, http.StatusOK, map[string]any{
+		resp = map[string]any{
 			"diameter": d,
 			"pair":     [][2]float64{{pair[0].X, pair[0].Y}, {pair[1].X, pair[1].Y}},
-		})
+		}
 	case "width":
 		wv, ang := qc.Width()
-		writeJSON(w, http.StatusOK, map[string]any{"width": wv, "angle": ang})
+		resp = map[string]any{"width": wv, "angle": ang}
 	case "extent":
 		theta, err := strconv.ParseFloat(req.URL.Query().Get("theta"), 64)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "invalid theta: %v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"theta": theta, "extent": qc.Extent(theta)})
+		resp = map[string]any{"theta": theta, "extent": qc.Extent(theta)}
 	case "circle":
 		c, rad := qc.EnclosingCircle()
-		writeJSON(w, http.StatusOK, map[string]any{"center": [2]float64{c.X, c.Y}, "radius": rad})
+		resp = map[string]any{"center": [2]float64{c.X, c.Y}, "radius": rad}
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown query type %q", qt)
+		return
 	}
+	if sp != nil {
+		sp.ObserveStage("cache_materialize", time.Since(t0))
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // wantsBinary reports whether the client asked for the compact binary
@@ -1059,7 +1155,8 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 			checkpoint, cerr = snap.MarshalBinary()
 		}
 		if cerr != nil {
-			s.logf("wal: stream %q: encoding restored snapshot: %v", id, cerr)
+			s.logger.Error("wal: encoding restored snapshot failed",
+				"stream", id, "tenant", ident.Tenant, "err", cerr)
 			checkpoint = nil
 		}
 	}
@@ -1159,7 +1256,8 @@ func (s *Server) StreamSnapshots() []fanin.StreamSnapshot {
 		snap := sn.Snapshot()
 		data, err := snap.Encode()
 		if err != nil {
-			s.logf("fanin: encoding snapshot of stream %q: %v", ids[i], err)
+			s.logger.Error("fanin: encoding stream snapshot failed",
+				"stream", ids[i], "err", err)
 			continue
 		}
 		out = append(out, fanin.StreamSnapshot{Stream: ids[i], R: snap.R, Data: data})

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry holds metric families and renders them in the Prometheus
@@ -64,6 +65,18 @@ type series struct {
 	counts []atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-added
 	total  atomic.Uint64
+	// exemplars holds the latest trace-linked observation per bucket
+	// (last slot = +Inf), rendered only in the OpenMetrics exposition.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one histogram observation to the trace that produced
+// it, so a latency bucket on a dashboard jumps straight to a concrete
+// slow request in /debug/traces.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      float64 // unix seconds
 }
 
 func (s *series) add(v float64) {
@@ -116,6 +129,7 @@ func (f *family) get(labelValues []string) *series {
 		s = &series{labelValues: append([]string(nil), labelValues...)}
 		if f.typ == "histogram" {
 			s.counts = make([]atomic.Uint64, len(f.buckets))
+			s.exemplars = make([]atomic.Pointer[exemplar], len(f.buckets)+1)
 		}
 		f.series[key] = s
 	}
@@ -189,6 +203,29 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// attaches it as the bucket's exemplar — the trace id a dashboard can
+// follow from a latency bucket to the concrete request in
+// /debug/traces. Exemplars render only in the OpenMetrics exposition;
+// the classic text format ignores them.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	idx := len(h.buckets) // +Inf slot
+	for i, ub := range h.buckets {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	h.s.exemplars[idx].Store(&exemplar{
+		traceID: traceID, value: v,
+		ts: float64(time.Now().UnixNano()) / 1e9,
+	})
 }
 
 // Count returns the number of observations (tests and smoke checks).
@@ -311,7 +348,17 @@ func labelString(names, values []string, extra ...string) string {
 }
 
 // Render writes the whole registry in the Prometheus text format.
-func (r *Registry) Render() string {
+func (r *Registry) Render() string { return r.render(false) }
+
+// RenderOpenMetrics writes the registry in the OpenMetrics exposition:
+// the same families, histogram buckets annotated with their exemplars
+// (`# {trace_id="…"} value timestamp`), terminated by `# EOF`. Served
+// when a scraper negotiates Accept: application/openmetrics-text —
+// exemplars are invalid in the classic text format, so they appear
+// only here.
+func (r *Registry) RenderOpenMetrics() string { return r.render(true) + "# EOF\n" }
+
+func (r *Registry) render(openMetrics bool) string {
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
@@ -322,12 +369,12 @@ func (r *Registry) Render() string {
 
 	var b strings.Builder
 	for _, f := range fams {
-		f.render(&b)
+		f.render(&b, openMetrics)
 	}
 	return b.String()
 }
 
-func (f *family) render(b *strings.Builder) {
+func (f *family) render(b *strings.Builder, openMetrics bool) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
 	if f.collect != nil {
 		type row struct {
@@ -363,21 +410,43 @@ func (f *family) render(b *strings.Builder) {
 		cum := uint64(0)
 		for i, ub := range f.buckets {
 			cum += s.counts[i].Load()
-			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
-				labelString(f.labels, s.labelValues, "le", fmtValue(ub)), cum)
+			fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name,
+				labelString(f.labels, s.labelValues, "le", fmtValue(ub)), cum,
+				s.exemplarSuffix(i, openMetrics))
 		}
 		total := s.total.Load()
-		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
-			labelString(f.labels, s.labelValues, "le", "+Inf"), total)
+		fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name,
+			labelString(f.labels, s.labelValues, "le", "+Inf"), total,
+			s.exemplarSuffix(len(f.buckets), openMetrics))
 		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labelValues),
 			fmtValue(math.Float64frombits(s.sum.Load())))
 		fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, s.labelValues), total)
 	}
 }
 
-// Handler serves the registry as a /metrics endpoint.
+// exemplarSuffix renders the bucket's exemplar annotation, or "" in
+// the classic format (exemplars are OpenMetrics-only syntax).
+func (s *series) exemplarSuffix(bucket int, openMetrics bool) string {
+	if !openMetrics {
+		return ""
+	}
+	ex := s.exemplars[bucket].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%s"} %s %.3f`,
+		escapeLabel(ex.traceID), fmtValue(ex.value), ex.ts)
+}
+
+// Handler serves the registry as a /metrics endpoint, negotiating the
+// OpenMetrics exposition (with exemplars) when the scraper asks for it.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req != nil && strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_, _ = w.Write([]byte(r.RenderOpenMetrics()))
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = w.Write([]byte(r.Render()))
 	})

@@ -55,6 +55,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -113,6 +114,10 @@ type Options struct {
 	Sync SyncPolicy
 	// Interval is the timer period for SyncInterval (0 = 50ms).
 	Interval time.Duration
+	// Logger receives background trouble — an fsync failure poisoning
+	// the log — that would otherwise surface only as a sticky error on
+	// the next Append. Nil discards.
+	Logger *slog.Logger
 }
 
 func (o *Options) fill() {
@@ -121,6 +126,9 @@ func (o *Options) fill() {
 	}
 	if o.Interval <= 0 {
 		o.Interval = defaultSyncInterval
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 }
 
@@ -197,32 +205,57 @@ func (l *Log) Dir() string { return l.dir }
 // policies it returns after the write syscall, so a pure process crash
 // loses nothing and an OS crash loses at most the unsynced tail.
 func (l *Log) Append(pts []geom.Point) error {
+	_, _, err := l.append(pts, false)
+	return err
+}
+
+// AppendTimed is Append with its two halves timed separately: the
+// frame-and-write syscall and the wait for durability (group-commit
+// fsync under SyncAlways; zero under the other policies, where Append
+// does not wait). The server's request tracer records them as the
+// wal_append and wal_fsync stage spans; untimed Append skips the clock
+// reads entirely.
+func (l *Log) AppendTimed(pts []geom.Point) (write, syncWait time.Duration, err error) {
+	return l.append(pts, true)
+}
+
+func (l *Log) append(pts []geom.Point, timed bool) (write, syncWait time.Duration, err error) {
 	if len(pts) == 0 {
-		return nil
+		return 0, 0, nil
 	}
 	if len(pts) > maxRecordPoints {
 		// The decoder rejects oversized records as corruption; writing one
 		// would make the log unrecoverable.
-		return fmt.Errorf("wal: batch of %d points exceeds the %d-point record limit",
+		return 0, 0, fmt.Errorf("wal: batch of %d points exceeds the %d-point record limit",
 			len(pts), maxRecordPoints)
 	}
 	for _, p := range pts {
 		if !p.IsFinite() {
-			return fmt.Errorf("wal: non-finite point %v", p)
+			return 0, 0, fmt.Errorf("wal: non-finite point %v", p)
 		}
+	}
+	var start time.Time
+	if timed {
+		start = time.Now()
 	}
 	frame := appendRecord(nil, pts)
 
 	l.mu.Lock()
 	if err := l.writeLocked(frame); err != nil {
 		l.mu.Unlock()
-		return err
+		return 0, 0, err
 	}
 	myGen := l.gen
 	l.mu.Unlock()
+	if timed {
+		write = time.Since(start)
+	}
 
 	if l.opts.Sync != SyncAlways {
-		return nil
+		return write, 0, nil
+	}
+	if timed {
+		start = time.Now()
 	}
 	l.kick()
 	l.mu.Lock()
@@ -230,13 +263,16 @@ func (l *Log) Append(pts []geom.Point) error {
 	for l.syncGen < myGen && l.syncErr == nil && !l.closed {
 		l.cond.Wait()
 	}
+	if timed {
+		syncWait = time.Since(start)
+	}
 	if l.syncErr != nil {
-		return l.syncErr
+		return write, syncWait, l.syncErr
 	}
 	if l.syncGen < myGen {
-		return ErrClosed
+		return write, syncWait, ErrClosed
 	}
-	return nil
+	return write, syncWait, nil
 }
 
 // writeLocked appends a framed record to the open segment, rotating
@@ -303,6 +339,7 @@ func (l *Log) sealLocked() error {
 	l.f = nil
 	if err != nil {
 		l.syncErr = fmt.Errorf("wal: sealing segment %s: %w", segName(l.seg), err)
+		l.opts.Logger.Error("wal seal failed", "segment", segName(l.seg), "err", err)
 		l.cond.Broadcast()
 		return l.syncErr
 	}
@@ -365,6 +402,7 @@ func (l *Log) syncOnce() {
 	if err != nil {
 		if l.syncErr == nil {
 			l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+			l.opts.Logger.Error("wal fsync failed; log poisoned", "err", err)
 		}
 	} else if gen > l.syncGen {
 		l.syncGen = gen

@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# Regenerate the committed serving-throughput baseline (BENCH_serve.json):
-# the hullbench -serve sweep — the full HTTP handler with the auth service
-# layer enabled, under concurrent ingest and query load, per shard count —
-# written as JSON so a perf regression shows up as a reviewable diff.
+# Regenerate the committed performance baselines (BENCH_*.json): one
+# JSON file per benchable hullbench experiment —
 #
-# Usage: scripts/bench_baseline.sh [output-file]
+#   BENCH_serve.json    sharded ingest + epoch-cached queries through the
+#                       full HTTP handler (auth service layer enabled)
+#   BENCH_batch.json    hull-prefiltered InsertBatch vs per-point Insert
+#   BENCH_durable.json  WAL append + insert vs in-memory insert, per
+#                       batch size and fsync policy
+#   BENCH_fanin.json    multi-node fan-in fidelity vs push interval
+#                       (error metrics, not throughput)
+#
+# committed so a perf or fidelity regression shows up as a reviewable
+# diff, and so scripts/bench_compare.sh has something to gate against.
+#
+# Usage: scripts/bench_baseline.sh [output-dir]   (default: repo root)
 # Numbers are machine-dependent; regenerate on comparable hardware before
 # comparing against a change.
 set -euo pipefail
 
-OUT=${1:-BENCH_serve.json}
+OUT=${1:-.}
 cd "$(dirname "$0")/.."
 
-go run ./cmd/hullbench -serve -n 50000 -serve-dur 2s -json "$OUT"
-echo "baseline written to $OUT"
+go run ./cmd/hullbench -serve -batch -durable -fanin -n 50000 -serve-dur 2s -json "$OUT"
+echo "baselines written to $OUT/BENCH_{serve,batch,durable,fanin}.json"

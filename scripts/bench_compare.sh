@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Gate a change on the committed performance baselines: re-run the
+# benchable experiments (serve, batch, durable) and compare every
+# throughput metric against the BENCH_*.json files — exits nonzero when
+# any metric regresses by more than 25%. Fan-in is excluded: its rows
+# are fidelity metrics with no throughput to compare (go test covers
+# fidelity exactly).
+#
+# Usage: scripts/bench_compare.sh [baseline-dir]   (default: repo root)
+# Wall-clock numbers are machine-dependent: a failure against baselines
+# generated on different hardware means "regenerate the baselines here
+# first" (scripts/bench_baseline.sh), not necessarily "the change is
+# slow". The run parameters must match bench_baseline.sh.
+set -euo pipefail
+
+DIR=${1:-.}
+cd "$(dirname "$0")/.."
+
+go run ./cmd/hullbench -serve -batch -durable -n 50000 -serve-dur 2s -compare "$DIR"

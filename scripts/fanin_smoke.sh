@@ -67,6 +67,19 @@ echo "$fol_metrics" | grep -q 'streamhull_ingest_points_total{tenant=""} 3' \
 echo "$fol_metrics" | grep -q 'streamhull_fanin_pusher_pushes_total [1-9]' \
   || { echo "FAIL: follower pusher counter did not move"; exit 1; }
 
+# Distributed tracing: the follower's fanin.push span propagates its
+# traceparent with the snapshot POST, so the same trace id shows up in
+# both processes' /debug/traces rings — the aggregator's half recorded
+# against the snapshot_post endpoint. (Both servers run open-access
+# here, so the debug routes need no token.)
+push_id=$(curl -fsS "http://$FOL_ADDR/debug/traces" \
+  | sed -n 's/.*"trace_id":"\([0-9a-f]\{32\}\)","name":"fanin.push".*/\1/p' | head -n1)
+[ -n "$push_id" ] || { echo "FAIL: follower recorded no fanin.push trace"; exit 1; }
+curl -fsS "http://$AGG_ADDR/debug/traces" \
+  | grep -q "\"trace_id\":\"$push_id\",\"name\":\"snapshot_post\"" \
+  || { echo "FAIL: push trace $push_id missing from the aggregator's ring"; exit 1; }
+echo "distributed push trace $push_id recorded on both processes"
+
 # Authenticated leg: with -auth-tokens an anonymous push is rejected and
 # the aggregate is untouched; the right token still lands.
 AUTH_ADDR=127.0.0.1:18082
@@ -88,5 +101,10 @@ detail=$(curl -fsS -H 'Authorization: Bearer admin-tok' "http://$AUTH_ADDR/v1/st
 echo "authed aggregator detail: $detail"
 echo "$detail" | grep -q '"n":2' || { echo "FAIL: authed merged n != 2"; exit 1; }
 echo "$detail" | grep -q '"source":"rogue"' && { echo "FAIL: rejected source visible"; exit 1; }
+
+# On an authenticated server the debug plane is gated like the write
+# routes: anonymous scrapes bounce.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$AUTH_ADDR/debug/traces")
+[ "$code" = 401 ] || { echo "FAIL: /debug/traces open on authed server (got $code)"; exit 1; }
 
 echo "fan-in smoke: OK"

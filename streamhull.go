@@ -41,6 +41,7 @@ package streamhull
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/convex"
@@ -90,6 +91,16 @@ type Summary interface {
 	// mutation held, so a Hull() call observing epoch e reflects at
 	// least the mutations counted by e.
 	Epoch() uint64
+}
+
+// StagedBatchInserter is implemented by summaries whose InsertBatch
+// can report per-stage timings — the batch-hull prefilter vs the
+// surviving insertions — to an observer. The server's request-tracing
+// layer type-asserts for it on the ingest hot path; the observed call
+// must apply exactly the same state transition as InsertBatch so
+// traced and untraced ingest (and WAL replay) stay bit-identical.
+type StagedBatchInserter interface {
+	InsertBatchObserved(pts []geom.Point, obs func(stage string, d time.Duration)) (int, error)
 }
 
 // checkFinite validates a stream point.
