@@ -50,6 +50,11 @@ func main() {
 		batch      = flag.Bool("batch", false, "batch-first ingest: hull-prefiltered InsertBatch vs per-point Insert")
 		serve      = flag.Bool("serve", false, "mixed read/write serving: sharded ingest + epoch-cached queries over the HTTP handler")
 		faninF     = flag.Bool("fanin", false, "continuous multi-node fan-in: aggregate error vs push interval and source count")
+		storeF     = flag.Bool("store", false, "cold-tier storage: many streams, few resident, O(r)-checkpoint memory bound")
+		storeBk    = flag.String("store-backend", "memory", "backend for -store: memory, fswal, or muxwal")
+		storeN     = flag.Int("store-streams", 1_000_000, "streams created by -store")
+		storeHot   = flag.Int("store-hot", 10_000, "MaxResident cap (hot set) for -store")
+		storePts   = flag.Int("store-points", 64, "points ingested per stream for -store")
 		n          = flag.Int("n", 100000, "stream length per experiment")
 		r          = flag.Int("r", 16, "adaptive sample parameter (uniform uses 2r)")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -59,7 +64,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed && !*durable && !*batch && !*serve && !*faninF {
+	if !*all && !*table1 && !*sweep && !*lowerBound && !*diameter && !*timing && !*windowed && !*durable && !*batch && !*serve && !*faninF && !*storeF {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -203,6 +208,25 @@ func main() {
 		writeBench("fanin", map[string]any{"rows": rows})
 	}
 
+	// -store is deliberately not part of -all: at its default scale
+	// (a million streams) it dominates the whole run's wall clock.
+	if *storeF {
+		fmt.Printf("=== Cold-tier storage (%d streams, %d hot, %s backend) ===\n",
+			*storeN, *storeHot, *storeBk)
+		row, err := experiments.StoreSweep(*storeBk, *storeN, *storeHot, *storePts, *r, *seed, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "store sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.StoreHeader)
+		fmt.Println(row.String())
+		fmt.Println()
+		writeBench("store", map[string]any{"rows": []*experiments.StorePoint{row}})
+		if *compareDir != "" {
+			regressions = append(regressions, compareStore(*compareDir, row)...)
+		}
+	}
+
 	if *compareDir != "" {
 		if len(regressions) > 0 {
 			fmt.Fprintf(os.Stderr, "PERF REGRESSION vs baselines in %s:\n", *compareDir)
@@ -323,6 +347,28 @@ func compareDurable(dir string, fresh []experiments.DurablePoint) []string {
 			continue
 		}
 		regs = appendRegression(regs, fmt.Sprintf("durable batch=%d fsync=%s WAL ns/pt", f.Batch, f.Policy), b.WalNsPt, f.WalNsPt, false)
+	}
+	return regs
+}
+
+// compareStore checks the cold-tier sweep: throughputs are
+// higher-is-better, the per-cold-stream heap footprint lower-is-better.
+// Only a baseline row with the same shape (backend, streams, hot,
+// points) is comparable.
+func compareStore(dir string, fresh *experiments.StorePoint) []string {
+	base, err := loadBaseline[experiments.StorePoint](dir, "store")
+	if err != nil {
+		return []string{fmt.Sprintf("store baseline: %v", err)}
+	}
+	var regs []string
+	for _, b := range base {
+		if b.Backend != fresh.Backend || b.Streams != fresh.Streams ||
+			b.Hot != fresh.Hot || b.PointsPer != fresh.PointsPer {
+			continue
+		}
+		regs = appendRegression(regs, "store create/s", b.CreatePerSec, fresh.CreatePerSec, true)
+		regs = appendRegression(regs, "store hot-point/s", b.HotPtSec, fresh.HotPtSec, true)
+		regs = appendRegression(regs, "store B/cold-stream", b.HeapPerCold, fresh.HeapPerCold, false)
 	}
 	return regs
 }

@@ -11,6 +11,8 @@
 //	hullcli -spec '{"kind":"windowed","r":32,"window":"10000"}' < points.csv
 //	hullcli replay -dir /var/lib/hullserver/mystream -query diameter
 //	hullcli push -to http://agg:8080 -stream clicks -source node7 < points.csv
+//	hullcli streams -to http://hull:8080 -limit 50 -all
+//	hullcli stats -to http://hull:8080
 //
 // The flags compile down to a streamhull.Spec; -spec supplies one
 // directly as JSON (overriding -algo/-r/-window) and can describe every
@@ -33,15 +35,24 @@
 // O(r) snapshot to a fan-in aggregate stream on an upstream hullserver
 // (creating it on first contact) — the scriptable one-shot counterpart
 // of hullserver's -push-to follower loop.
+//
+// The streams subcommand lists a server's streams — -limit/-cursor pass
+// straight through to the paginated GET /v1/streams, and -all walks
+// every page — marking each stream's tier (memory, warm, cold). The
+// stats subcommand scrapes /metrics and prints the cold-tier health:
+// resident and cold counts, lifetime evictions and rehydrations.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -59,6 +70,14 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "push" {
 		runPush(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "streams" {
+		runStreams(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		runStats(os.Args[2:])
 		return
 	}
 	var (
@@ -184,6 +203,177 @@ func runPush(args []string) {
 	}
 	fmt.Printf("pushed %s as source %q epoch %d: %d points summarized, %d sample points\n",
 		*stream, *source, e, snap.N, len(snap.Points))
+}
+
+// runStreams lists a server's streams: GET /v1/streams with the
+// paginated listing's -limit/-cursor passed straight through, or -all
+// to walk every page client-side.
+func runStreams(args []string) {
+	fs := flag.NewFlagSet("hullcli streams", flag.ExitOnError)
+	var (
+		to     = fs.String("to", "http://localhost:8080", "hullserver base URL")
+		token  = fs.String("token", "", "bearer token for an authenticated server")
+		limit  = fs.Int("limit", 0, "page size (0 = server returns everything at once)")
+		cursor = fs.String("cursor", "", "resume after this stream id (from a previous page's next_cursor)")
+		all    = fs.Bool("all", false, "follow next_cursor until every page is printed (needs -limit)")
+	)
+	_ = fs.Parse(args)
+	client := &http.Client{Timeout: 10 * time.Second}
+	fmt.Printf("%-32s %-10s %8s %8s %s\n", "ID", "ALGO", "N", "SAMPLE", "STATE")
+	cur := *cursor
+	total := 0
+	for {
+		u := *to + "/v1/streams"
+		q := url.Values{}
+		if *limit > 0 {
+			q.Set("limit", strconv.Itoa(*limit))
+		}
+		if cur != "" {
+			q.Set("cursor", cur)
+		}
+		if len(q) > 0 {
+			u += "?" + q.Encode()
+		}
+		var page struct {
+			Streams []struct {
+				ID         string `json:"id"`
+				Algo       string `json:"algo"`
+				N          int    `json:"n"`
+				SampleSize int    `json:"sample_size"`
+				Window     string `json:"window"`
+				Durable    bool   `json:"durable"`
+				Cold       bool   `json:"cold"`
+			} `json:"streams"`
+			NextCursor string `json:"next_cursor"`
+		}
+		getJSON(client, u, *token, &page)
+		for _, s := range page.Streams {
+			state := "memory"
+			if s.Durable {
+				state = "warm"
+			}
+			if s.Cold {
+				state = "cold"
+			}
+			algo := s.Algo
+			if s.Window != "" {
+				algo += "(" + s.Window + ")"
+			}
+			fmt.Printf("%-32s %-10s %8d %8d %s\n", s.ID, algo, s.N, s.SampleSize, state)
+			total++
+		}
+		if page.NextCursor == "" || !*all {
+			if page.NextCursor != "" {
+				fmt.Printf("# next_cursor=%s (rerun with -cursor %s, or -all)\n",
+					page.NextCursor, page.NextCursor)
+			}
+			break
+		}
+		cur = page.NextCursor
+	}
+	if *all {
+		fmt.Printf("# %d streams\n", total)
+	}
+}
+
+// runStats prints the server's cold-tier health scraped from /metrics:
+// resident and cold stream counts, lifetime evictions and rehydrations.
+func runStats(args []string) {
+	fs := flag.NewFlagSet("hullcli stats", flag.ExitOnError)
+	var (
+		to    = fs.String("to", "http://localhost:8080", "hullserver base URL")
+		token = fs.String("token", "", "bearer token for an authenticated server")
+	)
+	_ = fs.Parse(args)
+	client := &http.Client{Timeout: 10 * time.Second}
+	req, err := http.NewRequest("GET", *to+"/metrics", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *token != "" {
+		req.Header.Set("Authorization", "Bearer "+*token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("stats: GET /metrics: %s", resp.Status)
+	}
+	wanted := map[string]string{
+		"streamhull_store_resident_streams":   "resident (summary in memory)",
+		"streamhull_store_cold_streams":       "cold (parked at checkpoint)",
+		"streamhull_store_evictions_total":    "evictions",
+		"streamhull_store_rehydrations_total": "rehydrations",
+		"streamhull_streams":                  "streams",
+	}
+	found := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if _, ok := wanted[name]; !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		found[name] += v // labeled series (per-tenant) sum into one line
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("stats: reading /metrics: %v", err)
+	}
+	for _, name := range []string{
+		"streamhull_streams",
+		"streamhull_store_resident_streams",
+		"streamhull_store_cold_streams",
+		"streamhull_store_evictions_total",
+		"streamhull_store_rehydrations_total",
+	} {
+		if v, ok := found[name]; ok {
+			fmt.Printf("%-32s %g\n", wanted[name], v)
+		}
+	}
+	if len(found) == 0 {
+		log.Fatal("stats: no streamhull metrics on that server (started with -metrics=false?)")
+	}
+}
+
+// getJSON fetches url and decodes the JSON response into out, fatally
+// reporting HTTP or decode errors.
+func getJSON(client *http.Client, u, token string, out any) {
+	req, err := http.NewRequest("GET", u, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		log.Fatalf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("GET %s: decoding: %v", u, err)
+	}
 }
 
 // runReplay rebuilds a summary from a WAL directory and reports on it.

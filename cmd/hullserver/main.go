@@ -10,6 +10,17 @@
 // "always" group-commits an fsync per batch, "interval" (default) syncs
 // on a timer, "none" leaves syncing to the OS.
 //
+// -store picks the storage backend behind -data: "fswal" (the default)
+// keeps one WAL directory per stream, "muxwal" multiplexes every stream
+// into one shared group-commit WAL — far fewer file descriptors and
+// fsyncs when streams number in the thousands. -max-resident bounds how
+// many stream summaries stay in memory: idle streams beyond the cap are
+// evicted to their O(r) checkpoint and rehydrated transparently on the
+// next touch, so a server can own vastly more streams than fit in RAM.
+// -async-recovery answers probes immediately while startup recovery
+// runs in the background (API requests get 503 with progress until it
+// finishes). See docs/STORAGE.md.
+//
 // With -shards the default stream kind becomes a sharded summary:
 // ingest batches are dealt round-robin across that many independent
 // sub-summaries (one lock each, so concurrent batches to one stream
@@ -48,6 +59,7 @@
 //	hullserver -addr :8080 -r 32
 //	hullserver -addr :8080 -shards 8
 //	hullserver -addr :8080 -data /var/lib/hullserver -fsync always
+//	hullserver -addr :8080 -data /var/lib/hullserver -store muxwal -max-resident 10000
 //	hullserver -addr :8081 -push-to http://agg:8080 -push-every 5s -push-source node1
 //	hullserver -addr :8080 -auth-tokens @/etc/hullserver/tokens -quota-rate 200
 //	hullserver -addr :8080 -trace-slow 100ms -debug-addr 127.0.0.1:6060 -log-json
@@ -81,6 +93,9 @@ func main() {
 		maxS      = flag.Int("max-streams", 1024, "maximum number of live streams")
 		sweep     = flag.Duration("sweep", 2*time.Second, "expiry sweep interval for time-windowed streams")
 		data      = flag.String("data", "", "data directory for durable streams (empty = in-memory only)")
+		storeBk   = flag.String("store", "", "storage backend for -data: fswal (default; one WAL per stream) or muxwal (one shared group-commit WAL)")
+		maxRes    = flag.Int("max-resident", 0, "summaries kept in memory; idle streams beyond this evict to their O(r) checkpoint (0 = all resident)")
+		asyncRec  = flag.Bool("async-recovery", false, "serve /readyz (503 with progress) immediately and recover streams in the background")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or none")
 		fsyncInt  = flag.Duration("fsync-interval", 50*time.Millisecond, "fsync timer period for -fsync interval")
 		ckpt      = flag.Int("checkpoint", 65536, "points ingested per stream between snapshot checkpoints")
@@ -148,7 +163,8 @@ func main() {
 	})
 	api, err := server.New(server.Config{
 		DefaultR: *r, DefaultSpec: *defSpec, MaxStreams: *maxS, SweepInterval: *sweep,
-		DataDir: *data, Sync: sync, FsyncInterval: *fsyncInt,
+		DataDir: *data, StoreBackend: *storeBk, MaxResident: *maxRes,
+		AsyncRecovery: *asyncRec, Sync: sync, FsyncInterval: *fsyncInt,
 		CheckpointEvery: *ckpt, Logger: logger, Tracer: tracer,
 		Auth: provider,
 		Quotas: auth.Quotas{
@@ -241,7 +257,12 @@ func main() {
 	}()
 
 	if *data != "" {
-		logger.Info("durable mode", "data", *data, "fsync", *fsync)
+		backend := *storeBk
+		if backend == "" {
+			backend = "fswal"
+		}
+		logger.Info("durable mode", "data", *data, "store", backend, "fsync", *fsync,
+			"max_resident", *maxRes)
 	}
 	logger.Info("hullserver listening", "addr", *addr, "default_r", *r)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

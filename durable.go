@@ -79,7 +79,7 @@ func RecoverFromWAL(dir string) (*WALRecovery, error) {
 	}
 	var sum Summary
 	if data := rec.Snapshot(); data != nil {
-		if sum, err = summaryFromCheckpoint(spec, data); err != nil {
+		if sum, err = SummaryFromCheckpoint(spec, data); err != nil {
 			return nil, err
 		}
 	} else if sum, err = New(spec); err != nil {
@@ -99,10 +99,13 @@ func RecoverFromWAL(dir string) (*WALRecovery, error) {
 	}, nil
 }
 
-// summaryFromCheckpoint restores a summary from a checkpoint payload:
+// SummaryFromCheckpoint restores a summary from a checkpoint payload:
 // a windowed-state JSON document for windowed streams, a binary
-// Snapshot for everything else.
-func summaryFromCheckpoint(spec Spec, data []byte) (Summary, error) {
+// Snapshot for everything else. It is the one decoder for checkpoint
+// payloads, shared by the fswal recovery path above and the pluggable
+// storage backends in internal/store, so every backend agrees on what a
+// checkpoint means.
+func SummaryFromCheckpoint(spec Spec, data []byte) (Summary, error) {
 	if spec.Kind == KindWindowed {
 		if !specJSONPrefix(data) {
 			return nil, fmt.Errorf("decoding checkpoint: windowed stream has a non-windowed checkpoint")

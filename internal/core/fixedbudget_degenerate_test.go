@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// A near-degenerate stream — here two distinct Gaussian points found by
+// testing/quick (seed 5575228114785292629) — leaves every remaining
+// leaf edge with coincident extrema. padOne used to refuse to split
+// such zero-extent edges, stranding the fixed-budget variant below
+// TargetDirs; §7's budget is unconditional, so they must split anyway.
+func TestFixedBudgetDegenerateStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(5575228114785292629))
+	h := New(Config{R: 8, TargetDirs: 16})
+	for i := 0; i < 3; i++ {
+		h.Insert(geom.Pt(rng.NormFloat64(), rng.NormFloat64()))
+		if err := h.Check(); err != nil {
+			t.Fatalf("check after %d: %v", i, err)
+		}
+	}
+	if got := h.DirectionCount(); got != 16 {
+		t.Fatalf("direction count = %d, want 16", got)
+	}
+	// The pathological extreme: a stream of exactly two points.
+	h2 := New(Config{R: 8, TargetDirs: 16})
+	h2.Insert(geom.Pt(0, 0))
+	h2.Insert(geom.Pt(1, 0))
+	if err := h2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.DirectionCount(); got != 16 {
+		t.Fatalf("two-point stream: direction count = %d, want 16", got)
+	}
+}

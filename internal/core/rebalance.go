@@ -72,7 +72,12 @@ func (h *Hull) leafEdges() []leafEdge {
 }
 
 // padOne refines the maximum-weight splittable leaf edge; it reports
-// whether a refinement was possible.
+// whether a refinement was possible. Edges whose endpoints share one
+// extremum are split only as a last resort: §7's budget is
+// unconditional ("even if that means refining some edges with weight
+// w(e) ≤ 1"), and a near-degenerate stream — two or three distinct
+// points — may offer nothing but such zero-extent edges, which still
+// must be split for the direction count to reach exactly TargetDirs.
 func (h *Hull) padOne() bool {
 	var best *leafEdge
 	edges := h.leafEdges()
@@ -83,6 +88,17 @@ func (h *Hull) padOne() bool {
 		}
 		if best == nil || e.w > best.w {
 			best = e
+		}
+	}
+	if best == nil {
+		for i := range edges {
+			e := &edges[i]
+			if e.depth >= h.height || e.hi-e.lo < 2 {
+				continue
+			}
+			if best == nil || e.w > best.w {
+				best = e
+			}
 		}
 	}
 	if best == nil {

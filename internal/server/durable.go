@@ -2,20 +2,17 @@ package server
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
+	"sort"
 
 	streamhull "github.com/streamgeom/streamhull"
-	"github.com/streamgeom/streamhull/internal/wal"
+	"github.com/streamgeom/streamhull/internal/store"
 )
 
-// Durable streams: when Config.DataDir is set, every stream owns a
-// directory under it holding a write-ahead log of its points plus
-// periodic checkpoints (see internal/wal). Ingest appends to the log
-// before touching the in-memory summary; the meta sidecar stores the
-// stream's Spec, so recovery can rebuild any summary kind — New scans
-// DataDir and restores each stream from its checkpoint plus the log
+// Durable streams: when the server has a storage engine (Config.DataDir
+// or an injected Config.Store), every stream's ingest is appended to its
+// log through a store.Appender before touching the in-memory summary,
+// the stream's Spec is persisted by the backend, and New recovers every
+// stream the store lists — checkpoint first, then the surviving log
 // tail, replaying the same batches InsertBatch originally applied.
 //
 // Checkpoints compact the log to the summary's live state:
@@ -30,6 +27,10 @@ import (
 //   - exact, partial and partitioned streams have no faithful compact
 //     capture and keep their whole log instead (replay from the start
 //     is deterministic, so recovery is still exact).
+//
+// The same O(r) checkpoint is what makes the cold tier (coldtier.go)
+// cheap: evicting an idle stream seals its checkpoint and drops the
+// summary, and rehydration is one Load of a few hundred bytes.
 
 // checkpointable reports whether a summary kind has a faithful
 // checkpoint representation; other kinds retain their full log.
@@ -41,88 +42,67 @@ func checkpointable(kind streamhull.Kind) bool {
 	return false
 }
 
-func (s *Server) walOptions() wal.Options {
-	return wal.Options{
-		SegmentBytes: s.cfg.SegmentBytes,
-		Sync:         s.cfg.Sync,
-		Interval:     s.cfg.FsyncInterval,
-		Logger:       s.logger,
-	}
-}
-
-func (s *Server) streamDir(id string) string {
-	return filepath.Join(s.cfg.DataDir, encodeStreamDir(id))
-}
-
-// openStorage creates the on-disk state for a new durable stream and
-// returns its log.
-func (s *Server) openStorage(id string, spec streamhull.Spec) (*wal.Log, error) {
-	meta, err := streamhull.MetaForSpec(spec)
-	if err != nil {
-		return nil, err
-	}
-	dir := s.streamDir(id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("creating stream storage: %w", err)
-	}
-	if err := wal.SaveMeta(dir, meta); err != nil {
-		return nil, err
-	}
-	return wal.Open(dir, s.walOptions())
-}
-
-// recoverStreams restores every stream directory found under DataDir:
-// latest checkpoint first, then the surviving log tail, tolerating a
-// record torn by the previous crash.
+// recoverStreams restores every stream the store lists: latest
+// checkpoint first, then the surviving log tail, tolerating a record
+// torn by the previous crash. Streams are recovered in key order and
+// readiness progress is published after each one, so /readyz can report
+// "recovered k of n" while an async recovery runs. With MaxResident
+// set, recovery itself respects the cap: each stream beyond it is
+// evicted back to its checkpoint right after adoption, so startup RSS
+// stays bounded no matter how many streams the store holds.
 func (s *Server) recoverStreams() error {
-	entries, err := os.ReadDir(s.cfg.DataDir)
+	entries, err := s.store.List()
 	if err != nil {
-		return fmt.Errorf("scanning data dir: %w", err)
+		return fmt.Errorf("scanning stream store: %w", err)
 	}
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		// Directory names encode the internal (tenant-qualified) key.
-		key, ok := decodeStreamDir(e.Name())
-		if !ok {
-			s.logger.Warn("wal: skipping unrecognized directory", "dir", e.Name())
-			continue
-		}
-		st, err := s.recoverStream(key, filepath.Join(s.cfg.DataDir, e.Name()))
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	s.health.StartRecovery(len(entries))
+	for i, e := range entries {
+		st, err := s.recoverStream(e)
 		if err != nil {
-			return fmt.Errorf("recovering stream %q: %w", key, err)
+			return fmt.Errorf("recovering stream %q: %w", e.Key, err)
 		}
-		st.tenant, _ = splitTenant(key)
 		// Recovered state is adopted, not re-reserved: it must never be
 		// evicted by a quota tightened across the restart.
 		s.ledger.AdoptStream(st.tenant, st.bytes)
-		s.streams[key] = st
+		s.mu.Lock()
+		s.streams[e.Key] = st
+		s.mu.Unlock()
+		s.admit(e.Key, st)
+		s.touch(st)
+		s.enforceCap(nil)
+		s.health.SetRecovered(i + 1)
 	}
+	s.health.FinishRecovery()
 	return nil
 }
 
-func (s *Server) recoverStream(id, dir string) (*stream, error) {
-	rec, err := streamhull.RecoverFromWAL(dir)
+func (s *Server) recoverStream(e store.Entry) (*stream, error) {
+	rec, err := s.store.Load(e.Key)
 	if err != nil {
 		return nil, err
 	}
-	tenant, _ := splitTenant(id)
 	if rec.Torn {
 		s.logger.Warn("wal: dropped a torn tail record during recovery",
-			"stream", id, "tenant", tenant)
+			"stream", e.Key, "tenant", e.Tenant)
 	}
-	log, err := wal.Open(dir, s.walOptions())
+	app, err := s.store.Open(e.Key)
 	if err != nil {
 		return nil, err
 	}
 	s.logger.Info("wal: recovered stream",
-		"stream", id, "tenant", tenant, "spec", fmt.Sprint(rec.Spec),
+		"stream", e.Key, "tenant", e.Tenant, "spec", fmt.Sprint(rec.Spec),
 		"n", rec.Summary.N(), "checkpoint", rec.HasCheckpoint,
 		"replayed_points", rec.Points)
-	st := &stream{spec: rec.Spec, log: log,
-		bytes: int64(rec.Summary.N()) * bytesPerPoint}
+	st := &stream{spec: rec.Spec, tenant: e.Tenant, app: app,
+		bytes:     int64(rec.Summary.N()) * bytesPerPoint,
+		sinceCkpt: rec.Points}
 	st.setSummary(rec.Summary)
+	// Recovered time-windowed streams need the expiry sweeper just like
+	// freshly created ones.
+	if wh, ok := rec.Summary.(*streamhull.WindowedHull); ok && wh.ByTime() {
+		s.startSweeper()
+	}
 	return st, nil
 }
 
@@ -140,12 +120,13 @@ func (s *Server) maybeCheckpointLocked(id string, st *stream) {
 }
 
 // checkpointLocked seals a checkpoint now (see maybeCheckpointLocked).
-// Close also calls it directly, so a graceful shutdown leaves every
-// checkpointable stream compacted — in particular a time-windowed
-// stream's bucket timestamps are sealed, and a routine restart does not
-// re-stamp its log tail at recovery time. Caller holds st.mu.
+// Close and the eviction path also call it directly, so a graceful
+// shutdown or an eviction leaves every checkpointable stream compacted —
+// in particular a time-windowed stream's bucket timestamps are sealed,
+// and neither a routine restart nor a rehydration re-stamps its log
+// tail. Caller holds st.mu.
 func (s *Server) checkpointLocked(id string, st *stream) {
-	if st.log == nil || !checkpointable(st.spec.Kind) {
+	if st.app == nil || !checkpointable(st.spec.Kind) {
 		return
 	}
 	st.sinceCkpt = 0
@@ -156,7 +137,7 @@ func (s *Server) checkpointLocked(id string, st *stream) {
 				"stream", id, "tenant", st.tenant, "err", err)
 			return
 		}
-		if err := st.log.Checkpoint(data); err != nil {
+		if err := st.app.Checkpoint(data); err != nil {
 			s.logger.Error("wal: checkpoint failed",
 				"stream", id, "tenant", st.tenant, "err", err)
 		}
@@ -173,7 +154,7 @@ func (s *Server) checkpointLocked(id string, st *stream) {
 			"stream", id, "tenant", st.tenant, "err", err)
 		return
 	}
-	if err := st.log.Checkpoint(data); err != nil {
+	if err := st.app.Checkpoint(data); err != nil {
 		s.logger.Error("wal: checkpoint failed",
 			"stream", id, "tenant", st.tenant, "err", err)
 		return
@@ -194,71 +175,29 @@ func (s *Server) checkpointLocked(id string, st *stream) {
 	s.pairs.purge(old)
 }
 
-// dropStorage removes a deleted stream's directory.
+// dropStorage closes a deleted stream's appender and removes its
+// storage. Cold streams have no appender but still own storage, so the
+// store delete runs regardless. Caller holds st.mu.
 func (s *Server) dropStorage(id string, st *stream) {
-	if st.log == nil {
+	if st.app != nil {
+		if err := st.app.Close(); err != nil {
+			s.logger.Error("wal: closing log failed",
+				"stream", id, "tenant", st.tenant, "err", err)
+		}
+		st.app = nil
+	}
+	if s.store == nil {
 		return
 	}
-	if err := st.log.Close(); err != nil {
-		s.logger.Error("wal: closing log failed",
-			"stream", id, "tenant", st.tenant, "err", err)
-	}
-	if err := os.RemoveAll(s.streamDir(id)); err != nil {
+	if err := s.store.Delete(id); err != nil {
 		s.logger.Error("wal: removing storage failed",
 			"stream", id, "tenant", st.tenant, "err", err)
 	}
 }
 
-const dirSafe = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+// encodeStreamDir / decodeStreamDir are the historical names for the
+// store package's shared key↔filename encoding (the fswal directory
+// layout predates the store extraction; the encoding lives there now).
+func encodeStreamDir(id string) string { return store.EncodeDir(id) }
 
-// encodeStreamDir maps a stream id to a filesystem-safe directory name:
-// safe characters pass through, everything else (including '.' so "."
-// and ".." cannot occur) is percent-escaped.
-func encodeStreamDir(id string) string {
-	var b strings.Builder
-	for i := 0; i < len(id); i++ {
-		c := id[i]
-		if strings.IndexByte(dirSafe, c) >= 0 {
-			b.WriteByte(c)
-		} else {
-			fmt.Fprintf(&b, "%%%02X", c)
-		}
-	}
-	return b.String()
-}
-
-// decodeStreamDir inverts encodeStreamDir.
-func decodeStreamDir(name string) (string, bool) {
-	var b strings.Builder
-	for i := 0; i < len(name); i++ {
-		c := name[i]
-		switch {
-		case c == '%':
-			if i+2 >= len(name) {
-				return "", false
-			}
-			hi, lo := hexVal(name[i+1]), hexVal(name[i+2])
-			if hi < 0 || lo < 0 {
-				return "", false
-			}
-			b.WriteByte(byte(hi<<4 | lo))
-			i += 2
-		case strings.IndexByte(dirSafe, c) >= 0:
-			b.WriteByte(c)
-		default:
-			return "", false
-		}
-	}
-	return b.String(), true
-}
-
-func hexVal(c byte) int {
-	switch {
-	case c >= '0' && c <= '9':
-		return int(c - '0')
-	case c >= 'A' && c <= 'F':
-		return int(c-'A') + 10
-	default:
-		return -1
-	}
-}
+func decodeStreamDir(name string) (string, bool) { return store.DecodeDir(name) }

@@ -80,6 +80,16 @@ func (s *Server) route(pattern, endpoint string, roleFor func(*http.Request) aut
 // serveAuthed runs authentication, rate limiting and the role check,
 // then the handler with the identity attached.
 func (s *Server) serveAuthed(w http.ResponseWriter, req *http.Request, roleFor func(*http.Request) auth.Role, h http.HandlerFunc) {
+	// With AsyncRecovery the handler is live before the stream map is:
+	// API routes answer 503 with the same progress report /readyz gives
+	// until startup recovery completes.
+	if recovered, total, starting := s.health.Recovery(); starting {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting", "recovered": recovered, "total": total,
+		})
+		return
+	}
 	sp := trace.FromContext(req.Context())
 	var t0 time.Time
 	if sp != nil {
@@ -163,6 +173,12 @@ type metrics struct {
 	pushRejected *telemetry.Counter
 	pairHits     *telemetry.Counter
 	pairMisses   *telemetry.Counter
+	// Cold-tier instruments: eviction/rehydration counters plus the
+	// rehydration latency distribution (with trace exemplars, so a slow
+	// rehydration on a dashboard links to its request trace).
+	evictions        *telemetry.Counter
+	rehydrations     *telemetry.Counter
+	rehydrateSeconds *telemetry.Histogram
 }
 
 // initMetrics registers every instrument and collector on reg and wires
@@ -185,7 +201,43 @@ func (s *Server) initMetrics(reg *telemetry.Registry) {
 			"pair queries answered from the (epochA, epochB) memo"),
 		pairMisses: reg.NewCounter("streamhull_paircache_misses_total",
 			"pair queries that had to run the geometry kernels"),
+		evictions: reg.NewCounter("streamhull_store_evictions_total",
+			"streams evicted from the warm set to their O(r) checkpoints"),
+		rehydrations: reg.NewCounter("streamhull_store_rehydrations_total",
+			"cold streams rebuilt from the store on a touch"),
+		rehydrateSeconds: reg.NewHistogramVec("streamhull_store_rehydrate_seconds",
+			"latency of rebuilding a cold stream from its checkpoint plus log tail", nil).With(),
 	}
+
+	// Warm/cold occupancy is derived at scrape time from the live
+	// stream map: a stream is warm iff its read cache pointer is live
+	// (one atomic load, no stream lock).
+	reg.NewGaugeFunc("streamhull_store_resident_streams",
+		"streams with a live in-memory summary",
+		func() float64 {
+			warm := 0
+			s.mu.RLock()
+			for _, st := range s.streams {
+				if st.cache.Load() != nil {
+					warm++
+				}
+			}
+			s.mu.RUnlock()
+			return float64(warm)
+		})
+	reg.NewGaugeFunc("streamhull_store_cold_streams",
+		"streams parked in the cold tier (summary evicted to its checkpoint)",
+		func() float64 {
+			cold := 0
+			s.mu.RLock()
+			for _, st := range s.streams {
+				if st.cache.Load() == nil {
+					cold++
+				}
+			}
+			s.mu.RUnlock()
+			return float64(cold)
+		})
 
 	reg.NewGaugeCollector("streamhull_tenant_streams",
 		"resident streams per tenant", []string{"tenant"},
@@ -209,12 +261,12 @@ func (s *Server) initMetrics(reg *telemetry.Registry) {
 			s.mu.RLock()
 			for _, st := range s.streams {
 				st.mu.Lock()
-				log := st.log
+				app := st.app
 				st.mu.Unlock()
-				if log == nil {
+				if app == nil { // in-memory, or parked cold
 					continue
 				}
-				if lag := log.SyncLag(); lag > worst {
+				if lag := app.SyncLag(); lag > worst {
 					worst = lag
 				}
 			}

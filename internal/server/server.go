@@ -122,7 +122,6 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -134,6 +133,7 @@ import (
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/auth"
 	"github.com/streamgeom/streamhull/internal/fanin"
+	"github.com/streamgeom/streamhull/internal/store"
 	"github.com/streamgeom/streamhull/internal/telemetry"
 	"github.com/streamgeom/streamhull/internal/trace"
 	"github.com/streamgeom/streamhull/internal/wal"
@@ -159,9 +159,34 @@ type Config struct {
 	SweepInterval time.Duration
 
 	// DataDir, when non-empty, makes lifetime streams durable: every
-	// ingest is logged to a per-stream WAL under this directory before
-	// it is applied, and New recovers all streams found there.
+	// ingest is logged through the storage engine under this directory
+	// before it is applied, and New recovers all streams found there.
 	DataDir string
+	// StoreBackend selects the storage engine for DataDir: "fswal"
+	// (default; the original one-directory-per-stream WAL layout) or
+	// "muxwal" (one shared group-commit WAL multiplexing every stream;
+	// built for very many mostly-idle streams). See internal/store and
+	// docs/STORAGE.md. A directory written by one backend refuses to
+	// open under the other.
+	StoreBackend string
+	// Store injects a pre-opened storage engine (tests and embedders);
+	// it takes precedence over DataDir/StoreBackend, and the server
+	// closes it on Close.
+	Store store.Store
+	// MaxResident caps how many streams keep a live summary resident in
+	// memory (0 = all of them). Requires durable storage: beyond the
+	// cap, the least-recently-touched streams are evicted to their O(r)
+	// checkpoints and rehydrated transparently on their next touch, so
+	// the server's memory is O(MaxResident · r) no matter how many
+	// streams exist.
+	MaxResident int
+	// AsyncRecovery makes New return before startup recovery finishes:
+	// the server immediately answers /healthz and /readyz (the latter
+	// 503 with {"status":"starting","recovered":k,"total":n} progress)
+	// while streams are restored in the background, and API routes
+	// answer 503 until recovery completes. Without it New blocks until
+	// every stream is recovered, failing startup on any error.
+	AsyncRecovery bool
 	// Sync is the WAL fsync policy (zero value = wal.SyncInterval).
 	Sync wal.SyncPolicy
 	// FsyncInterval is the timer period for wal.SyncInterval (0 = 50ms).
@@ -221,17 +246,37 @@ type Server struct {
 	closeOnce   sync.Once
 	sweepStop   chan struct{}
 	closeErr    error
+
+	// store is the durable storage engine (nil = fully in-memory).
+	store store.Store
+	// resident tracks evictable warm streams for the cold tier's LRU
+	// scan (see coldtier.go); resMu is a leaf lock, safe to take while
+	// holding s.mu or any st.mu.
+	resMu    sync.Mutex
+	resident map[string]*stream
+	// recoveryDone closes when startup recovery has finished (or was
+	// never needed); Close waits on it so an async recovery and the
+	// shutdown checkpoint pass never interleave.
+	recoveryDone chan struct{}
 }
 
 type stream struct {
 	spec   streamhull.Spec // self-description; persisted in the WAL meta
 	tenant string          // owning tenant ("" = root/open namespace)
 
-	mu        sync.Mutex // orders WAL appends with inserts; guards sum swaps
-	sum       streamhull.Summary
-	log       *wal.Log // nil for in-memory streams
-	sinceCkpt int      // points since the last checkpoint
-	bytes     int64    // resident ingest bytes charged to the tenant quota
+	mu        sync.Mutex         // orders WAL appends with inserts; guards sum swaps
+	sum       streamhull.Summary // nil while the stream is parked cold
+	app       store.Appender     // nil for in-memory streams and cold streams
+	sinceCkpt int                // points since the last checkpoint
+	bytes     int64              // resident ingest bytes charged to the tenant quota
+
+	// coldN/coldSample preserve the listing counters while the stream
+	// is cold, so list/detail responses never force a rehydration.
+	coldN      int
+	coldSample int
+	// lastTouch is the cold tier's LRU clock (unix nanos of the last
+	// request that touched this stream), written lock-free on reads.
+	lastTouch atomic.Int64
 
 	// cache is the stream's epoch-validated read state: hull and query
 	// answers are materialized once per summary epoch and served
@@ -299,12 +344,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux(),
-		sweepStop: make(chan struct{}),
-		authp:     cfg.Auth,
-		ledger:    auth.NewLedger(cfg.Quotas, nil),
-		reg:       cfg.Metrics,
-		logger:    cfg.Logger,
-		tracer:    cfg.Tracer,
+		sweepStop:    make(chan struct{}),
+		authp:        cfg.Auth,
+		ledger:       auth.NewLedger(cfg.Quotas, nil),
+		reg:          cfg.Metrics,
+		logger:       cfg.Logger,
+		tracer:       cfg.Tracer,
+		resident:     make(map[string]*stream),
+		recoveryDone: make(chan struct{}),
 	}
 	s.initMetrics(s.reg)
 	if cfg.DefaultSpec != "" {
@@ -320,21 +367,25 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.defaultSpec = spec
 	}
-	if cfg.DataDir != "" {
-		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
-			return nil, fmt.Errorf("creating data dir: %w", err)
-		}
-		if err := s.recoverStreams(); err != nil {
+	switch {
+	case cfg.Store != nil:
+		s.store = cfg.Store
+	case cfg.DataDir != "" || cfg.StoreBackend == "memory":
+		stor, err := store.Open(cfg.StoreBackend, cfg.DataDir, store.Options{
+			SegmentBytes: cfg.SegmentBytes,
+			Sync:         cfg.Sync,
+			Interval:     cfg.FsyncInterval,
+			Logger:       cfg.Logger,
+		})
+		if err != nil {
 			return nil, err
 		}
-		// Recovered time-windowed streams need the expiry sweeper just
-		// like freshly created ones.
-		for _, st := range s.streams {
-			if wh, ok := st.summary().(*streamhull.WindowedHull); ok && wh.ByTime() {
-				s.startSweeper()
-				break
-			}
-		}
+		s.store = stor
+	case cfg.StoreBackend != "":
+		return nil, fmt.Errorf("store backend %q requires DataDir", cfg.StoreBackend)
+	}
+	if cfg.MaxResident > 0 && s.store == nil {
+		return nil, errors.New("MaxResident requires durable storage (DataDir or Store)")
 	}
 	// Role requirements per route: reads need read, lifecycle and
 	// ingest need write, fan-in pushes need push. Create is special-
@@ -358,6 +409,32 @@ func New(cfg Config) (*Server, error) {
 	s.registerDebugRoutes()
 	if !cfg.DisableObservability {
 		s.registerObservabilityRoutes()
+	}
+	if s.store == nil {
+		close(s.recoveryDone)
+		s.health.SetReady(true)
+		return s, nil
+	}
+	if cfg.AsyncRecovery {
+		// Serve immediately: /readyz reports recovery progress, API
+		// routes answer 503 "starting" until the background pass ends.
+		// On a recovery failure the server stays unready forever (and
+		// logs why) rather than serving partial data.
+		go func() {
+			defer close(s.recoveryDone)
+			if err := s.recoverStreams(); err != nil {
+				s.logger.Error("recovery failed; server stays unready", "err", err)
+				return
+			}
+			s.health.SetReady(true)
+		}()
+		return s, nil
+	}
+	err := s.recoverStreams()
+	close(s.recoveryDone)
+	if err != nil {
+		_ = s.store.Close()
+		return nil, err
 	}
 	s.health.SetReady(true)
 	return s, nil
@@ -403,19 +480,27 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.health.SetReady(false)
 		close(s.sweepStop)
+		// An async recovery still in flight owns stream state; let it
+		// finish (or fail) before the shutdown checkpoint pass.
+		<-s.recoveryDone
 		s.mu.RLock()
-		defer s.mu.RUnlock()
 		for id, st := range s.streams {
 			st.mu.Lock()
-			if st.log != nil {
+			if st.app != nil {
 				if st.sinceCkpt > 0 {
 					s.checkpointLocked(id, st)
 				}
-				if err := st.log.Close(); err != nil && s.closeErr == nil {
+				if err := st.app.Close(); err != nil && s.closeErr == nil {
 					s.closeErr = fmt.Errorf("stream %q: %w", id, err)
 				}
 			}
 			st.mu.Unlock()
+		}
+		s.mu.RUnlock()
+		if s.store != nil {
+			if err := s.store.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
 		}
 	})
 	return s.closeErr
@@ -566,6 +651,17 @@ func (s *Server) specFromRequest(w http.ResponseWriter, req *http.Request) (stre
 // concurrent ingest had already appended to the log would silently drop
 // that batch from recovery.
 func (s *Server) addStream(tenant, id string, sum streamhull.Summary, checkpoint []byte) (*stream, error) {
+	st, err := s.addStreamLocked(tenant, id, sum, checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	// The new stream joined the warm set; evict past the cap outside
+	// the server lock.
+	s.enforceCap(nil)
+	return st, nil
+}
+
+func (s *Server) addStreamLocked(tenant, id string, sum streamhull.Summary, checkpoint []byte) (*stream, error) {
 	spec := sum.Spec()
 	key := qualifyID(tenant, id)
 	s.mu.Lock()
@@ -581,21 +677,23 @@ func (s *Server) addStream(tenant, id string, sum streamhull.Summary, checkpoint
 	}
 	st := &stream{spec: spec, tenant: tenant}
 	st.setSummary(sum)
-	if s.cfg.DataDir != "" {
-		log, err := s.openStorage(key, spec)
+	if s.store != nil {
+		app, err := s.store.Create(key, spec)
 		if err != nil {
 			s.ledger.ReleaseStream(tenant, 0)
 			return nil, fmt.Errorf("%w: %v", errStorage, err)
 		}
 		if checkpoint != nil {
-			if err := log.Checkpoint(checkpoint); err != nil {
+			if err := app.Checkpoint(checkpoint); err != nil {
 				s.logger.Error("wal: persisting restored snapshot failed",
 					"stream", key, "tenant", tenant, "err", err)
 			}
 		}
-		st.log = log
+		st.app = app
 	}
 	s.streams[key] = st
+	s.admit(key, st)
+	s.touch(st)
 	return st, nil
 }
 
@@ -661,9 +759,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, "no stream %q", id)
 		return
 	}
+	s.dropResident(key)
 	st.mu.Lock()
 	s.dropStorage(key, st)
-	st.log = nil
 	bytes := st.bytes
 	st.mu.Unlock()
 	// Return the stream slot and its resident bytes to the tenant quota.
@@ -684,6 +782,9 @@ type streamInfo struct {
 	Window      string           `json:"window,omitempty"`
 	WindowCount int              `json:"window_count,omitempty"`
 	Durable     bool             `json:"durable,omitempty"`
+	// Cold marks a stream currently parked in the cold tier (its
+	// summary evicted to its checkpoint; any touch rehydrates it).
+	Cold bool `json:"cold,omitempty"`
 	// Sources lists a fan-in aggregate's contributors (detail responses
 	// only; the list endpoint stays compact).
 	Sources []sourceInfo `json:"sources,omitempty"`
@@ -701,16 +802,22 @@ type sourceInfo struct {
 	LagMillis int64 `json:"lag_ms"`
 }
 
-// infoFor captures one stream's listing entry.
+// infoFor captures one stream's listing entry. Cold streams report the
+// counters preserved at eviction time — listing never rehydrates.
 func infoFor(id string, st *stream) streamInfo {
 	st.mu.Lock()
-	sum, durable := st.sum, st.log != nil
+	sum := st.sum
+	durable := st.app != nil || sum == nil
+	n, sampleSize := st.coldN, st.coldSample
 	st.mu.Unlock()
+	if sum != nil {
+		n, sampleSize = sum.N(), sum.SampleSize()
+	}
 	spec := st.spec
 	info := streamInfo{
 		ID: id, Spec: &spec, Algo: string(spec.Kind), R: spec.R,
-		N: sum.N(), SampleSize: sum.SampleSize(),
-		Window: spec.Window, Durable: durable,
+		N: n, SampleSize: sampleSize,
+		Window: spec.Window, Durable: durable, Cold: sum == nil,
 	}
 	if wh, ok := sum.(*streamhull.WindowedHull); ok {
 		info.WindowCount = wh.WindowCount()
@@ -721,20 +828,56 @@ func infoFor(id string, st *stream) streamInfo {
 // handleList reports the caller's streams — a tenant sees only its own
 // namespace, with the internal tenant prefix stripped, so ids round-trip
 // through every other endpoint unchanged.
+//
+// With ?limit=N the listing is paginated: streams come in stable id
+// order, at most N per page, and a "next_cursor" field carries the last
+// id of the page when more remain — pass it back as ?cursor= to resume
+// after it. Ids are strictly greater than the cursor, so a stream
+// created or deleted between pages can never repeat or shift an entry
+// the caller already saw. Without parameters the response is the full
+// unpaginated listing, exactly as before.
 func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
 	ident := identityFrom(req)
+	q := req.URL.Query()
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v <= 0 {
+			writeErr(w, http.StatusBadRequest, "limit must be a positive integer, got %q", ls)
+			return
+		}
+		limit = v
+	}
+	cursor := q.Get("cursor")
+	type entry struct {
+		id string
+		st *stream
+	}
 	s.mu.RLock()
-	infos := make([]streamInfo, 0, len(s.streams))
+	entries := make([]entry, 0, len(s.streams))
 	for key, st := range s.streams {
 		tenant, id := splitTenant(key)
-		if tenant != ident.Tenant {
+		if tenant != ident.Tenant || (cursor != "" && id <= cursor) {
 			continue
 		}
-		infos = append(infos, infoFor(id, st))
+		entries = append(entries, entry{id: id, st: st})
 	}
 	s.mu.RUnlock()
-	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
-	writeJSON(w, http.StatusOK, map[string]any{"streams": infos})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	next := ""
+	if limit > 0 && len(entries) > limit {
+		entries = entries[:limit]
+		next = entries[limit-1].id
+	}
+	infos := make([]streamInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = infoFor(e.id, e.st)
+	}
+	resp := map[string]any{"streams": infos}
+	if next != "" {
+		resp["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleDetail reports one stream: its spec (enough to recreate it
@@ -879,11 +1022,12 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	if sp != nil {
 		t0 = time.Now()
 	}
+	s.touch(st)
 	st.mu.Lock()
 	if sp != nil {
 		sp.ObserveStage("lock_wait", time.Since(t0))
 	}
-	if st.log == nil {
+	if s.store == nil {
 		// In-memory streams need no WAL ordering, so ingest runs outside
 		// the stream lock: summaries serialize internally, and a sharded
 		// summary deals concurrent batches across shard locks — parallel
@@ -908,13 +1052,23 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 		})
 		return
 	}
+	// A cold stream's first touch rehydrates it before anything is
+	// logged; st.mu is already held, so the load is singleflight.
+	if st.sum == nil {
+		if err := s.rehydrateLocked(key, st, sp); err != nil {
+			st.mu.Unlock()
+			s.ledger.ReleaseBytes(ident.Tenant, charge)
+			writeStreamErr(w, err, http.StatusInternalServerError)
+			return
+		}
+	}
 	// Log first: a batch is acknowledged only after the WAL accepted it,
 	// so the durable log is always a superset of served state. Recovery
 	// replays the log with the same per-record InsertBatch the live path
 	// uses below, so the rebuilt state matches bit-for-bit. Durable
 	// ingest holds st.mu across append+apply to keep WAL order equal to
 	// apply order.
-	if err := appendTraced(st.log, pts, sp); err != nil {
+	if err := appendTraced(st.app, pts, sp); err != nil {
 		st.mu.Unlock()
 		s.ledger.ReleaseBytes(ident.Tenant, charge)
 		writeErr(w, http.StatusInternalServerError, "logging batch: %v", err)
@@ -937,6 +1091,7 @@ func (s *Server) handlePoints(w http.ResponseWriter, req *http.Request) {
 	}
 	n, sampleSize := st.sum.N(), st.sum.SampleSize()
 	st.mu.Unlock()
+	s.enforceCap(sp)
 	s.met.ingestPoints.With(ident.Tenant).Add(float64(len(pts)))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ingested": len(pts), "n": n, "sample_size": sampleSize,
@@ -964,11 +1119,11 @@ func insertBatchTraced(sum streamhull.Summary, pts []geom.Point, sp *trace.Span)
 // a span is live (AppendTimed splits the write from the group-commit
 // fsync wait; the fsync stage is ~0 under non-always sync policies,
 // where Append does not wait for durability).
-func appendTraced(log *wal.Log, pts []geom.Point, sp *trace.Span) error {
+func appendTraced(app store.Appender, pts []geom.Point, sp *trace.Span) error {
 	if sp == nil {
-		return log.Append(pts)
+		return app.Append(pts)
 	}
-	write, syncWait, err := log.AppendTimed(pts)
+	write, syncWait, err := app.AppendTimed(pts)
 	sp.ObserveStage("wal_append", write)
 	sp.ObserveStage("wal_fsync", syncWait)
 	return err
@@ -979,7 +1134,8 @@ func appendTraced(log *wal.Log, pts []geom.Point, sp *trace.Span) error {
 // summary epoch, and repeat queries between mutations are lock-free
 // lookups that never contend with ingest.
 func (s *Server) handleHull(w http.ResponseWriter, req *http.Request) {
-	st, err := s.get(identityFrom(req).Tenant, req.PathValue("id"), false)
+	tenant := identityFrom(req).Tenant
+	st, err := s.get(tenant, req.PathValue("id"), false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -990,7 +1146,11 @@ func (s *Server) handleHull(w http.ResponseWriter, req *http.Request) {
 	if sp != nil {
 		t0 = time.Now()
 	}
-	qc := st.queries()
+	qc, err := s.residentQueries(qualifyID(tenant, req.PathValue("id")), st, sp)
+	if err != nil {
+		writeStreamErr(w, err, http.StatusInternalServerError)
+		return
+	}
 	vs := qc.Hull().Vertices()
 	out := make([][2]float64, len(vs))
 	for i, v := range vs {
@@ -1008,7 +1168,8 @@ func (s *Server) handleHull(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
-	st, err := s.get(identityFrom(req).Tenant, req.PathValue("id"), false)
+	tenant := identityFrom(req).Tenant
+	st, err := s.get(tenant, req.PathValue("id"), false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -1019,7 +1180,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	if sp != nil {
 		t0 = time.Now()
 	}
-	qc := st.queries()
+	qc, err := s.residentQueries(qualifyID(tenant, req.PathValue("id")), st, sp)
+	if err != nil {
+		writeStreamErr(w, err, http.StatusInternalServerError)
+		return
+	}
 	var resp map[string]any
 	switch qt := req.URL.Query().Get("type"); qt {
 	case "diameter":
@@ -1058,12 +1223,18 @@ func wantsBinary(header string) bool {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
-	st, err := s.get(identityFrom(req).Tenant, req.PathValue("id"), false)
+	tenant := identityFrom(req).Tenant
+	st, err := s.get(tenant, req.PathValue("id"), false)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	sn, ok := st.summary().(streamhull.Snapshotter)
+	sum, err := s.residentSummary(qualifyID(tenant, req.PathValue("id")), st, trace.FromContext(req.Context()))
+	if err != nil {
+		writeStreamErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	sn, ok := sum.(streamhull.Snapshotter)
 	if !ok {
 		writeErr(w, http.StatusBadRequest, "stream kind %q does not support snapshots", st.spec.Kind)
 		return
@@ -1147,7 +1318,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 	// becomes visible — a checkpoint written after publication could
 	// race a concurrent ingest and compact its log record away.
 	var checkpoint []byte
-	if s.cfg.DataDir != "" {
+	if s.store != nil {
 		var cerr error
 		if wh, ok := sum.(*streamhull.WindowedHull); ok {
 			checkpoint, cerr = wh.MarshalState()
@@ -1229,7 +1400,11 @@ func (s *Server) handleSourcePush(w http.ResponseWriter, req *http.Request, sour
 // (fanin.Pusher pushes what this returns to the upstream aggregator).
 // Kinds with no snapshot form (exact, partial, partitioned) are skipped,
 // as are fan-in aggregates themselves: a follower forwards its own
-// streams, not state other nodes already pushed to it.
+// streams, not state other nodes already pushed to it. Streams parked
+// in the cold tier are skipped too (their nil summary fails the
+// Snapshotter assertion below) — an idle stream's last pushed
+// contribution stands upstream until it warms up again, which beats
+// rehydrating the entire cold set every push interval.
 // Snapshots carry the tenant-local id, not the internal key: the
 // upstream aggregator derives its namespace from the pusher's token, so
 // a follower's "acme/clicks" forwards as "clicks" under whatever tenant
@@ -1345,7 +1520,17 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, req *http.Request) {
 	// can only stamp an entry older than its contents — causing a
 	// spurious recompute later, never a stale answer (the same ordering
 	// argument QueryCache itself uses).
-	qa, qb := sa.queries(), sb.queries()
+	sp := trace.FromContext(req.Context())
+	qa, err := s.residentQueries(qualifyID(tenant, idA), sa, sp)
+	if err != nil {
+		writeStreamErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	qb, err := s.residentQueries(qualifyID(tenant, idB), sb, sp)
+	if err != nil {
+		writeStreamErr(w, err, http.StatusInternalServerError)
+		return
+	}
 	ea, eb := qa.Version(), qb.Version()
 	ha, hb := qa.Hull(), qb.Hull()
 	// A summary with no live points has a zero-vertex hull; the geometry

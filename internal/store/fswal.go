@@ -1,0 +1,141 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/internal/wal"
+)
+
+// ErrNotFound is returned by Open/Load/Delete for a key the store has
+// no stream for.
+var ErrNotFound = errors.New("store: stream not found")
+
+// ErrExists is returned by Create for a key that already has storage.
+var ErrExists = errors.New("store: stream already exists")
+
+// fswal is the original storage layout, unchanged: one directory per
+// stream under the root, holding that stream's segmented WAL, meta
+// sidecar, and checkpoint (internal/wal). Extracting it behind Store
+// adds nothing to the on-disk format — a data directory written before
+// this package existed opens exactly as it always did, and a directory
+// this backend writes is readable by the pre-store code and by
+// `hullcli replay`.
+type fswal struct {
+	dir  string
+	opts Options
+}
+
+func openFSWAL(dir string, opts Options) (Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, muxMarkerName)); err == nil {
+		return nil, fmt.Errorf("store: %s is a muxwal store; reopen it with the muxwal backend", dir)
+	}
+	return &fswal{dir: dir, opts: opts}, nil
+}
+
+func (s *fswal) Backend() string { return "fswal" }
+
+func (s *fswal) streamDir(key string) string {
+	return filepath.Join(s.dir, EncodeDir(key))
+}
+
+func (s *fswal) List() ([]Entry, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", s.dir, err)
+	}
+	var out []Entry
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		key, ok := DecodeDir(e.Name())
+		if !ok {
+			s.opts.Logger.Warn("store: skipping unrecognized directory", "dir", e.Name())
+			continue
+		}
+		meta, err := wal.LoadMeta(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: stream %q: %w", key, err)
+		}
+		spec, err := streamhull.SpecFromMeta(meta)
+		if err != nil {
+			return nil, fmt.Errorf("store: stream %q meta: %w", key, err)
+		}
+		out = append(out, Entry{Key: key, Tenant: splitTenant(key), Spec: spec})
+	}
+	return out, nil
+}
+
+func (s *fswal) Create(key string, spec streamhull.Spec) (Appender, error) {
+	meta, err := streamhull.MetaForSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	dir := s.streamDir(key)
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); err == nil {
+		return nil, fmt.Errorf("store: stream %q: %w", key, ErrExists)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating stream storage: %w", err)
+	}
+	if err := wal.SaveMeta(dir, meta); err != nil {
+		return nil, err
+	}
+	return wal.Open(dir, s.opts.wal())
+}
+
+func (s *fswal) Open(key string) (Appender, error) {
+	dir := s.streamDir(key)
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: stream %q: %w", key, ErrNotFound)
+		}
+		return nil, fmt.Errorf("store: stream %q: %w", key, err)
+	}
+	return wal.Open(dir, s.opts.wal())
+}
+
+func (s *fswal) Load(key string) (*Recovered, error) {
+	dir := s.streamDir(key)
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: stream %q: %w", key, ErrNotFound)
+		}
+		return nil, fmt.Errorf("store: stream %q: %w", key, err)
+	}
+	rec, err := streamhull.RecoverFromWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Recovered{
+		Summary:       rec.Summary,
+		Spec:          rec.Spec,
+		HasCheckpoint: rec.HasCheckpoint,
+		Records:       rec.Records,
+		Points:        rec.Points,
+		Torn:          rec.Torn,
+	}, nil
+}
+
+func (s *fswal) Delete(key string) error {
+	dir := s.streamDir(key)
+	if _, err := os.Stat(dir); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("store: stream %q: %w", key, ErrNotFound)
+		}
+		return fmt.Errorf("store: stream %q: %w", key, err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("store: removing stream %q: %w", key, err)
+	}
+	return nil
+}
+
+func (s *fswal) Close() error { return nil }

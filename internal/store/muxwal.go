@@ -1,0 +1,1179 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/wal"
+)
+
+// muxwal multiplexes every stream in the store into one shared,
+// segmented, group-commit write-ahead log. Where fswal pays a
+// directory, a meta file, and an open segment per stream, muxwal pays
+// them once for the whole store — thousands of low-rate streams share
+// a single fsync stream and a single syncer goroutine, and an idle
+// checkpointed stream costs two small files plus a map entry.
+//
+// # Layout
+//
+//	<dir>/MUXSTORE                       backend marker
+//	<dir>/00000000000000000001.mxw       shared segments (all streams)
+//	<dir>/streams/<enc>.json             per-stream meta (spec + floor)
+//	<dir>/streams/<enc>.ckpt             per-stream checkpoint
+//
+// Segment records carry the stream key and a store-wide monotone
+// sequence number (see appendMuxRecord). Opening the store scans every
+// segment once to rebuild a per-stream index of live record locations;
+// after that, loading one stream reads only its own checkpoint and its
+// few indexed records — O(stream), not O(store).
+//
+// # Liveness, deletion, and compaction
+//
+// A record is live iff its stream's meta file exists and its sequence
+// number is above the stream's drop horizon: the larger of the meta's
+// floor (the store-wide sequence at Create time, so records from a
+// deleted earlier stream with the same key can never leak into a new
+// one) and the latest checkpoint's horizon (the paper's O(r) snapshot
+// supersedes everything it covered). Delete therefore just removes the
+// two per-stream files — orphaned records die by having no meta.
+//
+// Compaction watches per-segment live-byte counts: a sealed segment
+// with no live records is deleted outright; one that is mostly dead
+// has its live frames re-appended to the active segment byte-for-byte
+// (keeping their original sequence numbers) and is then deleted. A
+// crash between the copy and the delete leaves both copies; recovery
+// sorts each stream's records by sequence number and drops duplicates,
+// so either or both copies yield identical state.
+const (
+	muxMarkerName = "MUXSTORE"
+	muxMarkerBody = "SHMUXDIR1\n"
+	muxSegMagic   = "SHMUX01\n"
+	muxSegSuffix  = ".mxw"
+	muxStreamsDir = "streams"
+	muxCkptMagic  = "SHMXCK1\n"
+	muxCkptSuffix = ".ckpt"
+	muxMetaSuffix = ".json"
+
+	muxOpPoints = 0x01
+
+	muxRecordHeader = 8
+	muxMaxKey       = 4096
+	muxMaxPoints    = 1 << 22
+	muxMaxPayload   = 11 + muxMaxKey + 4 + 16*muxMaxPoints
+)
+
+// muxMeta is the per-stream meta file: the same algo/r/spec triple as
+// the fswal sidecar plus the incarnation floor.
+type muxMeta struct {
+	Algo string          `json:"algo"`
+	R    int             `json:"r"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Floor is the store-wide sequence number when this stream was
+	// created; records at or below it belong to earlier (deleted)
+	// incarnations of the key and are never replayed into this one.
+	Floor uint64 `json:"floor"`
+}
+
+// muxRef locates one live record of a stream inside the shared log.
+type muxRef struct {
+	seq    uint64
+	seg    uint64
+	off    int64
+	n      int32 // total frame bytes
+	points int32
+}
+
+// muxStream is the in-memory index entry for one stream.
+type muxStream struct {
+	spec    streamhull.Spec
+	floor   uint64
+	lastSeq uint64 // highest sequence appended (== drop horizon when idle)
+	hasCkpt bool
+	ckptSeq uint64
+	refs    []muxRef // live records, ascending seq
+}
+
+// dropBelow is the horizon at or below which this stream's records are
+// dead: superseded by a checkpoint or fenced off by the creation floor.
+func (ms *muxStream) dropBelow() uint64 {
+	if ms.hasCkpt && ms.ckptSeq > ms.floor {
+		return ms.ckptSeq
+	}
+	return ms.floor
+}
+
+// muxSegStat tracks one segment's bytes so compaction knows when a
+// segment is mostly dead.
+type muxSegStat struct {
+	size int64 // bytes written to the segment file
+	live int64 // bytes of live record frames
+	refs int   // live record count
+}
+
+type muxWAL struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when syncGen or syncErr changes
+	streams map[string]*muxStream
+	stats   map[uint64]*muxSegStat
+	f       *os.File // open segment, nil between segments
+	seg     uint64   // index of the open segment (valid when f != nil)
+	nextSeg uint64
+	size    int64
+	nextSeq uint64 // next record sequence number
+	gen     uint64 // bumped on every append
+	syncGen uint64 // highest gen known durable
+	syncErr error  // sticky: an fsync failure poisons the store
+	closed  bool
+
+	pendingSince time.Time
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+func openMuxWAL(dir string, opts Options) (Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	marker := filepath.Join(dir, muxMarkerName)
+	if data, err := os.ReadFile(marker); err == nil {
+		if string(data) != muxMarkerBody {
+			return nil, fmt.Errorf("store: %s has an unrecognized muxwal marker", dir)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: reading marker: %w", err)
+	} else {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
+		}
+		if len(entries) > 0 {
+			return nil, fmt.Errorf("store: %s holds existing non-muxwal data; reopen it with the fswal backend or point muxwal at an empty directory", dir)
+		}
+		if err := writeFileAtomic(marker, []byte(muxMarkerBody), true); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, muxStreamsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating streams dir: %w", err)
+	}
+	w := &muxWAL{
+		dir: dir, opts: opts,
+		streams: make(map[string]*muxStream),
+		stats:   make(map[uint64]*muxSegStat),
+		nextSeg: 1, nextSeq: 1,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	if err := w.recover(); err != nil {
+		return nil, err
+	}
+	go w.syncer()
+	return w, nil
+}
+
+func (w *muxWAL) Backend() string { return "muxwal" }
+
+func (w *muxWAL) segPath(index uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("%020d%s", index, muxSegSuffix))
+}
+
+func (w *muxWAL) metaPath(key string) string {
+	return filepath.Join(w.dir, muxStreamsDir, EncodeDir(key)+muxMetaSuffix)
+}
+
+func (w *muxWAL) ckptPath(key string) string {
+	return filepath.Join(w.dir, muxStreamsDir, EncodeDir(key)+muxCkptSuffix)
+}
+
+// recover rebuilds the in-memory index: per-stream metas and
+// checkpoint horizons first, then one scan over every segment to
+// locate live records. Runs before the syncer starts, so no locking.
+func (w *muxWAL) recover() error {
+	sdir := filepath.Join(w.dir, muxStreamsDir)
+	entries, err := os.ReadDir(sdir)
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", sdir, err)
+	}
+	var ckpts []string // keys with a checkpoint file, resolved after metas
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, muxMetaSuffix):
+			key, ok := DecodeDir(strings.TrimSuffix(name, muxMetaSuffix))
+			if !ok {
+				w.opts.Logger.Warn("store: skipping unrecognized meta file", "file", name)
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(sdir, name))
+			if err != nil {
+				return fmt.Errorf("store: stream %q meta: %w", key, err)
+			}
+			var m muxMeta
+			if err := json.Unmarshal(data, &m); err != nil {
+				return fmt.Errorf("store: stream %q meta: %w", key, err)
+			}
+			spec, err := streamhull.SpecFromMeta(wal.Meta{Algo: m.Algo, R: m.R, Spec: m.Spec})
+			if err != nil {
+				return fmt.Errorf("store: stream %q meta: %w", key, err)
+			}
+			w.streams[key] = &muxStream{spec: spec, floor: m.Floor, lastSeq: m.Floor}
+			if m.Floor >= w.nextSeq {
+				w.nextSeq = m.Floor + 1
+			}
+		case strings.HasSuffix(name, muxCkptSuffix):
+			if key, ok := DecodeDir(strings.TrimSuffix(name, muxCkptSuffix)); ok {
+				ckpts = append(ckpts, key)
+			}
+		}
+	}
+	for _, key := range ckpts {
+		path := w.ckptPath(key)
+		ms := w.streams[key]
+		if ms == nil {
+			// A delete crashed between removing the meta and the
+			// checkpoint; the stream is gone, finish the job.
+			os.Remove(path)
+			continue
+		}
+		seq, err := readMuxCkptSeq(path)
+		if err != nil {
+			return fmt.Errorf("store: stream %q: %w", key, err)
+		}
+		if seq < ms.floor {
+			// Checkpoint of an earlier, deleted incarnation of this key.
+			os.Remove(path)
+			continue
+		}
+		ms.hasCkpt, ms.ckptSeq = true, seq
+		if seq > ms.lastSeq {
+			ms.lastSeq = seq
+		}
+		if seq >= w.nextSeq {
+			w.nextSeq = seq + 1
+		}
+	}
+
+	segs, err := listMuxSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	torn := false
+	for _, sf := range segs {
+		if sf.index >= w.nextSeg {
+			w.nextSeg = sf.index + 1
+		}
+		data, err := os.ReadFile(filepath.Join(w.dir, sf.name))
+		if err != nil {
+			return fmt.Errorf("store: reading segment %s: %w", sf.name, err)
+		}
+		w.stats[sf.index] = &muxSegStat{size: int64(len(data))}
+		if len(data) < len(muxSegMagic) {
+			// A crash between creating the file and writing its header.
+			torn = torn || len(data) > 0
+			continue
+		}
+		if string(data[:len(muxSegMagic)]) != muxSegMagic {
+			return fmt.Errorf("%w: segment %s has bad header", wal.ErrCorrupt, sf.name)
+		}
+		off := len(muxSegMagic)
+		for off < len(data) {
+			rec, err := decodeMuxRecord(data[off:], false)
+			if err == wal.ErrTorn {
+				// Each process run appends to a fresh segment, so a torn
+				// record can only be the last thing in a segment.
+				torn = true
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("store: segment %s: %w", sf.name, err)
+			}
+			if rec.seq >= w.nextSeq {
+				w.nextSeq = rec.seq + 1
+			}
+			if ms := w.streams[rec.key]; ms != nil && rec.seq > ms.dropBelow() {
+				ms.refs = append(ms.refs, muxRef{
+					seq: rec.seq, seg: sf.index,
+					off: int64(off), n: int32(rec.n), points: rec.count,
+				})
+			}
+			off += rec.n
+		}
+	}
+	if torn {
+		w.opts.Logger.Warn("store: dropped a torn tail record during muxwal recovery", "dir", w.dir)
+	}
+
+	// Sort each stream's records by sequence and drop duplicates — a
+	// crash mid-compaction can leave a frame in both its old and new
+	// segment, and the copies are byte-identical.
+	for _, ms := range w.streams {
+		sort.Slice(ms.refs, func(i, j int) bool { return ms.refs[i].seq < ms.refs[j].seq })
+		out := ms.refs[:0]
+		for _, r := range ms.refs {
+			if len(out) > 0 && out[len(out)-1].seq == r.seq {
+				continue
+			}
+			out = append(out, r)
+		}
+		ms.refs = out
+		if n := len(ms.refs); n > 0 {
+			if last := ms.refs[n-1].seq; last > ms.lastSeq {
+				ms.lastSeq = last
+			}
+		}
+		for _, r := range ms.refs {
+			st := w.stats[r.seg]
+			st.live += int64(r.n)
+			st.refs++
+		}
+	}
+	// Every scanned segment is sealed (this run appends to a fresh
+	// one), so fully-dead segments can go right now.
+	for seg, st := range w.stats {
+		if st.refs == 0 {
+			if err := os.Remove(w.segPath(seg)); err != nil {
+				return fmt.Errorf("store: pruning segment: %w", err)
+			}
+			delete(w.stats, seg)
+		}
+	}
+	return nil
+}
+
+func (w *muxWAL) List() ([]Entry, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Entry, 0, len(w.streams))
+	for key, ms := range w.streams {
+		out = append(out, Entry{Key: key, Tenant: splitTenant(key), Spec: ms.spec})
+	}
+	return out, nil
+}
+
+func (w *muxWAL) Create(key string, spec streamhull.Spec) (Appender, error) {
+	if len(key) > muxMaxKey {
+		return nil, fmt.Errorf("store: stream key exceeds %d bytes", muxMaxKey)
+	}
+	m, err := streamhull.MetaForSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, wal.ErrClosed
+	}
+	if w.streams[key] != nil {
+		return nil, fmt.Errorf("store: stream %q: %w", key, ErrExists)
+	}
+	floor := w.nextSeq - 1
+	data, err := json.Marshal(muxMeta{Algo: m.Algo, R: m.R, Spec: m.Spec, Floor: floor})
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding meta: %w", err)
+	}
+	// A checkpoint left over from a crashed delete of an earlier
+	// incarnation would shadow this stream's state; clear it first.
+	os.Remove(w.ckptPath(key))
+	if err := writeFileAtomic(w.metaPath(key), data, w.opts.Sync != wal.SyncNone); err != nil {
+		return nil, err
+	}
+	w.streams[key] = &muxStream{spec: spec, floor: floor, lastSeq: floor}
+	return &muxAppender{w: w, key: key}, nil
+}
+
+func (w *muxWAL) Open(key string) (Appender, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, wal.ErrClosed
+	}
+	if w.streams[key] == nil {
+		return nil, fmt.Errorf("store: stream %q: %w", key, ErrNotFound)
+	}
+	return &muxAppender{w: w, key: key}, nil
+}
+
+// Load rebuilds one stream's summary from its checkpoint plus its
+// indexed records. It holds the store lock for the duration so
+// compaction cannot move records out from under it; rehydrating one
+// stream briefly pauses appends to the others.
+func (w *muxWAL) Load(key string) (*Recovered, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, wal.ErrClosed
+	}
+	ms := w.streams[key]
+	if ms == nil {
+		return nil, fmt.Errorf("store: stream %q: %w", key, ErrNotFound)
+	}
+	rec := &Recovered{Spec: ms.spec}
+	var sum streamhull.Summary
+	var err error
+	if ms.hasCkpt {
+		snap, seq, err := readMuxCkpt(w.ckptPath(key))
+		if err != nil {
+			return nil, fmt.Errorf("store: stream %q: %w", key, err)
+		}
+		if seq != ms.ckptSeq {
+			return nil, fmt.Errorf("store: stream %q: checkpoint horizon changed underneath the store", key)
+		}
+		if sum, err = streamhull.SummaryFromCheckpoint(ms.spec, snap); err != nil {
+			return nil, fmt.Errorf("store: stream %q: %w", key, err)
+		}
+		rec.HasCheckpoint = true
+	} else if sum, err = streamhull.New(ms.spec); err != nil {
+		return nil, fmt.Errorf("store: stream %q meta: %w", key, err)
+	}
+	files := make(map[uint64]*os.File)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	var buf []byte
+	for _, ref := range ms.refs {
+		f := files[ref.seg]
+		if f == nil {
+			if f, err = os.Open(w.segPath(ref.seg)); err != nil {
+				return nil, fmt.Errorf("store: stream %q: %w", key, err)
+			}
+			files[ref.seg] = f
+		}
+		if int(ref.n) > cap(buf) {
+			buf = make([]byte, ref.n)
+		}
+		buf = buf[:ref.n]
+		if _, err := f.ReadAt(buf, ref.off); err != nil {
+			return nil, fmt.Errorf("store: stream %q: reading record: %w", key, err)
+		}
+		r, err := decodeMuxRecord(buf, true)
+		if err != nil || r.seq != ref.seq || r.key != key {
+			return nil, fmt.Errorf("%w: stream %q record at segment %d offset %d",
+				wal.ErrCorrupt, key, ref.seg, ref.off)
+		}
+		if _, err := sum.InsertBatch(r.pts); err != nil {
+			return nil, fmt.Errorf("store: stream %q: replay: %w", key, err)
+		}
+		rec.Records++
+		rec.Points += len(r.pts)
+	}
+	rec.Summary = sum
+	return rec, nil
+}
+
+// Delete removes the stream: meta first (once it is gone the stream no
+// longer exists and any surviving records are orphans recovery
+// ignores), then the checkpoint, then the index entry.
+func (w *muxWAL) Delete(key string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return wal.ErrClosed
+	}
+	ms := w.streams[key]
+	if ms == nil {
+		return fmt.Errorf("store: stream %q: %w", key, ErrNotFound)
+	}
+	if err := os.Remove(w.metaPath(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting stream %q: %w", key, err)
+	}
+	if err := os.Remove(w.ckptPath(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting stream %q checkpoint: %w", key, err)
+	}
+	w.dropRefsLocked(ms, ms.lastSeq)
+	delete(w.streams, key)
+	w.compactLocked()
+	return nil
+}
+
+func (w *muxWAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		<-w.done
+		return nil
+	}
+	w.closed = true
+	err := w.sealLocked()
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	close(w.stop)
+	<-w.done
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncErr
+}
+
+// append frames and writes one point batch for key, then (under
+// SyncAlways) waits for its group-commit fsync — the same contract as
+// wal.Log.append, shared across every stream in the store.
+func (w *muxWAL) append(key string, pts []geom.Point, timed bool) (write, syncWait time.Duration, err error) {
+	if len(pts) == 0 {
+		return 0, 0, nil
+	}
+	if len(pts) > muxMaxPoints {
+		return 0, 0, fmt.Errorf("store: batch of %d points exceeds the %d-point record limit",
+			len(pts), muxMaxPoints)
+	}
+	for _, p := range pts {
+		if !p.IsFinite() {
+			return 0, 0, fmt.Errorf("store: non-finite point %v", p)
+		}
+	}
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+
+	w.mu.Lock()
+	ms := w.streams[key]
+	if ms == nil {
+		w.mu.Unlock()
+		return 0, 0, fmt.Errorf("store: stream %q: %w", key, ErrNotFound)
+	}
+	seq := w.nextSeq
+	frame := appendMuxRecord(nil, seq, key, pts)
+	seg, off, werr := w.writeLocked(frame)
+	if werr != nil {
+		w.mu.Unlock()
+		return 0, 0, werr
+	}
+	w.nextSeq = seq + 1
+	ms.lastSeq = seq
+	ms.refs = append(ms.refs, muxRef{
+		seq: seq, seg: seg, off: off, n: int32(len(frame)), points: int32(len(pts)),
+	})
+	st := w.stats[seg]
+	st.live += int64(len(frame))
+	st.refs++
+	myGen := w.gen
+	w.mu.Unlock()
+	if timed {
+		write = time.Since(start)
+	}
+
+	if w.opts.Sync != wal.SyncAlways {
+		return write, 0, nil
+	}
+	if timed {
+		start = time.Now()
+	}
+	w.kick()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncGen < myGen && w.syncErr == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if timed {
+		syncWait = time.Since(start)
+	}
+	if w.syncErr != nil {
+		return write, syncWait, w.syncErr
+	}
+	if w.syncGen < myGen {
+		return write, syncWait, wal.ErrClosed
+	}
+	return write, syncWait, nil
+}
+
+// checkpoint durably records snap as key's restart state, drops the
+// records it supersedes from the index, and compacts any segments that
+// went mostly dead.
+func (w *muxWAL) checkpoint(key string, snap []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return wal.ErrClosed
+	}
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	ms := w.streams[key]
+	if ms == nil {
+		return fmt.Errorf("store: stream %q: %w", key, ErrNotFound)
+	}
+	horizon := ms.lastSeq
+	if err := writeMuxCkpt(w.ckptPath(key), horizon, snap, w.opts.Sync != wal.SyncNone); err != nil {
+		return err
+	}
+	ms.hasCkpt, ms.ckptSeq = true, horizon
+	w.dropRefsLocked(ms, horizon)
+	w.compactLocked()
+	return nil
+}
+
+// dropRefsLocked retires every record of ms at or below horizon.
+// Caller holds w.mu.
+func (w *muxWAL) dropRefsLocked(ms *muxStream, horizon uint64) {
+	cut := sort.Search(len(ms.refs), func(i int) bool { return ms.refs[i].seq > horizon })
+	if cut == 0 {
+		return
+	}
+	for _, r := range ms.refs[:cut] {
+		if st := w.stats[r.seg]; st != nil {
+			st.live -= int64(r.n)
+			st.refs--
+		}
+	}
+	if cut == len(ms.refs) {
+		// Release the backing array: an idle checkpointed stream should
+		// cost a map entry, not a grown slice.
+		ms.refs = nil
+		return
+	}
+	ms.refs = append([]muxRef(nil), ms.refs[cut:]...)
+}
+
+// compactLocked reclaims sealed segments: fully-dead ones are deleted,
+// mostly-dead ones (live < 1/4 of size) have their live frames
+// re-appended byte-for-byte to the active segment first. Caller holds
+// w.mu; trouble is logged rather than returned, since compaction is
+// housekeeping a checkpoint or delete should not fail on.
+func (w *muxWAL) compactLocked() {
+	var sealed []uint64
+	for seg := range w.stats {
+		if w.f == nil || seg != w.seg {
+			sealed = append(sealed, seg)
+		}
+	}
+	sort.Slice(sealed, func(i, j int) bool { return sealed[i] < sealed[j] })
+	rewrote := false
+	for _, seg := range sealed {
+		st := w.stats[seg]
+		switch {
+		case st.refs == 0:
+		case st.live*4 < st.size:
+			if !w.rewriteSegmentLocked(seg) {
+				continue
+			}
+			rewrote = true
+		default:
+			continue
+		}
+		if err := os.Remove(w.segPath(seg)); err != nil {
+			w.opts.Logger.Error("store: pruning segment failed", "segment", seg, "err", err)
+			continue
+		}
+		delete(w.stats, seg)
+	}
+	if rewrote && w.f != nil && w.opts.Sync != wal.SyncNone {
+		// The copies must be durable before their originals' segment
+		// files are unlinked, or an OS crash could lose both.
+		if err := w.f.Sync(); err != nil {
+			if w.syncErr == nil {
+				w.syncErr = fmt.Errorf("store: fsync: %w", err)
+				w.opts.Logger.Error("store: fsync failed; muxwal poisoned", "err", err)
+			}
+		} else if w.gen > w.syncGen {
+			w.syncGen = w.gen
+			w.pendingSince = time.Time{}
+		}
+		w.cond.Broadcast()
+	}
+}
+
+// rewriteSegmentLocked re-appends every live frame of a sealed segment
+// to the active segment, patching the index to the new locations. The
+// frames keep their bytes — and so their sequence numbers — which is
+// what makes a crash between copy and delete harmless. Reports whether
+// the segment is now safe to delete.
+func (w *muxWAL) rewriteSegmentLocked(seg uint64) bool {
+	data, err := os.ReadFile(w.segPath(seg))
+	if err != nil {
+		w.opts.Logger.Error("store: compaction read failed", "segment", seg, "err", err)
+		return false
+	}
+	if len(data) < len(muxSegMagic) || string(data[:len(muxSegMagic)]) != muxSegMagic {
+		w.opts.Logger.Error("store: compaction found a bad segment header", "segment", seg)
+		return false
+	}
+	off := len(muxSegMagic)
+	for off < len(data) {
+		rec, err := decodeMuxRecord(data[off:], false)
+		if err == wal.ErrTorn {
+			break
+		}
+		if err != nil {
+			w.opts.Logger.Error("store: compaction found a corrupt record", "segment", seg, "err", err)
+			return false
+		}
+		ms := w.streams[rec.key]
+		if ms == nil || rec.seq <= ms.dropBelow() {
+			off += rec.n
+			continue
+		}
+		i := sort.Search(len(ms.refs), func(i int) bool { return ms.refs[i].seq >= rec.seq })
+		if i == len(ms.refs) || ms.refs[i].seq != rec.seq || ms.refs[i].seg != seg {
+			// The live copy lives elsewhere (an earlier rewrite); this
+			// one is a leftover duplicate.
+			off += rec.n
+			continue
+		}
+		nseg, noff, err := w.writeLocked(data[off : off+rec.n])
+		if err != nil {
+			w.opts.Logger.Error("store: compaction rewrite failed", "segment", seg, "err", err)
+			return false
+		}
+		ms.refs[i].seg, ms.refs[i].off = nseg, noff
+		st := w.stats[nseg]
+		st.live += int64(rec.n)
+		st.refs++
+		off += rec.n
+	}
+	return true
+}
+
+// writeLocked appends a pre-framed record to the open segment,
+// rotating when full, and returns where the frame landed. Caller holds
+// w.mu.
+func (w *muxWAL) writeLocked(frame []byte) (seg uint64, off int64, err error) {
+	if w.closed {
+		return 0, 0, wal.ErrClosed
+	}
+	if w.syncErr != nil {
+		return 0, 0, w.syncErr
+	}
+	if err := w.ensureSegmentLocked(); err != nil {
+		return 0, 0, err
+	}
+	seg, off = w.seg, w.size
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, 0, fmt.Errorf("store: appending to segment %d: %w", w.seg, err)
+	}
+	w.size += int64(len(frame))
+	w.stats[w.seg].size += int64(len(frame))
+	w.gen++
+	if w.pendingSince.IsZero() {
+		w.pendingSince = time.Now()
+	}
+	if w.size >= w.opts.SegmentBytes {
+		if err := w.sealLocked(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return seg, off, nil
+}
+
+func (w *muxWAL) ensureSegmentLocked() error {
+	if w.f != nil {
+		return nil
+	}
+	f, err := os.OpenFile(w.segPath(w.nextSeg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment: %w", err)
+	}
+	if _, err := f.WriteString(muxSegMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing segment header: %w", err)
+	}
+	if w.opts.Sync != wal.SyncNone {
+		if err := syncDirFS(w.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.f, w.seg, w.size = f, w.nextSeg, int64(len(muxSegMagic))
+	w.stats[w.seg] = &muxSegStat{size: int64(len(muxSegMagic))}
+	w.nextSeg++
+	return nil
+}
+
+// sealLocked fsyncs and closes the open segment; everything written so
+// far becomes durable. Caller holds w.mu.
+func (w *muxWAL) sealLocked() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	if err != nil {
+		w.syncErr = fmt.Errorf("store: sealing segment %d: %w", w.seg, err)
+		w.opts.Logger.Error("store: segment seal failed", "segment", w.seg, "err", err)
+		w.cond.Broadcast()
+		return w.syncErr
+	}
+	w.syncGen = w.gen
+	w.pendingSince = time.Time{}
+	w.cond.Broadcast()
+	return nil
+}
+
+func (w *muxWAL) kick() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// syncer is the store-wide background fsync loop: one group-commit
+// stream shared by every stream in the store.
+func (w *muxWAL) syncer() {
+	defer close(w.done)
+	var tickC <-chan time.Time
+	if w.opts.Sync == wal.SyncInterval {
+		tick := time.NewTicker(w.opts.Interval)
+		tickC = tick.C
+		defer tick.Stop()
+	}
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.wake:
+		case <-tickC:
+		}
+		w.syncOnce()
+	}
+}
+
+func (w *muxWAL) syncOnce() {
+	w.mu.Lock()
+	f, gen := w.f, w.gen
+	synced := w.syncGen
+	w.mu.Unlock()
+	if f == nil || gen == synced {
+		return
+	}
+	err := f.Sync()
+	if err != nil && errors.Is(err, os.ErrClosed) {
+		// The segment was sealed (and synced) underneath us.
+		err = nil
+	}
+	w.mu.Lock()
+	if err != nil {
+		if w.syncErr == nil {
+			w.syncErr = fmt.Errorf("store: fsync: %w", err)
+			w.opts.Logger.Error("store: fsync failed; muxwal poisoned", "err", err)
+		}
+	} else if gen > w.syncGen {
+		w.syncGen = gen
+		if w.syncGen == w.gen {
+			w.pendingSince = time.Time{}
+		}
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *muxWAL) syncLag() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pendingSince.IsZero() || w.syncGen >= w.gen {
+		return 0
+	}
+	return time.Since(w.pendingSince)
+}
+
+// syncAll blocks until everything appended so far is durable. A closed
+// store reports success — Close already sealed the log.
+func (w *muxWAL) syncAll() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	myGen := w.gen
+	w.mu.Unlock()
+	w.kick()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncGen < myGen && w.syncErr == nil && !w.closed {
+		w.cond.Wait()
+	}
+	return w.syncErr
+}
+
+// muxAppender is one stream's handle onto the shared log.
+type muxAppender struct {
+	w   *muxWAL
+	key string
+}
+
+func (a *muxAppender) Append(pts []geom.Point) error {
+	_, _, err := a.w.append(a.key, pts, false)
+	return err
+}
+
+func (a *muxAppender) AppendTimed(pts []geom.Point) (write, syncWait time.Duration, err error) {
+	return a.w.append(a.key, pts, true)
+}
+
+func (a *muxAppender) Checkpoint(snap []byte) error {
+	return a.w.checkpoint(a.key, snap)
+}
+
+// SyncLag reports the shared log's fsync exposure — with one fsync
+// stream for the whole store, every stream shares one lag.
+func (a *muxAppender) SyncLag() time.Duration { return a.w.syncLag() }
+
+// Close releases the handle after making the stream's appends durable,
+// matching fswal's seal-on-close; group commit coalesces the fsyncs of
+// a mass eviction.
+func (a *muxAppender) Close() error { return a.w.syncAll() }
+
+// Record framing for the shared segments. Same envelope as
+// internal/wal (length, CRC32-IEEE of the payload), with a multiplexed
+// payload:
+//
+//	op     uint8   muxOpPoints
+//	seq    uint64  store-wide monotone sequence number
+//	keyLen uint16
+//	key    keyLen bytes
+//	count  uint32
+//	count × (x float64, y float64)
+//
+// all little-endian.
+type muxRecord struct {
+	seq   uint64
+	key   string
+	count int32
+	pts   []geom.Point // nil unless decoded with wantPoints
+	n     int          // total frame bytes
+}
+
+func appendMuxRecord(buf []byte, seq uint64, key string, pts []geom.Point) []byte {
+	payload := 11 + len(key) + 4 + 16*len(pts)
+	start := len(buf)
+	buf = append(buf, make([]byte, muxRecordHeader+payload)...)
+	le := binary.LittleEndian
+	le.PutUint32(buf[start:], uint32(payload))
+	body := buf[start+muxRecordHeader:]
+	body[0] = muxOpPoints
+	le.PutUint64(body[1:], seq)
+	le.PutUint16(body[9:], uint16(len(key)))
+	copy(body[11:], key)
+	off := 11 + len(key)
+	le.PutUint32(body[off:], uint32(len(pts)))
+	off += 4
+	for _, p := range pts {
+		le.PutUint64(body[off:], math.Float64bits(p.X))
+		le.PutUint64(body[off+8:], math.Float64bits(p.Y))
+		off += 16
+	}
+	le.PutUint32(buf[start+4:], crc32.ChecksumIEEE(body))
+	return buf
+}
+
+// decodeMuxRecord parses the first record of b, where b runs to the
+// end of the segment; wantPoints skips materializing the point slice
+// during index scans. Torn-vs-corrupt semantics match wal.decodeRecord.
+func decodeMuxRecord(b []byte, wantPoints bool) (muxRecord, error) {
+	var rec muxRecord
+	if len(b) < muxRecordHeader {
+		return rec, wal.ErrTorn
+	}
+	le := binary.LittleEndian
+	length := int(le.Uint32(b[0:4]))
+	if length > muxMaxPayload {
+		if muxRecordHeader+length > len(b) {
+			return rec, wal.ErrTorn
+		}
+		return rec, fmt.Errorf("%w: payload length %d exceeds limit", wal.ErrCorrupt, length)
+	}
+	if muxRecordHeader+length > len(b) {
+		return rec, wal.ErrTorn
+	}
+	body := b[muxRecordHeader : muxRecordHeader+length]
+	atEOF := muxRecordHeader+length == len(b)
+	fail := func(format string, args ...any) (muxRecord, error) {
+		if atEOF {
+			return rec, wal.ErrTorn
+		}
+		return rec, fmt.Errorf("%w: %s", wal.ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+	if le.Uint32(b[4:8]) != crc32.ChecksumIEEE(body) {
+		return fail("crc mismatch")
+	}
+	if length < 15 || body[0] != muxOpPoints {
+		return fail("bad payload header")
+	}
+	keyLen := int(le.Uint16(body[9:11]))
+	if keyLen > muxMaxKey || 11+keyLen+4 > length {
+		return fail("key length %d inconsistent with payload length %d", keyLen, length)
+	}
+	off := 11 + keyLen
+	count := int(le.Uint32(body[off : off+4]))
+	if count > muxMaxPoints || 11+keyLen+4+16*count != length {
+		return fail("count %d inconsistent with payload length %d", count, length)
+	}
+	rec.seq = le.Uint64(body[1:9])
+	rec.key = string(body[11 : 11+keyLen])
+	rec.count = int32(count)
+	rec.n = muxRecordHeader + length
+	if wantPoints {
+		rec.pts = make([]geom.Point, count)
+		off += 4
+		for i := range rec.pts {
+			rec.pts[i] = geom.Pt(
+				math.Float64frombits(le.Uint64(body[off:])),
+				math.Float64frombits(le.Uint64(body[off+8:])),
+			)
+			off += 16
+		}
+	}
+	return rec, nil
+}
+
+// Per-stream checkpoint file, little-endian:
+//
+//	magic   8 bytes "SHMXCK1\n"
+//	seq     uint64  horizon: state covers every record with seq <= this
+//	snapLen uint32
+//	snap    snapLen bytes (opaque; see streamhull.SummaryFromCheckpoint)
+//	crc     uint32  CRC32 (IEEE) of everything before it
+//
+// Written to a temp name and renamed, so it is either absent or
+// complete.
+func writeMuxCkpt(path string, seq uint64, snap []byte, sync bool) error {
+	buf := make([]byte, 0, len(muxCkptMagic)+12+len(snap)+4)
+	buf = append(buf, muxCkptMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap)))
+	buf = append(buf, snap...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return writeFileAtomic(path, buf, sync)
+}
+
+func readMuxCkpt(path string) (snap []byte, seq uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: reading checkpoint: %w", err)
+	}
+	if len(data) < len(muxCkptMagic)+16 || string(data[:len(muxCkptMagic)]) != muxCkptMagic {
+		return nil, 0, fmt.Errorf("store: checkpoint has bad header")
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if binary.LittleEndian.Uint32(crcBytes) != crc32.ChecksumIEEE(body) {
+		return nil, 0, fmt.Errorf("store: checkpoint crc mismatch")
+	}
+	le := binary.LittleEndian
+	off := len(muxCkptMagic)
+	seq = le.Uint64(data[off : off+8])
+	snapLen := int(le.Uint32(data[off+8 : off+12]))
+	if off+12+snapLen != len(body) {
+		return nil, 0, fmt.Errorf("store: checkpoint length mismatch")
+	}
+	return data[off+12 : off+12+snapLen], seq, nil
+}
+
+// readMuxCkptSeq reads just the horizon from a checkpoint header; the
+// payload (and its CRC check) waits until Load actually needs it, so
+// opening a store with a million parked streams reads 16 bytes per
+// stream, not the full snapshot.
+func readMuxCkptSeq(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: reading checkpoint: %w", err)
+	}
+	defer f.Close()
+	var hdr [16]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, fmt.Errorf("store: checkpoint has bad header")
+	}
+	if string(hdr[:len(muxCkptMagic)]) != muxCkptMagic {
+		return 0, fmt.Errorf("store: checkpoint has bad header")
+	}
+	return binary.LittleEndian.Uint64(hdr[len(muxCkptMagic):]), nil
+}
+
+type muxSegFile struct {
+	index uint64
+	name  string
+}
+
+func listMuxSegments(dir string) ([]muxSegFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
+	}
+	var segs []muxSegFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, muxSegSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(name, muxSegSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, muxSegFile{index: idx, name: name})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+// writeFileAtomic writes data to a temp file and renames it into
+// place; sync=false (the SyncNone policy) skips the fsyncs, trading
+// power-loss durability for bulk-create speed, same as the append path
+// under that policy.
+func writeFileAtomic(path string, data []byte, sync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", tmp, err)
+	}
+	_, werr := f.Write(data)
+	var serr error
+	if sync {
+		serr = f.Sync()
+	}
+	cerr := f.Close()
+	for _, e := range []error{werr, serr, cerr} {
+		if e != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("store: writing %s: %w", path, e)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing %s: %w", path, err)
+	}
+	if sync {
+		return syncDirFS(filepath.Dir(path))
+	}
+	return nil
+}
+
+// syncDirFS fsyncs a directory so renames and creations within it are
+// durable.
+func syncDirFS(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}

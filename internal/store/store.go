@@ -1,0 +1,187 @@
+// Package store is the pluggable storage-engine subsystem behind the
+// stream server: one Store interface with three backends, so the
+// durable representation of a stream can change without the serving
+// layer noticing.
+//
+//   - fswal: the original layout — one directory per stream holding a
+//     segmented write-ahead log plus a checkpoint file (internal/wal).
+//     Data directories written before this package existed open
+//     unchanged. Best when streams are few and hot: every stream owns
+//     its own fsync stream and file descriptors.
+//   - muxwal: a single shared, segmented, group-commit write-ahead log
+//     multiplexing every stream's records into one fsync stream, with
+//     per-stream checkpoint files and an in-memory offset index rebuilt
+//     on open. Best when streams are many and mostly idle: thousands of
+//     low-rate streams cost one open segment and one syncer, and an
+//     idle checkpointed stream costs a few hundred bytes of disk and a
+//     map entry.
+//   - memory: everything in process memory; for tests and experiments.
+//
+// The unit every backend agrees on is the paper's O(r) checkpoint: a
+// summary compacts to a few hundred bytes that fully replace its log
+// prefix (Hershberger–Suri §4–§5), so "park an idle stream" is cheap in
+// any backend — seal a checkpoint, drop the live summary, and Load
+// rebuilds it bit-exactly later.
+//
+// Contract notes shared by all backends:
+//
+//   - Keys are tenant-qualified stream ids; backends make them
+//     filesystem-safe themselves.
+//   - Load is read-only and repeatable: calling it twice without
+//     intervening appends yields summaries with identical state.
+//   - Appenders hand out by Create/Open are owned by the caller; Close
+//     releases the handle (fswal: the per-stream log's file descriptor)
+//     without deleting anything — that is the eviction path. Delete
+//     removes the stream's storage entirely.
+//   - Checkpoint payloads are opaque bytes here; they are produced by
+//     the server (snapshot binary, or windowed bucket state) and
+//     decoded by streamhull.SummaryFromCheckpoint at Load time.
+package store
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/wal"
+)
+
+// Options parameterizes a backend. The zero value mirrors the WAL
+// defaults (4 MiB segments, interval fsync at 50ms).
+type Options struct {
+	// SegmentBytes caps a log segment's size (0 = 4 MiB).
+	SegmentBytes int64
+	// Sync is the fsync policy for appended records.
+	Sync wal.SyncPolicy
+	// Interval is the timer period for wal.SyncInterval (0 = 50ms).
+	Interval time.Duration
+	// Logger receives background trouble (fsync failures, compaction
+	// errors). Nil discards.
+	Logger *slog.Logger
+}
+
+func (o Options) wal() wal.Options {
+	return wal.Options{
+		SegmentBytes: o.SegmentBytes,
+		Sync:         o.Sync,
+		Interval:     o.Interval,
+		Logger:       o.Logger,
+	}
+}
+
+func (o *Options) fill() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+}
+
+// Entry is one stream a Store knows about: its key plus the spec and
+// tenant from the stream's persisted meta. Tenant is derived from the
+// key ("tenant/id"; bare ids belong to the root tenant).
+type Entry struct {
+	Key    string
+	Tenant string
+	Spec   streamhull.Spec
+}
+
+// Recovered is the result of Load: the rebuilt summary plus what the
+// rebuild consumed, mirroring streamhull.WALRecovery.
+type Recovered struct {
+	Summary streamhull.Summary
+	Spec    streamhull.Spec
+
+	HasCheckpoint bool // a checkpoint payload seeded the summary
+	Records       int  // log records replayed after the checkpoint
+	Points        int  // log points replayed
+	Torn          bool // a record torn by a crash was dropped
+}
+
+// Appender is a caller-owned handle for appending to one stream's log.
+// wal.Log satisfies it directly, so the fswal backend hands out the
+// real thing.
+type Appender interface {
+	// Append logs a point batch; durability follows the sync policy.
+	Append(pts []geom.Point) error
+	// AppendTimed is Append with its write and fsync-wait halves timed
+	// separately, for the request tracer's stage spans.
+	AppendTimed(pts []geom.Point) (write, syncWait time.Duration, err error)
+	// Checkpoint durably records snap as the stream's restart state and
+	// compacts the log records it covers.
+	Checkpoint(snap []byte) error
+	// SyncLag reports how long the oldest unfsynced append has waited.
+	SyncLag() time.Duration
+	// Close releases the handle; appended data stays on disk. The
+	// stream can be reopened with Store.Open.
+	Close() error
+}
+
+// Store is a storage engine holding many streams' durable state.
+// Implementations are safe for concurrent use; the per-stream ordering
+// of Append vs Checkpoint is the caller's job (the server holds its
+// stream lock across both).
+type Store interface {
+	// Backend names the implementation ("fswal", "muxwal", "memory").
+	Backend() string
+	// List enumerates every stream in the store. It reads metas only —
+	// no summary is rebuilt — so listing millions of streams stays
+	// cheap.
+	List() ([]Entry, error)
+	// Create initializes storage for a new stream and returns its
+	// appender. Creating an existing key is an error.
+	Create(key string, spec streamhull.Spec) (Appender, error)
+	// Open returns an appender for an existing stream (the rehydration
+	// path). Opening an unknown key is an error.
+	Open(key string) (Appender, error)
+	// Load rebuilds the stream's summary: checkpoint first, then the
+	// surviving log tail. Read-only; safe to call with or without an
+	// open appender.
+	Load(key string) (*Recovered, error)
+	// Delete removes the stream's storage entirely. The caller closes
+	// any appender first.
+	Delete(key string) error
+	// Close flushes and releases store-wide resources (muxwal: the
+	// shared log). Callers close per-stream appenders themselves;
+	// fswal's Close is a no-op.
+	Close() error
+}
+
+// Backends lists the selectable backend names, in the order the
+// -store flag documents them.
+func Backends() []string { return []string{"fswal", "muxwal", "memory"} }
+
+// Open opens (creating if needed) a store of the named backend rooted
+// at dir. The two durable backends cross-check the directory's marker
+// so a muxwal directory is never misread as fswal or vice versa;
+// "memory" ignores dir.
+func Open(backend, dir string, opts Options) (Store, error) {
+	opts.fill()
+	switch backend {
+	case "", "fswal":
+		return openFSWAL(dir, opts)
+	case "muxwal":
+		return openMuxWAL(dir, opts)
+	case "memory":
+		return NewMemory(), nil
+	default:
+		return nil, fmt.Errorf("store: unknown backend %q (want fswal, muxwal, or memory)", backend)
+	}
+}
+
+// splitTenant derives the tenant from a tenant-qualified key
+// ("tenant/id"; a bare id is the root tenant "").
+func splitTenant(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,540 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	streamhull "github.com/streamgeom/streamhull"
+	"github.com/streamgeom/streamhull/geom"
+	"github.com/streamgeom/streamhull/internal/wal"
+)
+
+func adaptiveSpec(r int) streamhull.Spec {
+	return streamhull.Spec{Kind: streamhull.KindAdaptive, R: r}
+}
+
+// ringPoints puts n points on a circle, deterministic and hull-rich.
+func ringPoints(n int, scale float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = geom.Pt(scale*math.Cos(a), scale*math.Sin(a))
+	}
+	return pts
+}
+
+// sameState compares two summaries by served answers: point count and
+// hull vertices, which is what "bit-exact recovery" means to a client.
+func sameState(t *testing.T, got, want streamhull.Summary) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("N = %d, want %d", got.N(), want.N())
+	}
+	g, w := got.Hull().Vertices(), want.Hull().Vertices()
+	if len(g) != len(w) {
+		t.Fatalf("hull has %d vertices, want %d\n got: %v\nwant: %v", len(g), len(w), g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("hull vertex %d = %v, want %v", i, g[i], w[i])
+		}
+	}
+}
+
+// replayClean builds the expected summary the same way the store
+// should: straight InsertBatch of every batch in order.
+func replayClean(t *testing.T, spec streamhull.Spec, batches ...[]geom.Point) streamhull.Summary {
+	t.Helper()
+	sum, err := streamhull.New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, b := range batches {
+		if _, err := sum.InsertBatch(b); err != nil {
+			t.Fatalf("InsertBatch: %v", err)
+		}
+	}
+	return sum
+}
+
+func openBackend(t *testing.T, backend, dir string, opts Options) Store {
+	t.Helper()
+	s, err := Open(backend, dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", backend, err)
+	}
+	return s
+}
+
+// TestBackendRoundTrip drives the full lifecycle through every
+// backend: create, append, load, checkpoint, append a tail, close the
+// appender (eviction), reopen, append more, delete.
+func TestBackendRoundTrip(t *testing.T) {
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			s := openBackend(t, backend, t.TempDir(), Options{Sync: wal.SyncNone})
+			defer s.Close()
+
+			spec := adaptiveSpec(16)
+			const key = "acme/ring"
+			b1, b2, b3 := ringPoints(100, 1), ringPoints(50, 2), ringPoints(25, 3)
+
+			app, err := s.Create(key, spec)
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			if _, err := s.Create(key, spec); err == nil {
+				t.Fatal("Create of an existing key succeeded")
+			}
+			if err := app.Append(b1); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+
+			rec, err := s.Load(key)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			sameState(t, rec.Summary, replayClean(t, spec, b1))
+			if rec.HasCheckpoint || rec.Points != 100 {
+				t.Fatalf("Load = {ckpt:%v points:%d}, want {false 100}", rec.HasCheckpoint, rec.Points)
+			}
+
+			// Checkpoint at the served state, then append a tail.
+			sn := rec.Summary.(streamhull.Snapshotter).Snapshot()
+			data, err := sn.MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary: %v", err)
+			}
+			if err := app.Checkpoint(data); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			if err := app.Append(b2); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			rec, err = s.Load(key)
+			if err != nil {
+				t.Fatalf("Load after checkpoint: %v", err)
+			}
+			if !rec.HasCheckpoint || rec.Points != 50 {
+				t.Fatalf("Load = {ckpt:%v points:%d}, want {true 50}", rec.HasCheckpoint, rec.Points)
+			}
+			base, err := streamhull.SummaryFromCheckpoint(spec, data)
+			if err != nil {
+				t.Fatalf("SummaryFromCheckpoint: %v", err)
+			}
+			if _, err := base.InsertBatch(b2); err != nil {
+				t.Fatal(err)
+			}
+			sameState(t, rec.Summary, base)
+
+			// Evict: close the appender, reopen, keep appending.
+			if err := app.Close(); err != nil {
+				t.Fatalf("appender Close: %v", err)
+			}
+			app, err = s.Open(key)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if err := app.Append(b3); err != nil {
+				t.Fatalf("Append after reopen: %v", err)
+			}
+			rec, err = s.Load(key)
+			if err != nil {
+				t.Fatalf("Load after reopen: %v", err)
+			}
+			if rec.Points != 75 {
+				t.Fatalf("replayed %d points, want 75", rec.Points)
+			}
+
+			entries, err := s.List()
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			if len(entries) != 1 || entries[0].Key != key || entries[0].Tenant != "acme" {
+				t.Fatalf("List = %+v", entries)
+			}
+			if entries[0].Spec.Kind != streamhull.KindAdaptive || entries[0].Spec.R != 16 {
+				t.Fatalf("listed spec = %+v", entries[0].Spec)
+			}
+
+			if err := app.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(key); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Load(key); err == nil {
+				t.Fatal("Load after Delete succeeded")
+			}
+			if err := s.Delete(key); err == nil {
+				t.Fatal("second Delete succeeded")
+			}
+		})
+	}
+}
+
+// TestBackendReopen closes a durable store and reopens it: the index
+// scan must find every stream and rebuild identical state.
+func TestBackendReopen(t *testing.T) {
+	for _, backend := range []string{"fswal", "muxwal"} {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openBackend(t, backend, dir, Options{Sync: wal.SyncNone})
+			spec := adaptiveSpec(16)
+
+			want := make(map[string]streamhull.Summary)
+			for i := 0; i < 5; i++ {
+				key := fmt.Sprintf("t%d/s-%d", i%2, i)
+				app, err := s.Create(key, spec)
+				if err != nil {
+					t.Fatalf("Create: %v", err)
+				}
+				b1, b2 := ringPoints(40+i, float64(i+1)), ringPoints(30, float64(i+2))
+				if err := app.Append(b1); err != nil {
+					t.Fatal(err)
+				}
+				if i%2 == 0 { // checkpoint some, not others
+					rec, err := s.Load(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					data, err := rec.Summary.(streamhull.Snapshotter).Snapshot().MarshalBinary()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := app.Checkpoint(data); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := app.Append(b2); err != nil {
+					t.Fatal(err)
+				}
+				if err := app.Close(); err != nil {
+					t.Fatal(err)
+				}
+				rec, err := s.Load(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[key] = rec.Summary
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			s2 := openBackend(t, backend, dir, Options{Sync: wal.SyncNone})
+			defer s2.Close()
+			entries, err := s2.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != len(want) {
+				t.Fatalf("List found %d streams, want %d", len(entries), len(want))
+			}
+			for _, e := range entries {
+				rec, err := s2.Load(e.Key)
+				if err != nil {
+					t.Fatalf("Load(%s): %v", e.Key, err)
+				}
+				sameState(t, rec.Summary, want[e.Key])
+			}
+		})
+	}
+}
+
+// TestMuxwalTornTail kills the store without Close (files simply kept)
+// and additionally truncates the last segment mid-record: recovery
+// must drop exactly the torn record.
+func TestMuxwalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openBackend(t, "muxwal", dir, Options{Sync: wal.SyncNone})
+	spec := adaptiveSpec(16)
+	app, err := s.Create("k", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := ringPoints(60, 1), ringPoints(40, 2)
+	if err := app.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon the store (simulated kill -9), then tear the tail.
+	segs, err := listMuxSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := filepath.Join(dir, segs[len(segs)-1].name)
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openBackend(t, "muxwal", dir, Options{Sync: wal.SyncNone})
+	defer s2.Close()
+	rec, err := s2.Load("k")
+	if err != nil {
+		t.Fatalf("Load after torn tail: %v", err)
+	}
+	// The second batch's record was torn; only the first survives.
+	sameState(t, rec.Summary, replayClean(t, spec, b1))
+}
+
+// TestMuxwalIncarnationFloor deletes a stream and re-creates the same
+// key: records and checkpoints of the dead incarnation must never leak
+// into the new one, even across a crash-and-reopen.
+func TestMuxwalIncarnationFloor(t *testing.T) {
+	dir := t.TempDir()
+	s := openBackend(t, "muxwal", dir, Options{Sync: wal.SyncNone})
+	spec := adaptiveSpec(16)
+
+	app, err := s.Create("k", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := ringPoints(80, 5)
+	if err := app.Append(old); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Load("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rec.Summary.(streamhull.Snapshotter).Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Checkpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+
+	app, err = s.Create("k", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := ringPoints(10, 1)
+	if err := app.Append(fresh); err != nil {
+		t.Fatal(err)
+	}
+	want := replayClean(t, spec, fresh)
+	rec, err = s.Load("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, rec.Summary, want)
+
+	// Abandon without Close and reopen: the scan must still fence the
+	// old incarnation's surviving records off behind the floor.
+	s2 := openBackend(t, "muxwal", dir, Options{Sync: wal.SyncNone})
+	defer s2.Close()
+	rec, err = s2.Load("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, rec.Summary, want)
+	if rec.HasCheckpoint {
+		t.Fatal("new incarnation inherited the deleted stream's checkpoint")
+	}
+}
+
+// TestMuxwalCompaction checkpoints streams until shared segments go
+// dead and verifies they are physically reclaimed while state
+// survives, including across a crash-and-reopen mid-lifecycle.
+func TestMuxwalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so rotation and compaction actually happen.
+	opts := Options{Sync: wal.SyncNone, SegmentBytes: 4 << 10}
+	s := openBackend(t, "muxwal", dir, opts)
+	spec := adaptiveSpec(8)
+
+	apps := make(map[string]Appender)
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("s%d", i)
+		app, err := s.Create(key, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps[key] = app
+	}
+	for round := 0; round < 30; round++ {
+		for key, app := range apps {
+			if err := app.Append(ringPoints(20, float64(round+1))); err != nil {
+				t.Fatalf("append %s: %v", key, err)
+			}
+		}
+	}
+	// Checkpoint everything: all records die, segments must collapse.
+	for key, app := range apps {
+		rec, err := s.Load(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rec.Summary.(streamhull.Snapshotter).Snapshot().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Checkpoint(data); err != nil {
+			t.Fatalf("checkpoint %s: %v", key, err)
+		}
+	}
+	segs, err := listMuxSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything checkpointed: at most the active segment should hold
+	// any bytes; all sealed segments were dead or rewritten away.
+	if len(segs) > 1 {
+		t.Fatalf("%d segments survive a full checkpoint sweep, want <= 1", len(segs))
+	}
+
+	want := make(map[string]streamhull.Summary)
+	for key := range apps {
+		rec, err := s.Load(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[key] = rec.Summary
+	}
+	// Abandon (kill -9) and reopen: compacted state must round-trip.
+	s2 := openBackend(t, "muxwal", dir, opts)
+	defer s2.Close()
+	for key, w := range want {
+		rec, err := s2.Load(key)
+		if err != nil {
+			t.Fatalf("Load(%s) after reopen: %v", key, err)
+		}
+		sameState(t, rec.Summary, w)
+	}
+}
+
+// TestFSWALOpensLegacyLayout builds a stream directory exactly the way
+// the pre-store server did — wal.SaveMeta + wal.Open in a
+// EncodeDir-named subdirectory — and checks the fswal backend serves
+// it unchanged.
+func TestFSWALOpensLegacyLayout(t *testing.T) {
+	root := t.TempDir()
+	spec := adaptiveSpec(16)
+	meta, err := streamhull.MetaForSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "tenant a/legacy stream"
+	dir := filepath.Join(root, EncodeDir(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.SaveMeta(dir, meta); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := ringPoints(120, 3)
+	if err := l.Append(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openBackend(t, "fswal", root, Options{Sync: wal.SyncNone})
+	defer s.Close()
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Key != key || entries[0].Tenant != "tenant a" {
+		t.Fatalf("List = %+v", entries)
+	}
+	rec, err := s.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, rec.Summary, replayClean(t, spec, pts))
+}
+
+// TestBackendMarkers: a muxwal directory refuses to open as fswal and
+// vice versa, so a mis-set -store flag fails loudly instead of
+// misreading data.
+func TestBackendMarkers(t *testing.T) {
+	dir := t.TempDir()
+	s := openBackend(t, "muxwal", dir, Options{Sync: wal.SyncNone})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open("fswal", dir, Options{}); err == nil || !strings.Contains(err.Error(), "muxwal") {
+		t.Fatalf("fswal opened a muxwal dir: %v", err)
+	}
+
+	dir2 := t.TempDir()
+	s2 := openBackend(t, "fswal", dir2, Options{Sync: wal.SyncNone})
+	if _, err := s2.Create("k", adaptiveSpec(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open("muxwal", dir2, Options{}); err == nil {
+		t.Fatal("muxwal opened a populated fswal dir")
+	}
+
+	if _, err := Open("bogus", t.TempDir(), Options{}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestMuxwalSyncAlways exercises the group-commit wait path.
+func TestMuxwalSyncAlways(t *testing.T) {
+	s := openBackend(t, "muxwal", t.TempDir(), Options{Sync: wal.SyncAlways})
+	defer s.Close()
+	app, err := s.Create("k", adaptiveSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := app.Append(ringPoints(10, float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, sw, err := app.AppendTimed(ringPoints(10, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+	_ = sw
+	rec, err := s.Load("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Points != 60 {
+		t.Fatalf("replayed %d points, want 60", rec.Points)
+	}
+}
+
+func TestEncodeDirRoundTrip(t *testing.T) {
+	for _, key := range []string{"plain", "t1/with space", "a.b..", "%", "ünïcode/☃", ""} {
+		enc := EncodeDir(key)
+		if strings.ContainsAny(enc, "/. ") {
+			t.Fatalf("EncodeDir(%q) = %q contains unsafe characters", key, enc)
+		}
+		dec, ok := DecodeDir(enc)
+		if !ok || dec != key {
+			t.Fatalf("DecodeDir(EncodeDir(%q)) = %q, %v", key, dec, ok)
+		}
+	}
+	if _, ok := DecodeDir("has space"); ok {
+		t.Fatal("DecodeDir accepted a name this package never writes")
+	}
+}

@@ -455,9 +455,14 @@ func (r *Registry) Handler() http.Handler {
 // Health tracks process liveness and readiness. Liveness is implied by
 // answering at all; readiness flips once startup (WAL recovery) is done
 // and can be dropped again during shutdown so load balancers drain
-// before the listener closes.
+// before the listener closes. While startup recovery runs, the
+// readiness endpoint additionally reports its progress — "recovered k
+// of n streams" — so an operator watching a slow recovery can tell a
+// working startup from a hung one.
 type Health struct {
-	ready atomic.Bool
+	ready            atomic.Bool
+	starting         atomic.Bool
+	recovered, total atomic.Int64
 }
 
 // SetReady flips the readiness state.
@@ -465,6 +470,28 @@ func (h *Health) SetReady(ready bool) { h.ready.Store(ready) }
 
 // Ready reports the current readiness state.
 func (h *Health) Ready() bool { return h.ready.Load() }
+
+// StartRecovery enters the "starting" state with total streams to
+// recover; /readyz reports progress until FinishRecovery.
+func (h *Health) StartRecovery(total int) {
+	h.total.Store(int64(total))
+	h.recovered.Store(0)
+	h.starting.Store(true)
+}
+
+// SetRecovered publishes recovery progress (n streams done so far).
+func (h *Health) SetRecovered(n int) { h.recovered.Store(int64(n)) }
+
+// FinishRecovery leaves the "starting" state. A recovery that fails
+// never calls it: the process stays starting (and unready) rather than
+// serving partial data.
+func (h *Health) FinishRecovery() { h.starting.Store(false) }
+
+// Recovery reports the startup-recovery state: whether it is still
+// running and how far it got.
+func (h *Health) Recovery() (recovered, total int, starting bool) {
+	return int(h.recovered.Load()), int(h.total.Load()), h.starting.Load()
+}
 
 // LivenessHandler always answers 200 "ok": the process is up.
 func (h *Health) LivenessHandler() http.Handler {
@@ -475,8 +502,17 @@ func (h *Health) LivenessHandler() http.Handler {
 }
 
 // ReadinessHandler answers 200 "ready" once SetReady(true), 503 before.
+// While startup recovery runs the 503 body is a JSON progress report,
+// {"status":"starting","recovered":k,"total":n}.
 func (h *Health) ReadinessHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if recovered, total, starting := h.Recovery(); starting {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "{\"status\":\"starting\",\"recovered\":%d,\"total\":%d}\n",
+				recovered, total)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if !h.ready.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)

@@ -9,6 +9,9 @@
 #                       batch size and fsync policy
 #   BENCH_fanin.json    multi-node fan-in fidelity vs push interval
 #                       (error metrics, not throughput)
+#   BENCH_store.json    cold-tier storage engine: create rate, warm-path
+#                       ingest rate, and heap per cold stream with the
+#                       stream count far above the residency cap
 #
 # committed so a perf or fidelity regression shows up as a reviewable
 # diff, and so scripts/bench_compare.sh has something to gate against.
@@ -22,4 +25,8 @@ OUT=${1:-.}
 cd "$(dirname "$0")/.."
 
 go run ./cmd/hullbench -serve -batch -durable -fanin -n 50000 -serve-dur 2s -json "$OUT"
-echo "baselines written to $OUT/BENCH_{serve,batch,durable,fanin}.json"
+# The store experiment at its default scale (1M streams) takes ~10min, so
+# the committed baseline uses a scaled-down shape; the compare run must
+# match it (see bench_compare.sh).
+go run ./cmd/hullbench -store -store-streams 20000 -store-hot 500 -store-points 32 -json "$OUT"
+echo "baselines written to $OUT/BENCH_{serve,batch,durable,fanin,store}.json"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Gate a change on the committed performance baselines: re-run the
-# benchable experiments (serve, batch, durable) and compare every
+# benchable experiments (serve, batch, durable, store) and compare every
 # throughput metric against the BENCH_*.json files — exits nonzero when
 # any metric regresses by more than 25%. Fan-in is excluded: its rows
 # are fidelity metrics with no throughput to compare (go test covers
@@ -17,3 +17,4 @@ DIR=${1:-.}
 cd "$(dirname "$0")/.."
 
 go run ./cmd/hullbench -serve -batch -durable -n 50000 -serve-dur 2s -compare "$DIR"
+go run ./cmd/hullbench -store -store-streams 20000 -store-hot 500 -store-points 32 -compare "$DIR"

@@ -168,20 +168,28 @@ func SummaryFromSnapshot(s Snapshot) (Summary, error) {
 	}
 }
 
-// setN overrides the stream count after a snapshot restore.
+// setN overrides the stream count after a snapshot restore. The
+// snapshot's count is authoritative: a small stream's snapshot can
+// carry MORE sample points than its N (the adaptive tree keeps up to
+// 2r+1 refinement points, with repeats), so the restore loop above may
+// leave the insert counter higher than the true stream count. A zero
+// count is kept as-is — an empty or legacy snapshot should not zero
+// out the points just inserted.
 func (s *AdaptiveHull) setN(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n > s.h.N() {
+	if n > 0 {
 		s.h.SetN(n)
 	}
 }
 
-// setN overrides the stream count after a snapshot restore.
+// setN overrides the stream count after a snapshot restore (see the
+// AdaptiveHull comment: the snapshot's count wins over the restore
+// loop's insert counter).
 func (s *UniformHull) setN(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n > s.h.N() {
+	if n > 0 {
 		s.h.SetN(n)
 	}
 }

@@ -243,7 +243,7 @@ func TestCheckpointKindMismatchFailsLoudly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := summaryFromCheckpoint(Spec{Kind: KindAdaptive, R: 8}, data); err == nil {
+	if _, err := SummaryFromCheckpoint(Spec{Kind: KindAdaptive, R: 8}, data); err == nil {
 		t.Error("uniform checkpoint accepted for an adaptive stream")
 	}
 }
