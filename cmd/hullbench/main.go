@@ -20,8 +20,9 @@
 // per experiment run (scripts/bench_baseline.sh regenerates the set at
 // the repo root), and -compare DIR re-checks fresh rows against those
 // files, exiting nonzero when a throughput metric regresses by more
-// than 25% (scripts/bench_compare.sh). Fan-in rows are fidelity-only
-// and carry no throughput metric, so -compare skips them.
+// than 25% (scripts/bench_compare.sh). Fan-in rows carry fidelity and
+// wire-cost numbers (bytes/push, delta frames vs full snapshots) but no
+// throughput metric, so -compare skips them.
 package main
 
 import (

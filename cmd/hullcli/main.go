@@ -11,6 +11,7 @@
 //	hullcli -spec '{"kind":"windowed","r":32,"window":"10000"}' < points.csv
 //	hullcli replay -dir /var/lib/hullserver/mystream -query diameter
 //	hullcli push -to http://agg:8080 -stream clicks -source node7 < points.csv
+//	hullcli relay -from http://region:8080 -to http://global:8080 -source region-eu
 //	hullcli streams -to http://hull:8080 -limit 50 -all
 //	hullcli stats -to http://hull:8080
 //
@@ -70,6 +71,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "push" {
 		runPush(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "relay" {
+		runRelay(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "streams" {
@@ -198,11 +203,78 @@ func runPush(args []string) {
 	if err := fanin.EnsureAggregate(ctx, client, *to, *token, *stream, snap.R); err != nil {
 		log.Fatal(err)
 	}
-	if err := fanin.Push(ctx, client, *to, *token, *stream, *source, e, data); err != nil {
+	if _, err := fanin.Push(ctx, client, *to, *token, *stream, *source, "", e, data); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pushed %s as source %q epoch %d: %d points summarized, %d sample points\n",
 		*stream, *source, e, snap.N, len(snap.Points))
+}
+
+// runRelay forwards one server's streams to an upstream aggregator in a
+// single shot: GET every snapshot from -from (fan-in aggregates
+// included, so a regional aggregator relays its merged tier upward) and
+// push each to the same-named aggregate stream on -to. It is the
+// scriptable counterpart of hullserver's -push-to/-push-aggregates
+// follower loop — a cron-driven cascade step, or a manual catch-up for
+// a tier whose push loop is wedged.
+func runRelay(args []string) {
+	fs := flag.NewFlagSet("hullcli relay", flag.ExitOnError)
+	var (
+		from      = fs.String("from", "", "source server base URL whose streams are relayed")
+		fromToken = fs.String("from-token", "", "bearer token for the source server (needs the read role)")
+		to        = fs.String("to", "", "upstream aggregator base URL")
+		token     = fs.String("token", "", "bearer token for the aggregator (needs the push role)")
+		source    = fs.String("source", "", "source name the relayed tier is keyed by upstream")
+		leaves    = fs.Bool("leaves", false, "also relay non-aggregate streams (default: fan-in aggregates only when any exist, everything otherwise)")
+	)
+	_ = fs.Parse(args)
+	if *from == "" || *to == "" || *source == "" {
+		log.Fatal("relay: need -from, -to and -source")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	ctx := context.Background()
+
+	var listing struct {
+		Streams []struct {
+			ID   string `json:"id"`
+			Algo string `json:"algo"`
+		} `json:"streams"`
+	}
+	getJSON(client, *from+"/v1/streams", *fromToken, &listing)
+	// When the source tier has aggregates, those are the tier's state and
+	// the default relay set; its leaf streams are usually other nodes'
+	// pushed-in state and relaying them too would double-count, unless
+	// the operator asks with -leaves.
+	hasAggregates := false
+	for _, st := range listing.Streams {
+		if st.Algo == "fanin" {
+			hasAggregates = true
+			break
+		}
+	}
+	relayed := 0
+	for _, st := range listing.Streams {
+		if hasAggregates && !*leaves && st.Algo != "fanin" {
+			continue
+		}
+		var snap streamhull.Snapshot
+		getJSON(client, *from+"/v1/streams/"+url.PathEscape(st.ID)+"/snapshot", *fromToken, &snap)
+		data, err := snap.Encode()
+		if err != nil {
+			log.Fatalf("relay: encoding snapshot of %q: %v", st.ID, err)
+		}
+		if err := fanin.EnsureAggregate(ctx, client, *to, *token, st.ID, snap.R); err != nil {
+			log.Fatal(err)
+		}
+		epoch := uint64(time.Now().UnixNano())
+		if _, err := fanin.Push(ctx, client, *to, *token, st.ID, *source, "", epoch, data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("relayed %s as source %q epoch %d: n=%d, %d sample points\n",
+			st.ID, *source, epoch, snap.N, len(snap.Points))
+		relayed++
+	}
+	fmt.Printf("relay: %d stream(s) forwarded from %s to %s\n", relayed, *from, *to)
 }
 
 // runStreams lists a server's streams: GET /v1/streams with the

@@ -29,11 +29,21 @@
 //
 // With -push-to the server additionally runs as a fan-in follower:
 // every -push-every it snapshots each of its streams (O(r) bytes each)
-// and pushes the deltas to the same-named aggregate streams on the
-// upstream server, tagged with -push-source and a wall-clock epoch —
-// so the aggregator can drop a stale contribution when this follower
-// restarts and re-syncs. The aggregate streams are created (kind
-// "fanin") on first contact.
+// and pushes them to the same-named aggregate streams on the upstream
+// server, tagged with -push-source and a wall-clock epoch — so the
+// aggregator can drop a stale contribution when this follower restarts
+// and re-syncs. The aggregate streams are created (kind "fanin") on
+// first contact. After the first acked push each stream rides true
+// delta frames — only the extrema that changed since the last acked
+// epoch, a binary frame the aggregator can reject with a resync demand
+// when it cannot anchor it (-push-delta=false forces full snapshots).
+// -push-aggregates includes this server's own fan-in aggregates in the
+// push set, so tiers cascade: leaf → region → global (see
+// docs/FANIN.md and scripts/cascade_smoke.sh). -push-addr advertises a
+// base URL the aggregator can pull this server's snapshots from, and
+// -pull-after/-pull-every/-pull-token turn on the aggregator side of
+// that: sources that advertised an address and have gone quiet longer
+// than -pull-after get their snapshots fetched directly.
 //
 // With -auth-tokens the API requires a bearer token on every request;
 // each token maps to a tenant (its own stream namespace) and a role set
@@ -61,6 +71,7 @@
 //	hullserver -addr :8080 -data /var/lib/hullserver -fsync always
 //	hullserver -addr :8080 -data /var/lib/hullserver -store muxwal -max-resident 10000
 //	hullserver -addr :8081 -push-to http://agg:8080 -push-every 5s -push-source node1
+//	hullserver -addr :8082 -push-to http://global:8080 -push-source region1 -push-aggregates -pull-after 30s
 //	hullserver -addr :8080 -auth-tokens @/etc/hullserver/tokens -quota-rate 200
 //	hullserver -addr :8080 -trace-slow 100ms -debug-addr 127.0.0.1:6060 -log-json
 package main
@@ -103,6 +114,12 @@ func main() {
 		pushInt   = flag.Duration("push-every", 5*time.Second, "push period for -push-to")
 		pushSrc   = flag.String("push-source", "", "source name for -push-to (default hostname+addr)")
 		pushTok   = flag.String("push-token", "", "bearer token the follower sends upstream (needs the push role there)")
+		pushDelta = flag.Bool("push-delta", true, "push epoch-ranged deltas (only sample slots changed since the last acked push) instead of full snapshots when smaller")
+		pushAddr  = flag.String("push-addr", "", "base URL the AGGREGATOR can reach this follower on, advertised with every push so lagging state can be pulled (empty = not pullable)")
+		pushAggs  = flag.Bool("push-aggregates", false, "include this server's own fan-in aggregates in the push set — the middle tier of a leaf → region → global cascade")
+		pullAfter = flag.Duration("pull-after", 0, "aggregator side: pull a fan-in source's snapshot from its advertised address when its last push is older than this (0 = never pull)")
+		pullInt   = flag.Duration("pull-every", 0, "how often the aggregator scans for lagging sources (0 = half of -pull-after)")
+		pullTok   = flag.String("pull-token", "", "bearer token the aggregator presents when pulling from followers (needs the read role there)")
 		tokens    = flag.String("auth-tokens", "", "bearer tokens: \"tok=tenant:roles;...\" or @file (empty = open access)")
 		metrics   = flag.Bool("metrics", true, "serve GET /metrics, /healthz and /readyz")
 		qStreams  = flag.Int("quota-streams", 0, "max live streams per tenant (0 = unlimited)")
@@ -172,6 +189,9 @@ func main() {
 			RatePerSec: *qRate, Burst: *qBurst,
 		},
 		DisableObservability: !*metrics,
+		PullAfter:            *pullAfter,
+		PullInterval:         *pullInt,
+		PullToken:            *pullTok,
 	})
 	if err != nil {
 		fatal("startup failed", "err", err)
@@ -221,10 +241,14 @@ func main() {
 			}
 			source = hn + *addr
 		}
+		collect := api.StreamSnapshots
+		if *pushAggs {
+			collect = api.StreamSnapshotsCascade
+		}
 		pusher, err := fanin.NewPusher(fanin.PusherConfig{
 			Target: *pushTo, Source: source, Interval: *pushInt,
-			Collect: api.StreamSnapshots, Logger: logger, Token: *pushTok,
-			Tracer: tracer,
+			Collect: collect, Logger: logger, Token: *pushTok,
+			Tracer: tracer, Deltas: *pushDelta, AdvertiseURL: *pushAddr,
 		})
 		if err != nil {
 			fatal("-push-to", "err", err)
@@ -244,6 +268,15 @@ func main() {
 		reg.NewGaugeFunc("streamhull_fanin_pusher_consecutive_failures",
 			"abandoned pushes since the last success",
 			func() float64 { return float64(pusher.Stats().ConsecutiveFailures) })
+		reg.NewGaugeFunc("streamhull_fanin_pusher_delta_pushes_total",
+			"accepted pushes sent as epoch-ranged delta frames",
+			func() float64 { return float64(pusher.Stats().DeltaPushes) })
+		reg.NewGaugeFunc("streamhull_fanin_pusher_resyncs_total",
+			"delta pushes bounced upstream with resync_required",
+			func() float64 { return float64(pusher.Stats().Resyncs) })
+		reg.NewGaugeFunc("streamhull_fanin_pusher_bytes_total",
+			"accepted push body bytes (the number delta mode shrinks)",
+			func() float64 { return float64(pusher.Stats().BytesPushed) })
 		go pusher.Run(ctx)
 		logger.Info("fan-in follower: pushing snapshot deltas upstream",
 			"target", *pushTo, "interval", *pushInt, "source", source)

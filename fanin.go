@@ -18,6 +18,12 @@ var ErrFanInIngest = errors.New("streamhull: fan-in aggregate accepts snapshot p
 // epoch older than the source's last accepted one.
 var ErrStaleEpoch = fanin.ErrStaleEpoch
 
+// ErrResyncNeeded is returned by FanInHull.PushDelta when a delta
+// cannot be anchored on the source's stored contribution (first
+// contact, an epoch gap, a base mismatch); the sender answers with a
+// full snapshot push.
+var ErrResyncNeeded = fanin.ErrResyncNeeded
+
 // FanInHull is the continuous multi-node version of MergeSnapshots: an
 // aggregate summary fed by per-source snapshot pushes instead of a point
 // stream. Each source's latest accepted snapshot is held whole (see
@@ -57,6 +63,7 @@ type SourceInfo struct {
 	N            int       // stream points the source's snapshot summarizes
 	SamplePoints int       // extremum points contributed to the merge
 	LastPush     time.Time // when the last accepted push landed
+	Addr         string    // advertised pull-back URL ("" = none)
 }
 
 // buildFanIn constructs a fan-in aggregate from an already validated
@@ -92,6 +99,30 @@ func (f *FanInHull) Push(source string, epoch uint64, snap Snapshot) error {
 	return f.tab.Push(source, epoch, max(snap.N, 0), snap.Points)
 }
 
+// PushDelta transforms source's contribution by a decoded delta frame
+// (see internal/fanin's wire format): the frame's base epoch must match
+// the source's stored epoch, and the reconstruction is CRC-checked. A
+// frame whose epoch equals the stored one is a duplicate and a no-op
+// (nil); an older one returns ErrStaleEpoch; an unanchorable one
+// returns ErrResyncNeeded, telling the sender to push a full snapshot.
+// Delta points were validated finite at decode time, and the base was
+// validated at its own push time, so the reconstruction needs no second
+// finiteness pass.
+func (f *FanInHull) PushDelta(source string, d fanin.Delta) error {
+	return f.tab.ApplyDelta(source, d)
+}
+
+// SourceEpoch returns source's last accepted push epoch (ok=false when
+// the source has no live contribution) — what a resync rejection
+// reports so the sender knows where this aggregate stands.
+func (f *FanInHull) SourceEpoch(source string) (uint64, bool) {
+	return f.tab.SourceEpoch(source)
+}
+
+// Advertise records source's pull-back URL (carried on its pushes), so
+// the serving layer can fetch a lagging source's snapshot itself.
+func (f *FanInHull) Advertise(source, addr string) { f.tab.Advertise(source, addr) }
+
 // DropSource removes a source's contribution entirely (it re-joins with
 // its next push). Reports whether the source existed.
 func (f *FanInHull) DropSource(source string) bool { return f.tab.Drop(source) }
@@ -103,7 +134,7 @@ func (f *FanInHull) Sources() []SourceInfo {
 	for i, s := range srcs {
 		out[i] = SourceInfo{
 			Name: s.Name, Epoch: s.Epoch, N: s.N,
-			SamplePoints: s.SamplePoints, LastPush: s.LastPush,
+			SamplePoints: s.SamplePoints, LastPush: s.LastPush, Addr: s.Addr,
 		}
 	}
 	return out
@@ -156,12 +187,12 @@ func (f *FanInHull) Epoch() uint64 { return f.tab.Epoch() }
 // Snapshot captures the merged summary's sample — an adaptive snapshot,
 // so an aggregate can itself be pushed one tier further up (cascaded
 // fan-in) or restored elsewhere as a plain adaptive summary. N reports
-// the aggregate's logical stream count rather than the merge's sample
-// count.
+// the aggregate's logical stream count (the sum of the sources' own
+// counts), never the merge's insert count: the merge streams every
+// contributed sample slot — duplicates included — through the adaptive
+// summary, so its internal N overstates the stream.
 func (f *FanInHull) Snapshot() Snapshot {
 	snap := f.mergedSummary().Snapshot()
-	if n := f.N(); n > snap.N {
-		snap.N = n
-	}
+	snap.N = f.N()
 	return snap
 }

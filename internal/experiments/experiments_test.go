@@ -261,6 +261,23 @@ func TestFanInSweep(t *testing.T) {
 			t.Errorf("%d sources @ %d: stale err %g below synced err %g",
 				row.Sources, row.PushEvery, row.StaleErr, row.SyncedErr)
 		}
+		// Each source's first push is full, everything after rides the
+		// delta wire — and the wire bytes must land below the
+		// full-snapshot cost they replace (a pure-drift stream churns
+		// most extrema every interval, so the margin here is modest; on
+		// quieter streams the delta frame collapses toward its header).
+		if row.FullPushes != row.Sources {
+			t.Errorf("%d sources @ %d: %d full pushes, want one per source",
+				row.Sources, row.PushEvery, row.FullPushes)
+		}
+		if row.DeltaPushes != row.Pushes-row.FullPushes {
+			t.Errorf("%d sources @ %d: %d delta + %d full != %d pushes",
+				row.Sources, row.PushEvery, row.DeltaPushes, row.FullPushes, row.Pushes)
+		}
+		if row.DeltaPushes > 0 && row.WireBytesPerPush >= row.FullBytesPerPush {
+			t.Errorf("%d sources @ %d: wire %f B/push not below full %f",
+				row.Sources, row.PushEvery, row.WireBytesPerPush, row.FullBytesPerPush)
+		}
 	}
 	// On a drifting stream, pushing less often must not DECREASE the
 	// worst staleness.

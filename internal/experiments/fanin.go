@@ -11,6 +11,7 @@ import (
 	streamhull "github.com/streamgeom/streamhull"
 	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/convex"
+	"github.com/streamgeom/streamhull/internal/fanin"
 	"github.com/streamgeom/streamhull/internal/server"
 	"github.com/streamgeom/streamhull/internal/workload"
 )
@@ -25,6 +26,15 @@ type FanInPoint struct {
 	StaleErr  float64 // worst mid-stream aggregate error vs the points seen so far
 	SyncedErr float64 // error at stream end, after every source's final push
 	OneShot   float64 // one-shot MergeSnapshots of the final snapshots (baseline)
+	// Wire accounting: after its first acked push each follower sends
+	// epoch-ranged delta frames (extrema changed since the acked base)
+	// instead of full snapshots. WireBytesPerPush is the mean bytes
+	// actually sent per push; FullBytesPerPush is what the same pushes
+	// would have cost as full snapshot encodings.
+	DeltaPushes      int     // pushes that rode a delta frame
+	FullPushes       int     // pushes that sent the full snapshot
+	WireBytesPerPush float64 // mean bytes/push actually on the wire
+	FullBytesPerPush float64 // mean bytes/push had every push been full
 }
 
 // FanInSweep measures aggregate hull error against push interval and
@@ -42,6 +52,10 @@ type FanInPoint struct {
 // source) should converge to OneShot, the one-shot MergeSnapshots
 // baseline of the same inputs — continuous maintenance costs nothing
 // once synced; the push interval only bounds staleness between deltas.
+//
+// Pushes after each source's first ride the binary delta wire (extrema
+// changed since the last acked epoch); the per-row byte columns record
+// what that saves over re-sending full snapshots.
 func FanInSweep(gen func(seed int64) workload.Generator, n int, sourceCounts, pushEvery []int, r int, seed int64) ([]FanInPoint, error) {
 	pts := workload.Take(gen(seed), n)
 	var out []FanInPoint
@@ -63,14 +77,17 @@ func fanInOnce(pts []geom.Point, S, P, r int) (FanInPoint, error) {
 		return FanInPoint{}, err
 	}
 	defer srv.Close()
-	call := func(method, url string, body []byte) (int, string) {
+	call := func(method, url string, body []byte, contentType string) (int, string) {
 		req := httptest.NewRequest(method, url, bytes.NewReader(body))
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
 		rec := httptest.NewRecorder()
 		srv.ServeHTTP(rec, req)
 		return rec.Code, rec.Body.String()
 	}
 	spec := fmt.Sprintf(`{"kind":"fanin","r":%d}`, r)
-	if code, body := call(http.MethodPut, "/v1/streams/agg", []byte(spec)); code != http.StatusCreated {
+	if code, body := call(http.MethodPut, "/v1/streams/agg", []byte(spec), ""); code != http.StatusCreated {
 		return FanInPoint{}, fmt.Errorf("experiments: creating aggregate: %s", body)
 	}
 
@@ -78,24 +95,49 @@ func fanInOnce(pts []geom.Point, S, P, r int) (FanInPoint, error) {
 	for i := range followers {
 		followers[i] = streamhull.NewAdaptive(r)
 	}
+	// acked remembers each follower's last accepted push — the shared
+	// base its next delta frame builds on (mirrors fanin.Pusher).
+	type ackState struct {
+		epoch  uint64
+		points []geom.Point
+	}
+	acked := make([]ackState, S)
 	epoch := uint64(0)
-	pushes := 0
+	pushes, deltaPushes, fullPushes := 0, 0, 0
+	wireBytes, fullBytes := 0, 0
 	push := func(i int) error {
 		epoch++
-		data, err := followers[i].Snapshot().Encode()
+		snap := followers[i].Snapshot()
+		full, err := snap.Encode()
 		if err != nil {
 			return err
 		}
-		url := fmt.Sprintf("/v1/streams/agg/snapshot?source=node%03d&epoch=%d", i, epoch)
-		if code, body := call(http.MethodPost, url, data); code != http.StatusOK {
-			return fmt.Errorf("experiments: push: %s", body)
+		fullBytes += len(full)
+		if base := acked[i]; base.points != nil {
+			frame := fanin.EncodeDelta(fanin.ComputeDelta(
+				base.epoch, epoch, snap.N, base.points, snap.Points))
+			url := fmt.Sprintf("/v1/streams/agg/snapshot?source=node%03d", i)
+			code, body := call(http.MethodPost, url, frame, fanin.DeltaContentType)
+			if code != http.StatusOK {
+				return fmt.Errorf("experiments: delta push: %s", body)
+			}
+			wireBytes += len(frame)
+			deltaPushes++
+		} else {
+			url := fmt.Sprintf("/v1/streams/agg/snapshot?source=node%03d&epoch=%d", i, epoch)
+			if code, body := call(http.MethodPost, url, full, ""); code != http.StatusOK {
+				return fmt.Errorf("experiments: push: %s", body)
+			}
+			wireBytes += len(full)
+			fullPushes++
 		}
+		acked[i] = ackState{epoch: epoch, points: snap.Points}
 		pushes++
 		return nil
 	}
 
 	aggErr := func(prefix []geom.Point) (float64, error) {
-		code, body := call(http.MethodGet, "/v1/streams/agg/hull", nil)
+		code, body := call(http.MethodGet, "/v1/streams/agg/hull", nil, "")
 		if code != http.StatusOK {
 			return 0, fmt.Errorf("experiments: aggregate hull: %s", body)
 		}
@@ -155,10 +197,16 @@ func fanInOnce(pts []geom.Point, S, P, r int) (FanInPoint, error) {
 		return FanInPoint{}, err
 	}
 	oneMax, _ := distanceStats(convex.Hull(oneShot.Hull().Vertices()), pts)
-	return FanInPoint{
+	row := FanInPoint{
 		Sources: S, PushEvery: P, Pushes: pushes,
 		StaleErr: stale, SyncedErr: synced, OneShot: oneMax,
-	}, nil
+		DeltaPushes: deltaPushes, FullPushes: fullPushes,
+	}
+	if pushes > 0 {
+		row.WireBytesPerPush = float64(wireBytes) / float64(pushes)
+		row.FullBytesPerPush = float64(fullBytes) / float64(pushes)
+	}
+	return row, nil
 }
 
 // parseHullBody extracts the vertex polygon from a hull response.
@@ -180,13 +228,17 @@ func parseHullBody(body string) (convex.Polygon, error) {
 func FormatFanIn(rows []FanInPoint) string {
 	var b strings.Builder
 	b.WriteString("Continuous multi-node fan-in (per-source snapshot pushes over the HTTP handler)\n")
-	fmt.Fprintf(&b, "  %8s  %10s  %8s  %12s  %12s  %12s\n",
-		"sources", "push-every", "pushes", "stale err", "synced err", "one-shot")
+	fmt.Fprintf(&b, "  %8s  %10s  %8s  %12s  %12s  %12s  %8s  %12s  %12s\n",
+		"sources", "push-every", "pushes", "stale err", "synced err", "one-shot",
+		"deltas", "wire B/push", "full B/push")
 	for _, p := range rows {
-		fmt.Fprintf(&b, "  %8d  %10d  %8d  %12.6g  %12.6g  %12.6g\n",
-			p.Sources, p.PushEvery, p.Pushes, p.StaleErr, p.SyncedErr, p.OneShot)
+		fmt.Fprintf(&b, "  %8d  %10d  %8d  %12.6g  %12.6g  %12.6g  %8d  %12.1f  %12.1f\n",
+			p.Sources, p.PushEvery, p.Pushes, p.StaleErr, p.SyncedErr, p.OneShot,
+			p.DeltaPushes, p.WireBytesPerPush, p.FullBytesPerPush)
 	}
 	b.WriteString("  synced err should equal one-shot (bit-exact merge); stale err grows with push-every\n")
 	b.WriteString("  (stale err is the worst mid-stream lag; 0 means no mid-stream sample had pushes yet)\n")
+	b.WriteString("  wire B/push rides delta frames after each source's first push; full B/push is the\n")
+	b.WriteString("  same pushes as whole snapshot encodings — the bytes the delta wire saves\n")
 	return b.String()
 }

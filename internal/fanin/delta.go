@@ -1,0 +1,239 @@
+package fanin
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// Delta wire format
+//
+// A full snapshot push ships every extremum every interval — O(r) bytes
+// even when the stream was quiet. A delta push ships only the sample
+// slots that changed since the last push the aggregator ACKNOWLEDGED,
+// so a quiet interval costs a fixed ~40-byte frame and a typical busy
+// one a handful of changed slots.
+//
+// The encoding is positional: both sides hold the base sample (the
+// follower remembers what was acked, the aggregator holds the source's
+// live contribution), and the frame lists (index, point) pairs for the
+// slots that differ, plus the new length when the direction set grew or
+// shrank. Reconstruction is therefore exact, not approximate — and a
+// CRC over the reconstructed sample catches any divergence between the
+// two sides' idea of the base, turning silent corruption into an
+// explicit resync.
+//
+// Frame layout (little-endian, version 1):
+//
+//	offset  size  field
+//	0       4     magic "SHD1"
+//	4       8     base epoch   (the push this delta builds on; 0 = none)
+//	12      8     new epoch
+//	20      8     stream point count N
+//	28      4     base sample length (validated against the stored base)
+//	32      4     new sample length
+//	36      4     changed-slot count C
+//	40      20·C  C × (index uint32, x float64, y float64), indices
+//	              strictly increasing, each < new length; every index in
+//	              [baseLen, newLen) must be present (the appended tail
+//	              has no base to inherit from)
+//	40+20C  4     CRC-32 (IEEE) of the reconstructed sample (see sampleCRC)
+//
+// Every decode path is bounds-checked and every count is validated
+// before allocation, so a malformed or truncated frame from a confused
+// (or malicious) pusher fails cleanly — see FuzzDeltaDecode.
+
+// DeltaContentType is the Content-Type a delta-encoded push travels
+// under; the server routes on it (anything else on the push endpoint is
+// a full snapshot, JSON or binary).
+const DeltaContentType = "application/x-streamhull-delta"
+
+const (
+	deltaMagic      = "SHD1"
+	deltaHeaderSize = 4 + 8 + 8 + 8 + 4 + 4 + 4 // magic..changed count
+	deltaSlotSize   = 4 + 8 + 8                 // index, x, y
+	deltaCRCSize    = 4
+
+	// maxDeltaSlots bounds every length field in a frame before any
+	// allocation happens. Samples are O(r) with r capped far below this;
+	// the bound exists so a hostile frame cannot ask for gigabytes.
+	maxDeltaSlots = 1 << 20
+)
+
+// ErrResyncNeeded is returned when a delta cannot be applied because the
+// aggregator's stored base does not match the delta's — the source's
+// first contact, an epoch gap (a lost push in between), a length or CRC
+// mismatch. The cure is always the same: the follower re-sends a full
+// snapshot, which replaces the contribution wholesale.
+var ErrResyncNeeded = errors.New("fanin: delta base does not match the stored contribution; push a full snapshot to resync")
+
+// ChangedSlot is one rewritten sample slot in a delta.
+type ChangedSlot struct {
+	Idx int
+	P   geom.Point
+}
+
+// Delta is one decoded delta frame: the instruction "transform the
+// sample you accepted at BaseEpoch into my sample at Epoch".
+type Delta struct {
+	BaseEpoch uint64
+	Epoch     uint64
+	N         int
+	BaseLen   int
+	NewLen    int
+	Changed   []ChangedSlot
+	CRC       uint32
+}
+
+// sampleCRC fingerprints a reconstructed contribution: the stream count
+// and every coordinate, in order. Both sides compute it independently,
+// so any divergence in their idea of the base surfaces as a resync
+// instead of a silently wrong aggregate.
+func sampleCRC(n int, pts []geom.Point) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+	for _, p := range pts {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.X))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.Y))
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}
+
+// ComputeDelta diffs a new sample against the acked base and returns
+// the delta frame describing the change. It never fails: a base of
+// different length simply yields more changed slots, and the worst case
+// (nothing in common) degenerates to a full rewrite — callers compare
+// encoded sizes and fall back to a full snapshot push when the delta
+// would not actually be smaller.
+func ComputeDelta(baseEpoch, epoch uint64, n int, base, next []geom.Point) Delta {
+	d := Delta{
+		BaseEpoch: baseEpoch, Epoch: epoch, N: n,
+		BaseLen: len(base), NewLen: len(next),
+	}
+	for i, p := range next {
+		if i < len(base) && base[i] == p {
+			continue
+		}
+		d.Changed = append(d.Changed, ChangedSlot{Idx: i, P: p})
+	}
+	d.CRC = sampleCRC(n, next)
+	return d
+}
+
+// EncodeDelta serializes a delta frame.
+func EncodeDelta(d Delta) []byte {
+	out := make([]byte, 0, deltaHeaderSize+len(d.Changed)*deltaSlotSize+deltaCRCSize)
+	out = append(out, deltaMagic...)
+	out = binary.LittleEndian.AppendUint64(out, d.BaseEpoch)
+	out = binary.LittleEndian.AppendUint64(out, d.Epoch)
+	out = binary.LittleEndian.AppendUint64(out, uint64(d.N))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.BaseLen))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.NewLen))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(d.Changed)))
+	for _, c := range d.Changed {
+		out = binary.LittleEndian.AppendUint32(out, uint32(c.Idx))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.P.X))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.P.Y))
+	}
+	out = binary.LittleEndian.AppendUint32(out, d.CRC)
+	return out
+}
+
+// DecodeDelta parses and validates a delta frame. Every structural
+// invariant is checked here — magic, exact length, bounds on every
+// count, strictly increasing in-range indices, full coverage of the
+// appended tail, finite coordinates — so ApplyDelta can assume a
+// well-formed delta and only the base comparison can fail there.
+func DecodeDelta(data []byte) (Delta, error) {
+	if len(data) < deltaHeaderSize+deltaCRCSize {
+		return Delta{}, fmt.Errorf("fanin: delta frame truncated: %d bytes", len(data))
+	}
+	if string(data[:4]) != deltaMagic {
+		return Delta{}, fmt.Errorf("fanin: bad delta magic %q (want %q)", data[:4], deltaMagic)
+	}
+	var d Delta
+	d.BaseEpoch = binary.LittleEndian.Uint64(data[4:])
+	d.Epoch = binary.LittleEndian.Uint64(data[12:])
+	n := binary.LittleEndian.Uint64(data[20:])
+	baseLen := binary.LittleEndian.Uint32(data[28:])
+	newLen := binary.LittleEndian.Uint32(data[32:])
+	count := binary.LittleEndian.Uint32(data[36:])
+	if n > math.MaxInt64/2 {
+		return Delta{}, fmt.Errorf("fanin: delta stream count %d out of range", n)
+	}
+	if baseLen > maxDeltaSlots || newLen > maxDeltaSlots || count > maxDeltaSlots {
+		return Delta{}, fmt.Errorf("fanin: delta lengths out of range (base %d, new %d, changed %d)",
+			baseLen, newLen, count)
+	}
+	if count > newLen {
+		return Delta{}, fmt.Errorf("fanin: delta rewrites %d slots but the new sample has only %d", count, newLen)
+	}
+	d.N, d.BaseLen, d.NewLen = int(n), int(baseLen), int(newLen)
+	want := deltaHeaderSize + int(count)*deltaSlotSize + deltaCRCSize
+	if len(data) != want {
+		return Delta{}, fmt.Errorf("fanin: delta frame is %d bytes, want %d for %d changed slots",
+			len(data), want, count)
+	}
+	d.Changed = make([]ChangedSlot, count)
+	off := deltaHeaderSize
+	prev := -1
+	for i := range d.Changed {
+		idx := int(binary.LittleEndian.Uint32(data[off:]))
+		x := math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:]))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(data[off+12:]))
+		off += deltaSlotSize
+		if idx <= prev {
+			return Delta{}, fmt.Errorf("fanin: delta indices not strictly increasing at slot %d", i)
+		}
+		if idx >= d.NewLen {
+			return Delta{}, fmt.Errorf("fanin: delta index %d out of range (new length %d)", idx, d.NewLen)
+		}
+		p := geom.Pt(x, y)
+		if !p.IsFinite() {
+			return Delta{}, fmt.Errorf("fanin: delta slot %d has a non-finite point %v", i, p)
+		}
+		d.Changed[i] = ChangedSlot{Idx: idx, P: p}
+		prev = idx
+	}
+	// The appended tail [baseLen, newLen) has no base slot to inherit
+	// from, so the frame must rewrite every one of those indices. They
+	// are the largest indices, so they must be the trailing changed
+	// slots, contiguous from baseLen.
+	if tail := d.NewLen - d.BaseLen; tail > 0 {
+		if len(d.Changed) < tail || d.Changed[len(d.Changed)-tail].Idx != d.BaseLen {
+			return Delta{}, fmt.Errorf("fanin: delta grows the sample to %d but does not rewrite the tail from %d",
+				d.NewLen, d.BaseLen)
+		}
+	}
+	d.CRC = binary.LittleEndian.Uint32(data[off:])
+	return d, nil
+}
+
+// applyDelta reconstructs the new sample from the stored base and a
+// decoded delta. The caller has already matched epochs; this checks the
+// structural base assumptions (length, CRC) and returns ErrResyncNeeded
+// wrapped with detail when they fail.
+func applyDelta(base []geom.Point, d Delta) ([]geom.Point, error) {
+	if len(base) != d.BaseLen {
+		return nil, fmt.Errorf("%w (stored sample has %d points, delta expects %d)",
+			ErrResyncNeeded, len(base), d.BaseLen)
+	}
+	next := make([]geom.Point, d.NewLen)
+	copy(next, base[:min(len(base), d.NewLen)])
+	for _, c := range d.Changed {
+		next[c.Idx] = c.P
+	}
+	if crc := sampleCRC(d.N, next); crc != d.CRC {
+		return nil, fmt.Errorf("%w (reconstruction CRC %08x, delta says %08x)",
+			ErrResyncNeeded, crc, d.CRC)
+	}
+	return next, nil
+}

@@ -1,0 +1,287 @@
+package fanin
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+func pts(coords ...float64) []geom.Point {
+	out := make([]geom.Point, 0, len(coords)/2)
+	for i := 0; i+1 < len(coords); i += 2 {
+		out = append(out, geom.Pt(coords[i], coords[i+1]))
+	}
+	return out
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	cases := []struct {
+		name        string
+		base, next  []geom.Point
+		wantChanged int
+	}{
+		{"quiet interval", pts(0, 0, 1, 1, 2, 2), pts(0, 0, 1, 1, 2, 2), 0},
+		{"one slot moved", pts(0, 0, 1, 1, 2, 2), pts(0, 0, 9, 9, 2, 2), 1},
+		{"sample grew", pts(0, 0, 1, 1), pts(0, 0, 1, 1, 2, 2, 3, 3), 2},
+		{"sample shrank", pts(0, 0, 1, 1, 2, 2), pts(0, 0, 1, 1), 0},
+		{"total rewrite", pts(0, 0, 1, 1), pts(5, 5, 6, 6), 2},
+		{"empty base (first contact shape)", nil, pts(1, 2), 1},
+		{"empty next", pts(1, 2), nil, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := ComputeDelta(7, 8, 42, tc.base, tc.next)
+			if len(d.Changed) != tc.wantChanged {
+				t.Fatalf("ComputeDelta changed %d slots, want %d", len(d.Changed), tc.wantChanged)
+			}
+			frame := EncodeDelta(d)
+			got, err := DecodeDelta(frame)
+			if err != nil {
+				t.Fatalf("DecodeDelta: %v", err)
+			}
+			rec, err := applyDelta(tc.base, got)
+			if err != nil {
+				t.Fatalf("applyDelta: %v", err)
+			}
+			if len(rec) != len(tc.next) {
+				t.Fatalf("reconstructed %d points, want %d", len(rec), len(tc.next))
+			}
+			for i := range rec {
+				if rec[i] != tc.next[i] {
+					t.Fatalf("slot %d: %v, want %v", i, rec[i], tc.next[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaQuietFrameIsTiny pins the size story: an unchanged sample
+// costs a fixed header+CRC frame, far below any full snapshot.
+func TestDeltaQuietFrameIsTiny(t *testing.T) {
+	sample := make([]geom.Point, 64)
+	for i := range sample {
+		sample[i] = geom.Pt(float64(i), float64(-i))
+	}
+	frame := EncodeDelta(ComputeDelta(1, 2, 10_000, sample, sample))
+	if len(frame) != deltaHeaderSize+deltaCRCSize {
+		t.Fatalf("quiet delta frame is %d bytes, want %d", len(frame), deltaHeaderSize+deltaCRCSize)
+	}
+}
+
+// TestDeltaCRCCatchesBaseDivergence: the follower diffs against a base
+// the aggregator does not actually hold → the reconstruction CRC must
+// bounce it into a resync rather than applying silently wrong extrema.
+func TestDeltaCRCCatchesBaseDivergence(t *testing.T) {
+	followerBase := pts(0, 0, 1, 1, 2, 2)
+	aggregatorBase := pts(0, 0, 1, 1, 9, 9) // diverged copy, same length
+	next := pts(0, 0, 5, 5, 2, 2)
+	d := ComputeDelta(7, 8, 3, followerBase, next)
+	decoded, err := DecodeDelta(EncodeDelta(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := applyDelta(aggregatorBase, decoded); !errors.Is(err, ErrResyncNeeded) {
+		t.Fatalf("diverged base: err = %v, want ErrResyncNeeded", err)
+	}
+	// Length divergence too.
+	if _, err := applyDelta(pts(0, 0), decoded); !errors.Is(err, ErrResyncNeeded) {
+		t.Fatalf("short base: err = %v, want ErrResyncNeeded", err)
+	}
+}
+
+// TestDecodeDeltaRejectsMalformed is the hand-written half of the fuzz
+// story: every structural invariant violated on purpose.
+func TestDecodeDeltaRejectsMalformed(t *testing.T) {
+	valid := EncodeDelta(ComputeDelta(1, 2, 5, pts(0, 0, 1, 1), pts(0, 0, 2, 2)))
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return f(b)
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"truncated header", valid[:deltaHeaderSize-1]},
+		{"truncated slot", valid[:len(valid)-deltaCRCSize-1]},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0xFF)},
+		{"count over cap", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[36:], maxDeltaSlots+1)
+			return b
+		})},
+		{"count beyond new length", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[32:], 0) // newLen = 0, one changed slot
+			return b
+		})},
+		{"index out of range", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[deltaHeaderSize:], 99)
+			return b
+		})},
+		{"non-finite point", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[deltaHeaderSize+4:], math.Float64bits(math.NaN()))
+			return b
+		})},
+		{"tail not rewritten", func() []byte {
+			// Claims the sample grew to 3 slots but rewrites only slot 1.
+			d := ComputeDelta(1, 2, 5, pts(0, 0, 1, 1), pts(0, 0, 2, 2))
+			d.NewLen = 3
+			return EncodeDelta(d)
+		}()},
+		{"duplicate indices", func() []byte {
+			d := Delta{BaseEpoch: 1, Epoch: 2, N: 5, BaseLen: 2, NewLen: 2,
+				Changed: []ChangedSlot{{Idx: 1, P: geom.Pt(1, 1)}, {Idx: 1, P: geom.Pt(2, 2)}}}
+			return EncodeDelta(d)
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeDelta(tc.frame); err == nil {
+				t.Fatalf("DecodeDelta accepted a malformed frame (%d bytes)", len(tc.frame))
+			}
+		})
+	}
+}
+
+// TestTableApplyDeltaEpochRules is the idempotency/ordering regression
+// the at-least-once transport depends on: a same-epoch replay of an
+// applied delta is a no-op (never double-applies), an older frame is
+// stale, a gapped base demands resync — and after all of it the stored
+// contribution is exactly one application of the newest state.
+func TestTableApplyDeltaEpochRules(t *testing.T) {
+	tab := NewTable(nil)
+	base := pts(0, 0, 1, 1, 2, 2)
+	if err := tab.Push("src", 10, 3, base); err != nil {
+		t.Fatal(err)
+	}
+
+	next := pts(0, 0, 5, 5, 2, 2)
+	d1, err := DecodeDelta(EncodeDelta(ComputeDelta(10, 20, 4, base, next)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.ApplyDelta("src", d1); err != nil {
+		t.Fatalf("first apply: %v", err)
+	}
+	epochAfter := tab.Epoch()
+
+	// Duplicate replay of the SAME frame: accepted as a no-op — no
+	// double-apply, no table mutation (readers keep their cached merge).
+	if err := tab.ApplyDelta("src", d1); err != nil {
+		t.Fatalf("duplicate replay: %v, want nil no-op", err)
+	}
+	if tab.Epoch() != epochAfter {
+		t.Fatal("duplicate replay bumped the mutation counter")
+	}
+
+	// Reordered older frame (a replayed pre-delta push): stale.
+	dOld, _ := DecodeDelta(EncodeDelta(ComputeDelta(5, 9, 2, pts(9, 9), pts(8, 8))))
+	if err := tab.ApplyDelta("src", dOld); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("older frame: %v, want ErrStaleEpoch", err)
+	}
+
+	// A frame whose base skips the current epoch (lost push in between).
+	dGap, _ := DecodeDelta(EncodeDelta(ComputeDelta(15, 30, 4, base, next)))
+	if err := tab.ApplyDelta("src", dGap); !errors.Is(err, ErrResyncNeeded) {
+		t.Fatalf("gapped base: %v, want ErrResyncNeeded", err)
+	}
+
+	// Unknown source: resync (first contact must be a full push).
+	if err := tab.ApplyDelta("ghost", d1); !errors.Is(err, ErrResyncNeeded) {
+		t.Fatalf("unknown source: %v, want ErrResyncNeeded", err)
+	}
+
+	// The stored contribution is exactly one application of d1.
+	srcs := tab.Sources()
+	if len(srcs) != 1 || srcs[0].Epoch != 20 || srcs[0].N != 4 || srcs[0].SamplePoints != 3 {
+		t.Fatalf("stored contribution = %+v", srcs)
+	}
+	got := tab.MergedPoints()
+	for i := range next {
+		if got[i] != next[i] {
+			t.Fatalf("slot %d: %v, want %v", i, got[i], next[i])
+		}
+	}
+}
+
+// TestTablePushPreservesAdvertisedAddr: a full replace must not forget
+// the source's pull-back URL, and Advertise on an unknown source is a
+// no-op.
+func TestTablePushPreservesAdvertisedAddr(t *testing.T) {
+	tab := NewTable(nil)
+	tab.Advertise("src", "http://nope") // before first push: no-op
+	if err := tab.Push("src", 1, 1, pts(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if addr := tab.Sources()[0].Addr; addr != "" {
+		t.Fatalf("pre-push advertise stuck: %q", addr)
+	}
+	tab.Advertise("src", "http://follower:8081")
+	if err := tab.Push("src", 2, 2, pts(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if addr := tab.Sources()[0].Addr; addr != "http://follower:8081" {
+		t.Fatalf("full replace dropped the addr: %q", addr)
+	}
+	d, _ := DecodeDelta(EncodeDelta(ComputeDelta(2, 3, 3, pts(1, 1), pts(2, 2))))
+	if err := tab.ApplyDelta("src", d); err != nil {
+		t.Fatal(err)
+	}
+	if addr := tab.Sources()[0].Addr; addr != "http://follower:8081" {
+		t.Fatalf("delta apply dropped the addr: %q", addr)
+	}
+}
+
+// FuzzDeltaDecode hammers the wire decoder: whatever the bytes,
+// DecodeDelta must never panic, and anything it accepts must (a) obey
+// the structural invariants and (b) survive an encode/decode round
+// trip unchanged — the decoder and encoder agree on the format.
+func FuzzDeltaDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(deltaMagic))
+	f.Add(EncodeDelta(ComputeDelta(0, 1, 3, nil, pts(1, 2, 3, 4))))
+	f.Add(EncodeDelta(ComputeDelta(7, 9, 100, pts(0, 0, 1, 1, 2, 2), pts(0, 0, 5, 5))))
+	f.Add(EncodeDelta(ComputeDelta(1, 2, 50, pts(0, 0), pts(0, 0)))) // quiet
+	// Epoch-gap shapes: valid frames whose base epoch will never match.
+	f.Add(EncodeDelta(ComputeDelta(math.MaxUint64-1, math.MaxUint64, 1, pts(0, 0), pts(1, 1))))
+	// Truncations of a valid frame.
+	full := EncodeDelta(ComputeDelta(3, 4, 9, pts(0, 0, 1, 1), pts(2, 2, 3, 3, 4, 4)))
+	for cut := 0; cut < len(full); cut += 7 {
+		f.Add(full[:cut])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		if len(d.Changed) > d.NewLen || d.NewLen > maxDeltaSlots || d.BaseLen > maxDeltaSlots {
+			t.Fatalf("accepted frame violates bounds: %+v", d)
+		}
+		prev := -1
+		for _, c := range d.Changed {
+			if c.Idx <= prev || c.Idx >= d.NewLen || !c.P.IsFinite() {
+				t.Fatalf("accepted frame has bad slot %+v (prev %d)", c, prev)
+			}
+			prev = c.Idx
+		}
+		// Round trip: re-encoding the decoded frame reproduces it.
+		again, err := DecodeDelta(EncodeDelta(d))
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if again.BaseEpoch != d.BaseEpoch || again.Epoch != d.Epoch || again.N != d.N ||
+			again.BaseLen != d.BaseLen || again.NewLen != d.NewLen ||
+			again.CRC != d.CRC || len(again.Changed) != len(d.Changed) {
+			t.Fatalf("round trip drifted: %+v vs %+v", again, d)
+		}
+		// Applying to a base of the declared length must either succeed
+		// or report resync (CRC) — never panic or misindex.
+		base := make([]geom.Point, d.BaseLen)
+		if rec, err := applyDelta(base, d); err == nil && len(rec) != d.NewLen {
+			t.Fatalf("reconstruction has %d slots, frame says %d", len(rec), d.NewLen)
+		}
+	})
+}

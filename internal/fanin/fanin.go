@@ -48,6 +48,7 @@ type Source struct {
 	N            int       // stream points the source's snapshot summarizes
 	SamplePoints int       // extremum points contributed to the merge
 	LastPush     time.Time // when the last accepted push landed
+	Addr         string    // advertised base URL for aggregator-initiated pulls ("" = none)
 }
 
 // entry is one source's live contribution.
@@ -56,6 +57,7 @@ type entry struct {
 	n      int
 	points []geom.Point
 	last   time.Time
+	addr   string // advertised pull-back URL, carried on pushes
 }
 
 // Table is the aggregator-side bookkeeping: one entry per source,
@@ -87,14 +89,89 @@ func (t *Table) Push(source string, epoch uint64, n int, points []geom.Point) er
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if cur, ok := t.sources[source]; ok && epoch < cur.epoch {
-		return fmt.Errorf("%w (source %q: got %d, have %d)", ErrStaleEpoch, source, epoch, cur.epoch)
+	addr := ""
+	if cur, ok := t.sources[source]; ok {
+		if epoch < cur.epoch {
+			return fmt.Errorf("%w (source %q: got %d, have %d)", ErrStaleEpoch, source, epoch, cur.epoch)
+		}
+		addr = cur.addr // a full replace keeps the advertised pull-back URL
 	}
 	pts := make([]geom.Point, len(points))
 	copy(pts, points)
-	t.sources[source] = &entry{epoch: epoch, n: n, points: pts, last: t.now()}
+	t.sources[source] = &entry{epoch: epoch, n: n, points: pts, last: t.now(), addr: addr}
 	t.epoch.Add(1)
 	return nil
+}
+
+// ApplyDelta transforms source's stored contribution by a decoded delta
+// frame. The delta's base epoch must equal the stored epoch — the
+// follower built it against exactly what we hold. Anything else is one
+// of three cases, each with its own cure:
+//
+//   - d.Epoch == stored epoch: the delta was already applied and this is
+//     a duplicated or retried frame; accept it as a no-op (nil) so
+//     at-least-once transports never double-apply a delta.
+//   - d.Epoch < stored epoch: a reordered frame from the past;
+//     ErrStaleEpoch, dropped whole, same as a stale full push.
+//   - base epoch mismatch (first contact, a lost push in between, or a
+//     pull that moved the epoch underneath the follower): ErrResyncNeeded
+//     — the follower answers with a full snapshot push.
+//
+// A structural mismatch during reconstruction (length or CRC) is also
+// ErrResyncNeeded: the two sides disagree about the base, and a full
+// push re-establishes shared state.
+func (t *Table) ApplyDelta(source string, d Delta) error {
+	if source == "" {
+		return fmt.Errorf("fanin: delta push requires a source name")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.sources[source]
+	if !ok {
+		return fmt.Errorf("%w (source %q has no contribution yet)", ErrResyncNeeded, source)
+	}
+	if d.Epoch == cur.epoch {
+		return nil // duplicate of the frame that produced the current state
+	}
+	if d.Epoch < cur.epoch {
+		return fmt.Errorf("%w (source %q: got %d, have %d)", ErrStaleEpoch, source, d.Epoch, cur.epoch)
+	}
+	if d.BaseEpoch != cur.epoch {
+		return fmt.Errorf("%w (source %q: delta base epoch %d, stored epoch %d)",
+			ErrResyncNeeded, source, d.BaseEpoch, cur.epoch)
+	}
+	pts, err := applyDelta(cur.points, d)
+	if err != nil {
+		return err
+	}
+	t.sources[source] = &entry{epoch: d.Epoch, n: max(d.N, 0), points: pts, last: t.now(), addr: cur.addr}
+	t.epoch.Add(1)
+	return nil
+}
+
+// SourceEpoch returns source's last accepted push epoch (0, false when the
+// source has no live contribution) — what a resync rejection reports
+// back so the follower knows where the aggregator actually stands.
+func (t *Table) SourceEpoch(source string) (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.sources[source]
+	if !ok {
+		return 0, false
+	}
+	return cur.epoch, true
+}
+
+// Advertise records source's pull-back URL (the follower's own base
+// URL, carried on its pushes) so a lagging source can be pulled instead
+// of waited on. A source with no live contribution is left alone — there
+// is nothing to refresh until its first accepted push.
+func (t *Table) Advertise(source, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.sources[source]; ok && cur.addr != addr {
+		cur.addr = addr
+	}
 }
 
 // Drop removes a source's contribution entirely (an operator dropping a
@@ -131,7 +208,7 @@ func (t *Table) Sources() []Source {
 	for name, e := range t.sources {
 		out = append(out, Source{
 			Name: name, Epoch: e.epoch, N: e.n,
-			SamplePoints: len(e.points), LastPush: e.last,
+			SamplePoints: len(e.points), LastPush: e.last, Addr: e.addr,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

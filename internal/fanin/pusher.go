@@ -3,6 +3,7 @@ package fanin
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/streamgeom/streamhull/geom"
 	"github.com/streamgeom/streamhull/internal/trace"
 )
 
@@ -26,6 +28,12 @@ type StreamSnapshot struct {
 	Stream string // stream id, same on follower and aggregator
 	R      int    // sample parameter, used to size the aggregate on create
 	Data   []byte // JSON-encoded streamhull.Snapshot
+	// N and Points expose the snapshot's head count and sample slots so
+	// the pusher can diff against the last acked push and send a delta
+	// frame instead of Data. Nil Points (an embedder that only fills
+	// Data) disables delta mode for the stream — every push is full.
+	N      int
+	Points []geom.Point
 }
 
 // PusherConfig parameterizes a follower push loop.
@@ -63,6 +71,21 @@ type PusherConfig struct {
 	// It must carry the push role for the tenant whose namespace the
 	// aggregates live in.
 	Token string
+	// Deltas enables epoch-ranged delta pushes: after a stream's first
+	// accepted full push, later pushes send only the sample slots that
+	// changed since the last ACKED epoch (see delta.go) whenever that is
+	// smaller than the full snapshot. The aggregator answers a delta it
+	// cannot anchor (first contact, an epoch gap, a base mismatch) with
+	// a resync rejection, and the pusher falls back to a full snapshot
+	// in the same attempt — so enabling deltas never loses data, it only
+	// shrinks the steady-state bytes on the wire. Requires Collect to
+	// fill StreamSnapshot.Points.
+	Deltas bool
+	// AdvertiseURL, when set, rides every push as the follower's own
+	// base URL, letting the aggregator pull this follower's snapshot
+	// itself when its pushes lag (see the server's PullAfter). It must
+	// be a URL the AGGREGATOR can reach this process on.
+	AdvertiseURL string
 	// MaxRetries bounds in-tick retries of one stream's push after a
 	// transient failure — a network error, 5xx, 429 (whose Retry-After is
 	// honored) or 401 (a token being rolled on the aggregator). 0 = 4;
@@ -88,18 +111,33 @@ type PusherStats struct {
 	// a growing value means the aggregator has been unreachable for that
 	// many attempts (exported as a staleness alarm on /metrics).
 	ConsecutiveFailures uint64
+	// DeltaPushes / FullPushes split Pushes by wire mode.
+	DeltaPushes uint64
+	FullPushes  uint64
+	// Resyncs counts delta pushes the aggregator bounced with a resync
+	// rejection (answered with a full snapshot in the same attempt). A
+	// steadily growing value means the two sides keep losing their
+	// shared base — an aggregator restarting, or pulls racing pushes.
+	Resyncs uint64
+	// BytesPushed sums the accepted pushes' body bytes — the number the
+	// delta encoding exists to shrink (hullbench -fanin reports it per
+	// push for both modes).
+	BytesPushed uint64
 }
 
 // pusherCounters is the atomic backing for PusherStats; Run's loop and
 // Stats() race benignly across goroutines.
 type pusherCounters struct {
-	pushes, failures, retries, consec atomic.Uint64
+	pushes, failures, retries, consec  atomic.Uint64
+	deltas, fulls, resyncs, bytesAccum atomic.Uint64
 }
 
 // HTTPError is a non-2xx aggregator response, carrying what retry logic
-// needs: the status code and any Retry-After hint.
+// needs: the status code, the error envelope's machine code, and any
+// Retry-After hint.
 type HTTPError struct {
 	StatusCode int
+	Code       string        // error envelope "code" field ("" when absent)
 	RetryAfter time.Duration // parsed Retry-After (0 = none)
 	Msg        string        // status line + response body excerpt
 }
@@ -119,9 +157,16 @@ func (e *HTTPError) Transient() bool {
 // httpError builds an HTTPError from a non-2xx response, consuming (a
 // bounded prefix of) its body.
 func httpError(context string, resp *http.Response) *HTTPError {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 	he := &HTTPError{
 		StatusCode: resp.StatusCode,
-		Msg:        fmt.Sprintf("%s: %s", context, readError(resp)),
+		Msg:        fmt.Sprintf("%s: %s: %s", context, resp.Status, bytes.TrimSpace(body)),
+	}
+	var envelope struct {
+		Code string `json:"code"`
+	}
+	if json.Unmarshal(body, &envelope) == nil {
+		he.Code = envelope.Code
 	}
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 		he.RetryAfter = time.Duration(secs) * time.Second
@@ -135,7 +180,19 @@ func httpError(context string, resp *http.Response) *HTTPError {
 type Pusher struct {
 	cfg     PusherConfig
 	created map[string]bool // aggregate streams known to exist
-	stats   pusherCounters
+	// acked remembers, per stream, the last push the aggregator
+	// acknowledged — the shared base the next delta builds on. Only the
+	// push loop's goroutine touches it.
+	acked map[string]ackState
+	stats pusherCounters
+}
+
+// ackState is the pusher's copy of what the aggregator last accepted
+// for one stream.
+type ackState struct {
+	epoch  uint64
+	n      int
+	points []geom.Point
 }
 
 // NewPusher validates the config and returns a ready pusher.
@@ -170,7 +227,7 @@ func NewPusher(cfg PusherConfig) (*Pusher, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
-	return &Pusher{cfg: cfg, created: make(map[string]bool)}, nil
+	return &Pusher{cfg: cfg, created: make(map[string]bool), acked: make(map[string]ackState)}, nil
 }
 
 // Stats returns a snapshot of the pusher's counters; safe to call from
@@ -182,6 +239,10 @@ func (p *Pusher) Stats() PusherStats {
 		Failures:            p.stats.failures.Load(),
 		Retries:             p.stats.retries.Load(),
 		ConsecutiveFailures: p.stats.consec.Load(),
+		DeltaPushes:         p.stats.deltas.Load(),
+		FullPushes:          p.stats.fulls.Load(),
+		Resyncs:             p.stats.resyncs.Load(),
+		BytesPushed:         p.stats.bytesAccum.Load(),
 	}
 }
 
@@ -222,8 +283,11 @@ func (p *Pusher) pushAll(ctx context.Context) {
 	}
 }
 
-// pushStream ensures the aggregate exists, then pushes one snapshot,
-// retrying transient failures with backoff (see withRetry). A 409 on
+// pushStream ensures the aggregate exists, then pushes one snapshot —
+// as an epoch-ranged delta against the last acked push when delta mode
+// is on and the delta is actually smaller, falling back to the full
+// snapshot when the aggregator cannot anchor the delta (resync) — and
+// retries transient failures with backoff (see withRetry). A 409 on
 // create means the aggregate already exists (fine); a failed create is
 // retried on the next push rather than cached. A failed PUSH also
 // clears the created mark: an in-memory aggregator that restarted has
@@ -237,6 +301,7 @@ func (p *Pusher) pushStream(ctx context.Context, ss StreamSnapshot) error {
 	sp.SetAttr("stream", ss.Stream)
 	sp.SetAttr("source", p.cfg.Source)
 	pctx := trace.ContextWithSpan(ctx, sp)
+	mode := "full"
 	err := p.withRetry(ctx, func() error {
 		if !p.created[ss.Stream] {
 			if err := EnsureAggregate(pctx, p.cfg.Client, p.cfg.Target, p.cfg.Token, ss.Stream, ss.R); err != nil {
@@ -244,7 +309,46 @@ func (p *Pusher) pushStream(ctx context.Context, ss StreamSnapshot) error {
 			}
 			p.created[ss.Stream] = true
 		}
-		return Push(pctx, p.cfg.Client, p.cfg.Target, p.cfg.Token, ss.Stream, p.cfg.Source, p.cfg.Epoch(), ss.Data)
+		epoch := p.cfg.Epoch()
+		if ack, ok := p.acked[ss.Stream]; ok && p.cfg.Deltas && ss.Points != nil {
+			d := ComputeDelta(ack.epoch, epoch, ss.N, ack.points, ss.Points)
+			frame := EncodeDelta(d)
+			if len(frame) < len(ss.Data) {
+				acked, err := PushDelta(pctx, p.cfg.Client, p.cfg.Target, p.cfg.Token,
+					ss.Stream, p.cfg.Source, p.cfg.AdvertiseURL, frame)
+				if err == nil {
+					mode = "delta"
+					p.recordAck(ss, acked)
+					p.stats.deltas.Add(1)
+					p.stats.bytesAccum.Add(uint64(len(frame)))
+					return nil
+				}
+				var he *HTTPError
+				if !errors.As(err, &he) || !resyncable(he) {
+					return err
+				}
+				// The aggregator cannot anchor this delta (restarted, a
+				// pull moved the epoch, or it predates delta support) —
+				// fall through to a full snapshot in this same attempt.
+				p.stats.resyncs.Add(1)
+				p.cfg.Logger.Info("fanin: delta bounced, resyncing with a full snapshot",
+					"stream", ss.Stream, "err", err)
+				// A stale-epoch bounce means something (a pull, a racing
+				// duplicate) moved the source's epoch past ours; take a
+				// fresh epoch so the resync supersedes it.
+				epoch = p.cfg.Epoch()
+			}
+		}
+		acked, err := Push(pctx, p.cfg.Client, p.cfg.Target, p.cfg.Token,
+			ss.Stream, p.cfg.Source, p.cfg.AdvertiseURL, epoch, ss.Data)
+		if err != nil {
+			return err
+		}
+		mode = "full"
+		p.recordAck(ss, acked)
+		p.stats.fulls.Add(1)
+		p.stats.bytesAccum.Add(uint64(len(ss.Data)))
+		return nil
 	})
 	if err != nil {
 		sp.SetAttr("status", "error")
@@ -255,10 +359,33 @@ func (p *Pusher) pushStream(ctx context.Context, ss StreamSnapshot) error {
 		return err
 	}
 	sp.SetAttr("status", "ok")
+	sp.SetAttr("mode", mode)
 	sp.End()
 	p.stats.pushes.Add(1)
 	p.stats.consec.Store(0)
 	return nil
+}
+
+// recordAck stores the push the aggregator just acknowledged as the
+// base for the stream's next delta. A Collect that does not expose the
+// sample slots leaves the stream in full-push mode.
+func (p *Pusher) recordAck(ss StreamSnapshot, ackedEpoch uint64) {
+	if ss.Points == nil {
+		delete(p.acked, ss.Stream)
+		return
+	}
+	pts := make([]geom.Point, len(ss.Points))
+	copy(pts, ss.Points)
+	p.acked[ss.Stream] = ackState{epoch: ackedEpoch, n: ss.N, points: pts}
+}
+
+// resyncable reports whether a rejected delta push should be answered
+// with a full snapshot: an explicit resync demand, a stale-epoch race
+// (a pull or a duplicated older frame moved the source's epoch), or a
+// plain 400 from an aggregator that predates the delta wire format.
+func resyncable(he *HTTPError) bool {
+	return he.Code == "resync_required" || he.Code == "stale_epoch" ||
+		he.StatusCode == http.StatusBadRequest
 }
 
 // withRetry runs op, retrying transient failures (network errors and
@@ -345,33 +472,76 @@ func EnsureAggregate(ctx context.Context, client *http.Client, target, token, st
 	}
 }
 
-// Push sends one source-tagged snapshot delta to the aggregate stream on
-// target. The body is a JSON-encoded streamhull.Snapshot. Failures are
-// *HTTPError so callers can tell transient trouble from deterministic
-// rejection.
-func Push(ctx context.Context, client *http.Client, target, token, stream, source string, epoch uint64, snapJSON []byte) error {
-	u := fmt.Sprintf("%s/v1/streams/%s/snapshot?source=%s&epoch=%s",
-		target, url.PathEscape(stream), url.QueryEscape(source),
-		strconv.FormatUint(epoch, 10))
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(snapJSON))
+// pushURL builds the source-push URL, with the advertised pull-back
+// address attached when the follower has one.
+func pushURL(target, stream, source, addr string, epoch uint64) string {
+	u := fmt.Sprintf("%s/v1/streams/%s/snapshot?source=%s",
+		target, url.PathEscape(stream), url.QueryEscape(source))
+	if epoch != 0 {
+		u += "&epoch=" + strconv.FormatUint(epoch, 10)
+	}
+	if addr != "" {
+		u += "&addr=" + url.QueryEscape(addr)
+	}
+	return u
+}
+
+// decodeAck extracts the acked epoch from a 200 push response; a body
+// without one (an aggregator predating the ack protocol) yields the
+// fallback so callers can assume their own epoch was the one stored.
+func decodeAck(resp *http.Response, fallback uint64) uint64 {
+	var body struct {
+		AckedEpoch uint64 `json:"acked_epoch"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil && body.AckedEpoch != 0 {
+		return body.AckedEpoch
+	}
+	return fallback
+}
+
+// Push sends one source-tagged full snapshot to the aggregate stream on
+// target, returning the epoch the aggregator acknowledged. The body is
+// a JSON-encoded streamhull.Snapshot. Failures are *HTTPError so
+// callers can tell transient trouble from deterministic rejection.
+func Push(ctx context.Context, client *http.Client, target, token, stream, source, addr string, epoch uint64, snapJSON []byte) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		pushURL(target, stream, source, addr, epoch), bytes.NewReader(snapJSON))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	authorize(req, token)
 	resp, err := client.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return httpError(fmt.Sprintf("fanin: push %q as %q", stream, source), resp)
+		return 0, httpError(fmt.Sprintf("fanin: push %q as %q", stream, source), resp)
 	}
-	return nil
+	return decodeAck(resp, epoch), nil
 }
 
-// readError summarizes a non-2xx response for error messages.
-func readError(resp *http.Response) string {
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	return fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(body))
+// PushDelta sends one encoded delta frame (see delta.go) to the
+// aggregate stream on target, returning the acked epoch. The epochs
+// ride inside the frame; the request differs from a full push only in
+// its Content-Type. A 409 with code "resync_required" means the
+// aggregator cannot anchor the frame and wants a full snapshot instead.
+func PushDelta(ctx context.Context, client *http.Client, target, token, stream, source, addr string, frame []byte) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		pushURL(target, stream, source, addr, 0), bytes.NewReader(frame))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", DeltaContentType)
+	authorize(req, token)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, httpError(fmt.Sprintf("fanin: delta push %q as %q", stream, source), resp)
+	}
+	return decodeAck(resp, 0), nil
 }

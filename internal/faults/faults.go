@@ -1,0 +1,261 @@
+// Package faults wraps an http.RoundTripper with deterministic,
+// seed-scheduled network misbehavior: dropped requests, injected
+// latency, duplicated sends, replays of old frames (duplication AND
+// reordering in one move — a stale request arriving after newer ones),
+// and full partitions. It exists to prove the fan-in layer's
+// convergence story rather than assume it: the soak tests wire a
+// Transport under the push and pull clients, let it mangle traffic for
+// a while, heal it, and assert the aggregate is bit-exact with a
+// one-shot merge of the followers' final snapshots.
+//
+// Every decision comes from one seeded PRNG, so a failing schedule is
+// reproducible from its seed alone. The zero Config mangles nothing;
+// a Transport is also a transparent pass-through while disabled, so a
+// test can surround an exact-delivery phase with chaos phases.
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the misbehavior mix. Probabilities are per-request in
+// [0,1]; independent draws decide each fault, so one request can be
+// both delayed and duplicated.
+type Config struct {
+	// Seed feeds the schedule's PRNG (0 = 1, so the zero value is still
+	// deterministic).
+	Seed int64
+	// DropProb is the chance a request is swallowed whole: never sent,
+	// the caller gets a transport error (retryable, like a real timeout).
+	DropProb float64
+	// DelayProb is the chance a request is held for a random duration up
+	// to MaxDelay before being sent.
+	DelayProb float64
+	// MaxDelay bounds injected latency (0 = 20ms).
+	MaxDelay time.Duration
+	// DupProb is the chance a request is sent twice back-to-back (the
+	// duplicate's response is discarded) — an at-least-once transport.
+	DupProb float64
+	// ReplayProb is the chance that, before a request is sent, one
+	// previously seen request is re-sent from a stash of old frames: a
+	// duplicate that is also out of order, arriving after newer state.
+	ReplayProb float64
+	// StashCap bounds the replay stash (0 = 8 requests).
+	StashCap int
+	// Base is the wrapped transport (nil = http.DefaultTransport).
+	Base http.RoundTripper
+}
+
+// Stats counts the faults actually injected.
+type Stats struct {
+	Requests    uint64 // requests offered while enabled
+	Drops       uint64 // requests swallowed
+	Delays      uint64 // requests delayed
+	Dups        uint64 // back-to-back duplicates sent
+	Replays     uint64 // stale frames re-sent out of order
+	Partitioned uint64 // requests refused by a partition
+}
+
+// Transport is the fault-injecting RoundTripper. Safe for concurrent
+// use; construct with New.
+type Transport struct {
+	cfg  Config
+	base http.RoundTripper
+
+	mu    sync.Mutex // guards rng and stash
+	rng   *rand.Rand
+	stash []*stashed
+
+	enabled     atomic.Bool
+	partitioned atomic.Bool
+
+	requests, drops, delays, dups, replays, parts atomic.Uint64
+}
+
+// stashed is a replayable copy of one request: method, URL, headers and
+// the full body, captured before the original was sent.
+type stashed struct {
+	req  *http.Request
+	body []byte
+}
+
+// errDropped is the transport error a swallowed or partitioned request
+// returns; it is not an *HTTPError, so retry layers treat it as
+// transient — exactly how a real timeout presents.
+type errDropped struct{ why string }
+
+func (e errDropped) Error() string { return "faults: " + e.why }
+
+// New returns an enabled Transport with the given schedule.
+func New(cfg Config) *Transport {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 20 * time.Millisecond
+	}
+	if cfg.StashCap <= 0 {
+		cfg.StashCap = 8
+	}
+	base := cfg.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	t := &Transport{cfg: cfg, base: base, rng: rand.New(rand.NewSource(cfg.Seed))}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled toggles fault injection; while disabled the Transport is a
+// transparent pass-through (the soak tests' "healed" phase).
+func (t *Transport) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// SetPartitioned toggles a full partition: every request is refused
+// with a transport error until the partition lifts. Partition beats the
+// probabilistic faults and applies even while injection is disabled.
+func (t *Transport) SetPartitioned(on bool) { t.partitioned.Store(on) }
+
+// Stats returns a point-in-time snapshot of the injected-fault counts.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Requests:    t.requests.Load(),
+		Drops:       t.drops.Load(),
+		Delays:      t.delays.Load(),
+		Dups:        t.dups.Load(),
+		Replays:     t.replays.Load(),
+		Partitioned: t.parts.Load(),
+	}
+}
+
+// roll draws one probability decision and, when delaying, a duration.
+func (t *Transport) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Float64() < p
+}
+
+func (t *Transport) delayDur() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay)))
+}
+
+// RoundTrip applies the fault schedule to one request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.partitioned.Load() {
+		t.parts.Add(1)
+		return nil, errDropped{why: fmt.Sprintf("partitioned (%s %s)", req.Method, req.URL.Path)}
+	}
+	if !t.enabled.Load() {
+		return t.base.RoundTrip(req)
+	}
+	t.requests.Add(1)
+
+	// Replay first: an old frame arrives just before this newer one.
+	if t.roll(t.cfg.ReplayProb) {
+		if old := t.takeStashed(); old != nil {
+			t.replays.Add(1)
+			if resp, err := t.base.RoundTrip(old.replayable()); err == nil {
+				resp.Body.Close()
+			}
+		}
+	}
+	if t.roll(t.cfg.DropProb) {
+		t.drops.Add(1)
+		return nil, errDropped{why: fmt.Sprintf("dropped (%s %s)", req.Method, req.URL.Path)}
+	}
+	if t.roll(t.cfg.DelayProb) {
+		t.delays.Add(1)
+		select {
+		case <-time.After(t.delayDur()):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	dup := t.roll(t.cfg.DupProb)
+	st, stashErr := capture(req)
+	if stashErr == nil {
+		t.putStashed(st)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if dup && stashErr == nil {
+		t.dups.Add(1)
+		if dresp, derr := t.base.RoundTrip(st.replayable()); derr == nil {
+			dresp.Body.Close()
+		}
+	}
+	return resp, nil
+}
+
+// capture copies req (method, URL, headers, body) into a replayable
+// form, restoring req.Body for the real send. Requests whose body
+// cannot be re-read (no GetBody and a consumed stream) don't stash.
+func capture(req *http.Request) (*stashed, error) {
+	var body []byte
+	if req.Body != nil {
+		if req.GetBody == nil {
+			return nil, fmt.Errorf("faults: request body is not replayable")
+		}
+		rc, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		body, err = io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &stashed{req: req.Clone(req.Context()), body: body}, nil
+}
+
+// replayable builds a fresh send of the stashed request with a
+// background context (the original's may be done by replay time).
+func (s *stashed) replayable() *http.Request {
+	req, _ := http.NewRequest(s.req.Method, s.req.URL.String(), nil)
+	req.Header = s.req.Header.Clone()
+	if s.body != nil {
+		body := s.body
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+		req.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(body)), nil
+		}
+	}
+	return req
+}
+
+func (t *Transport) putStashed(s *stashed) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stash) >= t.cfg.StashCap {
+		// Overwrite a random slot so the stash keeps a spread of ages.
+		t.stash[t.rng.Intn(len(t.stash))] = s
+		return
+	}
+	t.stash = append(t.stash, s)
+}
+
+// takeStashed picks a random old frame to replay, leaving it stashed so
+// it can strike more than once.
+func (t *Transport) takeStashed() *stashed {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stash) == 0 {
+		return nil
+	}
+	return t.stash[t.rng.Intn(len(t.stash))]
+}

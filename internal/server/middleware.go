@@ -171,6 +171,10 @@ type metrics struct {
 	denied       *telemetry.CounterVec   // reason
 	pushAccepted *telemetry.Counter
 	pushRejected *telemetry.Counter
+	pushDeltas   *telemetry.Counter
+	pushResyncs  *telemetry.Counter
+	pullsTotal   *telemetry.Counter
+	pullErrors   *telemetry.Counter
 	pairHits     *telemetry.Counter
 	pairMisses   *telemetry.Counter
 	// Cold-tier instruments: eviction/rehydration counters plus the
@@ -196,7 +200,15 @@ func (s *Server) initMetrics(reg *telemetry.Registry) {
 		pushAccepted: reg.NewCounter("streamhull_fanin_pushes_accepted_total",
 			"fan-in source pushes accepted into aggregates"),
 		pushRejected: reg.NewCounter("streamhull_fanin_pushes_rejected_total",
-			"fan-in source pushes rejected (stale epoch, wrong kind, bad body)"),
+			"fan-in source pushes rejected (stale epoch, resync demanded, wrong kind, bad body)"),
+		pushDeltas: reg.NewCounter("streamhull_fanin_push_deltas_total",
+			"accepted fan-in pushes that arrived as epoch-ranged delta frames"),
+		pushResyncs: reg.NewCounter("streamhull_fanin_push_resyncs_total",
+			"delta pushes bounced with resync_required (the follower answers with a full snapshot)"),
+		pullsTotal: reg.NewCounter("streamhull_fanin_pulls_total",
+			"snapshots the aggregator fetched itself from lagging sources' advertised addresses"),
+		pullErrors: reg.NewCounter("streamhull_fanin_pull_errors_total",
+			"aggregator-initiated pulls that failed (unreachable source, bad snapshot, stale epoch)"),
 		pairHits: reg.NewCounter("streamhull_paircache_hits_total",
 			"pair queries answered from the (epochA, epochB) memo"),
 		pairMisses: reg.NewCounter("streamhull_paircache_misses_total",

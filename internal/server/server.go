@@ -225,6 +225,21 @@ type Config struct {
 	// /readyz routes (instrumentation still runs; the routes are just
 	// not exposed on this handler).
 	DisableObservability bool
+
+	// PullAfter, when positive, enables aggregator-initiated pulls: any
+	// fan-in source whose last accepted push is older than this, and
+	// which advertised a pull-back address on its pushes (?addr=), has
+	// its snapshot fetched by the aggregator itself and applied as a
+	// wall-clock-stamped full push. See pull.go.
+	PullAfter time.Duration
+	// PullInterval is the pull loop's scan period (0 = PullAfter/2,
+	// floored at 100ms).
+	PullInterval time.Duration
+	// PullToken is the bearer token pulls present to followers.
+	PullToken string
+	// PullClient overrides the HTTP client used for pulls (nil = a
+	// 10-second-timeout default).
+	PullClient *http.Client
 }
 
 // Server is an HTTP handler managing named stream summaries.
@@ -246,6 +261,7 @@ type Server struct {
 	closeOnce   sync.Once
 	sweepStop   chan struct{}
 	closeErr    error
+	puller      *puller // aggregator-initiated pulls; nil unless PullAfter > 0
 
 	// store is the durable storage engine (nil = fully in-memory).
 	store store.Store
@@ -413,6 +429,7 @@ func New(cfg Config) (*Server, error) {
 	if s.store == nil {
 		close(s.recoveryDone)
 		s.health.SetReady(true)
+		s.startPuller()
 		return s, nil
 	}
 	if cfg.AsyncRecovery {
@@ -428,6 +445,7 @@ func New(cfg Config) (*Server, error) {
 			}
 			s.health.SetReady(true)
 		}()
+		s.startPuller()
 		return s, nil
 	}
 	err := s.recoverStreams()
@@ -437,7 +455,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.health.SetReady(true)
+	s.startPuller()
 	return s, nil
+}
+
+// startPuller launches the aggregator-initiated pull loop when
+// configured; it stops with the sweeper on Close.
+func (s *Server) startPuller() {
+	if s.cfg.PullAfter <= 0 {
+		return
+	}
+	s.puller = newPuller(s)
+	go s.puller.run()
 }
 
 // qualifyID maps a tenant-local stream id to its internal map (and
@@ -550,6 +579,11 @@ type errorBody struct {
 	// Empty lists the offending stream ids for code "empty_streams"
 	// (pair queries touching point-less streams).
 	Empty []string `json:"empty,omitempty"`
+	// AckedEpoch carries, for code "resync_required", the epoch the
+	// aggregate actually holds for the rejected source — the base a
+	// follower would have to build on (in practice it just re-sends a
+	// full snapshot).
+	AckedEpoch uint64 `json:"acked_epoch,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -800,6 +834,14 @@ type sourceInfo struct {
 	// the staleness an operator watches to decide a source needs a drop
 	// or a re-sync.
 	LagMillis int64 `json:"lag_ms"`
+	// Addr is the source's advertised pull-back URL (empty when the
+	// source never advertised one, and then the aggregator cannot pull).
+	Addr string `json:"addr,omitempty"`
+	// Pulls counts aggregator-initiated pulls applied for this source;
+	// LastPullMillis is how long ago the last one landed. Both are
+	// omitted until the first pull.
+	Pulls          uint64 `json:"pulls,omitempty"`
+	LastPullMillis int64  `json:"last_pull_ms,omitempty"`
 }
 
 // infoFor captures one stream's listing entry. Cold streams report the
@@ -898,12 +940,21 @@ func (s *Server) handleDetail(w http.ResponseWriter, req *http.Request) {
 		now := time.Now()
 		srcs := agg.Sources()
 		info.Sources = make([]sourceInfo, len(srcs))
+		key := qualifyID(ident.Tenant, id)
 		for i, src := range srcs {
-			info.Sources[i] = sourceInfo{
+			si := sourceInfo{
 				Source: src.Name, Epoch: src.Epoch, N: src.N,
 				SamplePoints: src.SamplePoints,
 				LagMillis:    now.Sub(src.LastPush).Milliseconds(),
+				Addr:         src.Addr,
 			}
+			if s.puller != nil {
+				if pulls, last := s.puller.sourcePulls(key, src.Name); pulls > 0 {
+					si.Pulls = pulls
+					si.LastPullMillis = now.Sub(last).Milliseconds()
+				}
+			}
+			info.Sources[i] = si
 		}
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -1346,27 +1397,29 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
-// handleSourcePush applies one source-tagged snapshot delta to a fan-in
-// aggregate stream: the follower's latest sample replaces that source's
-// previous contribution wholesale, keyed by a per-source epoch. Pushes
-// with an epoch older than the source's last accepted one are rejected
-// with 409 — they are from a lagging or superseded sender — so a
-// follower that crashed mid-push re-syncs by pushing again with a higher
-// epoch, and the aggregate converges as if the stale push never happened.
+// handleSourcePush applies one source-tagged push to a fan-in aggregate
+// stream. Two wire modes share the endpoint, split by Content-Type:
+//
+//   - A full snapshot (JSON or binary): the follower's latest sample
+//     replaces that source's previous contribution wholesale, keyed by
+//     the ?epoch= parameter. Pushes with an epoch older than the
+//     source's last accepted one are rejected with 409 stale_epoch —
+//     they are from a lagging or superseded sender — so a follower that
+//     crashed mid-push re-syncs by pushing again with a higher epoch,
+//     and the aggregate converges as if the stale push never happened.
+//   - A delta frame (Content-Type application/x-streamhull-delta): only
+//     the sample slots changed since the push this aggregate last ACKED
+//     (the frame's base epoch), CRC-checked end to end. A frame that
+//     cannot be anchored — first contact, an epoch gap, a base mismatch
+//     — is a 409 with code "resync_required" carrying the epoch we
+//     actually hold, and the follower answers with a full snapshot.
+//
+// Either way a 200 carries "acked_epoch": the epoch now stored for the
+// source, which is the base the follower's next delta must build on.
+// The optional ?addr= parameter advertises the follower's own base URL
+// for aggregator-initiated pulls (see pull.go).
 func (s *Server) handleSourcePush(w http.ResponseWriter, req *http.Request, source string) {
 	id := req.PathValue("id")
-	epochStr := req.URL.Query().Get("epoch")
-	epoch, err := strconv.ParseUint(epochStr, 10, 64)
-	if err != nil {
-		s.met.pushRejected.Inc()
-		writeErr(w, http.StatusBadRequest, "source push requires a numeric epoch, got %q", epochStr)
-		return
-	}
-	snap, ok := s.readSnapshotBody(w, req)
-	if !ok {
-		s.met.pushRejected.Inc()
-		return
-	}
 	st, err := s.get(identityFrom(req).Tenant, id, false)
 	if err != nil {
 		s.met.pushRejected.Inc()
@@ -1379,6 +1432,22 @@ func (s *Server) handleSourcePush(w http.ResponseWriter, req *http.Request, sour
 		writeErr(w, http.StatusConflict, "stream %q is %s, not a fan-in aggregate", id, st.spec.Kind)
 		return
 	}
+	if strings.Contains(req.Header.Get("Content-Type"), fanin.DeltaContentType) {
+		s.handleDeltaPush(w, req, agg, id, source)
+		return
+	}
+	epochStr := req.URL.Query().Get("epoch")
+	epoch, err := strconv.ParseUint(epochStr, 10, 64)
+	if err != nil {
+		s.met.pushRejected.Inc()
+		writeErr(w, http.StatusBadRequest, "source push requires a numeric epoch, got %q", epochStr)
+		return
+	}
+	snap, ok := s.readSnapshotBody(w, req)
+	if !ok {
+		s.met.pushRejected.Inc()
+		return
+	}
 	if err := agg.Push(source, epoch, snap); err != nil {
 		s.met.pushRejected.Inc()
 		if errors.Is(err, streamhull.ErrStaleEpoch) {
@@ -1388,11 +1457,75 @@ func (s *Server) handleSourcePush(w http.ResponseWriter, req *http.Request, sour
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.advertiseSource(agg, req, source)
 	s.met.pushAccepted.Inc()
+	acked, _ := agg.SourceEpoch(source)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"stream": id, "source": source, "epoch": epoch,
+		"stream": id, "source": source, "epoch": epoch, "acked_epoch": acked,
 		"source_n": snap.N, "n": agg.N(), "sources": len(agg.Sources()),
 	})
+}
+
+// handleDeltaPush is the delta half of handleSourcePush: decode the
+// frame, anchor it on the source's stored contribution, and report the
+// epoch this aggregate now holds — or demand a resync when the frame
+// cannot be anchored.
+func (s *Server) handleDeltaPush(w http.ResponseWriter, req *http.Request, agg *streamhull.FanInHull, id, source string) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.met.pushRejected.Inc()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		} else {
+			writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return
+	}
+	d, err := fanin.DecodeDelta(data)
+	if err != nil {
+		s.met.pushRejected.Inc()
+		writeErr(w, http.StatusBadRequest, "decoding delta: %v", err)
+		return
+	}
+	if err := agg.PushDelta(source, d); err != nil {
+		s.met.pushRejected.Inc()
+		switch {
+		case errors.Is(err, streamhull.ErrStaleEpoch):
+			writeErrCode(w, http.StatusConflict, "stale_epoch", "%v", err)
+		case errors.Is(err, streamhull.ErrResyncNeeded):
+			s.met.pushResyncs.Inc()
+			acked, _ := agg.SourceEpoch(source)
+			writeJSON(w, http.StatusConflict, errorBody{
+				Error: err.Error(), Code: "resync_required", AckedEpoch: acked,
+			})
+		default:
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.advertiseSource(agg, req, source)
+	s.met.pushAccepted.Inc()
+	s.met.pushDeltas.Inc()
+	acked, _ := agg.SourceEpoch(source)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stream": id, "source": source, "epoch": d.Epoch, "acked_epoch": acked,
+		"source_n": d.N, "n": agg.N(), "sources": len(agg.Sources()),
+	})
+}
+
+// advertiseSource records the pull-back URL a push carried (?addr=),
+// bounding it to something http-ish so a garbage value cannot become a
+// pull target.
+func (s *Server) advertiseSource(agg *streamhull.FanInHull, req *http.Request, source string) {
+	addr := req.URL.Query().Get("addr")
+	if addr == "" {
+		return
+	}
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		return
+	}
+	agg.Advertise(source, addr)
 }
 
 // StreamSnapshots captures every snapshot-capable stream as an encoded
@@ -1410,6 +1543,23 @@ func (s *Server) handleSourcePush(w http.ResponseWriter, req *http.Request, sour
 // a follower's "acme/clicks" forwards as "clicks" under whatever tenant
 // the push credential names (for the root tenant the two are the same).
 func (s *Server) StreamSnapshots() []fanin.StreamSnapshot {
+	return s.streamSnapshots(false)
+}
+
+// StreamSnapshotsCascade is StreamSnapshots for a middle tier of a
+// cascaded fan-in topology (leaf → region → global): fan-in aggregates
+// are INCLUDED, each contributing its merged O(r) sample, so a regional
+// aggregator can itself run a push loop toward a global one. The leaf
+// tier's per-source epochs stay local; upstream, the whole region is
+// one source whose contribution is superseded as a unit — which is what
+// makes a leaf restart propagate: the region re-merges, its next push
+// carries a higher epoch, and the global tier drops the stale region
+// wholesale.
+func (s *Server) StreamSnapshotsCascade() []fanin.StreamSnapshot {
+	return s.streamSnapshots(true)
+}
+
+func (s *Server) streamSnapshots(includeAggregates bool) []fanin.StreamSnapshot {
 	s.mu.RLock()
 	ids := make([]string, 0, len(s.streams))
 	sts := make([]*stream, 0, len(s.streams))
@@ -1421,7 +1571,7 @@ func (s *Server) StreamSnapshots() []fanin.StreamSnapshot {
 	s.mu.RUnlock()
 	out := make([]fanin.StreamSnapshot, 0, len(ids))
 	for i, st := range sts {
-		if st.spec.Kind == streamhull.KindFanIn {
+		if st.spec.Kind == streamhull.KindFanIn && !includeAggregates {
 			continue
 		}
 		sn, ok := st.summary().(streamhull.Snapshotter)
@@ -1435,7 +1585,10 @@ func (s *Server) StreamSnapshots() []fanin.StreamSnapshot {
 				"stream", ids[i], "err", err)
 			continue
 		}
-		out = append(out, fanin.StreamSnapshot{Stream: ids[i], R: snap.R, Data: data})
+		out = append(out, fanin.StreamSnapshot{
+			Stream: ids[i], R: snap.R, Data: data,
+			N: snap.N, Points: snap.Points,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
 	return out
