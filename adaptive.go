@@ -154,7 +154,7 @@ func (s *AdaptiveHull) InsertBatchObserved(pts []geom.Point, obs func(stage stri
 		return 0, nil
 	}
 	s.mu.Lock()
-	s.h.InsertBatchObserved(pts, obs)
+	s.h.InsertBatchObserved(pts, time.Now, obs)
 	s.epoch.Add(1)
 	s.mu.Unlock()
 	return len(pts), nil

@@ -1,0 +1,31 @@
+// Command streamhull-vet machine-checks the repo's conventions: the
+// invariants that past PRs only rediscovered through soak tests —
+// epoch bumps on every summary mutation, no wall-clock reads in
+// replay-critical packages, the uniform error envelope, metric naming,
+// and traceparent propagation on fan-in HTTP.
+//
+// Run it standalone:
+//
+//	go run ./cmd/streamhull-vet ./...
+//
+// or as a vet tool, which is what CI and scripts/vet.sh do:
+//
+//	go build -o /tmp/streamhull-vet ./cmd/streamhull-vet
+//	go vet -vettool=/tmp/streamhull-vet ./...
+//
+// A finding can be suppressed, with a mandatory justification, by a
+// directive on the line above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// See docs/ANALYSIS.md for each analyzer's contract.
+package main
+
+import (
+	"github.com/streamgeom/streamhull/internal/analysis"
+	"github.com/streamgeom/streamhull/internal/analyzers"
+)
+
+func main() {
+	analysis.Main("streamhull-vet", "streamhull invariant checkers", analyzers.All())
+}

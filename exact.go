@@ -95,6 +95,12 @@ func (s *ExactHull) InsertBatch(pts []geom.Point) (int, error) {
 // Epoch returns the summary's mutation counter.
 func (s *ExactHull) Epoch() uint64 { return s.epoch.Load() }
 
+// rebuild canonicalizes pending vertices into the hull polygon. It is
+// observationally pure — the hull it materializes is the one the
+// pending vertices already determine — so read paths may call it
+// without advancing the epoch.
+//
+//lint:allow epochbump lazy canonicalization changes no observable state
 func (s *ExactHull) rebuild() {
 	s.poly = convex.Hull(s.verts)
 	s.verts = nil

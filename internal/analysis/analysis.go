@@ -1,0 +1,83 @@
+// Package analysis is a dependency-free reimplementation of the core
+// of golang.org/x/tools/go/analysis, just large enough to drive the
+// project's own invariant checkers (internal/analyzers) both
+// standalone and under `go vet -vettool=` (the unitchecker protocol).
+//
+// The x/tools module is deliberately not a dependency of this repo, so
+// the familiar Analyzer/Pass/Diagnostic shapes are declared here. The
+// subset is small but faithful: an Analyzer inspects one type-checked
+// package at a time and reports position-tagged diagnostics; the
+// drivers in unitchecker.go and standalone.go take care of loading,
+// type-checking, //lint:allow suppression, and exit codes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant-checking pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. By convention it is a single
+	// lowercase word.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary,
+	// optionally followed by a blank line and details.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// String returns the analyzer's name.
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with one type-checked package and
+// collects the diagnostics it reports.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // the package's syntax trees, test files included
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives every diagnostic; the driver applies
+	// //lint:allow suppression afterwards.
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits one diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Invariants
+// about production code (error envelopes, clocks, trace propagation)
+// do not bind test scaffolding — fake upstreams in tests legitimately
+// hand-roll errors — so analyzers skip such positions.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PathSuffix reports whether the package's import path is path or ends
+// in "/"+path. Analyzers scope themselves with it: the real package
+// ("github.com/streamgeom/streamhull/internal/core") and its test
+// fixture twin ("internal/core") both match "internal/core".
+func (p *Pass) PathSuffix(path string) bool {
+	ip := p.Pkg.Path()
+	return ip == path || strings.HasSuffix(ip, "/"+path)
+}

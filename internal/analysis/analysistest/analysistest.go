@@ -1,0 +1,280 @@
+// Package analysistest drives an analyzer over fixture packages and
+// checks its diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only
+// framework in internal/analysis.
+//
+// Fixtures live under <analyzer dir>/testdata/src/<importpath>/ and
+// are plain Go packages. A line expecting diagnostics carries a
+// trailing comment:
+//
+//	time.Now() // want `time\.Now in deterministic package`
+//
+// with one back-quoted or quoted regexp per expected diagnostic on
+// that line. Fixture packages may import each other (resolved under
+// testdata/src) and the standard library (resolved through build-cache
+// export data).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/streamgeom/streamhull/internal/analysis"
+)
+
+// Run loads each fixture package and reports, through t, every
+// mismatch between the analyzer's findings and the fixture's // want
+// expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	srcdir := filepath.Join(testdata, "src")
+	ld, err := newLoader(srcdir, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.Apply([]*analysis.Analyzer{a}, ld.fset, pkg.files, pkg.pkg, pkg.info)
+		if err != nil {
+			t.Errorf("running %s over %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, ld.fset, pkg.files, findings)
+	}
+}
+
+// expectation is one // want token: a position and the regexp a
+// diagnostic on that line must match.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	source  string // the raw pattern, for failure messages
+	matched bool
+}
+
+// wantRe splits a want comment into its quoted patterns: back-quoted
+// or double-quoted, in order.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts the expectations from one file's comments.
+func parseWants(t *testing.T, fset *token.FileSet, file *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			raw := c.Text[idx+len("// want "):]
+			tokens := wantRe.FindAllString(raw, -1)
+			if len(tokens) == 0 {
+				t.Errorf("%s: malformed want comment: %s", pos, c.Text)
+				continue
+			}
+			for _, tok := range tokens {
+				unq := tok[1 : len(tok)-1]
+				if tok[0] == '"' {
+					unq = strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(unq)
+				}
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Errorf("%s: bad want pattern %q: %v", pos, unq, err)
+					continue
+				}
+				wants = append(wants, &expectation{
+					file:    pos.Filename,
+					line:    pos.Line,
+					pattern: re,
+					source:  unq,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// checkExpectations matches findings against wants one-to-one.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.source)
+		}
+	}
+}
+
+// loader typechecks fixture packages, resolving fixture-local imports
+// from source under srcdir and everything else through build-cache
+// export data.
+type loader struct {
+	fset   *token.FileSet
+	srcdir string
+	std    types.Importer
+	pkgs   map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// newLoader scans the requested fixtures (and the fixture packages
+// they import, transitively) for their standard-library imports and
+// compiles those once up front.
+func newLoader(srcdir string, paths []string) (*loader, error) {
+	ld := &loader{fset: token.NewFileSet(), srcdir: srcdir, pkgs: make(map[string]*fixturePkg)}
+	stdSet := map[string]bool{}
+	seen := map[string]bool{}
+	var scan func(path string) error
+	scan = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		names, err := ld.packageFiles(path)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			f, err := parser.ParseFile(ld.fset, name, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				ipath := strings.Trim(imp.Path.Value, `"`)
+				if dir := filepath.Join(srcdir, ipath); dirExists(dir) {
+					if err := scan(ipath); err != nil {
+						return err
+					}
+				} else {
+					stdSet[ipath] = true
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := scan(p); err != nil {
+			return nil, err
+		}
+	}
+	var stdPaths []string
+	for p := range stdSet {
+		stdPaths = append(stdPaths, p)
+	}
+	sort.Strings(stdPaths)
+	exports := map[string]string{}
+	if len(stdPaths) > 0 {
+		var err error
+		exports, err = analysis.ExportMap(stdPaths...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ld.std = analysis.NewExportImporter(ld.fset, exports)
+	return ld, nil
+}
+
+// packageFiles lists the fixture package's .go files, test files last
+// so the package clause comes from a real file.
+func (ld *loader) packageFiles(path string) ([]string, error) {
+	dir := filepath.Join(ld.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %v", path, err)
+	}
+	var names, tests []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			tests = append(tests, full)
+		} else {
+			names = append(names, full)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(tests)
+	return append(names, tests...), nil
+}
+
+// Import satisfies types.Importer over the two-tier resolution.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(ld.srcdir, path)) {
+		fp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load typechecks one fixture package (memoized).
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := ld.pkgs[path]; ok {
+		return fp, nil
+	}
+	names, err := ld.packageFiles(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: ld, GoVersion: ""}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %s: %v", path, err)
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = fp
+	return fp, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

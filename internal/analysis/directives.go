@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// suppresses diagnostics of the named analyzer on the directive's own
+// line and on the line directly below it. Placing it as the last line
+// of a declaration's doc comment therefore covers a diagnostic
+// reported at the declaration itself. The reason is mandatory — a
+// directive without one is itself reported, so every exemption in the
+// tree carries its justification.
+
+const directivePrefix = "//lint:allow"
+
+// directiveIndex records, per file and line, which analyzers are
+// allowed there.
+type directiveIndex struct {
+	// allowed maps filename -> line -> analyzer names allowed on
+	// that line.
+	allowed map[string]map[int]map[string]bool
+}
+
+// buildDirectiveIndex scans the files for //lint:allow comments.
+// Malformed directives (no analyzer, or no reason) are reported as
+// diagnostics of the pseudo-analyzer "lintdirective" via report.
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) *directiveIndex {
+	idx := &directiveIndex{allowed: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed //lint:allow directive: need \"//lint:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx.allowed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx.allowed[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[line] = set
+					}
+					set[fields[0]] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic of analyzer name at pos is
+// covered by a directive.
+func (idx *directiveIndex) suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	byLine := idx.allowed[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[p.Line][name]
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// applySource runs one always-firing analyzer over src and returns the
+// surviving findings. The analyzer reports at every return statement,
+// giving the directive machinery something to suppress.
+func applySource(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fire := &Analyzer{
+		Name: "fire",
+		Doc:  "reports every return statement",
+		Run: func(pass *Pass) error {
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					if ret, ok := n.(*ast.ReturnStmt); ok {
+						pass.Reportf(ret.Pos(), "return statement")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	findings, err := Apply([]*Analyzer{fire}, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestDirectiveSuppressesNextLine(t *testing.T) {
+	findings := applySource(t, `package fixture
+func a() int {
+	//lint:allow fire covered by a justified directive
+	return 1
+}
+func b() int {
+	return 2
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the one in b", findings)
+	}
+	if findings[0].Pos.Line != 7 {
+		t.Errorf("surviving finding at line %d, want 7 (inside b)", findings[0].Pos.Line)
+	}
+}
+
+func TestDirectiveWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	findings := applySource(t, `package fixture
+func a() int {
+	//lint:allow other this directive names a different analyzer
+	return 1
+}
+`)
+	if len(findings) != 1 || findings[0].Analyzer != "fire" {
+		t.Fatalf("findings = %v, want the fire diagnostic to survive", findings)
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	findings := applySource(t, `package fixture
+//lint:allow fire
+func a() {}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the malformed-directive report", findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "lintdirective" || !strings.Contains(f.Message, "malformed //lint:allow") {
+		t.Errorf("finding = %v, want a lintdirective malformed report", f)
+	}
+}
+
+func TestMalformedDirectiveStillRequiresReason(t *testing.T) {
+	// A reasonless directive is reported AND does not count as a
+	// suppression: the diagnostic under it survives.
+	findings := applySource(t, `package fixture
+func a() int {
+	//lint:allow fire
+	return 1
+}
+`)
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+	}
+	if byAnalyzer["lintdirective"] != 1 || byAnalyzer["fire"] != 1 {
+		t.Fatalf("findings = %v, want one lintdirective and one surviving fire diagnostic", findings)
+	}
+}

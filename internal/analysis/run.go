@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Finding is a diagnostic bound to its analyzer, positioned and
+// ready to print.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Apply runs every analyzer over one type-checked package and returns
+// the surviving findings: //lint:allow-covered diagnostics are
+// dropped, malformed directives are themselves findings (analyzer
+// "lintdirective"). Findings come back sorted by position for stable
+// output. The drivers (standalone, unitchecker, analysistest) all
+// funnel through here.
+func Apply(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	var findings []Finding
+	idx := buildDirectiveIndex(fset, files, func(d Diagnostic) {
+		findings = append(findings, Finding{
+			Analyzer: "lintdirective",
+			Pos:      fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	})
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.report = func(d Diagnostic) {
+			if idx.suppressed(fset, a.Name, d.Pos) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Pos:      fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// NewTypesInfo allocates a types.Info with every map analyzers use.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// The standalone driver: `streamhull-vet ./...` without go vet in
+// front. Packages are enumerated and compiled via
+// `go list -export -json -deps`, which yields an export-data file for
+// every dependency; each target package is then parsed and
+// type-checked from source against those, exactly as the unitchecker
+// path does against the files cmd/go hands it.
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -json -deps patterns...` and decodes
+// the package stream.
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportMap compiles patterns (and their dependencies) and returns the
+// package-path -> export-data-file map. The fixture loader in
+// analysistest uses it to resolve standard-library imports.
+func ExportMap(patterns ...string) (map[string]string, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m, nil
+}
+
+// exportImporter resolves imports through export-data files, mapping
+// source import paths through importMap (vendoring, test variants)
+// first. It satisfies types.Importer.
+type exportImporter struct {
+	exports   map[string]string // package path -> export data file
+	importMap map[string]string // source import -> package path
+	compiler  types.ImporterFrom
+}
+
+// NewExportImporter builds an importer over the path -> export-file
+// map. One instance caches imported packages across calls; use one per
+// load so identical types compare identical.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	ei.compiler = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ei.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := ei.importMap[path]; ok {
+		path = mapped
+	}
+	return ei.compiler.ImportFrom(path, "", 0)
+}
+
+// typecheck parses and type-checks one package from source files,
+// resolving imports through imp. goversion ("go1.24"; may be empty)
+// pins the language version, matching how cmd/go compiled the package.
+func typecheck(fset *token.FileSet, path, goversion string, fileNames []string, imp types.Importer) ([]*ast.File, *types.Package, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp, GoVersion: goversion}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("typechecking %s: %v", path, err)
+	}
+	return files, pkg, info, nil
+}
+
+// RunStandalone loads the packages matching patterns, runs every
+// analyzer over each, and returns the combined findings.
+func RunStandalone(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	ei := NewExportImporter(fset, exports)
+	var all []Finding
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s uses cgo; the standalone driver cannot type-check it", p.ImportPath)
+		}
+		var fileNames []string
+		for _, f := range p.GoFiles {
+			fileNames = append(fileNames, filepath.Join(p.Dir, f))
+		}
+		if len(fileNames) == 0 {
+			continue
+		}
+		ei.importMap = p.ImportMap
+		files, pkg, info, err := typecheck(fset, p.ImportPath, "", fileNames, ei)
+		if err != nil {
+			return nil, err
+		}
+		findings, err := Apply(analyzers, fset, files, pkg, info)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, findings...)
+	}
+	return all, nil
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The unitchecker protocol: cmd/go's `go vet -vettool=TOOL` drives the
+// tool like one of its own toolchain binaries.
+//
+//	TOOL -V=full      print "name version ..." for the build cache
+//	TOOL -flags       print the tool's flags as a JSON array
+//	TOOL [flags] X.cfg analyze the one package described by the JSON
+//	                  config cmd/go wrote: source files, import map,
+//	                  and export-data files for every dependency
+//
+// Exit status: 0 clean, 1 tool/typecheck failure, 2 diagnostics.
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point shared by cmd/streamhull-vet: it dispatches
+// between the unitchecker protocol and the standalone package-pattern
+// mode, and never returns.
+func Main(progname, doc string, analyzers []*Analyzer) {
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printVersion := fs.String("V", "", "print version and exit (cmd/go protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: %s\n\nUsage:\n  %s package...           (standalone)\n  go vet -vettool=$(command -v %s) ./...\n\nAnalyzers:\n",
+			progname, doc, progname, progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		os.Exit(1)
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	if *printVersion != "" {
+		// cmd/go hashes the reported build ID into its action cache, so
+		// a rebuilt tool (new or changed analyzers) invalidates cached
+		// vet results. Hash the executable itself.
+		fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
+		os.Exit(0)
+	}
+	if *printFlags {
+		// No exposed flags; cmd/go just needs valid JSON.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnitchecker(args[0], analyzers)
+		return
+	}
+
+	// Standalone mode: package patterns.
+	findings, err := RunStandalone(analyzers, args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// selfHash returns a short hash of the running executable.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runUnitchecker analyzes the single package described by cfgFile and
+// exits with the protocol's status code.
+func runUnitchecker(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading vet config: %v\n", err)
+		os.Exit(1)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "parsing vet config %s: %v\n", cfgFile, err)
+		os.Exit(1)
+	}
+
+	// cmd/go expects the facts file regardless of findings; this suite
+	// records no cross-package facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "writing vetx output: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if cfg.VetxOnly {
+		// Dependency pass, wanted only for cross-package facts — this
+		// suite records none, so skip the load entirely.
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	ei := NewExportImporter(fset, cfg.PackageFile)
+	ei.importMap = cfg.ImportMap
+	files, pkg, info, err := typecheck(fset, cfg.ImportPath, cfg.GoVersion, cfg.GoFiles, ei)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+
+	findings, err := Apply(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		// Make positions relative where possible, matching vet output.
+		pos := f.Pos
+		if rel, err := filepath.Rel(".", pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// silence unused-import complaints if types is only used in one mode.
+var _ types.Importer = (*exportImporter)(nil)

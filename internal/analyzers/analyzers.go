@@ -1,0 +1,25 @@
+// Package analyzers assembles the project's invariant checkers — the
+// suite cmd/streamhull-vet runs over the tree. Each subpackage encodes
+// one convention the compiler cannot check; see docs/ANALYSIS.md for
+// the catalog, the invariants, and the //lint:allow escape hatch.
+package analyzers
+
+import (
+	"github.com/streamgeom/streamhull/internal/analysis"
+	"github.com/streamgeom/streamhull/internal/analyzers/epochbump"
+	"github.com/streamgeom/streamhull/internal/analyzers/errenvelope"
+	"github.com/streamgeom/streamhull/internal/analyzers/metricnames"
+	"github.com/streamgeom/streamhull/internal/analyzers/noclock"
+	"github.com/streamgeom/streamhull/internal/analyzers/tracepropagation"
+)
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		epochbump.Analyzer,
+		errenvelope.Analyzer,
+		metricnames.Analyzer,
+		noclock.Analyzer,
+		tracepropagation.Analyzer,
+	}
+}

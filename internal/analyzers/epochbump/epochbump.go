@@ -1,0 +1,649 @@
+// Package epochbump enforces the QueryCache contract from PR 4: every
+// summary carries a monotone epoch counter, and every exported method
+// that mutates summary state must advance it on every return path.
+// The per-stream QueryCache memoizes hull/diameter/width/extent/circle
+// keyed by epoch, so a mutation that returns without a bump serves
+// stale geometry to every cached read — silently, until a soak test
+// happens to trip it.
+//
+// Scope is type-driven: any named struct with an `epoch` field of type
+// sync/atomic.Uint64 (or plain uint64) is a summary implementation,
+// wherever it lives. For each exported method on such a type the
+// analyzer abstracts every execution path to a (mutated, bumped) pair:
+//
+//   - a write to a receiver field (other than epoch itself, and other
+//     than sync/atomic/time-typed fields) marks the path mutated;
+//   - a call through a receiver field to a mutator-named method
+//     (Insert*, Add, Push, Expire, Set*, Apply*, Merge*, ...) marks it
+//     mutated — s.h.Insert(p) mutates the summary even though no field
+//     assignment appears;
+//   - s.epoch.Add / s.epoch.Store (or a deferred one) marks it bumped;
+//   - calls to the receiver's own methods compose their summaries,
+//     computed to a fixpoint, so a helper that mutates-and-bumps
+//     (expireLocked) keeps its callers clean while a helper that
+//     mutates without bumping taints them.
+//
+// A method where some path ends mutated-but-not-bumped is reported
+// (one diagnostic, at the method name). Deliberate exceptions — e.g. a
+// read path materializing a memo cache, which changes no observable
+// state — carry //lint:allow epochbump with a justification in the
+// doc comment.
+package epochbump
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/streamgeom/streamhull/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "epochbump",
+	Doc:  "exported methods that mutate summary state must bump the epoch counter on every return path",
+	Run:  run,
+}
+
+// mutatorPrefixes classify receiver-field method calls as mutations.
+var mutatorPrefixes = []string{
+	"Insert", "Add", "Push", "Pop", "Apply", "Expire", "Set", "Drop",
+	"Remove", "Delete", "Merge", "Import", "Reset", "Clear", "Seal",
+	"Append", "Write", "Rebuild", "Teardown", "Unrefine", "Rebalance",
+	"Restore",
+}
+
+// pathState abstracts one execution path: has it mutated receiver
+// state, and has it bumped the epoch.
+type pathState struct{ mutated, bumped bool }
+
+// stateSet is the set of pathStates possible at a program point (at
+// most four; the zero set is "unreachable").
+type stateSet map[pathState]bool
+
+func singleton(s pathState) stateSet { return stateSet{s: true} }
+
+func (ss stateSet) union(other stateSet) stateSet {
+	out := make(stateSet, len(ss)+len(other))
+	for s := range ss {
+		out[s] = true
+	}
+	for s := range other {
+		out[s] = true
+	}
+	return out
+}
+
+// compose applies a callee's outcome set to every path in ss.
+func (ss stateSet) compose(callee stateSet) stateSet {
+	if len(callee) == 0 {
+		return ss
+	}
+	out := make(stateSet, len(ss))
+	for s := range ss {
+		for c := range callee {
+			out[pathState{s.mutated || c.mutated, s.bumped || c.bumped}] = true
+		}
+	}
+	return out
+}
+
+func (ss stateSet) mutate() stateSet {
+	out := make(stateSet, len(ss))
+	for s := range ss {
+		out[pathState{true, s.bumped}] = true
+	}
+	return out
+}
+
+func (ss stateSet) bump() stateSet {
+	out := make(stateSet, len(ss))
+	for s := range ss {
+		out[pathState{s.mutated, true}] = true
+	}
+	return out
+}
+
+func (ss stateSet) equal(other stateSet) bool {
+	if len(ss) != len(other) {
+		return false
+	}
+	for s := range ss {
+		if !other[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// methodInfo is one method of an epoch-carrying type.
+type methodInfo struct {
+	decl    *ast.FuncDecl
+	recv    types.Object // the receiver variable
+	summary stateSet     // possible (mutated,bumped) outcomes
+	trusted bool         // doc carries //lint:allow epochbump
+}
+
+// trustedClean reports whether the method's doc comment carries a
+// //lint:allow epochbump directive. Such a method is taken at its
+// word — its summary is pinned to "no effect" so a justified helper
+// (a canonicalizing rebuild, an expiry whose return value witnesses
+// the bump) does not taint every caller. The framework independently
+// validates the directive's shape and required justification.
+func trustedClean(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//lint:allow epochbump") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	epochTypes := findEpochTypes(pass)
+	if len(epochTypes) == 0 {
+		return nil
+	}
+
+	// Collect every method (exported or not) on epoch-carrying types.
+	methods := make(map[*types.Named]map[string]*methodInfo)
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			named := receiverNamed(pass, fd)
+			if named == nil || !epochTypes[named] {
+				continue
+			}
+			var recvObj types.Object
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recvObj = pass.TypesInfo.Defs[names[0]]
+			}
+			if recvObj == nil {
+				continue // anonymous receiver cannot mutate state
+			}
+			if methods[named] == nil {
+				methods[named] = make(map[string]*methodInfo)
+			}
+			mi := &methodInfo{decl: fd, recv: recvObj, trusted: trustedClean(fd)}
+			if mi.trusted {
+				mi.summary = singleton(pathState{})
+			}
+			methods[named][fd.Name.Name] = mi
+		}
+	}
+
+	// Fixpoint over same-receiver calls: start from "no effect" and
+	// re-evaluate until summaries stabilize.
+	for iter := 0; iter < len(methods)+8; iter++ {
+		changed := false
+		for _, byName := range methods {
+			for _, mi := range byName {
+				if mi.trusted {
+					continue
+				}
+				ev := &evaluator{pass: pass, recv: mi.recv, methods: byName}
+				out := ev.evalFunc(mi.decl)
+				if mi.summary == nil || !mi.summary.equal(out) {
+					mi.summary = out
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Report exported methods with a mutated-but-unbumped outcome.
+	var reports []*methodInfo
+	for _, byName := range methods {
+		for _, mi := range byName {
+			if !mi.decl.Name.IsExported() {
+				continue
+			}
+			for s := range mi.summary {
+				if s.mutated && !s.bumped {
+					reports = append(reports, mi)
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].decl.Pos() < reports[j].decl.Pos() })
+	for _, mi := range reports {
+		pass.Reportf(mi.decl.Name.Pos(),
+			"%s mutates summary state without bumping the epoch on every return path; cached reads (QueryCache) would serve stale results",
+			mi.decl.Name.Name)
+	}
+	return nil
+}
+
+// findEpochTypes returns the named struct types declared in this
+// package that carry an epoch counter field.
+func findEpochTypes(pass *analysis.Pass) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() != "epoch" {
+				continue
+			}
+			if isAtomicUint64(f.Type()) || isUint64(f.Type()) {
+				out[named] = true
+			}
+		}
+	}
+	return out
+}
+
+func isAtomicUint64(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Uint64" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func isUint64(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Kind() == types.Uint64
+}
+
+// receiverNamed resolves a method's receiver to its named type.
+func receiverNamed(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	t := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+	if t == nil {
+		if names := fd.Recv.List[0].Names; len(names) > 0 {
+			if obj := pass.TypesInfo.Defs[names[0]]; obj != nil {
+				t = obj.Type()
+			}
+		}
+	}
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// evaluator walks one method body computing the outcome stateSet.
+type evaluator struct {
+	pass    *analysis.Pass
+	recv    types.Object
+	methods map[string]*methodInfo
+
+	exits       stateSet   // accumulated outcomes at return points
+	deferEffect []stateSet // composed into every exit
+}
+
+// evalFunc returns the outcome set of a whole method.
+func (ev *evaluator) evalFunc(fd *ast.FuncDecl) stateSet {
+	ev.exits = stateSet{}
+	ev.deferEffect = nil
+	end := ev.evalStmts(fd.Body.List, singleton(pathState{}))
+	// Falling off the end is an exit too (unless the body's last
+	// statement always returns — harmless overapproximation).
+	ev.recordExit(end)
+	return ev.exits
+}
+
+func (ev *evaluator) recordExit(ss stateSet) {
+	for _, d := range ev.deferEffect {
+		ss = ss.compose(d)
+	}
+	ev.exits = ev.exits.union(ss)
+}
+
+// evalStmts folds the transfer function over a statement list.
+func (ev *evaluator) evalStmts(stmts []ast.Stmt, in stateSet) stateSet {
+	cur := in
+	for _, s := range stmts {
+		cur = ev.evalStmt(s, cur)
+	}
+	return cur
+}
+
+func (ev *evaluator) evalStmt(stmt ast.Stmt, in stateSet) stateSet {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		out := ev.applyExprs(in, s.Results...)
+		ev.recordExit(out)
+		return out
+	case *ast.BlockStmt:
+		return ev.evalStmts(s.List, in)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			in = ev.evalStmt(s.Init, in)
+		}
+		in = ev.applyExprs(in, s.Cond)
+		thenOut := ev.evalStmt(s.Body, in)
+		elseOut := in
+		if s.Else != nil {
+			elseOut = ev.evalStmt(s.Else, in)
+		}
+		return thenOut.union(elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			in = ev.evalStmt(s.Init, in)
+		}
+		cur := in
+		// Iterate the body transfer to saturation (bounded: the state
+		// space has four elements).
+		for i := 0; i < 4; i++ {
+			next := cur.union(ev.evalStmt(s.Body, cur))
+			if s.Post != nil {
+				next = ev.evalStmt(s.Post, next)
+			}
+			next = next.union(cur)
+			if next.equal(cur) {
+				break
+			}
+			cur = next
+		}
+		return cur
+	case *ast.RangeStmt:
+		cur := ev.applyExprs(in, s.X)
+		for i := 0; i < 4; i++ {
+			next := cur.union(ev.evalStmt(s.Body, cur))
+			if next.equal(cur) {
+				break
+			}
+			cur = next
+		}
+		return cur
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return ev.evalBranches(stmt, in)
+	case *ast.LabeledStmt:
+		return ev.evalStmt(s.Stmt, in)
+	case *ast.DeferStmt:
+		eff := ev.callEffect(s.Call, singleton(pathState{}))
+		if len(eff) > 0 {
+			ev.deferEffect = append(ev.deferEffect, eff)
+		}
+		return in
+	case *ast.GoStmt:
+		return in
+	case *ast.ExprStmt:
+		return ev.applyExprs(in, s.X)
+	case *ast.AssignStmt:
+		out := ev.applyExprs(in, s.Rhs...)
+		for _, lhs := range s.Lhs {
+			out = ev.applyExprs(out, lhs)
+			switch {
+			case ev.isEpochWrite(lhs):
+				out = out.bump() // plain-uint64 epochs bump by assignment
+			case ev.isReceiverFieldWrite(lhs):
+				out = out.mutate()
+			}
+		}
+		return out
+	case *ast.IncDecStmt:
+		out := ev.applyExprs(in, s.X)
+		switch {
+		case ev.isEpochWrite(s.X):
+			out = out.bump() // s.epoch++
+		case ev.isReceiverFieldWrite(s.X):
+			out = out.mutate()
+		}
+		return out
+	case *ast.SendStmt:
+		return ev.applyExprs(in, s.Chan, s.Value)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return in
+		}
+		out := in
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				out = ev.applyExprs(out, vs.Values...)
+			}
+		}
+		return out
+	default:
+		return in
+	}
+}
+
+// evalBranches handles switch/type-switch/select: each branch runs
+// from the dispatch state; without a default the dispatch state itself
+// survives.
+func (ev *evaluator) evalBranches(stmt ast.Stmt, in stateSet) stateSet {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			in = ev.evalStmt(s.Init, in)
+		}
+		if s.Tag != nil {
+			in = ev.applyExprs(in, s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			in = ev.evalStmt(s.Init, in)
+		}
+		in = ev.evalStmt(s.Assign, in)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := stateSet{}
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			branchIn := ev.applyExprs(in, c.List...)
+			out = out.union(ev.evalStmts(c.Body, branchIn))
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			branchIn := in
+			if c.Comm != nil {
+				branchIn = ev.evalStmt(c.Comm, in)
+			}
+			out = out.union(ev.evalStmts(c.Body, branchIn))
+		}
+	}
+	if !hasDefault {
+		out = out.union(in)
+	}
+	return out
+}
+
+// applyExprs folds the effects of any calls inside the expressions
+// into the state, in syntactic order.
+func (ev *evaluator) applyExprs(in stateSet, exprs ...ast.Expr) stateSet {
+	cur := in
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // deferred/handed-off bodies analyzed where run
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				cur = ev.callEffect(call, cur)
+			}
+			return true
+		})
+	}
+	return cur
+}
+
+// callEffect applies one call's effect on the receiver's state.
+func (ev *evaluator) callEffect(call *ast.CallExpr, in stateSet) stateSet {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return in
+	}
+	chain, root := ev.fieldChain(sel)
+	if root == nil || root != ev.recv {
+		return in
+	}
+	// chain excludes the method name itself.
+	switch {
+	case len(chain) == 0:
+		// s.helper(...) — compose the callee's summary.
+		if mi, ok := ev.methods[sel.Sel.Name]; ok && mi.summary != nil {
+			return in.compose(mi.summary)
+		}
+		return in
+	case chain[0] == "epoch":
+		if sel.Sel.Name == "Add" || sel.Sel.Name == "Store" {
+			return in.bump()
+		}
+		return in
+	default:
+		// s.field.Method(...) — a mutation when the method sounds like
+		// one and the field is real state (not a lock or clock).
+		if ev.isSyncOrClockField(sel.X) {
+			return in
+		}
+		for _, p := range mutatorPrefixes {
+			if strings.HasPrefix(sel.Sel.Name, p) {
+				return in.mutate()
+			}
+		}
+		return in
+	}
+}
+
+// fieldChain unwinds a selector/index chain to its root identifier's
+// object and the field names along the way (method name excluded).
+func (ev *evaluator) fieldChain(sel *ast.SelectorExpr) ([]string, types.Object) {
+	var parts []string
+	expr := sel.X
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			obj := ev.pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = ev.pass.TypesInfo.Defs[e]
+			}
+			// parts were collected innermost-last; reverse.
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return parts, obj
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// isEpochWrite reports whether lhs is the receiver's epoch field
+// itself — a direct assignment or increment of a plain-uint64 epoch.
+func (ev *evaluator) isEpochWrite(lhs ast.Expr) bool {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "epoch" {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := ev.pass.TypesInfo.Uses[ident]
+	return obj != nil && obj == ev.recv
+}
+
+// isReceiverFieldWrite reports whether lhs writes through a receiver
+// field other than epoch (and other than sync/time-typed fields).
+func (ev *evaluator) isReceiverFieldWrite(lhs ast.Expr) bool {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.StarExpr:
+			lhs = e.X
+			continue
+		case *ast.ParenExpr:
+			lhs = e.X
+			continue
+		case *ast.SelectorExpr:
+			chain, root := ev.fieldChain(&ast.SelectorExpr{X: e.X, Sel: e.Sel})
+			// fieldChain treats the final selector as a method name and
+			// excludes it; for an lvalue it IS the field. Rebuild.
+			if root == nil || root != ev.recv {
+				return false
+			}
+			fields := append(chain, e.Sel.Name)
+			if fields[0] == "epoch" {
+				return false
+			}
+			if ev.isSyncOrClockField(e.X) && len(fields) > 1 {
+				return false
+			}
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// isSyncOrClockField reports whether expr's type lives in sync,
+// sync/atomic, or time — lock/waitgroup/clock plumbing, not summary
+// state.
+func (ev *evaluator) isSyncOrClockField(expr ast.Expr) bool {
+	t := ev.pass.TypesInfo.Types[expr].Type
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sync", "sync/atomic", "time":
+		return true
+	}
+	return false
+}

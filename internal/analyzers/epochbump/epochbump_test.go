@@ -1,0 +1,12 @@
+package epochbump_test
+
+import (
+	"testing"
+
+	"github.com/streamgeom/streamhull/internal/analysis/analysistest"
+	"github.com/streamgeom/streamhull/internal/analyzers/epochbump"
+)
+
+func TestEpochBump(t *testing.T) {
+	analysistest.Run(t, "testdata", epochbump.Analyzer, "summaries", "clean")
+}

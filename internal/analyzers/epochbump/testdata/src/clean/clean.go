@@ -1,0 +1,23 @@
+// Package clean holds a fully compliant summary: the analyzer must
+// stay silent.
+package clean
+
+import "sync/atomic"
+
+// Counter is a minimal compliant summary.
+type Counter struct {
+	n     int
+	epoch atomic.Uint64
+}
+
+// Add mutates and bumps.
+func (c *Counter) Add(d int) {
+	c.n += d
+	c.epoch.Add(1)
+}
+
+// N reads.
+func (c *Counter) N() int { return c.n }
+
+// Epoch reads the counter.
+func (c *Counter) Epoch() uint64 { return c.epoch.Load() }

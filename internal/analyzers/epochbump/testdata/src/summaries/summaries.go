@@ -1,0 +1,172 @@
+// Package summaries is the epochbump fixture: toy summary types with
+// an epoch counter, exercising every shape of the mutate-then-bump
+// contract.
+package summaries
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// store stands in for inner summary state reached through a field.
+type store struct{ n int }
+
+func (st *store) Insert(p int) error {
+	if p < 0 {
+		return errors.New("negative")
+	}
+	st.n++
+	return nil
+}
+
+func (st *store) Len() int { return st.n }
+
+// Good bumps on every mutating return path.
+type Good struct {
+	mu    sync.Mutex
+	n     int
+	inner store
+	memo  int
+	ok    bool
+	epoch atomic.Uint64
+}
+
+// Insert mutates and bumps: clean.
+func (s *Good) Insert(p int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.inner.Insert(p); err != nil {
+		// Mutation may have happened upstream; bump so caches refresh.
+		s.epoch.Add(1)
+		return err
+	}
+	s.n++
+	s.epoch.Add(1)
+	return nil
+}
+
+// DeferBump bumps through a deferred call: clean.
+func (s *Good) DeferBump(p int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.epoch.Add(1)
+	s.n += p
+}
+
+// Len only reads (lock traffic is not summary mutation): clean.
+func (s *Good) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Len()
+}
+
+// growLocked is an unexported helper that mutates without bumping; its
+// taint flows to callers, which must bump.
+func (s *Good) growLocked() { s.n++ }
+
+// Grow composes the tainted helper and bumps afterwards: clean.
+func (s *Good) Grow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.growLocked()
+	s.epoch.Add(1)
+}
+
+// canonicalize is observationally pure, vouched for by directive; its
+// callers stay clean without bumping.
+//
+//lint:allow epochbump fixture for a trusted canonicalizing helper
+func (s *Good) canonicalize() {
+	if !s.ok {
+		s.memo = s.n * 2
+		s.ok = true
+	}
+}
+
+// Memo reads through the trusted helper: clean.
+func (s *Good) Memo() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.canonicalize()
+	return s.memo
+}
+
+// Bad forgets the bump in assorted ways.
+type Bad struct {
+	n     int
+	items []int
+	inner store
+	epoch atomic.Uint64
+}
+
+func (b *Bad) Insert(p int) { // want `Insert mutates summary state without bumping the epoch`
+	b.n++
+}
+
+func (b *Bad) InsertBranch(p int) error { // want `InsertBranch mutates summary state without bumping the epoch`
+	b.items = append(b.items, p)
+	if p < 0 {
+		return errors.New("negative") // mutated, no bump: the bad path
+	}
+	b.epoch.Add(1)
+	return nil
+}
+
+func (b *Bad) Delegate(p int) { // want `Delegate mutates summary state without bumping the epoch`
+	_ = b.inner.Insert(p) // field mutator call, never bumped
+}
+
+func (b *Bad) Grow() { // want `Grow mutates summary state without bumping the epoch`
+	b.growLocked() // tainted helper, no bump after
+}
+
+func (b *Bad) growLocked() { b.n++ } // unexported: taints callers, not reported itself
+
+// Switch bumps in only one arm.
+func (b *Bad) Switch(mode int) { // want `Switch mutates summary state without bumping the epoch`
+	switch mode {
+	case 0:
+		b.n++
+		b.epoch.Add(1)
+	case 1:
+		b.n-- // no bump
+	}
+}
+
+// Sanctioned mutates without bumping but carries a justified directive:
+// suppressed, no diagnostic.
+//
+//lint:allow epochbump fixture for a deliberate suppression
+func (b *Bad) Sanctioned() {
+	b.n++
+}
+
+// PlainEpoch uses a bare uint64 counter; bumping by increment or
+// assignment counts.
+type PlainEpoch struct {
+	n     int
+	epoch uint64
+}
+
+// Inc mutates and bumps by increment: clean.
+func (p *PlainEpoch) Inc() {
+	p.n++
+	p.epoch++
+}
+
+// Set mutates and bumps by assignment: clean.
+func (p *PlainEpoch) Set(n int) {
+	p.n = n
+	p.epoch = p.epoch + 1
+}
+
+// Forget mutates without touching the counter.
+func (p *PlainEpoch) Forget() { // want `Forget mutates summary state without bumping the epoch`
+	p.n++
+}
+
+// NoEpoch has no epoch field: outside the contract, never reported.
+type NoEpoch struct{ n int }
+
+func (n *NoEpoch) Insert(p int) { n.n++ }

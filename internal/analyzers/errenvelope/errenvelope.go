@@ -1,0 +1,211 @@
+// Package errenvelope enforces the uniform error envelope in the
+// service layer: every error response from internal/server is the
+// {"error": ..., "code": ...} JSON body (server.errorBody), emitted
+// through the shared helpers (writeErr / writeErrCode / writeStreamErr
+// or a writeJSON of an errorBody literal when extra fields ride along,
+// as stale-epoch and empty-stream answers do), and every machine code
+// it carries is one of the documented table. Clients branch on these
+// codes, the 20+-case table test pins them, and a hand-rolled
+// http.Error or an ad-hoc JSON shape silently breaks both.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"github.com/streamgeom/streamhull/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errenvelope",
+	Doc:  "handlers must emit errors through the shared envelope helpers with documented codes",
+	Run:  run,
+}
+
+// Codes is the documented machine-readable code table (README "Errors"
+// and the service_test table). Adding a code means documenting it and
+// extending the table test — then adding it here.
+var Codes = map[string]bool{
+	"bad_request":     true,
+	"unauthenticated": true,
+	"forbidden":       true,
+	"not_found":       true,
+	"not_acceptable":  true,
+	"conflict":        true,
+	"too_large":       true,
+	"rate_limited":    true,
+	"stream_limit":    true,
+	"internal":        true,
+	"stale_epoch":     true,
+	"resync_required": true,
+	"empty_streams":   true,
+	"quota_streams":   true,
+	"quota_bytes":     true,
+	"not_ready":       true,
+}
+
+// envelopeWriters are the sanctioned helpers; their own bodies are the
+// one place WriteHeader and code strings legitimately appear.
+var envelopeWriters = map[string]bool{
+	"writeJSON":      true,
+	"writeErr":       true,
+	"writeErrCode":   true,
+	"writeStreamErr": true,
+	"codeForStatus":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.PathSuffix("internal/server") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		// Track the enclosing function name so the envelope helpers
+		// themselves are exempt from the low-level rules.
+		var funcStack []string
+		inWriter := func() bool {
+			for _, name := range funcStack {
+				if envelopeWriters[name] {
+					return true
+				}
+			}
+			return false
+		}
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				funcStack = append(funcStack, fd.Name.Name)
+				if fd.Body != nil {
+					ast.Inspect(fd.Body, walk)
+				}
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n, inWriter())
+			case *ast.CompositeLit:
+				checkEnvelopeLit(pass, n)
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+// checkCall applies the call-site rules: no http.Error, documented
+// codes in writeErrCode, envelope-shaped payloads in error-status
+// writeJSON, and no hand-rolled WriteHeader outside the helpers.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, inWriter bool) {
+	sel, _ := call.Fun.(*ast.SelectorExpr)
+
+	// Rule 1: http.Error is never the envelope.
+	if sel != nil {
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "net/http" && sel.Sel.Name == "Error" {
+			pass.Reportf(call.Pos(),
+				"http.Error bypasses the uniform error envelope; use writeErr/writeErrCode")
+			return
+		}
+	}
+
+	// Rule 2: writeErrCode's code argument must be documented.
+	if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "writeErrCode" && len(call.Args) >= 3 {
+		if code, ok := constString(pass, call.Args[2]); ok && !Codes[code] {
+			pass.Reportf(call.Args[2].Pos(),
+				"error code %q is not in the documented code table; document it, extend the table test, and add it to errenvelope.Codes", code)
+		}
+	}
+
+	// Rule 3: writeJSON with an error status must carry the envelope.
+	if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "writeJSON" && len(call.Args) >= 3 {
+		if status, ok := constInt(pass, call.Args[1]); ok && status >= 400 {
+			t := pass.TypesInfo.Types[call.Args[2]].Type
+			if t == nil || !isEnvelopeType(t) {
+				pass.Reportf(call.Args[2].Pos(),
+					"error response (status %d) must be the errorBody envelope, not %s; use writeErr/writeErrCode or an errorBody literal", status, typeName(t))
+			}
+		}
+	}
+
+	// Rule 4: WriteHeader with an error status belongs inside the
+	// envelope helpers only.
+	if sel != nil && sel.Sel.Name == "WriteHeader" && !inWriter && len(call.Args) == 1 {
+		if isResponseWriter(pass, sel.X) {
+			if status, ok := constInt(pass, call.Args[0]); ok && status >= 400 {
+				pass.Reportf(call.Pos(),
+					"hand-rolled error write (WriteHeader %d) outside the envelope helpers; use writeErr/writeErrCode", status)
+			}
+		}
+	}
+}
+
+// checkEnvelopeLit validates Code fields of errorBody literals.
+func checkEnvelopeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.Types[lit].Type
+	if t == nil || !isEnvelopeType(t) {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Code" {
+			continue
+		}
+		if code, ok := constString(pass, kv.Value); ok && !Codes[code] {
+			pass.Reportf(kv.Value.Pos(),
+				"error code %q is not in the documented code table; document it, extend the table test, and add it to errenvelope.Codes", code)
+		}
+	}
+}
+
+// isEnvelopeType reports whether t is the server's errorBody type.
+func isEnvelopeType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "errorBody"
+}
+
+func typeName(t types.Type) string {
+	if t == nil {
+		return "<unknown>"
+	}
+	return t.String()
+}
+
+// isResponseWriter reports whether expr's type is (or contains)
+// net/http.ResponseWriter.
+func isResponseWriter(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.Types[expr].Type
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return strings.Contains(s, "net/http.ResponseWriter") || strings.HasSuffix(s, "http.ResponseWriter")
+}
+
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv := pass.TypesInfo.Types[expr]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func constInt(pass *analysis.Pass, expr ast.Expr) (int64, bool) {
+	tv := pass.TypesInfo.Types[expr]
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return v, ok
+}

@@ -1,0 +1,13 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"github.com/streamgeom/streamhull/internal/analysis/analysistest"
+	"github.com/streamgeom/streamhull/internal/analyzers/errenvelope"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, "testdata", errenvelope.Analyzer,
+		"internal/server", "clean")
+}

@@ -1,0 +1,11 @@
+// Package clean is outside internal/server: the envelope rules do not
+// apply, so even http.Error stays unreported.
+package clean
+
+import "net/http"
+
+// Reject hand-rolls an error the simple way; fine outside the service
+// layer.
+func Reject(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusBadRequest)
+}

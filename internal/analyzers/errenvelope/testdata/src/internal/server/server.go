@@ -1,0 +1,93 @@
+// Package server is the errenvelope fixture: a miniature service layer
+// with the shared envelope helpers and every way of breaking the rules.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// errorBody mirrors the real envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status) // inside the sanctioned helper: allowed
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func codeForStatus(status int) string {
+	if status == http.StatusNotFound {
+		return "not_found"
+	}
+	return "internal"
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErrCode(w, status, codeForStatus(status), format, args...)
+}
+
+func writeErrCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// handleGood uses the helpers with documented codes: clean.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusNotFound, "no such stream")
+		return
+	}
+	writeErrCode(w, http.StatusConflict, "stale_epoch", "epoch too old")
+}
+
+// handleEnvelopeLiteral rides extra context on an errorBody literal —
+// the sanctioned escape hatch for richer error payloads.
+func handleEnvelopeLiteral(w http.ResponseWriter) {
+	writeJSON(w, http.StatusConflict, errorBody{Error: "empty", Code: "empty_streams"})
+}
+
+// handleHTTPError hand-rolls a plain-text error.
+func handleHTTPError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `http\.Error bypasses the uniform error envelope`
+}
+
+// handleBadCode invents a code outside the documented table.
+func handleBadCode(w http.ResponseWriter) {
+	writeErrCode(w, http.StatusBadRequest, "oopsie", "bad input") // want `error code "oopsie" is not in the documented code table`
+}
+
+// handleBadShape sends an ad-hoc JSON shape with an error status.
+func handleBadShape(w http.ResponseWriter) {
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"}) // want `error response \(status 503\) must be the errorBody envelope`
+}
+
+// handleRawWriteHeader writes an error status outside the helpers.
+func handleRawWriteHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTooManyRequests) // want `hand-rolled error write \(WriteHeader 429\) outside the envelope helpers`
+}
+
+// handleOKWriteHeader writes a success status directly: allowed.
+func handleOKWriteHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleBadLiteralCode puts an undocumented code in the envelope.
+func handleBadLiteralCode(w http.ResponseWriter) {
+	writeJSON(w, http.StatusConflict, errorBody{Error: "x", Code: "mystery"}) // want `error code "mystery" is not in the documented code table`
+}
+
+// handleSanctioned suppresses a finding with a justified directive.
+func handleSanctioned(w http.ResponseWriter, r *http.Request) {
+	//lint:allow errenvelope fixture for a protocol-mandated plain-text response
+	http.Error(w, "teapot", http.StatusTeapot)
+}
+
+// probeBody hand-rolls a health-probe body with a success status —
+// writeJSON below 400 carries no envelope requirement.
+func probeBody(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}

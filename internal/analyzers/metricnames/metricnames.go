@@ -1,0 +1,172 @@
+// Package metricnames enforces the telemetry naming and registration
+// conventions: every metric registered on a telemetry.Registry is
+// `streamhull_`-prefixed snake_case with the right unit suffix
+// (counters end in _total; histograms in _seconds or _bytes), its name
+// is a compile-time constant (dashboards grep for literals), each name
+// is registered once, and registration happens at wiring time — never
+// inside a request handler or a loop, where re-registration would
+// either panic or silently shadow the first series.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/streamgeom/streamhull/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "telemetry registrations must be streamhull_-prefixed snake_case, unit-suffixed, constant, and registered once at wiring time",
+	Run:  run,
+}
+
+// registerMethods maps each Registry constructor to the kind of
+// metric it registers.
+var registerMethods = map[string]string{
+	"NewCounter":        "counter",
+	"NewCounterVec":     "counter",
+	"NewCounterFunc":    "counter",
+	"NewGauge":          "gauge",
+	"NewGaugeVec":       "gauge",
+	"NewGaugeFunc":      "gauge",
+	"NewGaugeCollector": "gauge",
+	"NewHistogram":      "histogram",
+	"NewHistogramVec":   "histogram",
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) error {
+	seen := make(map[string]ast.Node) // metric name -> first registration
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		// The node stack gives each registration its lexical context
+		// (enclosing functions and loops); ast.Inspect reports nil on
+		// post-order, which pops.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkRegistration(pass, call, stack, seen)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegistration applies every rule to one Registry constructor
+// call; non-registration calls fall through untouched.
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node, seen map[string]ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	kind, ok := registerMethods[sel.Sel.Name]
+	if !ok || !isRegistry(pass, sel.X) || len(call.Args) == 0 {
+		return
+	}
+
+	// Context rules: not in a handler, not in a loop.
+	for _, n := range stack[:len(stack)-1] {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			pass.Reportf(call.Pos(), "metric registered inside a loop: %s must register each name exactly once at wiring time", sel.Sel.Name)
+		case *ast.FuncDecl:
+			if isHandlerFunc(pass, n.Type) {
+				pass.Reportf(call.Pos(), "metric registered inside an HTTP handler: dynamic re-registration panics or shadows the first series; register at wiring time")
+			}
+		case *ast.FuncLit:
+			if isHandlerFunc(pass, n.Type) {
+				pass.Reportf(call.Pos(), "metric registered inside an HTTP handler: dynamic re-registration panics or shadows the first series; register at wiring time")
+			}
+		}
+	}
+
+	// Name rules need a compile-time constant.
+	name, ok := constString(pass, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant string so dashboards and docs can grep for it")
+		return
+	}
+	if prior, dup := seen[name]; dup {
+		pass.Reportf(call.Pos(), "metric %q already registered at %s; each name must be registered exactly once",
+			name, pass.Fset.Position(prior.Pos()))
+	} else {
+		seen[name] = call
+	}
+	if !strings.HasPrefix(name, "streamhull_") {
+		pass.Reportf(call.Args[0].Pos(), "metric %q must carry the streamhull_ namespace prefix", name)
+		return
+	}
+	if !snakeCase.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric %q must be snake_case ([a-z0-9_])", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total", name)
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			pass.Reportf(call.Args[0].Pos(), "histogram %q must carry a unit suffix (_seconds or _bytes)", name)
+		}
+	}
+}
+
+// isRegistry reports whether expr is a telemetry.Registry (or pointer
+// to one) — matched by type name and package so the fixture's fake
+// telemetry package counts too.
+func isRegistry(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.Types[expr].Type
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Name() == "telemetry" || strings.HasSuffix(pkg.Path(), "telemetry"))
+}
+
+// isHandlerFunc reports whether a function type takes an
+// http.ResponseWriter or *http.Request — the handler shape.
+func isHandlerFunc(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		s := t.String()
+		if strings.HasSuffix(s, "http.ResponseWriter") || strings.HasSuffix(s, "http.Request") {
+			return true
+		}
+	}
+	return false
+}
+
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv := pass.TypesInfo.Types[expr]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

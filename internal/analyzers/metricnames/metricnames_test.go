@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"github.com/streamgeom/streamhull/internal/analysis/analysistest"
+	"github.com/streamgeom/streamhull/internal/analyzers/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, "testdata", metricnames.Analyzer, "wiring", "clean")
+}

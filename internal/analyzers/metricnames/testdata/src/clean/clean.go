@@ -1,0 +1,15 @@
+// Package clean registers nothing on a telemetry.Registry; a
+// same-named method on an unrelated type must not trip the analyzer.
+package clean
+
+// Registry is NOT the telemetry registry (wrong package name), so its
+// constructors are out of scope.
+type Registry struct{}
+
+func (r *Registry) NewCounter(name, help string) int { return 0 }
+
+// Wire exercises the lookalike.
+func Wire() {
+	r := &Registry{}
+	r.NewCounter("whatever", "not a metric")
+}

@@ -1,0 +1,52 @@
+// Package wiring registers metrics every right and wrong way.
+package wiring
+
+import (
+	"net/http"
+
+	"telemetry"
+)
+
+// Wire registers the compliant set: clean.
+func Wire(reg *telemetry.Registry) {
+	reg.NewCounter("streamhull_requests_total", "requests served")
+	reg.NewCounterVec("streamhull_errors_total", "errors by code", "code")
+	reg.NewGauge("streamhull_streams", "live streams") // gauges carry no unit suffix requirement
+	reg.NewGaugeFunc("streamhull_goroutines", "goroutines", func() float64 { return 0 })
+	reg.NewHistogram("streamhull_latency_seconds", "request latency", nil)
+	reg.NewHistogram("streamhull_body_bytes", "body sizes", nil)
+}
+
+// WireBadNames trips each naming rule once.
+func WireBadNames(reg *telemetry.Registry) {
+	reg.NewCounter("requests_total", "no namespace")                  // want `metric "requests_total" must carry the streamhull_ namespace prefix`
+	reg.NewCounter("streamhull_requestsTotal", "camel case")          // want `metric "streamhull_requestsTotal" must be snake_case`
+	reg.NewCounter("streamhull_requests", "counter without unit")     // want `counter "streamhull_requests" must end in _total`
+	reg.NewHistogram("streamhull_latency", "histogram w/o unit", nil) // want `histogram "streamhull_latency" must carry a unit suffix`
+	reg.NewCounter("streamhull_requests_total", "registered in Wire") // want `metric "streamhull_requests_total" already registered at`
+}
+
+// WireDynamic computes the name at run time.
+func WireDynamic(reg *telemetry.Registry, name string) {
+	reg.NewCounter(name, "dynamic") // want `metric name must be a compile-time constant string`
+}
+
+// WireInLoop registers per iteration.
+func WireInLoop(reg *telemetry.Registry, shards []string) {
+	for range shards {
+		reg.NewCounter("streamhull_shard_ops_total", "per-shard ops") // want `metric registered inside a loop`
+	}
+}
+
+// ServeHTTP registers per request.
+func ServeHTTP(reg *telemetry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg.NewCounter("streamhull_lazy_total", "registered lazily") // want `metric registered inside an HTTP handler`
+	}
+}
+
+// WireSanctioned suppresses a naming finding with a justification.
+func WireSanctioned(reg *telemetry.Registry) {
+	//lint:allow metricnames fixture for a grandfathered dashboard name
+	reg.NewCounter("legacy_requests_total", "grandfathered")
+}

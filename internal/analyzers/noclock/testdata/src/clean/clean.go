@@ -1,0 +1,11 @@
+// Package clean is outside every deterministic scope; wall-clock reads
+// are unrestricted here and the analyzer must stay silent.
+package clean
+
+import "time"
+
+// Uptime reads the clock twice.
+func Uptime(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}

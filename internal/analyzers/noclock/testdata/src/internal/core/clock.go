@@ -1,0 +1,50 @@
+// Package core is a fixture standing in for the deterministic summary
+// core: every wall-clock read in here must be flagged.
+package core
+
+import "time"
+
+// State is a toy summary.
+type State struct {
+	points  int
+	stamped time.Time
+}
+
+// Insert reads the clock three different ways; all are violations.
+func (s *State) Insert() {
+	start := time.Now() // want `time\.Now in deterministic package core`
+	s.points++
+	_ = time.Since(start) // want `time\.Since in deterministic package core`
+	s.stamped = start
+}
+
+// Schedule leans on timers; also violations.
+func Schedule() {
+	<-time.After(time.Millisecond)   // want `time\.After in deterministic package core`
+	t := time.NewTicker(time.Second) // want `time\.NewTicker in deterministic package core`
+	t.Stop()
+}
+
+// Hook passes the clock as a value — still a clock read at run time.
+func Hook() func() time.Time {
+	return time.Now // want `time\.Now in deterministic package core`
+}
+
+// Injected threads a clock the sanctioned way: no diagnostic.
+func Injected(now func() time.Time) time.Duration {
+	start := now()
+	return now().Sub(start)
+}
+
+// Defaulted is the one sanctioned wall-clock fallback, justified.
+func Defaulted(now func() time.Time) func() time.Time {
+	if now == nil {
+		//lint:allow noclock fixture for the sanctioned default-clock wiring
+		now = time.Now
+	}
+	return now
+}
+
+// Formatting helpers from package time are fine — only clock reads are
+// forbidden.
+func Format(t time.Time) string { return t.Format(time.RFC3339) }

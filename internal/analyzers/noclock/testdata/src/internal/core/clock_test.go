@@ -1,0 +1,15 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files may read the clock freely: benchmarks and deadlines are
+// not replayed.
+func TestClockAllowedInTests(t *testing.T) {
+	start := time.Now()
+	if time.Since(start) < 0 {
+		t.Fatal("clock went backwards")
+	}
+}

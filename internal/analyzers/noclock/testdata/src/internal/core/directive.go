@@ -1,0 +1,10 @@
+package core
+
+import "time"
+
+// WrongDirective names a different analyzer: it suppresses nothing
+// here, so the clock read is still reported.
+func WrongDirective() time.Time {
+	//lint:allow epochbump a justification for the wrong analyzer
+	return time.Now() // want `time\.Now in deterministic package core`
+}

@@ -1,0 +1,10 @@
+// Package wal is a fixture for the file-scoped rule: only recover.go
+// is replay-critical.
+package wal
+
+import "time"
+
+// Replay is on the replay path; the clock read is a violation.
+func Replay() time.Time {
+	return time.Now() // want `time\.Now in deterministic package wal`
+}

@@ -1,0 +1,26 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/streamgeom/streamhull/internal/analysis"
+	"github.com/streamgeom/streamhull/internal/analyzers"
+)
+
+// TestRepositoryIsVetClean runs the whole suite over the whole module
+// and demands silence — the same bar CI holds with
+// `go vet -vettool=streamhull-vet ./...`. A new violation anywhere in
+// the tree fails this test locally before it ever reaches CI.
+func TestRepositoryIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives go list -export over the whole module")
+	}
+	findings, err := analysis.RunStandalone(analyzers.All(),
+		[]string{"github.com/streamgeom/streamhull/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,15 @@
+// Package clean is outside the fan-in wire: requests here need no
+// trace propagation.
+package clean
+
+import "net/http"
+
+// Fetch builds and sends a bare request; out of scope, unreported.
+func Fetch(client *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	_, err = client.Do(req)
+	return err
+}

@@ -1,0 +1,101 @@
+// Package fanin is the tracepropagation fixture: every http.Request
+// built here must carry traceparent before it is sent.
+package fanin
+
+import (
+	"context"
+	"net/http"
+)
+
+func authorize(req *http.Request, token string) {
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set("traceparent", "00-fixture")
+}
+
+func injectTrace(req *http.Request) {
+	req.Header.Set("traceparent", "00-fixture")
+}
+
+// PushBare sends without injection.
+func PushBare(ctx context.Context, client *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	_, err = client.Do(req) // want `request sent without traceparent injection`
+	return err
+}
+
+// PushDirect sets the header inline: clean.
+func PushDirect(client *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("traceparent", "00-abc")
+	_, err = client.Do(req)
+	return err
+}
+
+// PushCanonical uses the canonical header spelling: header keys are
+// case-insensitive, so this is clean too.
+func PushCanonical(client *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Traceparent", "00-abc")
+	_, err = client.Do(req)
+	return err
+}
+
+// PushAuthorized routes through the injector helper: clean.
+func PushAuthorized(client *http.Client, url, token string) error {
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	authorize(req, token)
+	_, err = client.Do(req)
+	return err
+}
+
+// PushInjected routes through the other helper shape: clean.
+func PushInjected(client *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	injectTrace(req)
+	_, err = client.Do(req)
+	return err
+}
+
+// RoundTripBare sends through a transport without injection.
+func RoundTripBare(rt http.RoundTripper, url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	_, err = rt.RoundTrip(req) // want `request sent without traceparent injection`
+	return err
+}
+
+// Forward sends a request it did not build; provenance unknown, so the
+// analyzer stays silent.
+func Forward(client *http.Client, req *http.Request) error {
+	_, err := client.Do(req)
+	return err
+}
+
+// PushSanctioned suppresses the finding for an endpoint documented to
+// reject unknown headers.
+func PushSanctioned(client *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	//lint:allow tracepropagation fixture for a third-party endpoint that rejects unknown headers
+	_, err = client.Do(req)
+	return err
+}

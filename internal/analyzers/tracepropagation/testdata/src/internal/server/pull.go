@@ -1,0 +1,26 @@
+// Package server is the tracepropagation fixture for the aggregator
+// pull path: only pull.go is in scope.
+package server
+
+import "net/http"
+
+// Pull fetches a follower delta without propagating the trace.
+func Pull(client *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	_, err = client.Do(req) // want `request sent without traceparent injection`
+	return err
+}
+
+// PullTraced injects before sending: clean.
+func PullTraced(client *http.Client, url, tp string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("traceparent", tp)
+	_, err = client.Do(req)
+	return err
+}

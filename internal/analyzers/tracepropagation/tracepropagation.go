@@ -1,0 +1,187 @@
+// Package tracepropagation enforces W3C trace propagation on the
+// fan-in wire: every http.Request built in internal/fanin or the
+// aggregator's pull path (internal/server/pull.go) must have the
+// traceparent header injected before it is sent. A push or pull
+// without it silently severs the distributed trace that makes a
+// follower's push and the aggregator's handling one trace — the
+// cross-process invariant PR 7 established and the smoke tests assert.
+//
+// A request counts as injected when, between construction and the
+// client.Do / RoundTrip call, it either has its header set directly
+// (req.Header.Set("traceparent", ...)) or is passed to an injector
+// helper — a function whose name starts with "authorize", "inject" or
+// "propagate" (internal/fanin.authorize is the canonical one).
+package tracepropagation
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"github.com/streamgeom/streamhull/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tracepropagation",
+	Doc:  "fan-in HTTP requests must inject the traceparent header before client.Do",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	inFanin := pass.PathSuffix("internal/fanin") || pass.PathSuffix("fanin")
+	inServer := pass.PathSuffix("internal/server")
+	if !inFanin && !inServer {
+		return nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if inServer && filepath.Base(name) != "pull.go" {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function body in statement order, tracking which
+// request variables have been injected when they reach a send call.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	requests := make(map[types.Object]bool) // request var -> injected
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// req, err := http.NewRequest... registers a tracked var.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isNewRequest(pass, call) {
+					continue
+				}
+				// With a multi-value RHS the request is Lhs[0].
+				idx := 0
+				if len(n.Rhs) == len(n.Lhs) {
+					idx = i
+				}
+				if ident, ok := n.Lhs[idx].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[ident]; obj != nil {
+						requests[obj] = false
+					} else if obj := pass.TypesInfo.Uses[ident]; obj != nil {
+						requests[obj] = false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, requests)
+		}
+		return true
+	})
+}
+
+// checkCall marks requests injected and reports uninjected sends.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, requests map[types.Object]bool) {
+	// Direct header injection: req.Header.Set("traceparent", ...).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Set" && len(call.Args) == 2 {
+		if hdr, ok := sel.X.(*ast.SelectorExpr); ok && hdr.Sel.Name == "Header" {
+			if obj := rootObject(pass, hdr.X); obj != nil {
+				if _, tracked := requests[obj]; tracked {
+					if key, ok := constString(pass, call.Args[0]); ok && strings.EqualFold(key, "traceparent") {
+						requests[obj] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Injector helpers: authorize(req, ...), injectTrace(req), ...
+	if name := calleeName(call); name != "" {
+		lower := strings.ToLower(name)
+		if strings.HasPrefix(lower, "authorize") || strings.HasPrefix(lower, "inject") || strings.HasPrefix(lower, "propagate") {
+			for _, arg := range call.Args {
+				if obj := rootObject(pass, arg); obj != nil {
+					if _, tracked := requests[obj]; tracked {
+						requests[obj] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Send calls: client.Do(req) / transport.RoundTrip(req).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+		(sel.Sel.Name == "Do" || sel.Sel.Name == "RoundTrip") && len(call.Args) == 1 {
+		if obj := rootObject(pass, call.Args[0]); obj != nil {
+			if injected, tracked := requests[obj]; tracked && !injected {
+				pass.Reportf(call.Pos(),
+					"request sent without traceparent injection; set the header or pass it through authorize() before %s", sel.Sel.Name)
+			}
+		}
+	}
+}
+
+// isNewRequest reports whether call constructs an *http.Request.
+func isNewRequest(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return false
+	}
+	return sel.Sel.Name == "NewRequest" || sel.Sel.Name == "NewRequestWithContext"
+}
+
+// calleeName returns the called function's bare name, for package-
+// local calls and method calls alike.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// rootObject resolves expr to the object of its root identifier.
+func rootObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv := pass.TypesInfo.Types[expr]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

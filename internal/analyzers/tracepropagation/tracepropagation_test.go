@@ -1,0 +1,13 @@
+package tracepropagation_test
+
+import (
+	"testing"
+
+	"github.com/streamgeom/streamhull/internal/analysis/analysistest"
+	"github.com/streamgeom/streamhull/internal/analyzers/tracepropagation"
+)
+
+func TestTracePropagation(t *testing.T) {
+	analysistest.Run(t, "testdata", tracepropagation.Analyzer,
+		"fanin", "internal/server", "clean")
+}

@@ -102,18 +102,20 @@ func (h *Hull) InsertBatch(pts []geom.Point) {
 // InsertBatchObserved is InsertBatch with per-stage timings reported to
 // obs (non-nil): "prefilter" for the ExtremeCandidates pass,
 // "insert" for feeding the surviving candidates through the summary.
-// The state transition is identical to InsertBatch — same filter, same
+// The clock is injected (callers outside the deterministic core pass
+// time.Now) and feeds only the observations, never the state
+// transition, which is identical to InsertBatch — same filter, same
 // insertion order — so traced ingest stays bit-exact with WAL replay.
-func (h *Hull) InsertBatchObserved(pts []geom.Point, obs func(stage string, d time.Duration)) {
+func (h *Hull) InsertBatchObserved(pts []geom.Point, now func() time.Time, obs func(stage string, d time.Duration)) {
 	n := h.stats.Points
-	start := time.Now()
+	start := now()
 	cands := convex.ExtremeCandidates(pts)
-	obs("prefilter", time.Since(start))
-	start = time.Now()
+	obs("prefilter", now().Sub(start))
+	start = now()
 	for _, p := range cands {
 		h.Insert(p)
 	}
-	obs("insert", time.Since(start))
+	obs("insert", now().Sub(start))
 	h.stats.Points = n + len(pts)
 }
 

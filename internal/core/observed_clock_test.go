@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/streamgeom/streamhull/geom"
+)
+
+// TestObservedBatchBitExact pins the noclock contract on the traced
+// batch path: InsertBatchObserved takes its clock by injection and
+// feeds it only to the stage observations, so the state transition is
+// bit-identical to InsertBatch — the property WAL replay of traced
+// ingest depends on. A fake monotonic clock proves no wall time is
+// read, and the resulting samples are compared bit-for-bit.
+func TestObservedBatchBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	batches := make([][]geom.Point, 8)
+	for i := range batches {
+		batch := make([]geom.Point, 500)
+		for j := range batch {
+			a := rng.Float64() * 2 * math.Pi
+			r := 1 + rng.Float64()
+			batch[j] = geom.Pt(r*math.Cos(a), r*math.Sin(a))
+		}
+		batches[i] = batch
+	}
+
+	plain := New(Config{R: 16})
+	observed := New(Config{R: 16})
+
+	// A deterministic fake clock: strictly monotone, no wall reads.
+	var ticks int64
+	fakeNow := func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Millisecond))
+	}
+	stages := map[string]int{}
+	for _, batch := range batches {
+		plain.InsertBatch(batch)
+		observed.InsertBatchObserved(batch, fakeNow, func(stage string, d time.Duration) {
+			stages[stage]++
+			if d <= 0 {
+				t.Errorf("stage %q: non-positive duration %v from the injected clock", stage, d)
+			}
+		})
+	}
+
+	if stages["prefilter"] != len(batches) || stages["insert"] != len(batches) {
+		t.Errorf("stage observations = %v, want %d of each", stages, len(batches))
+	}
+	if got, want := observed.N(), plain.N(); got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	a, b := plain.Samples(), observed.Samples()
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if pa, pb := plain.Stats(), observed.Stats(); pa != pb {
+		t.Errorf("stats diverge: %+v vs %+v", pa, pb)
+	}
+	if err := observed.Check(); err != nil {
+		t.Errorf("invariants after observed ingest: %v", err)
+	}
+}

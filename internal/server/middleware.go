@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"strconv"
@@ -81,12 +82,15 @@ func (s *Server) route(pattern, endpoint string, roleFor func(*http.Request) aut
 // then the handler with the identity attached.
 func (s *Server) serveAuthed(w http.ResponseWriter, req *http.Request, roleFor func(*http.Request) auth.Role, h http.HandlerFunc) {
 	// With AsyncRecovery the handler is live before the stream map is:
-	// API routes answer 503 with the same progress report /readyz gives
-	// until startup recovery completes.
+	// until startup recovery completes, API routes answer 503 in the
+	// uniform envelope (code "not_ready") carrying the same progress
+	// numbers /readyz reports.
 	if recovered, total, starting := s.health.Recovery(); starting {
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "starting", "recovered": recovered, "total": total,
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error:    fmt.Sprintf("starting: %d of %d streams recovered", recovered, total),
+			Code:     "not_ready",
+			Recovery: &recoveryProgress{Recovered: recovered, Total: total},
 		})
 		return
 	}

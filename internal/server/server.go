@@ -184,8 +184,10 @@ type Config struct {
 	// the server immediately answers /healthz and /readyz (the latter
 	// 503 with {"status":"starting","recovered":k,"total":n} progress)
 	// while streams are restored in the background, and API routes
-	// answer 503 until recovery completes. Without it New blocks until
-	// every stream is recovered, failing startup on any error.
+	// answer 503 in the uniform error envelope (code "not_ready", with
+	// the same progress numbers) until recovery completes. Without it
+	// New blocks until every stream is recovered, failing startup on
+	// any error.
 	AsyncRecovery bool
 	// Sync is the WAL fsync policy (zero value = wal.SyncInterval).
 	Sync wal.SyncPolicy
@@ -584,6 +586,16 @@ type errorBody struct {
 	// follower would have to build on (in practice it just re-sends a
 	// full snapshot).
 	AckedEpoch uint64 `json:"acked_epoch,omitempty"`
+	// Recovery reports, for code "not_ready", startup recovery
+	// progress: streams replayed so far out of the total discovered —
+	// the same numbers /readyz serves.
+	Recovery *recoveryProgress `json:"recovery,omitempty"`
+}
+
+// recoveryProgress is errorBody.Recovery's payload.
+type recoveryProgress struct {
+	Recovered int `json:"recovered"`
+	Total     int `json:"total"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

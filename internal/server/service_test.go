@@ -405,3 +405,55 @@ func TestMetricsAndHealthEndpoints(t *testing.T) {
 		t.Errorf("disabled /metrics = %d, want 404", code)
 	}
 }
+
+// TestNotReadyEnvelope pins the API-route 503 during startup recovery
+// to the uniform error envelope: every endpoint behind serveAuthed
+// answers code "not_ready" with a Retry-After hint and the same
+// recovery progress /readyz reports, then recovers to normal service
+// the moment recovery finishes.
+func TestNotReadyEnvelope(t *testing.T) {
+	srv := mustNew(t, Config{DefaultR: 16})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	srv.health.StartRecovery(5)
+	srv.health.SetRecovered(2)
+
+	for _, path := range []string{
+		"/v1/streams",
+		"/v1/streams/x/hull",
+		"/v1/pairs/query?a=x&b=y&type=distance",
+	} {
+		req, _ := http.NewRequest("GET", ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s while starting: %d %s", path, resp.StatusCode, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Errorf("%s while starting: no Retry-After", path)
+		}
+		assertEnvelope(t, body, "not_ready")
+		var env struct {
+			Recovery *struct {
+				Recovered int `json:"recovered"`
+				Total     int `json:"total"`
+			} `json:"recovery"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("%s body %s: %v", path, body, err)
+		}
+		if env.Recovery == nil || env.Recovery.Recovered != 2 || env.Recovery.Total != 5 {
+			t.Errorf("%s recovery progress = %+v, want 2/5", path, env.Recovery)
+		}
+	}
+
+	srv.health.FinishRecovery()
+	if code, body := doAuth(t, "GET", ts.URL+"/v1/streams", "", nil); code != http.StatusOK {
+		t.Fatalf("list after recovery: %d %s", code, body)
+	}
+}

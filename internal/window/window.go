@@ -125,6 +125,7 @@ func New(cfg Config) *EH {
 		}
 	}
 	if cfg.Now == nil {
+		//lint:allow noclock the one sanctioned wall-clock fallback: live time windows default to time.Now when no clock is injected; replay paths always inject
 		cfg.Now = time.Now
 	}
 	return &EH{cfg: cfg}

@@ -110,12 +110,17 @@ func (s *Partitioned) Insert(p geom.Point) error {
 		return fmt.Errorf("streamhull: RegionFunc returned %d for %v (have %d regions)",
 			idx, p, len(s.regions))
 	}
-	s.n++
 	region := s.regions[idx]
 	s.mu.Unlock()
 	if err := region.Insert(p); err != nil {
+		// Nothing was applied: regions validate before mutating, and n
+		// has not been counted yet — the error path leaves the summary
+		// untouched, so the epoch correctly stays put.
 		return err
 	}
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
 	s.epoch.Add(1)
 	return nil
 }
@@ -150,15 +155,19 @@ func (s *Partitioned) InsertBatch(pts []geom.Point) (int, error) {
 		}
 		groups[idx] = append(groups[idx], p)
 	}
-	s.mu.Lock()
-	s.n += len(pts)
-	s.mu.Unlock()
 	for _, idx := range touched {
 		if _, err := s.regions[idx].InsertBatch(groups[idx]); err != nil {
-			// Unreachable: the batch was validated above.
+			// Unreachable: the batch was validated above. If it ever
+			// fires, earlier regions already ingested their sub-batches,
+			// so bump before bailing — cached reads must not serve
+			// pre-batch geometry as current.
+			s.epoch.Add(1)
 			return 0, err
 		}
 	}
+	s.mu.Lock()
+	s.n += len(pts)
+	s.mu.Unlock()
 	s.epoch.Add(1)
 	return len(pts), nil
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run the project's own static-analysis suite (cmd/streamhull-vet) over
+# the whole module, exactly as CI does: build the tool, then hand it to
+# go vet as a vettool so every package goes through the unitchecker
+# protocol. Any diagnostic fails. See docs/ANALYSIS.md for what the
+# analyzers enforce and how to suppress a finding with justification.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tool="$(mktemp -d)/streamhull-vet"
+trap 'rm -rf "$(dirname "$tool")"' EXIT
+
+go build -o "$tool" ./cmd/streamhull-vet
+go vet -vettool="$tool" ./...
+echo "streamhull-vet: clean"

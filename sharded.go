@@ -71,6 +71,8 @@ func (s *ShardedHull) Shards() int { return len(s.shards) }
 func (s *ShardedHull) ShardN(i int) int { return s.shards[i].N() }
 
 // Insert deals one point to the next shard in rotation.
+//
+//lint:allow epochbump inner summaries validate before mutating, so the error return leaves every shard untouched
 func (s *ShardedHull) Insert(p geom.Point) error {
 	if err := checkFinite(p); err != nil {
 		return err
@@ -89,6 +91,8 @@ func (s *ShardedHull) Insert(p geom.Point) error {
 // lock through the inner kind's prefiltered batch path. Concurrent
 // InsertBatch calls rotate onto different shards, so up to S batches
 // ingest in parallel.
+//
+//lint:allow epochbump the batch is validated before the shard call, so the error return leaves every shard untouched
 func (s *ShardedHull) InsertBatch(pts []geom.Point) (int, error) {
 	if err := checkFiniteBatch(pts); err != nil {
 		return 0, err

@@ -193,6 +193,11 @@ func (s *WindowedHull) ByTime() bool { return s.maxAge > 0 }
 // expireLocked drops aged-out buckets on time windows so every accessor
 // observes a current view; count windows expire on insert. Callers must
 // hold s.mu.
+// expireLocked drops fully expired buckets; eh.Expire's return value is
+// the mutation witness, and the epoch advances exactly when it reports
+// drops. Caller holds s.mu.
+//
+//lint:allow epochbump eh.Expire returns the drop count and the epoch bumps iff it is positive
 func (s *WindowedHull) expireLocked() {
 	if s.eh.ByTime() && s.eh.Expire() > 0 {
 		s.cached = false
@@ -245,7 +250,10 @@ func (s *WindowedHull) Epoch() uint64 { return s.epoch.Load() }
 
 // Hull returns the convex hull of the window's live samples. Time-based
 // windows expire stale buckets first, so the hull is current even on an
-// idle stream.
+// idle stream. The hull memo it materializes under the cached flag is
+// derived state — rebuilding it changes nothing observable.
+//
+//lint:allow epochbump memoizing the hull of unchanged samples changes no observable state
 func (s *WindowedHull) Hull() Polygon {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -302,6 +310,8 @@ func (s *WindowedHull) WindowSpan() (count int, age time.Duration) {
 // Expire drops every fully expired bucket now and reports how many were
 // dropped. Inserts and queries expire implicitly; Expire exists for
 // background sweeps over idle time-windowed streams.
+//
+//lint:allow epochbump eh.Expire returns the drop count and the epoch bumps iff it is positive
 func (s *WindowedHull) Expire() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
